@@ -1,0 +1,429 @@
+package ensemblekit
+
+// The benchmark harness: one benchmark per table and figure of the paper's
+// evaluation, plus ablations for the design choices called out in
+// DESIGN.md. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Each benchmark executes the figure's full computation per iteration at a
+// reduced-but-steady scale (8 in situ steps, 1 trial) and reports the
+// figure's headline quantity as a custom metric; cmd/experiments runs the
+// full paper scale (37 steps, 5 trials) and prints the tables recorded in
+// EXPERIMENTS.md.
+
+import (
+	"testing"
+
+	"context"
+
+	"ensemblekit/internal/chunk"
+	"ensemblekit/internal/cluster"
+	"ensemblekit/internal/experiments"
+	"ensemblekit/internal/indicators"
+	"ensemblekit/internal/kernels"
+	"ensemblekit/internal/network"
+	"ensemblekit/internal/placement"
+	"ensemblekit/internal/runtime"
+	"ensemblekit/internal/scheduler"
+	"ensemblekit/internal/sim"
+)
+
+func benchConfig() experiments.Config { return experiments.Quick() }
+
+func BenchmarkTable1Metrics(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table1(benchConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2Configs(b *testing.B) {
+	spec := Cori(3)
+	for i := 0; i < b.N; i++ {
+		for _, p := range placement.ConfigsTable2() {
+			if err := p.Validate(spec); err != nil {
+				b.Fatal(err)
+			}
+			for _, m := range p.Members {
+				if _, err := indicators.CP(m); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkTable4Configs(b *testing.B) {
+	spec := Cori(3)
+	for i := 0; i < b.N; i++ {
+		for _, p := range placement.ConfigsTable4() {
+			if err := p.Validate(spec); err != nil {
+				b.Fatal(err)
+			}
+			for _, m := range p.Members {
+				if _, err := indicators.CP(m); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkFig3ComponentMetrics(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig3(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(rows[len(rows)-1].LLCMissRatio, "C1.5-ana-missratio")
+		}
+	}
+}
+
+func BenchmarkFig4MemberMakespan(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig4(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(rows[len(rows)-1].Makespan, "C1.5-member-makespan-s")
+		}
+	}
+}
+
+func BenchmarkFig5EnsembleMakespan(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig5(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(rows[len(rows)-1].Makespan, "C1.5-makespan-s")
+		}
+	}
+}
+
+func BenchmarkFig6Timeline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig6(benchConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig7CoreSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := experiments.Fig7(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			best, err := RecommendCores(points)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(best.Cores), "recommended-cores")
+		}
+	}
+}
+
+func BenchmarkFig8IndicatorStages(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, _, err := experiments.Fig8(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				if r.Config == "C1.5" && r.Stage == "U,A,P" {
+					b.ReportMetric(r.F, "F-C1.5-UAP")
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkFig9IndicatorStages(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, _, err := experiments.Fig9(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				if r.Config == "C2.8" && r.Stage == "U,A,P" {
+					b.ReportMetric(r.F, "F-C2.8-UAP")
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkHeadlineCoLocationGain(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Headline(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(res.Ratio, "best/worst-F")
+		}
+	}
+}
+
+// --- ablations (design choices called out in DESIGN.md) ---
+
+// BenchmarkAblationDTLTiers compares the three staging tiers on the
+// co-located configuration.
+func BenchmarkAblationDTLTiers(b *testing.B) {
+	spec := Cori(3)
+	cfg := ConfigCc()
+	es := SpecForPlacement(cfg, 8)
+	for _, tier := range []string{runtime.TierDimes, runtime.TierBurstBuffer, runtime.TierPFS} {
+		b.Run(tier, func(b *testing.B) {
+			var makespan float64
+			for i := 0; i < b.N; i++ {
+				tr, err := RunSimulated(spec, cfg, es, SimOptions{Tier: tier})
+				if err != nil {
+					b.Fatal(err)
+				}
+				makespan = tr.Makespan()
+			}
+			b.ReportMetric(makespan, "makespan-s")
+		})
+	}
+}
+
+// BenchmarkAblationInterference quantifies what the interference model
+// contributes: C1.4 with and without co-location degradation.
+func BenchmarkAblationInterference(b *testing.B) {
+	spec := Cori(3)
+	cfg := placement.C14()
+	es := SpecForPlacement(cfg, 8)
+	off := cluster.NewModel(spec)
+	off.Inter = &cluster.Interference{
+		Dilation: map[cluster.Class]map[cluster.Class]float64{
+			cluster.ClassCompute: {cluster.ClassCompute: 0, cluster.ClassMemory: 0},
+			cluster.ClassMemory:  {cluster.ClassCompute: 0, cluster.ClassMemory: 0},
+		},
+		MissInflation: map[cluster.Class]map[cluster.Class]float64{
+			cluster.ClassCompute: {cluster.ClassCompute: 0, cluster.ClassMemory: 0},
+			cluster.ClassMemory:  {cluster.ClassCompute: 0, cluster.ClassMemory: 0},
+		},
+	}
+	cases := []struct {
+		name string
+		opts SimOptions
+	}{
+		{"interference-on", SimOptions{}},
+		{"interference-off", SimOptions{Model: off}},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			var makespan float64
+			for i := 0; i < b.N; i++ {
+				tr, err := RunSimulated(spec, cfg, es, c.opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				makespan = tr.Makespan()
+			}
+			b.ReportMetric(makespan, "C1.4-makespan-s")
+		})
+	}
+}
+
+// BenchmarkAblationScheduler compares exhaustive search with the greedy
+// heuristic on the paper instance.
+func BenchmarkAblationScheduler(b *testing.B) {
+	spec := Cori(3)
+	es := PaperEnsemble("bench", 2, 1, 6)
+	obj := scheduler.AnalyticObjective(spec, nil, es, indicators.StageUAP)
+	b.Run("exhaustive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := scheduler.Exhaustive(spec, es, 3, obj); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("greedy", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := scheduler.GreedyLocalSearch(spec, es, 3, obj); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkRealBackend measures the real-execution path end to end.
+func BenchmarkRealBackend(b *testing.B) {
+	cfg := ConfigCc()
+	opts := RealOptions{Steps: 2, Stride: 3}
+	for i := 0; i < b.N; i++ {
+		if _, err := RunReal(cfg, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkChunkCodec measures the DTL plugin's marshaling throughput.
+func BenchmarkChunkCodec(b *testing.B) {
+	c := chunk.Synthetic(chunk.ID{Member: 0, Step: 0}, 8, 5000, 1)
+	data, err := c.Encode()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		enc, err := c.Encode()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := chunk.Decode(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDESEngine measures raw event throughput of the simulation
+// engine.
+func BenchmarkDESEngine(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		env := sim.NewEnv()
+		for p := 0; p < 10; p++ {
+			env.Go("p", func(pr *sim.Proc) error {
+				for k := 0; k < 1000; k++ {
+					if err := pr.Wait(1); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+		}
+		if err := env.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFabric measures contended transfer scheduling.
+func BenchmarkFabric(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		env := sim.NewEnv()
+		fab, err := network.NewFabric(env, network.Config{Nodes: 8, NICBandwidth: 8e9})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for f := 0; f < 32; f++ {
+			src, dst := f%8, (f+1)%8
+			env.Go("xfer", func(p *sim.Proc) error {
+				return fab.Transfer(p, src, dst, 1e9)
+			})
+		}
+		if err := env.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtensionScaling runs the ensemble-size scaling study.
+func BenchmarkExtensionScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.ScalingStudy(benchConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtensionHeterogeneous runs the heterogeneous-ensemble study.
+func BenchmarkExtensionHeterogeneous(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.HeterogeneousStudy(benchConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationAnnealing compares the third search strategy against
+// greedy on a 4-member instance.
+func BenchmarkAblationAnnealing(b *testing.B) {
+	spec := Cori(6)
+	es := PaperEnsemble("anneal-bench", 4, 2, 6)
+	obj := scheduler.AnalyticObjective(spec, nil, es, indicators.StageUAP)
+	b.Run("greedy", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := scheduler.GreedyLocalSearch(spec, es, 6, obj); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("anneal", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := scheduler.Anneal(spec, es, 6, obj, scheduler.AnnealOptions{Iterations: 1000, Seed: 1}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkLJKernel measures the real MD force evaluation.
+func BenchmarkLJKernel(b *testing.B) {
+	sim, err := kernels.NewLJSimulator(kernels.DefaultLJConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Advance(ctx, 5, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEigenKernel measures the real analysis kernel.
+func BenchmarkEigenKernel(b *testing.B) {
+	a, err := kernels.NewEigenAnalyzer(kernels.DefaultEigenConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := chunk.Synthetic(chunk.ID{}, 2, 400, 1)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.Analyze(ctx, c.Frames, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLargeEnsembleDES measures the simulated backend at a scale far
+// beyond the paper's experiments: 16 fully co-located members on 16
+// nodes, 37 in situ steps.
+func BenchmarkLargeEnsembleDES(b *testing.B) {
+	const members = 16
+	spec := Cori(members)
+	p := Placement{Name: "large"}
+	for i := 0; i < members; i++ {
+		p.Members = append(p.Members, Member{
+			Simulation: Component{Nodes: []int{i}, Cores: 16},
+			Analyses:   []Component{{Nodes: []int{i}, Cores: 8}},
+		})
+	}
+	es := SpecForPlacement(p, PaperSteps)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr, err := RunSimulated(spec, p, es, SimOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(tr.Makespan(), "makespan-s")
+		}
+	}
+}

@@ -1,0 +1,229 @@
+// Command ensemblectl runs one workflow ensemble — a built-in Table 2/4
+// configuration or a placement from a JSON file — on either backend and
+// reports the Table 1 metrics, the efficiency model, and the performance
+// indicators.
+//
+// Usage:
+//
+//	ensemblectl -config C1.5 [-backend simulated|real] [-steps N]
+//	            [-tier dimes|burstbuffer|pfs] [-jitter F] [-seed N]
+//	            [-nodes N] [-trace FILE] [-placement FILE.json]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ensemblekit/internal/cluster"
+	"ensemblekit/internal/core"
+	"ensemblekit/internal/indicators"
+	"ensemblekit/internal/metrics"
+	"ensemblekit/internal/placement"
+	"ensemblekit/internal/report"
+	"ensemblekit/internal/runtime"
+	"strings"
+
+	"ensemblekit/internal/trace"
+)
+
+func main() {
+	var (
+		configName = flag.String("config", "C1.5", "built-in configuration name (Table 2/4)")
+		plFile     = flag.String("placement", "", "JSON placement file (overrides -config)")
+		backend    = flag.String("backend", "simulated", "simulated or real")
+		steps      = flag.Int("steps", runtime.PaperSteps, "in situ steps")
+		tier       = flag.String("tier", "dimes", "DTL tier (simulated backend)")
+		jitter     = flag.Float64("jitter", 0, "stage noise amplitude (simulated backend)")
+		seed       = flag.Int64("seed", 1, "RNG seed")
+		nodes      = flag.Int("nodes", 0, "machine size (0 = fit the placement)")
+		traceOut   = flag.String("trace", "", "write the execution trace as JSON to this file")
+		compareArg = flag.String("compare", "", "comma-separated configuration names to run side by side")
+	)
+	flag.Parse()
+
+	var err error
+	if *compareArg != "" {
+		err = compare(*compareArg, *steps, *tier, *jitter, *seed)
+	} else {
+		err = run(*configName, *plFile, *backend, *steps, *tier, *jitter, *seed, *nodes, *traceOut)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ensemblectl: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// compare runs several built-in configurations on the simulated backend
+// and prints a side-by-side summary: makespan, mean efficiency, the final
+// indicator objective, and straggling members.
+func compare(names string, steps int, tier string, jitter float64, seed int64) error {
+	t := report.NewTable("Configuration comparison",
+		"config", "nodes", "makespan (s)", "mean E", "F(P^{U,A,P})", "stragglers")
+	for _, name := range strings.Split(names, ",") {
+		name = strings.TrimSpace(name)
+		p, ok := placement.ByName(name)
+		if !ok {
+			return fmt.Errorf("unknown configuration %q", name)
+		}
+		spec := cluster.Cori(maxNode(p) + 1)
+		es := runtime.SpecForPlacement(p, steps)
+		tr, err := runtime.RunSimulated(spec, p, es, runtime.SimOptions{
+			Tier: tier, Jitter: jitter, Seed: seed,
+		})
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		ens, err := metrics.FromTrace(tr)
+		if err != nil {
+			return err
+		}
+		effs := make([]float64, len(tr.Members))
+		sum := 0.0
+		for i, m := range tr.Members {
+			ss, err := core.FromMemberTrace(m, core.ExtractOptions{})
+			if err != nil {
+				return err
+			}
+			e, err := ss.Efficiency()
+			if err != nil {
+				return err
+			}
+			effs[i] = e
+			sum += e
+		}
+		f, err := indicators.Objective(p, effs, indicators.StageUAP)
+		if err != nil {
+			return err
+		}
+		straggle := "none"
+		if s := ens.Stragglers(0.05); len(s) > 0 {
+			parts := make([]string, len(s))
+			for i, st := range s {
+				parts[i] = fmt.Sprintf("EM%d(+%.0f%%)", st.Index+1, 100*st.Excess)
+			}
+			straggle = strings.Join(parts, " ")
+		}
+		t.AddRow(name, p.M(), tr.Makespan(), sum/float64(len(effs)), f, straggle)
+	}
+	fmt.Println(t.String())
+	return nil
+}
+
+func maxNode(p placement.Placement) int {
+	max := 0
+	for _, n := range p.UsedNodes() {
+		if n > max {
+			max = n
+		}
+	}
+	return max
+}
+
+func run(configName, plFile, backend string, steps int, tier string, jitter float64, seed int64, nodes int, traceOut string) error {
+	var p placement.Placement
+	if plFile != "" {
+		f, err := os.Open(plFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		p, err = placement.ReadJSON(f)
+		if err != nil {
+			return err
+		}
+	} else {
+		var ok bool
+		p, ok = placement.ByName(configName)
+		if !ok {
+			return fmt.Errorf("unknown configuration %q (try C_f, C_c, C1.1..C1.5, C2.1..C2.8)", configName)
+		}
+	}
+	fmt.Println(p.String())
+
+	var tr *trace.EnsembleTrace
+	switch backend {
+	case "simulated":
+		if nodes <= 0 {
+			for _, n := range p.UsedNodes() {
+				if n+1 > nodes {
+					nodes = n + 1
+				}
+			}
+		}
+		spec := cluster.Cori(nodes)
+		es := runtime.SpecForPlacement(p, steps)
+		var err error
+		tr, err = runtime.RunSimulated(spec, p, es, runtime.SimOptions{
+			Tier: tier, Jitter: jitter, Seed: seed,
+		})
+		if err != nil {
+			return err
+		}
+	case "real":
+		var err error
+		tr, err = runtime.RunReal(p, runtime.RealOptions{Steps: steps})
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown backend %q", backend)
+	}
+
+	// Table 1 metrics.
+	ens, err := metrics.FromTrace(tr)
+	if err != nil {
+		return err
+	}
+	ct := report.NewTable("Component metrics (Table 1)",
+		"component", "exec time (s)", "LLC miss ratio", "memory intensity", "IPC")
+	for _, c := range ens.Components {
+		ct.AddRow(c.Name, c.ExecutionTime, c.LLCMissRatio, c.MemoryIntensity, c.IPC)
+	}
+	fmt.Println(ct.String())
+
+	// Efficiency model per member.
+	mt := report.NewTable("Efficiency model (Equations 1-3)",
+		"member", "S*+W* (s)", "sigma (s)", "E", "Eq.4", "makespan (s)", "predicted (s)")
+	effs := make([]float64, len(tr.Members))
+	for i, m := range tr.Members {
+		ss, err := core.FromMemberTrace(m, core.ExtractOptions{})
+		if err != nil {
+			return err
+		}
+		e, err := ss.Efficiency()
+		if err != nil {
+			return err
+		}
+		effs[i] = e
+		mt.AddRow(fmt.Sprintf("EM%d", i+1), ss.SimBusy(), ss.Sigma(), e,
+			ss.SatisfiesEq4(), m.Makespan(), ss.Makespan(len(m.Simulation.Steps)))
+	}
+	fmt.Println(mt.String())
+	fmt.Printf("Ensemble makespan: %s\n\n", report.FormatFloat(tr.Makespan()))
+
+	// Indicators.
+	rep, err := indicators.FullReport(p, effs)
+	if err != nil {
+		return err
+	}
+	it := report.NewTable("Performance indicators (Equations 5-9)",
+		"stage", "F(P_i)")
+	for _, s := range indicators.AllStages() {
+		it.AddRow("F(P^{"+s.String()+"})", rep.PerStage[s.String()])
+	}
+	fmt.Println(it.String())
+
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := tr.WriteJSON(f); err != nil {
+			return err
+		}
+		fmt.Printf("trace written to %s\n", traceOut)
+	}
+	return nil
+}

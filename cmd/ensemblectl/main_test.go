@@ -1,0 +1,71 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ensemblekit/internal/placement"
+	"ensemblekit/internal/trace"
+)
+
+func TestRunBuiltinConfig(t *testing.T) {
+	traceFile := filepath.Join(t.TempDir(), "trace.json")
+	if err := run("C_c", "", "simulated", 6, "dimes", 0, 1, 0, traceFile); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(traceFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := trace.ReadJSON(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Config != "C_c" || len(tr.Members) != 1 {
+		t.Errorf("unexpected trace: %s, %d members", tr.Config, len(tr.Members))
+	}
+}
+
+func TestRunPlacementFile(t *testing.T) {
+	plFile := filepath.Join(t.TempDir(), "p.json")
+	f, err := os.Create(plFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := placement.C13().WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := run("ignored", plFile, "simulated", 4, "dimes", 0, 1, 0, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("C9.9", "", "simulated", 4, "dimes", 0, 1, 0, ""); err == nil {
+		t.Error("unknown config should fail")
+	}
+	if err := run("C_c", "", "quantum", 4, "dimes", 0, 1, 0, ""); err == nil {
+		t.Error("unknown backend should fail")
+	}
+	if err := run("C_c", "/nonexistent/file.json", "simulated", 4, "dimes", 0, 1, 0, ""); err == nil {
+		t.Error("missing placement file should fail")
+	}
+}
+
+func TestRunRealBackend(t *testing.T) {
+	if err := run("C_c", "", "real", 2, "", 0, 1, 0, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompareMode(t *testing.T) {
+	if err := compare("C1.4, C1.5", 6, "dimes", 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := compare("C9.9", 6, "dimes", 0, 1); err == nil {
+		t.Error("unknown config in compare should fail")
+	}
+}

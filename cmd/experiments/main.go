@@ -1,0 +1,270 @@
+// Command experiments regenerates the paper's tables and figures on the
+// simulated platform and prints them as aligned text tables (optionally
+// CSV). This is the reproduction harness behind EXPERIMENTS.md.
+//
+// Usage:
+//
+//	experiments [-exp all|table1|table2|table4|fig3|fig4|fig5|fig6|fig7|fig8|fig9|headline
+//	                  |tiers|validation|buffers|aggregators|scaling|heterogeneous|topology
+//	                  |sockets|intransit]
+//	            [-trials N] [-steps N] [-jitter F] [-seed N] [-quick]
+//	            [-csv DIR]
+//
+// The first group regenerates the paper's evaluation; the second group
+// runs the extension studies documented in EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"ensemblekit/internal/experiments"
+	"ensemblekit/internal/report"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment to run (all, table1, table2, table4, fig3..fig9, headline)")
+		trials = flag.Int("trials", 5, "trials to average (the paper uses 5)")
+		steps  = flag.Int("steps", 0, "in situ steps (0 = the paper's 37)")
+		jitter = flag.Float64("jitter", 0.02, "stage-time noise amplitude (negative disables)")
+		seed   = flag.Int64("seed", 1, "base RNG seed")
+		quick  = flag.Bool("quick", false, "fast mode: 1 trial, 8 steps, no jitter")
+		csvDir = flag.String("csv", "", "also write each table as CSV into this directory")
+	)
+	flag.Parse()
+
+	cfg := experiments.Config{
+		Trials:   *trials,
+		Steps:    *steps,
+		Jitter:   *jitter,
+		BaseSeed: *seed,
+	}.Defaults()
+	if *quick {
+		cfg = experiments.Quick()
+	}
+
+	if err := run(cfg, strings.ToLower(*exp), *csvDir); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(cfg experiments.Config, exp, csvDir string) error {
+	selected := func(name string) bool { return exp == "all" || exp == name }
+	emit := func(name string, t *report.Table) error {
+		fmt.Println(t.String())
+		if csvDir == "" {
+			return nil
+		}
+		if err := os.MkdirAll(csvDir, 0o755); err != nil {
+			return err
+		}
+		f, err := os.Create(filepath.Join(csvDir, name+".csv"))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return t.WriteCSV(f)
+	}
+
+	any := false
+	if selected("table1") {
+		any = true
+		out, err := experiments.Table1(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(out)
+	}
+	if selected("table2") {
+		any = true
+		if err := emit("table2", experiments.Table2()); err != nil {
+			return err
+		}
+	}
+	if selected("table4") {
+		any = true
+		if err := emit("table4", experiments.Table4()); err != nil {
+			return err
+		}
+	}
+	if selected("fig3") {
+		any = true
+		rows, err := experiments.Fig3(cfg)
+		if err != nil {
+			return err
+		}
+		if err := emit("fig3", experiments.Fig3Table(rows)); err != nil {
+			return err
+		}
+	}
+	if selected("fig4") {
+		any = true
+		rows, err := experiments.Fig4(cfg)
+		if err != nil {
+			return err
+		}
+		if err := emit("fig4", experiments.Fig4Table(rows)); err != nil {
+			return err
+		}
+	}
+	if selected("fig5") {
+		any = true
+		rows, err := experiments.Fig5(cfg)
+		if err != nil {
+			return err
+		}
+		if err := emit("fig5", experiments.Fig5Table(rows)); err != nil {
+			return err
+		}
+	}
+	if selected("fig6") {
+		any = true
+		out, err := experiments.Fig6(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(out)
+	}
+	if selected("fig7") {
+		any = true
+		points, err := experiments.Fig7(cfg)
+		if err != nil {
+			return err
+		}
+		if err := emit("fig7", experiments.Fig7Table(points)); err != nil {
+			return err
+		}
+	}
+	if selected("fig8") {
+		any = true
+		rows, _, err := experiments.Fig8(cfg)
+		if err != nil {
+			return err
+		}
+		if err := emit("fig8", experiments.IndicatorTable(
+			"Figure 8 — F(P_i) per indicator stage, one analysis per simulation", rows)); err != nil {
+			return err
+		}
+		fmt.Println(experiments.IndicatorChart("Figure 8 (right panel) — F(P^{U,A,P})", rows).String())
+	}
+	if selected("fig9") {
+		any = true
+		rows, _, err := experiments.Fig9(cfg)
+		if err != nil {
+			return err
+		}
+		if err := emit("fig9", experiments.IndicatorTable(
+			"Figure 9 — F(P_i) per indicator stage, two analyses per simulation", rows)); err != nil {
+			return err
+		}
+		fmt.Println(experiments.IndicatorChart("Figure 9 (right panel) — F(P^{U,A,P})", rows).String())
+	}
+	if selected("headline") {
+		any = true
+		res, err := experiments.Headline(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.String())
+		fmt.Println()
+	}
+	if selected("tiers") {
+		any = true
+		rows, err := experiments.TierStudy(cfg)
+		if err != nil {
+			return err
+		}
+		if err := emit("tiers", experiments.TierTable(rows)); err != nil {
+			return err
+		}
+	}
+	if selected("validation") {
+		any = true
+		rows, err := experiments.ModelValidation(cfg)
+		if err != nil {
+			return err
+		}
+		if err := emit("validation", experiments.ValidationTable(rows)); err != nil {
+			return err
+		}
+	}
+	if selected("buffers") {
+		any = true
+		rows, err := experiments.BufferStudy(cfg)
+		if err != nil {
+			return err
+		}
+		if err := emit("buffers", experiments.BufferTable(rows)); err != nil {
+			return err
+		}
+	}
+	if selected("aggregators") {
+		any = true
+		rows, err := experiments.AggregatorStudy(cfg)
+		if err != nil {
+			return err
+		}
+		if err := emit("aggregators", experiments.AggregatorTable(rows)); err != nil {
+			return err
+		}
+	}
+	if selected("scaling") {
+		any = true
+		rows, err := experiments.ScalingStudy(cfg)
+		if err != nil {
+			return err
+		}
+		if err := emit("scaling", experiments.ScalingTable(rows)); err != nil {
+			return err
+		}
+	}
+	if selected("heterogeneous") {
+		any = true
+		rows, err := experiments.HeterogeneousStudy(cfg)
+		if err != nil {
+			return err
+		}
+		if err := emit("heterogeneous", experiments.HeterogeneousTable(rows)); err != nil {
+			return err
+		}
+	}
+	if selected("topology") {
+		any = true
+		rows, err := experiments.TopologyStudy(cfg)
+		if err != nil {
+			return err
+		}
+		if err := emit("topology", experiments.TopologyTable(rows)); err != nil {
+			return err
+		}
+	}
+	if selected("sockets") {
+		any = true
+		rows, err := experiments.SocketStudy(cfg)
+		if err != nil {
+			return err
+		}
+		if err := emit("sockets", experiments.SocketTable(rows)); err != nil {
+			return err
+		}
+	}
+	if selected("intransit") {
+		any = true
+		rows, err := experiments.InTransitStudy(cfg)
+		if err != nil {
+			return err
+		}
+		if err := emit("intransit", experiments.InTransitTable(rows)); err != nil {
+			return err
+		}
+	}
+	if !any {
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	return nil
+}

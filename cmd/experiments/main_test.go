@@ -1,0 +1,38 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ensemblekit/internal/experiments"
+)
+
+func TestRunSingleExperiments(t *testing.T) {
+	cfg := experiments.Quick()
+	for _, exp := range []string{"table2", "table4", "fig5", "fig7", "headline"} {
+		if err := run(cfg, exp, ""); err != nil {
+			t.Errorf("exp %q: %v", exp, err)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run(experiments.Quick(), "fig99", ""); err == nil {
+		t.Error("unknown experiment should fail")
+	}
+}
+
+func TestRunWritesCSV(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(experiments.Quick(), "fig5", dir); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig5.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Error("empty CSV written")
+	}
+}

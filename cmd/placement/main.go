@@ -1,0 +1,115 @@
+// Command placement searches for the workflow-ensemble placement that
+// maximizes the paper's objective F(P^{U,A,P}) — the scheduling use the
+// paper proposes as future work.
+//
+// Usage:
+//
+//	placement [-members N] [-analyses K] [-nodes M]
+//	          [-mode exhaustive|greedy] [-objective analytic|simulated]
+//	          [-top N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"ensemblekit/internal/cluster"
+	"ensemblekit/internal/indicators"
+	"ensemblekit/internal/placement"
+	"ensemblekit/internal/report"
+	"ensemblekit/internal/runtime"
+	"ensemblekit/internal/scheduler"
+)
+
+func main() {
+	var (
+		members   = flag.Int("members", 2, "ensemble members")
+		analyses  = flag.Int("analyses", 1, "analyses per simulation")
+		nodes     = flag.Int("nodes", 3, "nodes available")
+		mode      = flag.String("mode", "exhaustive", "exhaustive or greedy")
+		objective = flag.String("objective", "analytic", "analytic or simulated")
+		top       = flag.Int("top", 5, "show the N best placements (exhaustive only)")
+	)
+	flag.Parse()
+	if err := run(*members, *analyses, *nodes, *mode, *objective, *top); err != nil {
+		fmt.Fprintf(os.Stderr, "placement: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(members, analyses, nodes int, mode, objective string, top int) error {
+	spec := cluster.Cori(nodes)
+	es := runtime.PaperEnsemble("search", members, analyses, 8)
+
+	var obj scheduler.Objective
+	switch objective {
+	case "analytic":
+		obj = scheduler.AnalyticObjective(spec, nil, es, indicators.StageUAP)
+	case "simulated":
+		obj = scheduler.SimulatedObjective(spec, es, runtime.SimOptions{}, indicators.StageUAP)
+	default:
+		return fmt.Errorf("unknown objective %q", objective)
+	}
+
+	switch mode {
+	case "exhaustive":
+		// Rank all candidates so -top can show more than the winner.
+		shape := placement.Shape{
+			SimCores:      placement.SimCores,
+			AnalysisCores: repeat(placement.AnalysisCores, analyses),
+			Members:       members,
+		}
+		candidates, err := placement.Enumerate(spec, shape, nodes)
+		if err != nil {
+			return err
+		}
+		type scored struct {
+			p placement.Placement
+			f float64
+		}
+		var all []scored
+		for _, c := range candidates {
+			f, err := obj(c)
+			if err != nil {
+				continue
+			}
+			all = append(all, scored{p: c, f: f})
+		}
+		if len(all) == 0 {
+			return fmt.Errorf("no feasible placement for %d members x (1+%d) components on %d nodes",
+				members, analyses, nodes)
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i].f > all[j].f })
+		t := report.NewTable(
+			fmt.Sprintf("Top placements by F(P^{U,A,P}) — %d members, %d analyses/sim, %d nodes, %d candidates",
+				members, analyses, nodes, len(all)),
+			"rank", "F", "nodes used", "placement")
+		for i, s := range all {
+			if i >= top {
+				break
+			}
+			t.AddRow(i+1, s.f, s.p.M(), s.p.String())
+		}
+		fmt.Println(t.String())
+	case "greedy":
+		res, err := scheduler.GreedyLocalSearch(spec, es, nodes, obj)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("best placement (greedy, %d evaluations): F = %s\n%s\n",
+			res.Evaluated, report.FormatFloat(res.Score), res.Placement.String())
+	default:
+		return fmt.Errorf("unknown mode %q", mode)
+	}
+	return nil
+}
+
+func repeat(v, n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}

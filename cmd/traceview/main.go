@@ -1,0 +1,131 @@
+// Command traceview inspects an execution trace produced by ensemblectl
+// -trace (or the library's WriteJSON): per-component stage statistics, the
+// efficiency model's verdict per member, and an ASCII timeline of the
+// first steps.
+//
+// Usage:
+//
+//	traceview [-steps N] [-width N] FILE.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ensemblekit/internal/core"
+	"ensemblekit/internal/metrics"
+	"ensemblekit/internal/report"
+	"ensemblekit/internal/stats"
+	"ensemblekit/internal/trace"
+)
+
+func main() {
+	var (
+		steps  = flag.Int("steps", 4, "timeline: number of leading steps to draw")
+		width  = flag.Int("width", 100, "timeline width in characters")
+		csvOut = flag.String("csv", "", "also export every stage as CSV to this file")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: traceview [-steps N] [-width N] [-csv FILE] FILE.json")
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *steps, *width, *csvOut); err != nil {
+		fmt.Fprintf(os.Stderr, "traceview: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(path string, steps, width int, csvOut string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tr, err := trace.ReadJSON(f)
+	if err != nil {
+		return err
+	}
+	if err := tr.Validate(); err != nil {
+		return fmt.Errorf("trace is structurally invalid: %w", err)
+	}
+	fmt.Printf("trace: config=%s backend=%s members=%d ensemble makespan=%s\n\n",
+		tr.Config, tr.Backend, len(tr.Members), report.FormatFloat(tr.Makespan()))
+
+	// Per-component stage statistics.
+	st := report.NewTable("Per-component stage durations (mean over steps)",
+		"component", "steps", "S/R (s)", "I^S/A (s)", "W/I^A (s)", "exec time (s)")
+	for _, c := range tr.Components() {
+		order := trace.SimulationStages()
+		if c.Kind == trace.KindAnalysis {
+			order = trace.AnalysisStages()
+		}
+		means := make([]float64, len(order))
+		for i, s := range order {
+			means[i] = stats.Mean(c.StageDurations(s))
+		}
+		st.AddRow(c.Name, len(c.Steps), means[0], means[1], means[2], c.ExecutionTime())
+	}
+	fmt.Println(st.String())
+
+	// Table 1 metrics.
+	ens, err := metrics.FromTrace(tr)
+	if err != nil {
+		return err
+	}
+	mt := report.NewTable("Table 1 metrics", "component", "LLC miss ratio", "memory intensity", "IPC")
+	for _, c := range ens.Components {
+		mt.AddRow(c.Name, c.LLCMissRatio, c.MemoryIntensity, c.IPC)
+	}
+	fmt.Println(mt.String())
+
+	// Efficiency model per member.
+	et := report.NewTable("Efficiency model", "member", "sigma (s)", "E", "Eq.4", "makespan (s)")
+	for i, m := range tr.Members {
+		ss, err := core.FromMemberTrace(m, core.ExtractOptions{})
+		if err != nil {
+			return err
+		}
+		e, err := ss.Efficiency()
+		if err != nil {
+			return err
+		}
+		et.AddRow(fmt.Sprintf("EM%d", i+1), ss.Sigma(), e, ss.SatisfiesEq4(), m.Makespan())
+	}
+	fmt.Println(et.String())
+
+	// Timeline of the leading steps.
+	g := report.NewGantt(fmt.Sprintf("Timeline (first %d steps; S/W simulation, R/A analysis)", steps), width)
+	glyphs := map[trace.Stage]rune{
+		trace.StageS: 'S', trace.StageW: 'W',
+		trace.StageR: 'R', trace.StageA: 'A',
+	}
+	for _, c := range tr.Components() {
+		row := g.AddRow(c.Name)
+		for si, step := range c.Steps {
+			if si >= steps {
+				break
+			}
+			for _, sr := range step.Stages {
+				if glyph, ok := glyphs[sr.Stage]; ok {
+					g.AddSpan(row, sr.Start, sr.End(), glyph)
+				}
+			}
+		}
+	}
+	fmt.Println(g.String())
+
+	if csvOut != "" {
+		f, err := os.Create(csvOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := tr.WriteStepsCSV(f); err != nil {
+			return err
+		}
+		fmt.Printf("per-stage CSV written to %s\n", csvOut)
+	}
+	return nil
+}

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ensemblekit/internal/cluster"
+	"ensemblekit/internal/placement"
+	"ensemblekit/internal/runtime"
+)
+
+func writeSampleTrace(t *testing.T) string {
+	t.Helper()
+	cfg := placement.Cc()
+	tr, err := runtime.RunSimulated(cluster.Cori(1), cfg,
+		runtime.SpecForPlacement(cfg, 4), runtime.SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "trace.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := tr.WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunOnValidTrace(t *testing.T) {
+	if err := run(writeSampleTrace(t), 3, 80, filepath.Join(t.TempDir(), "steps.csv")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("/nonexistent.json", 3, 80, ""); err == nil {
+		t.Error("missing file should fail")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(bad, 3, 80, ""); err == nil {
+		t.Error("malformed trace should fail")
+	}
+}

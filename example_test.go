@@ -1,0 +1,85 @@
+package ensemblekit_test
+
+import (
+	"fmt"
+	"log"
+
+	"ensemblekit"
+)
+
+// ExampleRunSimulated executes the paper's best placement on the simulated
+// platform and computes the full performance indicator.
+func ExampleRunSimulated() {
+	cfg := ensemblekit.ConfigC15()
+	spec := ensemblekit.Cori(3)
+	workload := ensemblekit.SpecForPlacement(cfg, 8)
+
+	tr, err := ensemblekit.RunSimulated(spec, cfg, workload, ensemblekit.SimOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	effs, err := ensemblekit.Efficiencies(tr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := ensemblekit.Objective(cfg, effs, ensemblekit.StageUAP)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("members: %d, F(P^{U,A,P}) = %.4f\n", len(tr.Members), f)
+	// Output: members: 2, F(P^{U,A,P}) = 0.0199
+}
+
+// ExamplePlacementIndicator shows the placement indicator CP (Equation 6)
+// for a co-located and a spread member.
+func ExamplePlacementIndicator() {
+	co := ensemblekit.ConfigCc().Members[0]
+	spread := ensemblekit.ConfigCf().Members[0]
+	cpCo, err := ensemblekit.PlacementIndicator(co)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cpSpread, err := ensemblekit.PlacementIndicator(spread)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("co-located CP = %.1f, spread CP = %.1f\n", cpCo, cpSpread)
+	// Output: co-located CP = 1.0, spread CP = 0.5
+}
+
+// ExampleMemberSteadyState extracts the efficiency model's quantities from
+// an execution.
+func ExampleMemberSteadyState() {
+	cfg := ensemblekit.ConfigCf()
+	tr, err := ensemblekit.RunSimulated(ensemblekit.Cori(2), cfg,
+		ensemblekit.SpecForPlacement(cfg, 8), ensemblekit.SimOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ss, err := ensemblekit.MemberSteadyState(tr, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	e, err := ss.Efficiency()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Eq.4 satisfied: %v, E = %.2f\n", ss.SatisfiesEq4(), e)
+	// Output: Eq.4 satisfied: true, E = 0.96
+}
+
+// ExampleSchedulePlacement searches for the best placement of a
+// two-member ensemble — it rediscovers the paper's C1.5 pattern.
+func ExampleSchedulePlacement() {
+	res, err := ensemblekit.SchedulePlacement(
+		ensemblekit.Cori(3), ensemblekit.PaperEnsemble("demo", 2, 1, 6), 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cp, err := ensemblekit.PlacementIndicator(res.Placement.Members[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("optimal member CP = %.1f, nodes used = %d\n", cp, res.Placement.M())
+	// Output: optimal member CP = 1.0, nodes used = 2
+}

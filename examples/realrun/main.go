@@ -1,0 +1,52 @@
+// realrun executes a workflow ensemble for real on the local machine: a
+// genuine Lennard-Jones molecular-dynamics simulation produces frames,
+// chunks are serialized through the in-memory staging area with the
+// paper's synchronous no-buffering protocol, and a genuine power-iteration
+// analysis extracts the largest eigenvalue of each frame's bipartite
+// contact matrix as a collective variable. Wall-clock stage timings feed
+// the same efficiency model as the simulated backend.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"ensemblekit"
+)
+
+func main() {
+	cfg := ensemblekit.ConfigC15() // two members, each sim+analysis
+
+	trace, err := ensemblekit.RunReal(cfg, ensemblekit.RealOptions{
+		Steps:   4,  // in situ steps
+		Stride:  25, // MD steps per chunk
+		Timeout: 2 * time.Minute,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("real execution of %s: ensemble makespan %.3f s\n", cfg.Name, trace.Makespan())
+	for i, m := range trace.Members {
+		ss, err := ensemblekit.MemberSteadyState(trace, i)
+		if err != nil {
+			log.Fatal(err)
+		}
+		e, err := ss.Efficiency()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("member %d: %d steps, sigma=%.4f s, E=%.3f\n",
+			i+1, len(m.Simulation.Steps), ss.Sigma(), e)
+		for j := range m.Analyses {
+			sc, err := ss.CouplingScenario(j)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  coupling %d: %v\n", j+1, sc)
+		}
+	}
+	fmt.Println("\nthe same trace format, efficiency model and indicators apply to")
+	fmt.Println("real executions and simulated ones — only the backend differs.")
+}

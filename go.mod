@@ -1,0 +1,3 @@
+module ensemblekit
+
+go 1.22

@@ -1,0 +1,107 @@
+// Package chunk implements the paper's base data representation (Figure 2):
+// the simulation's in-memory output is abstracted into a chunk, the unit
+// manipulated by the whole runtime. A chunk batches the frames (atomic
+// positions) produced during one stride window; the DTL plugin serializes
+// chunks to byte buffers for staging, which keeps the runtime adaptable to
+// any DTL implementation.
+package chunk
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Frame is one snapshot of a molecular system: atom positions plus the
+// periodic box, tagged with the MD step that produced it.
+type Frame struct {
+	// Step is the MD integration step of the snapshot.
+	Step int64
+	// Time is the physical time of the snapshot in picoseconds.
+	Time float64
+	// Box is the periodic box edge lengths in nanometers.
+	Box [3]float32
+	// Positions holds the atom coordinates in nanometers.
+	Positions [][3]float32
+}
+
+// NumAtoms returns the number of atoms in the frame.
+func (f *Frame) NumAtoms() int { return len(f.Positions) }
+
+// ID identifies a chunk within a workflow ensemble execution: which
+// member's simulation produced it and which in situ step it belongs to.
+type ID struct {
+	// Member is the producing ensemble member index.
+	Member int
+	// Step is the in situ step index (not the MD step).
+	Step int
+}
+
+// String renders the ID as member/step.
+func (id ID) String() string { return fmt.Sprintf("m%d/s%d", id.Member, id.Step) }
+
+// Chunk is the unit of data staged through the DTL.
+type Chunk struct {
+	// ID identifies the chunk.
+	ID ID
+	// Producer names the component that wrote the chunk.
+	Producer string
+	// Frames are the snapshots batched into this chunk.
+	Frames []Frame
+}
+
+// NumFrames returns the number of frames in the chunk.
+func (c *Chunk) NumFrames() int { return len(c.Frames) }
+
+// TotalAtoms returns the total number of atom records across frames.
+func (c *Chunk) TotalAtoms() int {
+	n := 0
+	for i := range c.Frames {
+		n += len(c.Frames[i].Positions)
+	}
+	return n
+}
+
+// Validate checks structural invariants: frames in increasing step order
+// and finite coordinates.
+func (c *Chunk) Validate() error {
+	var prev int64 = math.MinInt64
+	for i := range c.Frames {
+		f := &c.Frames[i]
+		if f.Step < prev {
+			return fmt.Errorf("chunk %v: frame %d step %d out of order (previous %d)", c.ID, i, f.Step, prev)
+		}
+		prev = f.Step
+		for _, p := range f.Positions {
+			for _, x := range p {
+				if math.IsNaN(float64(x)) || math.IsInf(float64(x), 0) {
+					return fmt.Errorf("chunk %v: frame %d has non-finite coordinate", c.ID, i)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Synthetic builds a deterministic chunk with the given shape, useful for
+// tests and workload generation. Positions are uniform in a 10 nm box.
+func Synthetic(id ID, frames, atoms int, seed int64) *Chunk {
+	rng := rand.New(rand.NewSource(seed))
+	c := &Chunk{ID: id, Producer: fmt.Sprintf("sim%d", id.Member)}
+	c.Frames = make([]Frame, frames)
+	for i := range c.Frames {
+		f := &c.Frames[i]
+		f.Step = int64(id.Step*frames+i) * 100
+		f.Time = float64(f.Step) * 0.002 // 2 fs timestep in ps
+		f.Box = [3]float32{10, 10, 10}
+		f.Positions = make([][3]float32, atoms)
+		for j := range f.Positions {
+			f.Positions[j] = [3]float32{
+				rng.Float32() * 10,
+				rng.Float32() * 10,
+				rng.Float32() * 10,
+			}
+		}
+	}
+	return c
+}

@@ -1,0 +1,206 @@
+package chunk
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestSyntheticShape(t *testing.T) {
+	c := Synthetic(ID{Member: 2, Step: 5}, 4, 100, 7)
+	if c.NumFrames() != 4 {
+		t.Errorf("frames = %d, want 4", c.NumFrames())
+	}
+	if c.TotalAtoms() != 400 {
+		t.Errorf("total atoms = %d, want 400", c.TotalAtoms())
+	}
+	if c.ID.Member != 2 || c.ID.Step != 5 {
+		t.Errorf("id = %v", c.ID)
+	}
+	if err := c.Validate(); err != nil {
+		t.Errorf("synthetic chunk invalid: %v", err)
+	}
+	if c.Frames[0].NumAtoms() != 100 {
+		t.Errorf("atoms in frame = %d, want 100", c.Frames[0].NumAtoms())
+	}
+	// Deterministic for the same seed.
+	c2 := Synthetic(ID{Member: 2, Step: 5}, 4, 100, 7)
+	if !reflect.DeepEqual(c, c2) {
+		t.Error("Synthetic is not deterministic for a fixed seed")
+	}
+}
+
+func TestIDString(t *testing.T) {
+	if got := (ID{Member: 1, Step: 9}).String(); got != "m1/s9" {
+		t.Errorf("ID.String = %q", got)
+	}
+}
+
+func TestValidateRejectsOutOfOrderSteps(t *testing.T) {
+	c := Synthetic(ID{}, 3, 10, 1)
+	c.Frames[2].Step = c.Frames[0].Step - 1
+	if err := c.Validate(); err == nil {
+		t.Error("out-of-order frame steps should be rejected")
+	}
+}
+
+func TestValidateRejectsNaN(t *testing.T) {
+	c := Synthetic(ID{}, 1, 10, 1)
+	c.Frames[0].Positions[3][1] = float32(math.NaN())
+	if err := c.Validate(); err == nil {
+		t.Error("NaN coordinate should be rejected")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	c := Synthetic(ID{Member: 3, Step: 11}, 5, 250, 42)
+	data, err := c.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(data)) != c.EncodedSize() {
+		t.Errorf("encoded %d bytes, EncodedSize says %d", len(data), c.EncodedSize())
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(c, got) {
+		t.Error("round trip changed the chunk")
+	}
+}
+
+func TestEncodeEmptyChunk(t *testing.T) {
+	c := &Chunk{ID: ID{Member: 0, Step: 0}, Producer: "p"}
+	data, err := c.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumFrames() != 0 || got.Producer != "p" {
+		t.Errorf("empty chunk round trip: %+v", got)
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	c := Synthetic(ID{Member: 1, Step: 2}, 2, 50, 3)
+	data, err := c.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one byte anywhere in the body: the checksum must catch it.
+	for _, pos := range []int{0, 5, len(data) / 2, len(data) - 6} {
+		mut := append([]byte(nil), data...)
+		mut[pos] ^= 0xFF
+		if _, err := Decode(mut); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("corruption at byte %d not detected: %v", pos, err)
+		}
+	}
+}
+
+func TestDecodeRejectsTruncation(t *testing.T) {
+	c := Synthetic(ID{}, 2, 50, 3)
+	data, err := c.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{0, 3, 10, len(data) - 1} {
+		if _, err := Decode(data[:n]); err == nil {
+			t.Errorf("truncation to %d bytes accepted", n)
+		}
+	}
+}
+
+func TestDecodeRejectsBadMagic(t *testing.T) {
+	c := Synthetic(ID{}, 1, 10, 3)
+	data, _ := c.Encode()
+	data[0] = 'X'
+	if _, err := Decode(data); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("bad magic not detected: %v", err)
+	}
+}
+
+func TestDecodeRejectsTrailingGarbageWithFixedChecksum(t *testing.T) {
+	c := Synthetic(ID{}, 1, 10, 3)
+	data, _ := c.Encode()
+	// Append garbage before the checksum and recompute it so only the
+	// structural trailing-bytes check can catch the damage.
+	body := data[:len(data)-4]
+	body = append(body, 0xAB, 0xCD)
+	withSum, err := appendChecksum(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(withSum); err == nil {
+		t.Error("trailing bytes with valid checksum accepted")
+	}
+}
+
+func TestNegativeIDsRoundTrip(t *testing.T) {
+	c := Synthetic(ID{Member: -1, Step: -2}, 1, 4, 9)
+	data, err := c.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID.Member != -1 || got.ID.Step != -2 {
+		t.Errorf("negative IDs did not survive: %v", got.ID)
+	}
+}
+
+// Property: every synthetic chunk round-trips exactly.
+func TestRoundTripProperty(t *testing.T) {
+	prop := func(member, step int16, frames, atoms uint8, seed int64) bool {
+		c := Synthetic(ID{Member: int(member), Step: int(step)},
+			int(frames%6), int(atoms), seed)
+		data, err := c.Encode()
+		if err != nil {
+			return false
+		}
+		got, err := Decode(data)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(c, got)
+	}
+	cfg := &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(1))}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: EncodedSize always matches the actual encoding length.
+func TestEncodedSizeProperty(t *testing.T) {
+	prop := func(frames, atoms uint8, seed int64) bool {
+		c := Synthetic(ID{}, int(frames%8), int(atoms), seed)
+		data, err := c.Encode()
+		if err != nil {
+			return false
+		}
+		return int64(len(data)) == c.EncodedSize()
+	}
+	cfg := &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(2))}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// appendChecksum recomputes and appends the trailing CRC for a body,
+// mirroring the tail of the wire format.
+func appendChecksum(body []byte) ([]byte, error) {
+	sum := crc32.ChecksumIEEE(body)
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], sum)
+	return append(body, b[:]...), nil
+}

@@ -1,0 +1,195 @@
+package chunk
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+)
+
+// The wire format of a serialized chunk (all little-endian):
+//
+//	magic   [4]byte "EKCH"
+//	version uint16
+//	member  int32
+//	step    int32
+//	producer length-prefixed string (uint16 + bytes)
+//	nframes uint32
+//	frames:
+//	  step      int64
+//	  time      float64
+//	  box       [3]float32
+//	  natoms    uint32
+//	  positions natoms x [3]float32
+//	crc32 (IEEE) of everything before it
+const (
+	codecVersion uint16 = 1
+	maxAtoms            = 1 << 28 // sanity bound when decoding
+	maxFrames           = 1 << 24
+)
+
+var magic = [4]byte{'E', 'K', 'C', 'H'}
+
+// ErrCorrupt is wrapped into decoding errors caused by malformed or
+// damaged buffers.
+var ErrCorrupt = errors.New("chunk: corrupt encoding")
+
+// EncodedSize returns the exact number of bytes Encode will produce.
+func (c *Chunk) EncodedSize() int64 {
+	size := int64(4 + 2 + 4 + 4) // magic, version, member, step
+	size += 2 + int64(len(c.Producer))
+	size += 4 // nframes
+	for i := range c.Frames {
+		size += 8 + 8 + 12 + 4 // step, time, box, natoms
+		size += int64(len(c.Frames[i].Positions)) * 12
+	}
+	size += 4 // crc
+	return size
+}
+
+// Encode serializes the chunk into a byte buffer — the DTL plugin's
+// marshaling step (Figure 2 of the paper).
+func (c *Chunk) Encode() ([]byte, error) {
+	if len(c.Frames) > maxFrames {
+		return nil, fmt.Errorf("chunk: too many frames: %d", len(c.Frames))
+	}
+	if len(c.Producer) > math.MaxUint16 {
+		return nil, fmt.Errorf("chunk: producer name too long: %d bytes", len(c.Producer))
+	}
+	buf := bytes.NewBuffer(make([]byte, 0, c.EncodedSize()))
+	buf.Write(magic[:])
+	le := binary.LittleEndian
+	var scratch [12]byte
+	le.PutUint16(scratch[:2], codecVersion)
+	buf.Write(scratch[:2])
+	le.PutUint32(scratch[:4], uint32(int32(c.ID.Member)))
+	buf.Write(scratch[:4])
+	le.PutUint32(scratch[:4], uint32(int32(c.ID.Step)))
+	buf.Write(scratch[:4])
+	le.PutUint16(scratch[:2], uint16(len(c.Producer)))
+	buf.Write(scratch[:2])
+	buf.WriteString(c.Producer)
+	le.PutUint32(scratch[:4], uint32(len(c.Frames)))
+	buf.Write(scratch[:4])
+	for i := range c.Frames {
+		f := &c.Frames[i]
+		if len(f.Positions) > maxAtoms {
+			return nil, fmt.Errorf("chunk: frame %d has too many atoms: %d", i, len(f.Positions))
+		}
+		le.PutUint64(scratch[:8], uint64(f.Step))
+		buf.Write(scratch[:8])
+		le.PutUint64(scratch[:8], math.Float64bits(f.Time))
+		buf.Write(scratch[:8])
+		for _, b := range f.Box {
+			le.PutUint32(scratch[:4], math.Float32bits(b))
+			buf.Write(scratch[:4])
+		}
+		le.PutUint32(scratch[:4], uint32(len(f.Positions)))
+		buf.Write(scratch[:4])
+		for _, p := range f.Positions {
+			le.PutUint32(scratch[:4], math.Float32bits(p[0]))
+			le.PutUint32(scratch[4:8], math.Float32bits(p[1]))
+			le.PutUint32(scratch[8:12], math.Float32bits(p[2]))
+			buf.Write(scratch[:12])
+		}
+	}
+	sum := crc32.ChecksumIEEE(buf.Bytes())
+	le.PutUint32(scratch[:4], sum)
+	buf.Write(scratch[:4])
+	return buf.Bytes(), nil
+}
+
+// Decode reconstructs a chunk from an encoded buffer, verifying the
+// checksum and structural bounds.
+func Decode(data []byte) (*Chunk, error) {
+	if len(data) < 4+2+4+4+2+4+4 {
+		return nil, fmt.Errorf("%w: buffer too short (%d bytes)", ErrCorrupt, len(data))
+	}
+	le := binary.LittleEndian
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	if crc32.ChecksumIEEE(body) != le.Uint32(tail) {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
+	r := bytes.NewReader(body)
+	var m [4]byte
+	if _, err := io.ReadFull(r, m[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if m != magic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, m)
+	}
+	var version uint16
+	if err := binary.Read(r, le, &version); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if version != codecVersion {
+		return nil, fmt.Errorf("chunk: unsupported version %d", version)
+	}
+	var member, step int32
+	if err := binary.Read(r, le, &member); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if err := binary.Read(r, le, &step); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	var plen uint16
+	if err := binary.Read(r, le, &plen); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	pname := make([]byte, plen)
+	if _, err := io.ReadFull(r, pname); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	var nframes uint32
+	if err := binary.Read(r, le, &nframes); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if nframes > maxFrames {
+		return nil, fmt.Errorf("%w: frame count %d exceeds bound", ErrCorrupt, nframes)
+	}
+	c := &Chunk{
+		ID:       ID{Member: int(member), Step: int(step)},
+		Producer: string(pname),
+		Frames:   make([]Frame, nframes),
+	}
+	for i := range c.Frames {
+		f := &c.Frames[i]
+		if err := binary.Read(r, le, &f.Step); err != nil {
+			return nil, fmt.Errorf("%w: frame %d: %v", ErrCorrupt, i, err)
+		}
+		if err := binary.Read(r, le, &f.Time); err != nil {
+			return nil, fmt.Errorf("%w: frame %d: %v", ErrCorrupt, i, err)
+		}
+		if err := binary.Read(r, le, &f.Box); err != nil {
+			return nil, fmt.Errorf("%w: frame %d: %v", ErrCorrupt, i, err)
+		}
+		var natoms uint32
+		if err := binary.Read(r, le, &natoms); err != nil {
+			return nil, fmt.Errorf("%w: frame %d: %v", ErrCorrupt, i, err)
+		}
+		if natoms > maxAtoms {
+			return nil, fmt.Errorf("%w: frame %d atom count %d exceeds bound", ErrCorrupt, i, natoms)
+		}
+		if int64(natoms)*12 > int64(r.Len()) {
+			return nil, fmt.Errorf("%w: frame %d truncated", ErrCorrupt, i)
+		}
+		f.Positions = make([][3]float32, natoms)
+		raw := make([]byte, natoms*12)
+		if _, err := io.ReadFull(r, raw); err != nil {
+			return nil, fmt.Errorf("%w: frame %d: %v", ErrCorrupt, i, err)
+		}
+		for j := range f.Positions {
+			off := j * 12
+			f.Positions[j][0] = math.Float32frombits(le.Uint32(raw[off:]))
+			f.Positions[j][1] = math.Float32frombits(le.Uint32(raw[off+4:]))
+			f.Positions[j][2] = math.Float32frombits(le.Uint32(raw[off+8:]))
+		}
+	}
+	if r.Len() != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, r.Len())
+	}
+	return c, nil
+}

@@ -1,0 +1,93 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Class labels a component's resource-usage character for the pairwise
+// interference model. Components of the same class interfere with
+// co-runners according to the calibrated interference matrix.
+type Class string
+
+const (
+	// ClassCompute marks compute-bound components (MD simulations:
+	// high IPC, small streaming footprint).
+	ClassCompute Class = "compute"
+	// ClassMemory marks memory-intensive components (trajectory analyses:
+	// low IPC, heavy LLC and DRAM usage).
+	ClassMemory Class = "memory"
+)
+
+// Profile describes the resource usage of one ensemble component per in
+// situ step. Profiles drive the performance model: compute time, hardware
+// counters, and interference with co-located components.
+type Profile struct {
+	// Name identifies the profile in reports.
+	Name string
+	// Class selects the row/column of the interference matrix.
+	Class Class
+	// InstrPerStep is the number of instructions retired per in situ step
+	// (across all cores of the component).
+	InstrPerStep float64
+	// CPIBase is the cycles-per-instruction when running alone with a warm
+	// cache.
+	CPIBase float64
+	// ParallelFraction is the Amdahl parallel fraction governing strong
+	// scaling over the component's cores.
+	ParallelFraction float64
+	// WorkingSetBytes is the resident working set (reported, and used for
+	// memory-capacity admission).
+	WorkingSetBytes int64
+	// LLCRefsPerInstr is the rate of last-level cache references.
+	LLCRefsPerInstr float64
+	// BaseMissRatio is the LLC miss ratio when running alone.
+	BaseMissRatio float64
+	// BytesPerStep is the data volume staged per in situ step: produced by
+	// a simulation's write stage or consumed by an analysis's read stage.
+	BytesPerStep int64
+}
+
+// Validate checks the profile for meaningful values.
+func (p Profile) Validate() error {
+	switch {
+	case p.Name == "":
+		return errors.New("cluster: profile needs a name")
+	case p.Class != ClassCompute && p.Class != ClassMemory:
+		return fmt.Errorf("cluster: profile %q: unknown class %q", p.Name, p.Class)
+	case p.InstrPerStep <= 0:
+		return fmt.Errorf("cluster: profile %q: InstrPerStep must be positive", p.Name)
+	case p.CPIBase <= 0:
+		return fmt.Errorf("cluster: profile %q: CPIBase must be positive", p.Name)
+	case p.ParallelFraction < 0 || p.ParallelFraction >= 1:
+		return fmt.Errorf("cluster: profile %q: ParallelFraction must be in [0,1)", p.Name)
+	case p.WorkingSetBytes < 0:
+		return fmt.Errorf("cluster: profile %q: WorkingSetBytes must be non-negative", p.Name)
+	case p.LLCRefsPerInstr < 0:
+		return fmt.Errorf("cluster: profile %q: LLCRefsPerInstr must be non-negative", p.Name)
+	case p.BaseMissRatio < 0 || p.BaseMissRatio > 1:
+		return fmt.Errorf("cluster: profile %q: BaseMissRatio must be in [0,1]", p.Name)
+	case p.BytesPerStep < 0:
+		return fmt.Errorf("cluster: profile %q: BytesPerStep must be non-negative", p.Name)
+	}
+	return nil
+}
+
+// Speedup returns the Amdahl speedup of the profile on c cores.
+func (p Profile) Speedup(c int) float64 {
+	if c <= 1 {
+		return 1
+	}
+	f := p.ParallelFraction
+	return 1 / ((1 - f) + f/float64(c))
+}
+
+// AloneComputeTime returns the compute-stage duration per in situ step when
+// running alone on c cores of a node with the given clock.
+func (p Profile) AloneComputeTime(clockHz float64, c int) float64 {
+	if c <= 0 || clockHz <= 0 {
+		return 0
+	}
+	serial := p.InstrPerStep * p.CPIBase / clockHz
+	return serial / p.Speedup(c)
+}

@@ -1,0 +1,121 @@
+// Package cluster models the execution platform of the paper: a cluster of
+// multi-core compute nodes in the style of Cori (Cray XC40 at NERSC), with
+// shared last-level caches, finite memory bandwidth, and a calibrated
+// co-location interference model.
+//
+// The model is deliberately phenomenological where the paper's own citations
+// are: per-pair co-location degradation follows the approach of Dauwe et al.
+// (memory-interference modeling of co-located applications, cited as [12])
+// and Zacarias et al. (learned pairwise degradation, cited as [29]). The
+// interference matrix is calibrated so that the qualitative behaviours the
+// paper measures on real hardware hold in simulation: analyses are more
+// memory intensive than simulations, analysis-analysis co-location degrades
+// performance most, heterogeneous co-location inflates LLC miss ratios most,
+// and remote staging perturbs the data-producing node.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+
+	"ensemblekit/internal/units"
+)
+
+// Spec describes the hardware of a homogeneous cluster.
+type Spec struct {
+	// Nodes is the number of compute nodes.
+	Nodes int
+	// CoresPerNode is the number of physical cores per node
+	// (Cori: 2 x 16-core Intel Xeon E5-2698 v3).
+	CoresPerNode int
+	// SocketsPerNode optionally enables socket-level fidelity: tenants
+	// are assigned to sockets first-fit, and co-location interference
+	// between tenants on disjoint sockets is scaled by
+	// Interference.CrossSocketFactor (the LLC is per-socket; DRAM
+	// bandwidth stays shared). Zero or one keeps the node-level model the
+	// interference matrix was calibrated for.
+	SocketsPerNode int
+	// ClockHz is the nominal core frequency.
+	ClockHz float64
+	// LLCBytesPerNode is the aggregate last-level cache per node
+	// (Cori: 2 sockets x 40 MB).
+	LLCBytesPerNode int64
+	// MemBytesPerNode is the DRAM capacity per node (Cori: 128 GB).
+	MemBytesPerNode int64
+	// MemBWPerNode is the aggregate DRAM bandwidth per node in bytes/s.
+	MemBWPerNode float64
+	// MemCopyBW is the effective bandwidth of an intra-node staging copy
+	// (local DIMES put/get) in bytes/s.
+	MemCopyBW float64
+	// NICBandwidth is the injection bandwidth of a node's network interface
+	// in bytes/s (shared by all concurrent remote transfers of the node).
+	NICBandwidth float64
+	// NICLatency is the one-way latency of a remote transfer in seconds.
+	NICLatency float64
+}
+
+// Cori returns a specification modeled after the Cori supercomputer used
+// in the paper (Section 2.2): 32-core Haswell nodes with 128 GB of DRAM on
+// a Cray Aries interconnect.
+func Cori(nodes int) Spec {
+	return Spec{
+		Nodes:           nodes,
+		CoresPerNode:    32,
+		ClockHz:         2.3e9,
+		LLCBytesPerNode: 80 * units.MiB, // 2 sockets x 40 MB L3
+		MemBytesPerNode: 128 * units.GiB,
+		MemBWPerNode:    120e9,
+		MemCopyBW:       10e9, // effective single-stream staging copy
+		NICBandwidth:    8e9,  // Aries effective injection bandwidth
+		NICLatency:      2e-6,
+	}
+}
+
+// Validate checks the specification for positive, physically meaningful
+// values.
+func (s Spec) Validate() error {
+	switch {
+	case s.Nodes <= 0:
+		return errors.New("cluster: Nodes must be positive")
+	case s.CoresPerNode <= 0:
+		return errors.New("cluster: CoresPerNode must be positive")
+	case s.ClockHz <= 0:
+		return errors.New("cluster: ClockHz must be positive")
+	case s.LLCBytesPerNode <= 0:
+		return errors.New("cluster: LLCBytesPerNode must be positive")
+	case s.MemBytesPerNode <= 0:
+		return errors.New("cluster: MemBytesPerNode must be positive")
+	case s.MemBWPerNode <= 0:
+		return errors.New("cluster: MemBWPerNode must be positive")
+	case s.MemCopyBW <= 0:
+		return errors.New("cluster: MemCopyBW must be positive")
+	case s.NICBandwidth <= 0:
+		return errors.New("cluster: NICBandwidth must be positive")
+	case s.NICLatency < 0:
+		return errors.New("cluster: NICLatency must be non-negative")
+	case s.SocketsPerNode < 0:
+		return errors.New("cluster: SocketsPerNode must be non-negative")
+	case s.SocketsPerNode > 1 && s.CoresPerNode%s.SocketsPerNode != 0:
+		return fmt.Errorf("cluster: %d cores not divisible into %d sockets", s.CoresPerNode, s.SocketsPerNode)
+	}
+	return nil
+}
+
+// coresPerSocket returns the per-socket core capacity (the whole node when
+// socket fidelity is off).
+func (s Spec) coresPerSocket() int {
+	if s.SocketsPerNode <= 1 {
+		return s.CoresPerNode
+	}
+	return s.CoresPerNode / s.SocketsPerNode
+}
+
+// TotalCores returns the core count of the whole cluster.
+func (s Spec) TotalCores() int { return s.Nodes * s.CoresPerNode }
+
+// String summarizes the specification.
+func (s Spec) String() string {
+	return fmt.Sprintf("cluster{%d nodes x %d cores @ %.2fGHz, LLC %s/node, DRAM %s/node}",
+		s.Nodes, s.CoresPerNode, s.ClockHz/1e9,
+		units.FormatBytes(s.LLCBytesPerNode), units.FormatBytes(s.MemBytesPerNode))
+}

@@ -1,0 +1,417 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ensemblekit/internal/trace"
+)
+
+func TestSigmaEquation1(t *testing.T) {
+	// Figure 6 example: analysis 1 slower than the simulation (Idle
+	// Simulation), analysis 2 faster (Idle Analyzer).
+	ss := SteadyState{
+		S: 10, W: 0.5,
+		Couplings: []Coupling{
+			{R: 0.5, A: 12}, // busy 12.5 > 10.5
+			{R: 0.5, A: 6},  // busy 6.5 < 10.5
+		},
+	}
+	if got := ss.Sigma(); got != 12.5 {
+		t.Errorf("sigma = %v, want 12.5 (the slowest coupling)", got)
+	}
+	// With fast analyses sigma is the simulation side.
+	ss2 := SteadyState{S: 10, W: 0.5, Couplings: []Coupling{{R: 0.5, A: 6}}}
+	if got := ss2.Sigma(); got != 10.5 {
+		t.Errorf("sigma = %v, want 10.5 (S+W)", got)
+	}
+}
+
+func TestMakespanEquation2(t *testing.T) {
+	ss := SteadyState{S: 10, W: 0.5, Couplings: []Coupling{{R: 0.5, A: 6}}}
+	if got := ss.Makespan(37); math.Abs(got-37*10.5) > 1e-9 {
+		t.Errorf("makespan = %v, want %v", got, 37*10.5)
+	}
+	if got := ss.Makespan(0); got != 0 {
+		t.Errorf("makespan(0) = %v, want 0", got)
+	}
+	if got := ss.Makespan(-3); got != 0 {
+		t.Errorf("makespan(-3) = %v, want 0 (clamped)", got)
+	}
+}
+
+func TestDerivedIdleStages(t *testing.T) {
+	ss := SteadyState{
+		S: 10, W: 0.5,
+		Couplings: []Coupling{{R: 0.5, A: 12}, {R: 0.5, A: 6}},
+	}
+	// sigma = 12.5; I^S = 12.5 - 10.5 = 2.
+	if got := ss.IdleSim(); math.Abs(got-2) > 1e-9 {
+		t.Errorf("I^S = %v, want 2", got)
+	}
+	i0, err := ss.IdleAnalysis(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(i0-0) > 1e-9 {
+		t.Errorf("I^A_1 = %v, want 0 (bottleneck coupling)", i0)
+	}
+	i1, err := ss.IdleAnalysis(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(i1-6) > 1e-9 {
+		t.Errorf("I^A_2 = %v, want 6", i1)
+	}
+	if _, err := ss.IdleAnalysis(5); err == nil {
+		t.Error("out-of-range idle index should fail")
+	}
+}
+
+func TestEfficiencyEquation3(t *testing.T) {
+	// Single coupling: E = min/max of the two busy sides.
+	ss := SteadyState{S: 10, W: 0.5, Couplings: []Coupling{{R: 0.5, A: 6}}}
+	e, err := ss.Efficiency()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 6.5 / 10.5 // (10.5/10.5) + (6.5/10.5) - 1
+	if math.Abs(e-want) > 1e-12 {
+		t.Errorf("E = %v, want %v", e, want)
+	}
+	// Perfectly balanced: E = 1.
+	bal := SteadyState{S: 10, W: 0.5, Couplings: []Coupling{{R: 0.5, A: 10}}}
+	e, err = bal.Efficiency()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(e-1) > 1e-12 {
+		t.Errorf("balanced E = %v, want 1", e)
+	}
+	// Two couplings: E = (S+W)/sigma + sum(R+A)/(K sigma) - 1.
+	two := SteadyState{
+		S: 10, W: 0.5,
+		Couplings: []Coupling{{R: 0.5, A: 12}, {R: 0.5, A: 6}},
+	}
+	e, err = two.Efficiency()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = 10.5/12.5 + (12.5+6.5)/(2*12.5) - 1
+	if math.Abs(e-want) > 1e-12 {
+		t.Errorf("two-coupling E = %v, want %v", e, want)
+	}
+}
+
+func TestEfficiencyErrors(t *testing.T) {
+	if _, err := (SteadyState{S: 1}).Efficiency(); err == nil {
+		t.Error("no couplings should fail")
+	}
+	if _, err := (SteadyState{S: -1, Couplings: []Coupling{{R: 1, A: 1}}}).Efficiency(); err == nil {
+		t.Error("negative stage should fail")
+	}
+	if _, err := (SteadyState{Couplings: []Coupling{{}}}).Efficiency(); err == nil {
+		t.Error("all-zero member should fail (zero-length step)")
+	}
+}
+
+func TestScenarioClassification(t *testing.T) {
+	ss := SteadyState{
+		S: 10, W: 0.5,
+		Couplings: []Coupling{
+			{R: 0.5, A: 12},   // IdleSimulation
+			{R: 0.5, A: 6},    // IdleAnalyzer
+			{R: 0.5, A: 10.0}, // Balanced (10.5 == 10.5)
+		},
+	}
+	cases := []Scenario{IdleSimulation, IdleAnalyzer, Balanced}
+	for i, want := range cases {
+		got, err := ss.CouplingScenario(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("coupling %d: scenario = %v, want %v", i, got, want)
+		}
+	}
+	if _, err := ss.CouplingScenario(9); err == nil {
+		t.Error("out-of-range coupling should fail")
+	}
+	for _, s := range []Scenario{IdleAnalyzer, IdleSimulation, Balanced, Scenario(42)} {
+		if s.String() == "" {
+			t.Error("empty scenario name")
+		}
+	}
+}
+
+func TestEquation4(t *testing.T) {
+	feasible := SteadyState{S: 10, W: 0.5, Couplings: []Coupling{{R: 0.5, A: 8}, {R: 0.5, A: 10}}}
+	if !feasible.SatisfiesEq4() {
+		t.Error("all couplings at or under S+W should satisfy Eq. 4")
+	}
+	infeasible := SteadyState{S: 10, W: 0.5, Couplings: []Coupling{{R: 0.5, A: 11}}}
+	if infeasible.SatisfiesEq4() {
+		t.Error("a coupling beyond S+W should violate Eq. 4")
+	}
+	// Under Eq. 4, sigma collapses to S+W.
+	if feasible.Sigma() != feasible.SimBusy() {
+		t.Errorf("under Eq. 4 sigma (%v) must equal S+W (%v)", feasible.Sigma(), feasible.SimBusy())
+	}
+}
+
+// Properties of the model, over random well-formed steady states:
+// sigma is the max of busy sides; E in (0, 1]; makespan scales linearly;
+// maximizing E at fixed sigma never increases idle time.
+func TestModelProperties(t *testing.T) {
+	gen := func(r *rand.Rand) SteadyState {
+		k := 1 + r.Intn(4)
+		ss := SteadyState{S: r.Float64()*20 + 0.01, W: r.Float64()}
+		for i := 0; i < k; i++ {
+			ss.Couplings = append(ss.Couplings, Coupling{R: r.Float64(), A: r.Float64()*25 + 0.01})
+		}
+		return ss
+	}
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 300; trial++ {
+		ss := gen(r)
+		sigma := ss.Sigma()
+		if sigma < ss.SimBusy()-1e-12 {
+			t.Fatalf("sigma below S+W: %+v", ss)
+		}
+		for i := range ss.Couplings {
+			if sigma < ss.Couplings[i].Busy()-1e-12 {
+				t.Fatalf("sigma below coupling %d: %+v", i, ss)
+			}
+			idle, err := ss.IdleAnalysis(i)
+			if err != nil || idle < -1e-12 {
+				t.Fatalf("negative analysis idle: %+v", ss)
+			}
+		}
+		if ss.IdleSim() < -1e-12 {
+			t.Fatalf("negative simulation idle: %+v", ss)
+		}
+		e, err := ss.Efficiency()
+		if err != nil {
+			t.Fatalf("efficiency error: %v for %+v", err, ss)
+		}
+		if e <= -1 || e > 1+1e-12 {
+			t.Fatalf("E = %v outside (-1,1]: %+v", e, ss)
+		}
+		// For a single coupling E is strictly positive (min/max of busy
+		// sides); negativity requires K > 1 imbalance.
+		if len(ss.Couplings) == 1 && e <= 0 {
+			t.Fatalf("single-coupling E = %v should be positive: %+v", e, ss)
+		}
+		if m1, m2 := ss.Makespan(10), ss.Makespan(20); math.Abs(m2-2*m1) > 1e-9 {
+			t.Fatalf("makespan not linear in steps: %v vs %v", m1, m2)
+		}
+	}
+}
+
+// Property via testing/quick: adding a coupling never decreases sigma.
+func TestSigmaMonotoneInCouplings(t *testing.T) {
+	prop := func(s, w, r1, a1, r2, a2 float64) bool {
+		norm := func(x float64) float64 { return math.Abs(math.Mod(x, 100)) }
+		base := SteadyState{S: norm(s), W: norm(w),
+			Couplings: []Coupling{{R: norm(r1), A: norm(a1)}}}
+		ext := base
+		ext.Couplings = append([]Coupling{}, base.Couplings...)
+		ext.Couplings = append(ext.Couplings, Coupling{R: norm(r2), A: norm(a2)})
+		return ext.Sigma() >= base.Sigma()-1e-12
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// --- extraction from traces ---
+
+// syntheticMemberTrace builds a member trace with constant stage durations
+// after a slow warm-up step.
+func syntheticMemberTrace(nSteps int, s, w, r, a float64) *trace.MemberTrace {
+	simStages := []float64{s, 0, w}
+	anaStages := []float64{r, a, 0}
+	sigma := s + w
+	if r+a > sigma {
+		sigma = r + a
+	}
+	simStages[1] = sigma - s - w // I^S
+	anaStages[2] = sigma - r - a // I^A
+	build := func(kind trace.Kind, order []trace.Stage, durs []float64, warmFactor float64) *trace.ComponentTrace {
+		c := &trace.ComponentTrace{Kind: kind, Cores: 8, Nodes: []int{0}}
+		t := 0.0
+		for i := 0; i < nSteps; i++ {
+			factor := 1.0
+			if i == 0 {
+				factor = warmFactor
+			}
+			step := trace.StepRecord{Index: i}
+			for j, st := range order {
+				d := durs[j] * factor
+				step.Stages = append(step.Stages, trace.StageRecord{Stage: st, Start: t, Duration: d})
+				t += d
+			}
+			c.Steps = append(c.Steps, step)
+		}
+		c.End = t
+		return c
+	}
+	return &trace.MemberTrace{
+		Simulation: build(trace.KindSimulation, trace.SimulationStages(), simStages, 1.8),
+		Analyses: []*trace.ComponentTrace{
+			build(trace.KindAnalysis, trace.AnalysisStages(), anaStages, 1.8),
+		},
+	}
+}
+
+func TestFromMemberTraceStripsWarmup(t *testing.T) {
+	m := syntheticMemberTrace(20, 10, 0.5, 0.5, 6)
+	ss, err := FromMemberTrace(m, ExtractOptions{WarmupFraction: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Steps 2..19 have exact durations; warm-up (inflated) steps excluded.
+	if math.Abs(ss.S-10) > 1e-9 || math.Abs(ss.W-0.5) > 1e-9 {
+		t.Errorf("S=%v W=%v, want 10, 0.5", ss.S, ss.W)
+	}
+	if len(ss.Couplings) != 1 {
+		t.Fatalf("couplings = %d, want 1", len(ss.Couplings))
+	}
+	if math.Abs(ss.Couplings[0].R-0.5) > 1e-9 || math.Abs(ss.Couplings[0].A-6) > 1e-9 {
+		t.Errorf("R=%v A=%v, want 0.5, 6", ss.Couplings[0].R, ss.Couplings[0].A)
+	}
+}
+
+func TestFromMemberTraceErrors(t *testing.T) {
+	if _, err := FromMemberTrace(nil, ExtractOptions{}); err == nil {
+		t.Error("nil member should fail")
+	}
+	m := syntheticMemberTrace(5, 10, 0.5, 0.5, 6)
+	m.Analyses = nil
+	if _, err := FromMemberTrace(m, ExtractOptions{}); err == nil {
+		t.Error("member without analyses should fail")
+	}
+	m2 := syntheticMemberTrace(5, 10, 0.5, 0.5, 6)
+	m2.Simulation.Steps = nil
+	if _, err := FromMemberTrace(m2, ExtractOptions{}); err == nil {
+		t.Error("empty simulation trace should fail")
+	}
+}
+
+func TestMeasuredIdleMatchesDerived(t *testing.T) {
+	m := syntheticMemberTrace(20, 10, 0.5, 0.5, 12) // Idle Simulation case
+	ss, err := FromMemberTrace(m, ExtractOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	simIdle, anaIdle, err := MeasuredIdle(m, ExtractOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(simIdle-ss.IdleSim()) > 1e-9 {
+		t.Errorf("measured I^S %v != derived %v (Equation 1 must hold)", simIdle, ss.IdleSim())
+	}
+	derived, err := ss.IdleAnalysis(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(anaIdle[0]-derived) > 1e-9 {
+		t.Errorf("measured I^A %v != derived %v", anaIdle[0], derived)
+	}
+}
+
+func TestValidateModelOnSyntheticTrace(t *testing.T) {
+	m := syntheticMemberTrace(30, 10, 0.5, 0.5, 6)
+	rep, err := ValidateModel(m, ExtractOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The warm-up step inflates the measured makespan slightly; the model
+	// should still be within a few percent.
+	if rep.RelativeError > 0.05 {
+		t.Errorf("relative error = %v, want < 5%% (predicted %v vs measured %v)",
+			rep.RelativeError, rep.Predicted, rep.Measured)
+	}
+}
+
+func TestWarmupClamping(t *testing.T) {
+	o := ExtractOptions{WarmupFraction: 5}
+	if w := o.warmup(10); w != 9 {
+		t.Errorf("warmup(10) with fraction 5 = %d, want 9 (clamped to fraction 0.9)", w)
+	}
+	o = ExtractOptions{WarmupFraction: -1}
+	if w := o.warmup(10); w != 0 {
+		t.Errorf("negative fraction should clamp to 0, got %d", w)
+	}
+	o = ExtractOptions{}
+	if w := o.warmup(1); w != 0 {
+		t.Errorf("single-step trace must keep its step, got warmup %d", w)
+	}
+}
+
+func TestDetectWarmup(t *testing.T) {
+	constant := []float64{5, 5, 5, 5, 5, 5, 5, 5}
+	if w := DetectWarmup(constant, DetectOptions{}); w != 0 {
+		t.Errorf("constant series: warmup = %d, want 0", w)
+	}
+	// Three inflated warm-up steps then steady.
+	withWarmup := []float64{12, 9, 7, 5, 5, 5, 5, 5, 5, 5}
+	if w := DetectWarmup(withWarmup, DetectOptions{}); w != 3 {
+		t.Errorf("warmup = %d, want 3", w)
+	}
+	// A wildly unstable series falls back to the most stable suffix
+	// within the bound (never more than half).
+	chaos := []float64{1, 100, 2, 90, 3, 80, 4, 70}
+	if w := DetectWarmup(chaos, DetectOptions{}); w > 4 {
+		t.Errorf("warmup = %d, must keep at least half the series", w)
+	}
+	// Tiny series: nothing to trim.
+	if w := DetectWarmup([]float64{1, 9}, DetectOptions{}); w != 0 {
+		t.Errorf("short series warmup = %d, want 0", w)
+	}
+	// All-zero (idle) series: no division by zero, zero warmup.
+	if w := DetectWarmup([]float64{0, 0, 0, 0}, DetectOptions{}); w != 0 {
+		t.Errorf("zero series warmup = %d, want 0", w)
+	}
+}
+
+func TestAutoExtract(t *testing.T) {
+	m := syntheticMemberTrace(20, 10, 0.5, 0.5, 6)
+	ss, warm, err := AutoExtract(m, DetectOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The synthetic trace inflates exactly one warm-up step by 1.8x.
+	if warm != 1 {
+		t.Errorf("detected warmup = %d, want 1", warm)
+	}
+	if math.Abs(ss.S-10) > 1e-9 || math.Abs(ss.Couplings[0].A-6) > 1e-9 {
+		t.Errorf("steady state off: S=%v A=%v", ss.S, ss.Couplings[0].A)
+	}
+	if _, _, err := AutoExtract(nil, DetectOptions{}); err == nil {
+		t.Error("nil member should fail")
+	}
+	bad := syntheticMemberTrace(5, 10, 0.5, 0.5, 6)
+	bad.Analyses = nil
+	if _, _, err := AutoExtract(bad, DetectOptions{}); err == nil {
+		t.Error("member without analyses should fail")
+	}
+}
+
+func TestAutoExtractAgreesWithFixedFraction(t *testing.T) {
+	// On a long steady trace the two extractors converge.
+	m := syntheticMemberTrace(40, 10, 0.5, 0.5, 6)
+	auto, _, err := AutoExtract(m, DetectOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed, err := FromMemberTrace(m, ExtractOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(auto.Sigma()-fixed.Sigma()) > 1e-9 {
+		t.Errorf("extractors disagree: auto sigma %v vs fixed %v", auto.Sigma(), fixed.Sigma())
+	}
+}

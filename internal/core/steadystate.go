@@ -1,0 +1,111 @@
+package core
+
+import (
+	"errors"
+
+	"ensemblekit/internal/stats"
+	"ensemblekit/internal/trace"
+)
+
+// The paper observes that "after a few warm-up steps" executions reach a
+// steady state where each stage has a similar execution time over many
+// steps. ExtractOptions.WarmupFraction discards a fixed prefix; this file
+// detects the warm-up length from the data instead, so traces with long or
+// short transients are both handled correctly.
+
+// DetectOptions tunes warm-up detection.
+type DetectOptions struct {
+	// CVThreshold is the coefficient of variation (stddev/mean) below
+	// which the suffix of the series counts as steady. Default 0.05.
+	CVThreshold float64
+	// MaxFraction bounds the detected warm-up to this fraction of the
+	// series (default 0.5): at least half the steps always remain.
+	MaxFraction float64
+}
+
+func (o DetectOptions) defaults() DetectOptions {
+	if o.CVThreshold <= 0 {
+		o.CVThreshold = 0.05
+	}
+	if o.MaxFraction <= 0 || o.MaxFraction > 0.9 {
+		o.MaxFraction = 0.5
+	}
+	return o
+}
+
+// DetectWarmup returns the smallest number of leading samples whose
+// removal makes the remaining series steady (coefficient of variation at
+// or below the threshold). If no prefix within the bound achieves the
+// threshold, the bound itself is returned — the caller still gets the most
+// stable suffix available.
+func DetectWarmup(series []float64, opts DetectOptions) int {
+	opts = opts.defaults()
+	n := len(series)
+	if n < 3 {
+		return 0
+	}
+	maxW := int(opts.MaxFraction * float64(n))
+	bestW, bestCV := 0, cv(series)
+	for w := 0; w <= maxW; w++ {
+		c := cv(series[w:])
+		if c <= opts.CVThreshold {
+			return w
+		}
+		if c < bestCV {
+			bestCV, bestW = c, w
+		}
+	}
+	return bestW
+}
+
+// cv returns the coefficient of variation of xs (0 for a zero-mean or
+// empty series, to keep idle-stage series from dividing by zero).
+func cv(xs []float64) float64 {
+	m := stats.Mean(xs)
+	if len(xs) == 0 || m == 0 {
+		return 0
+	}
+	return stats.StdDev(xs) / m
+}
+
+// AutoExtract extracts a member's steady state with a detected warm-up
+// instead of a fixed fraction: the warm-up is measured on the simulation's
+// per-step busy time (S+W, the quantity σ̄* is built from) and applied to
+// every stage mean.
+func AutoExtract(m *trace.MemberTrace, opts DetectOptions) (SteadyState, int, error) {
+	if m == nil || m.Simulation == nil {
+		return SteadyState{}, 0, errors.New("core: member trace has no simulation")
+	}
+	if len(m.Analyses) == 0 {
+		return SteadyState{}, 0, errors.New("core: member trace has no analyses")
+	}
+	sDur := m.Simulation.StageDurations(trace.StageS)
+	wDur := m.Simulation.StageDurations(trace.StageW)
+	if len(sDur) == 0 {
+		return SteadyState{}, 0, errors.New("core: simulation trace has no steps")
+	}
+	busy := make([]float64, len(sDur))
+	for i := range busy {
+		busy[i] = sDur[i]
+		if i < len(wDur) {
+			busy[i] += wDur[i]
+		}
+	}
+	warm := DetectWarmup(busy, opts)
+	mean := func(xs []float64) float64 {
+		if warm >= len(xs) {
+			return stats.Mean(xs)
+		}
+		return stats.Mean(xs[warm:])
+	}
+	ss := SteadyState{S: mean(sDur), W: mean(wDur)}
+	for _, a := range m.Analyses {
+		r := a.StageDurations(trace.StageR)
+		aa := a.StageDurations(trace.StageA)
+		if len(r) == 0 || len(aa) == 0 {
+			return SteadyState{}, 0, errors.New("core: analysis trace has no steps")
+		}
+		ss.Couplings = append(ss.Couplings, Coupling{R: mean(r), A: mean(aa)})
+	}
+	return ss, warm, ss.Validate()
+}

@@ -1,0 +1,202 @@
+package dtl
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"ensemblekit/internal/chunk"
+)
+
+// Mem is the real-execution in-memory staging area: a DIMES-like store for
+// encoded chunks with the paper's synchronous no-buffering protocol baked
+// in. For each producer (ensemble member), at most one chunk is staged at a
+// time; Put for step i+1 blocks until every registered reader has consumed
+// step i, which enforces W_i -> R_i -> W_{i+1} (Section 3.1).
+//
+// Mem is safe for concurrent use: one producer and K consumers per member
+// pipe, any number of pipes.
+type Mem struct {
+	mu    sync.Mutex
+	pipes map[int]*memPipe // keyed by member index
+}
+
+type memPipe struct {
+	mu      sync.Mutex
+	readers int // registered consumers per chunk
+	cur     *stagedChunk
+	// changed is closed and replaced whenever pipe state changes, waking
+	// all waiters to re-check their condition.
+	changed chan struct{}
+}
+
+type stagedChunk struct {
+	id        chunk.ID
+	data      []byte
+	remaining int
+}
+
+// NewMem returns an empty staging area.
+func NewMem() *Mem {
+	return &Mem{pipes: make(map[int]*memPipe)}
+}
+
+// Register declares that the member's chunks will be consumed by `readers`
+// analyses. It must be called before the first Put for the member.
+func (m *Mem) Register(member, readers int) error {
+	if readers <= 0 {
+		return fmt.Errorf("dtl: member %d needs at least one reader, got %d", member, readers)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, dup := m.pipes[member]; dup {
+		return fmt.Errorf("dtl: member %d already registered", member)
+	}
+	m.pipes[member] = &memPipe{readers: readers, changed: make(chan struct{})}
+	return nil
+}
+
+func (m *Mem) pipe(member int) (*memPipe, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p, ok := m.pipes[member]
+	if !ok {
+		return nil, fmt.Errorf("dtl: member %d not registered", member)
+	}
+	return p, nil
+}
+
+// Put stages an encoded chunk. It blocks until the previous chunk of the
+// same member has been fully consumed (no buffering), or ctx is cancelled.
+func (m *Mem) Put(ctx context.Context, id chunk.ID, data []byte) error {
+	p, err := m.pipe(id.Member)
+	if err != nil {
+		return err
+	}
+	for {
+		p.mu.Lock()
+		if p.cur == nil {
+			p.cur = &stagedChunk{id: id, data: data, remaining: p.readers}
+			p.signal()
+			p.mu.Unlock()
+			return nil
+		}
+		if p.cur.id.Step >= id.Step {
+			p.mu.Unlock()
+			return fmt.Errorf("dtl: put %v but step %d is still staged", id, p.cur.id.Step)
+		}
+		ch := p.changed
+		p.mu.Unlock()
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return fmt.Errorf("dtl: put %v: %w", id, ctx.Err())
+		}
+	}
+}
+
+// Get retrieves the encoded chunk with the given ID, blocking until it is
+// staged or ctx is cancelled. Each registered reader must call Get exactly
+// once per step; the chunk is released once all readers have consumed it.
+func (m *Mem) Get(ctx context.Context, id chunk.ID) ([]byte, error) {
+	p, err := m.pipe(id.Member)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		p.mu.Lock()
+		if p.cur != nil && p.cur.id == id {
+			data := p.cur.data
+			p.cur.remaining--
+			if p.cur.remaining <= 0 {
+				p.cur = nil
+			}
+			p.signal()
+			p.mu.Unlock()
+			return data, nil
+		}
+		if p.cur != nil && p.cur.id.Step > id.Step {
+			p.mu.Unlock()
+			return nil, fmt.Errorf("dtl: get %v but step %d already staged (missed chunk)", id, p.cur.id.Step)
+		}
+		ch := p.changed
+		p.mu.Unlock()
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return nil, fmt.Errorf("dtl: get %v: %w", id, ctx.Err())
+		}
+	}
+}
+
+// Await blocks until the chunk with the given ID is staged (without
+// consuming it) or ctx is cancelled. It lets the real runtime separate the
+// idle stage I^A (waiting for data) from the read stage R (consuming it),
+// matching the paper's stage decomposition.
+func (m *Mem) Await(ctx context.Context, id chunk.ID) error {
+	p, err := m.pipe(id.Member)
+	if err != nil {
+		return err
+	}
+	for {
+		p.mu.Lock()
+		if p.cur != nil && p.cur.id == id {
+			p.mu.Unlock()
+			return nil
+		}
+		if p.cur != nil && p.cur.id.Step > id.Step {
+			p.mu.Unlock()
+			return fmt.Errorf("dtl: await %v but step %d already staged (missed chunk)", id, p.cur.id.Step)
+		}
+		ch := p.changed
+		p.mu.Unlock()
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return fmt.Errorf("dtl: await %v: %w", id, ctx.Err())
+		}
+	}
+}
+
+// AwaitWritable blocks until the member's staging slot is free (the
+// previous chunk fully consumed) or ctx is cancelled. It lets the real
+// runtime separate the idle stage I^S from the write stage W: after
+// AwaitWritable returns, a Put for the next step will not block on the
+// protocol.
+func (m *Mem) AwaitWritable(ctx context.Context, member int) error {
+	p, err := m.pipe(member)
+	if err != nil {
+		return err
+	}
+	for {
+		p.mu.Lock()
+		if p.cur == nil {
+			p.mu.Unlock()
+			return nil
+		}
+		ch := p.changed
+		p.mu.Unlock()
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return fmt.Errorf("dtl: await writable member %d: %w", member, ctx.Err())
+		}
+	}
+}
+
+// signal wakes all waiters; the caller must hold p.mu.
+func (p *memPipe) signal() {
+	close(p.changed)
+	p.changed = make(chan struct{})
+}
+
+// Staged reports whether a chunk is currently staged for the member.
+func (m *Mem) Staged(member int) bool {
+	p, err := m.pipe(member)
+	if err != nil {
+		return false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.cur != nil
+}

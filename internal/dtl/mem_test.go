@@ -1,0 +1,271 @@
+package dtl
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"ensemblekit/internal/chunk"
+)
+
+func TestMemRegisterValidation(t *testing.T) {
+	m := NewMem()
+	if err := m.Register(0, 0); err == nil {
+		t.Error("zero readers should be rejected")
+	}
+	if err := m.Register(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Register(0, 1); err == nil {
+		t.Error("duplicate registration should be rejected")
+	}
+}
+
+func TestMemUnregisteredMember(t *testing.T) {
+	m := NewMem()
+	ctx := context.Background()
+	if err := m.Put(ctx, chunk.ID{Member: 5, Step: 0}, nil); err == nil {
+		t.Error("put to unregistered member should fail")
+	}
+	if _, err := m.Get(ctx, chunk.ID{Member: 5, Step: 0}); err == nil {
+		t.Error("get from unregistered member should fail")
+	}
+	if m.Staged(5) {
+		t.Error("unregistered member should not report staged data")
+	}
+}
+
+func TestMemPutGetSingleReader(t *testing.T) {
+	m := NewMem()
+	if err := m.Register(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	data := []byte("hello")
+	if err := m.Put(ctx, chunk.ID{Member: 0, Step: 0}, data); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Staged(0) {
+		t.Error("chunk should be staged after put")
+	}
+	got, err := m.Get(ctx, chunk.ID{Member: 0, Step: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hello" {
+		t.Errorf("got %q", got)
+	}
+	if m.Staged(0) {
+		t.Error("chunk should be released after the last get")
+	}
+}
+
+func TestMemNoBufferingProtocol(t *testing.T) {
+	// Put of step 1 must not complete before step 0 is consumed: the
+	// paper's W_i -> R_i -> W_{i+1} ordering.
+	m := NewMem()
+	if err := m.Register(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := m.Put(ctx, chunk.ID{Member: 0, Step: 0}, []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	putDone := make(chan error, 1)
+	go func() {
+		putDone <- m.Put(ctx, chunk.ID{Member: 0, Step: 1}, []byte("b"))
+	}()
+	select {
+	case err := <-putDone:
+		t.Fatalf("second put completed before first get (err=%v)", err)
+	case <-time.After(30 * time.Millisecond):
+	}
+	if _, err := m.Get(ctx, chunk.ID{Member: 0, Step: 0}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-putDone:
+		if err != nil {
+			t.Fatalf("second put failed: %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("second put did not complete after first get")
+	}
+}
+
+func TestMemMultipleReadersShareOneChunk(t *testing.T) {
+	const readers = 3
+	m := NewMem()
+	if err := m.Register(0, readers); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := m.Put(ctx, chunk.ID{Member: 0, Step: 0}, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, readers)
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = m.Get(ctx, chunk.ID{Member: 0, Step: 0})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("reader %d: %v", i, err)
+		}
+	}
+	if m.Staged(0) {
+		t.Error("chunk should be released after all readers consumed it")
+	}
+	// Chunk for step 0 must be gone: a late get for step 0 while step 1 is
+	// staged reports a missed chunk.
+	if err := m.Put(ctx, chunk.ID{Member: 0, Step: 1}, []byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Get(ctx, chunk.ID{Member: 0, Step: 0}); err == nil {
+		t.Error("get for a consumed step should fail once a newer chunk is staged")
+	}
+}
+
+func TestMemGetBlocksUntilPut(t *testing.T) {
+	m := NewMem()
+	if err := m.Register(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	got := make(chan []byte, 1)
+	go func() {
+		data, err := m.Get(ctx, chunk.ID{Member: 0, Step: 0})
+		if err != nil {
+			got <- nil
+			return
+		}
+		got <- data
+	}()
+	time.Sleep(20 * time.Millisecond)
+	if err := m.Put(ctx, chunk.ID{Member: 0, Step: 0}, []byte("late")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case data := <-got:
+		if string(data) != "late" {
+			t.Errorf("got %q", data)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("get did not observe the put")
+	}
+}
+
+func TestMemContextCancellation(t *testing.T) {
+	m := NewMem()
+	if err := m.Register(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := m.Get(ctx, chunk.ID{Member: 0, Step: 0})
+		errCh <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("cancelled get did not return")
+	}
+	// A blocked put is cancellable too.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	if err := m.Put(context.Background(), chunk.ID{Member: 0, Step: 0}, []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		errCh <- m.Put(ctx2, chunk.ID{Member: 0, Step: 1}, []byte("b"))
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel2()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("cancelled put did not return")
+	}
+}
+
+func TestMemDuplicatePutRejected(t *testing.T) {
+	m := NewMem()
+	if err := m.Register(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := m.Put(ctx, chunk.ID{Member: 0, Step: 3}, []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Put(ctx, chunk.ID{Member: 0, Step: 3}, []byte("a")); err == nil {
+		t.Error("re-putting the staged step should fail fast")
+	}
+}
+
+func TestMemFullPipelineManySteps(t *testing.T) {
+	// Producer/consumer across 50 steps with 2 readers: everything arrives
+	// in order with no deadlock.
+	const steps = 50
+	const readers = 2
+	m := NewMem()
+	if err := m.Register(1, readers); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	wg.Add(1 + readers)
+	var prodErr error
+	go func() {
+		defer wg.Done()
+		for s := 0; s < steps; s++ {
+			payload := []byte(fmt.Sprintf("step-%d", s))
+			if err := m.Put(ctx, chunk.ID{Member: 1, Step: s}, payload); err != nil {
+				prodErr = err
+				return
+			}
+		}
+	}()
+	readErrs := make([]error, readers)
+	for r := 0; r < readers; r++ {
+		go func(r int) {
+			defer wg.Done()
+			for s := 0; s < steps; s++ {
+				data, err := m.Get(ctx, chunk.ID{Member: 1, Step: s})
+				if err != nil {
+					readErrs[r] = err
+					return
+				}
+				if want := fmt.Sprintf("step-%d", s); string(data) != want {
+					readErrs[r] = fmt.Errorf("step %d: got %q want %q", s, data, want)
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	if prodErr != nil {
+		t.Errorf("producer: %v", prodErr)
+	}
+	for r, err := range readErrs {
+		if err != nil {
+			t.Errorf("reader %d: %v", r, err)
+		}
+	}
+}

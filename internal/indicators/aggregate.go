@@ -1,0 +1,107 @@
+package indicators
+
+import (
+	"fmt"
+
+	"ensemblekit/internal/placement"
+	"ensemblekit/internal/stats"
+)
+
+// Aggregator names a way of collapsing per-member indicator values into
+// one ensemble-level objective. The paper uses mean minus standard
+// deviation (Equation 9); the alternatives exist for the sensitivity
+// ablation (how much does the aggregation choice change the ranking?).
+type Aggregator string
+
+const (
+	// AggMeanMinusStd is the paper's F (Equation 9).
+	AggMeanMinusStd Aggregator = "mean-std"
+	// AggMean ignores variability between members.
+	AggMean Aggregator = "mean"
+	// AggMin scores an ensemble by its worst member (makespan-flavoured:
+	// the slowest member dominates).
+	AggMin Aggregator = "min"
+	// AggMedian is robust to a single outlier member.
+	AggMedian Aggregator = "median"
+)
+
+// Aggregators lists all supported aggregators, the paper's first.
+func Aggregators() []Aggregator {
+	return []Aggregator{AggMeanMinusStd, AggMean, AggMin, AggMedian}
+}
+
+// Aggregate collapses per-member values with the chosen aggregator.
+func Aggregate(values []float64, a Aggregator) (float64, error) {
+	if len(values) == 0 {
+		return 0, fmt.Errorf("indicators: aggregate %q needs at least one value", a)
+	}
+	switch a {
+	case AggMeanMinusStd, "":
+		return stats.MeanMinusStd(values), nil
+	case AggMean:
+		return stats.Mean(values), nil
+	case AggMin:
+		return stats.Min(values), nil
+	case AggMedian:
+		return stats.Median(values), nil
+	default:
+		return 0, fmt.Errorf("indicators: unknown aggregator %q", a)
+	}
+}
+
+// Sensitivity computes ∂F/∂E_i numerically for every member: how much the
+// ensemble objective moves per unit of one member's efficiency. Because F
+// subtracts the member standard deviation, improving an already-fast
+// member can have near-zero (or negative) payoff while lifting the
+// straggler pays double — this quantifies where tuning effort belongs.
+func Sensitivity(perMemberFn func(effs []float64) ([]float64, error), effs []float64) ([]float64, error) {
+	if len(effs) == 0 {
+		return nil, fmt.Errorf("indicators: sensitivity needs at least one member")
+	}
+	const h = 1e-6
+	base, err := perMemberFn(effs)
+	if err != nil {
+		return nil, err
+	}
+	f0, err := Aggregate(base, AggMeanMinusStd)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(effs))
+	for i := range effs {
+		bumped := append([]float64(nil), effs...)
+		bumped[i] += h
+		values, err := perMemberFn(bumped)
+		if err != nil {
+			return nil, err
+		}
+		f1, err := Aggregate(values, AggMeanMinusStd)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = (f1 - f0) / h
+	}
+	return out, nil
+}
+
+// ObjectiveSensitivity is the placement-aware convenience form: the
+// gradient of F(P^{stage}) with respect to each member's efficiency.
+func ObjectiveSensitivity(p placement.Placement, effs []float64, s StageSet) ([]float64, error) {
+	return Sensitivity(func(e []float64) ([]float64, error) {
+		return PerMember(p, e, s)
+	}, effs)
+}
+
+// AggregateObjective computes F-like objectives over per-member indicator
+// values already produced by PerMember, one per aggregator.
+func AggregateObjective(values []float64, aggs []Aggregator) (map[Aggregator]float64, error) {
+	out := make(map[Aggregator]float64, len(aggs))
+	for _, a := range aggs {
+		v, err := Aggregate(values, a)
+		if err != nil {
+			return nil, err
+		}
+		out[a] = v
+	}
+	return out, nil
+}

@@ -1,0 +1,92 @@
+package indicators
+
+import (
+	"math"
+	"testing"
+
+	"ensemblekit/internal/placement"
+)
+
+func TestAggregate(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	cases := map[Aggregator]float64{
+		AggMean:         2.5,
+		AggMin:          1,
+		AggMedian:       2.5,
+		AggMeanMinusStd: 2.5 - math.Sqrt(1.25),
+	}
+	for agg, want := range cases {
+		got, err := Aggregate(xs, agg)
+		if err != nil {
+			t.Fatalf("%s: %v", agg, err)
+		}
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("Aggregate(%s) = %v, want %v", agg, got, want)
+		}
+	}
+	// Empty aggregator string defaults to the paper's form.
+	got, err := Aggregate(xs, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-cases[AggMeanMinusStd]) > 1e-12 {
+		t.Errorf("default aggregator = %v, want mean-std", got)
+	}
+}
+
+func TestAggregateErrors(t *testing.T) {
+	if _, err := Aggregate(nil, AggMean); err == nil {
+		t.Error("empty input should fail")
+	}
+	if _, err := Aggregate([]float64{1}, "bogus"); err == nil {
+		t.Error("unknown aggregator should fail")
+	}
+}
+
+func TestAggregateObjective(t *testing.T) {
+	out, err := AggregateObjective([]float64{2, 4}, Aggregators())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 4 {
+		t.Fatalf("got %d aggregators", len(out))
+	}
+	if out[AggMin] != 2 || out[AggMean] != 3 {
+		t.Errorf("unexpected values: %v", out)
+	}
+	// For two members mean-std equals the minimum.
+	if math.Abs(out[AggMeanMinusStd]-out[AggMin]) > 1e-12 {
+		t.Errorf("two-member mean-std (%v) should equal min (%v)",
+			out[AggMeanMinusStd], out[AggMin])
+	}
+	if _, err := AggregateObjective([]float64{1}, []Aggregator{"nope"}); err == nil {
+		t.Error("unknown aggregator should fail")
+	}
+}
+
+func TestObjectiveSensitivity(t *testing.T) {
+	p, _ := placement.ByName("C1.5")
+	// Symmetric members, asymmetric efficiencies: lifting the slow member
+	// must pay more than lifting the fast one (F = min for two members).
+	effs := []float64{0.7, 0.95}
+	grad, err := ObjectiveSensitivity(p, effs, StageUAP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grad) != 2 {
+		t.Fatalf("gradient = %v", grad)
+	}
+	if grad[0] <= grad[1] {
+		t.Errorf("lifting the straggler (%v) should beat lifting the leader (%v)", grad[0], grad[1])
+	}
+	if grad[0] <= 0 {
+		t.Errorf("straggler gradient should be positive: %v", grad[0])
+	}
+	// For two members F = min(P_1, P_2): the leader's gradient is ~0.
+	if math.Abs(grad[1]) > 1e-3 {
+		t.Errorf("leader gradient should be ~0, got %v", grad[1])
+	}
+	if _, err := ObjectiveSensitivity(p, nil, StageUAP); err == nil {
+		t.Error("empty efficiencies should fail")
+	}
+}

@@ -1,0 +1,212 @@
+// Package indicators implements the paper's multi-stage performance
+// indicators (Section 4) and the ensemble-level objective function
+// (Section 5.1):
+//
+//	P_i^U     = E_i / c_i                                  (Equation 5)
+//	CP_i      = (|s_i|/K_i) Σ_j 1/|s_i ∪ a_i^j|            (Equation 6)
+//	P_i^{U,A} = P_i^U × CP_i                               (Equation 7)
+//	P_i^{U,A,P} = P_i^{U,A} / M                            (Equation 8)
+//	F(P)      = mean(P) − stddev(P)                        (Equation 9)
+//
+// The three refinement layers — resource Usage, resource Allocation
+// (component placement), and resource Provisioning (nodes used by the
+// whole ensemble) — compose in any order; the paper's two evaluation paths
+// (U → U,P → U,P,A and U → U,A → U,A,P) converge to the same final value.
+package indicators
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"ensemblekit/internal/placement"
+	"ensemblekit/internal/stats"
+)
+
+// StageSet selects which refinement layers are applied on top of the
+// always-present resource-usage base.
+type StageSet struct {
+	// Allocation applies the placement indicator CP_i (layer A).
+	Allocation bool
+	// Provisioning divides by the ensemble node count M (layer P).
+	Provisioning bool
+}
+
+// String renders the paper's superscript notation, e.g. "U,A,P".
+func (s StageSet) String() string {
+	out := "U"
+	if s.Allocation {
+		out += ",A"
+	}
+	if s.Provisioning {
+		out += ",P"
+	}
+	return out
+}
+
+// Stages of the paper's two evaluation paths.
+var (
+	// StageU is resource usage only (Equation 5).
+	StageU = StageSet{}
+	// StageUA adds the placement layer (Equation 7).
+	StageUA = StageSet{Allocation: true}
+	// StageUP adds the provisioning layer to the usage base.
+	StageUP = StageSet{Provisioning: true}
+	// StageUAP is the full indicator (Equation 8). The paper's
+	// P^{U,P,A} is the same quantity.
+	StageUAP = StageSet{Allocation: true, Provisioning: true}
+)
+
+// CP returns the placement indicator CP_i of a member (Equation 6). It is
+// 1 when every analysis is co-located with the simulation, and approaches
+// 0 as components spread over more dedicated nodes.
+func CP(m placement.Member) (float64, error) {
+	k := m.K()
+	if k == 0 {
+		return 0, errors.New("indicators: member has no couplings")
+	}
+	s := len(m.Simulation.NodeSet())
+	if s == 0 {
+		return 0, errors.New("indicators: member simulation has no nodes")
+	}
+	sum := 0.0
+	for j := 0; j < k; j++ {
+		u, err := m.CouplingUnionSize(j)
+		if err != nil {
+			return 0, err
+		}
+		if u == 0 {
+			return 0, fmt.Errorf("indicators: coupling %d has empty node union", j)
+		}
+		sum += 1 / float64(u)
+	}
+	return float64(s) / float64(k) * sum, nil
+}
+
+// Member computes the indicator of one ensemble member at the given stage
+// set, from its computational efficiency E_i (Equation 3), its placement,
+// and the ensemble-wide node count M.
+func Member(e float64, m placement.Member, ensembleNodes int, s StageSet) (float64, error) {
+	c := m.Cores()
+	if c <= 0 {
+		return 0, errors.New("indicators: member uses no cores")
+	}
+	v := e / float64(c) // Equation 5
+	if s.Allocation {
+		cp, err := CP(m)
+		if err != nil {
+			return 0, err
+		}
+		v *= cp // Equation 7
+	}
+	if s.Provisioning {
+		if ensembleNodes <= 0 {
+			return 0, fmt.Errorf("indicators: ensemble node count M must be positive, got %d", ensembleNodes)
+		}
+		v /= float64(ensembleNodes) // Equation 8
+	}
+	return v, nil
+}
+
+// PerMember computes the indicator of every member of a placement at the
+// given stage set. efficiencies must hold E_i per member, in order.
+func PerMember(p placement.Placement, efficiencies []float64, s StageSet) ([]float64, error) {
+	if len(efficiencies) != len(p.Members) {
+		return nil, fmt.Errorf("indicators: %d efficiencies for %d members",
+			len(efficiencies), len(p.Members))
+	}
+	if len(p.Members) == 0 {
+		return nil, errors.New("indicators: placement has no members")
+	}
+	m := p.M()
+	out := make([]float64, len(p.Members))
+	for i, member := range p.Members {
+		v, err := Member(efficiencies[i], member, m, s)
+		if err != nil {
+			return nil, fmt.Errorf("indicators: member %d: %w", i, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// F aggregates per-member indicator values into the ensemble-level
+// objective (Equation 9): mean minus population standard deviation, which
+// penalizes variability between members (stragglers dominate the ensemble
+// makespan).
+func F(values []float64) (float64, error) {
+	if len(values) == 0 {
+		return 0, errors.New("indicators: F needs at least one value")
+	}
+	return stats.MeanMinusStd(values), nil
+}
+
+// Objective computes F over the per-member indicators of a placement at
+// the given stage set — the quantity plotted in the paper's Figures 8
+// and 9.
+func Objective(p placement.Placement, efficiencies []float64, s StageSet) (float64, error) {
+	values, err := PerMember(p, efficiencies, s)
+	if err != nil {
+		return 0, err
+	}
+	return F(values)
+}
+
+// Report holds the objective at every stage of both evaluation paths for
+// one configuration.
+type Report struct {
+	// Name is the configuration name.
+	Name string
+	// PerStage maps a stage-set notation ("U", "U,A", "U,P", "U,A,P") to
+	// the objective value F.
+	PerStage map[string]float64
+	// PerMember maps the same notations to the per-member indicator
+	// values.
+	PerMember map[string][]float64
+}
+
+// AllStages lists the stage sets evaluated in a Report, in the paper's
+// presentation order.
+func AllStages() []StageSet {
+	return []StageSet{StageU, StageUP, StageUA, StageUAP}
+}
+
+// FullReport evaluates a configuration at every stage.
+func FullReport(p placement.Placement, efficiencies []float64) (Report, error) {
+	rep := Report{
+		Name:      p.Name,
+		PerStage:  make(map[string]float64),
+		PerMember: make(map[string][]float64),
+	}
+	for _, s := range AllStages() {
+		values, err := PerMember(p, efficiencies, s)
+		if err != nil {
+			return Report{}, err
+		}
+		f, err := F(values)
+		if err != nil {
+			return Report{}, err
+		}
+		rep.PerStage[s.String()] = f
+		rep.PerMember[s.String()] = values
+	}
+	return rep, nil
+}
+
+// Ranked pairs a configuration name with its objective value.
+type Ranked struct {
+	Name  string
+	Value float64
+}
+
+// Rank orders configurations by descending objective at the given stage
+// (the higher the better, per the paper).
+func Rank(reports []Report, s StageSet) []Ranked {
+	key := s.String()
+	out := make([]Ranked, 0, len(reports))
+	for _, r := range reports {
+		out = append(out, Ranked{Name: r.Name, Value: r.PerStage[key]})
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Value > out[j].Value })
+	return out
+}

@@ -1,0 +1,262 @@
+package indicators
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ensemblekit/internal/placement"
+)
+
+func TestCPKnownConfigurations(t *testing.T) {
+	cases := []struct {
+		name   string
+		member int
+		want   float64
+	}{
+		{"C_f", 0, 0.5},  // sim and analysis on separate nodes
+		{"C_c", 0, 1.0},  // fully co-located
+		{"C1.1", 0, 0.5}, // s={0}, a={2}
+		{"C1.3", 0, 1.0}, // co-located member
+		{"C1.3", 1, 0.5}, // spread member
+		{"C1.5", 0, 1.0},
+		{"C2.8", 0, 1.0},        // s={0}, both analyses on 0
+		{"C2.7", 0, 0.75},       // (1/1 + 1/2)/2
+		{"C2.6", 0, 0.5},        // (1/2 + 1/2)/2
+		{"C2.3", 0, 0.5},        // analyses on nodes 1 and 2
+		{"C2.4", 0, 0.75},       // one analysis co-located, one not
+		{"C2.1", 0, 0.5},        // both analyses on n2
+		{"C2.5", 0, 0.5},        // both remote
+		{"C2.2", 0, 0.5},        // both analyses on n1
+		{"C1.4", 1, 0.5},        // second member of C1.4
+		{"C2.8", 1, 1.0},        // second member fully co-located on n1
+		{"C2.7", 1, 1.0 * 0.75}, // symmetric to member 0
+	}
+	for _, c := range cases {
+		p, ok := placement.ByName(c.name)
+		if !ok {
+			t.Fatalf("unknown config %s", c.name)
+		}
+		got, err := CP(p.Members[c.member])
+		if err != nil {
+			t.Fatalf("%s member %d: %v", c.name, c.member, err)
+		}
+		if math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("CP(%s member %d) = %v, want %v", c.name, c.member, got, c.want)
+		}
+	}
+}
+
+func TestCPErrors(t *testing.T) {
+	if _, err := CP(placement.Member{
+		Simulation: placement.Component{Nodes: []int{0}, Cores: 16},
+	}); err == nil {
+		t.Error("member without couplings should fail")
+	}
+	if _, err := CP(placement.Member{
+		Simulation: placement.Component{Cores: 16},
+		Analyses:   []placement.Component{{Nodes: []int{0}, Cores: 8}},
+	}); err == nil {
+		t.Error("simulation without nodes should fail")
+	}
+}
+
+func TestMemberStages(t *testing.T) {
+	p, _ := placement.ByName("C1.5")
+	m := p.Members[0] // co-located, 24 cores
+	e := 0.9
+
+	u, err := Member(e, m, p.M(), StageU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := e / 24; math.Abs(u-want) > 1e-15 {
+		t.Errorf("P^U = %v, want %v", u, want)
+	}
+
+	ua, err := Member(e, m, p.M(), StageUA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ua-u) > 1e-15 { // CP = 1 for co-located
+		t.Errorf("P^{U,A} = %v, want %v (CP=1)", ua, u)
+	}
+
+	uap, err := Member(e, m, p.M(), StageUAP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := u / 2; math.Abs(uap-want) > 1e-15 { // M = 2
+		t.Errorf("P^{U,A,P} = %v, want %v", uap, want)
+	}
+}
+
+func TestPathEquivalence(t *testing.T) {
+	// P^{U,P,A} == P^{U,A,P}: applying the layers in either order yields
+	// the same final indicator (noted in Section 5.2).
+	for _, cfg := range append(placement.ConfigsTable2TwoMember(), placement.ConfigsTable4()...) {
+		for i, m := range cfg.Members {
+			e := 0.8 + 0.05*float64(i)
+			// Path 1: U -> P -> A means dividing by M then multiplying CP.
+			up, err := Member(e, m, cfg.M(), StageUP)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cp, err := CP(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			path1 := up * cp
+			// Path 2: U -> A -> P via the full stage set.
+			path2, err := Member(e, m, cfg.M(), StageUAP)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(path1-path2) > 1e-15 {
+				t.Errorf("%s member %d: paths diverge: %v vs %v", cfg.Name, i, path1, path2)
+			}
+		}
+	}
+}
+
+func TestMemberErrors(t *testing.T) {
+	p, _ := placement.ByName("C1.5")
+	m := p.Members[0]
+	if _, err := Member(0.9, placement.Member{}, 2, StageU); err == nil {
+		t.Error("zero-core member should fail")
+	}
+	if _, err := Member(0.9, m, 0, StageUAP); err == nil {
+		t.Error("non-positive M should fail with provisioning stage")
+	}
+}
+
+func TestPerMemberAndObjective(t *testing.T) {
+	p, _ := placement.ByName("C1.5")
+	es := []float64{0.9, 0.9}
+	values, err := PerMember(p, es, StageUAP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(values) != 2 {
+		t.Fatalf("values = %v", values)
+	}
+	// Symmetric members: identical values, so F = mean (std = 0).
+	if values[0] != values[1] {
+		t.Errorf("symmetric members differ: %v", values)
+	}
+	f, err := Objective(p, es, StageUAP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f-values[0]) > 1e-15 {
+		t.Errorf("F = %v, want %v for zero-variance members", f, values[0])
+	}
+}
+
+func TestObjectivePenalizesVariability(t *testing.T) {
+	// Two configurations with the same mean indicator: the one with
+	// variance between members scores lower (Equation 9's intent).
+	p, _ := placement.ByName("C1.5")
+	even, err := Objective(p, []float64{0.8, 0.8}, StageU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uneven, err := Objective(p, []float64{0.6, 1.0}, StageU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uneven >= even {
+		t.Errorf("uneven members (%v) should score below even members (%v)", uneven, even)
+	}
+}
+
+func TestPerMemberValidation(t *testing.T) {
+	p, _ := placement.ByName("C1.5")
+	if _, err := PerMember(p, []float64{0.9}, StageU); err == nil {
+		t.Error("mismatched efficiency count should fail")
+	}
+	if _, err := PerMember(placement.Placement{}, nil, StageU); err == nil {
+		t.Error("empty placement should fail")
+	}
+	if _, err := F(nil); err == nil {
+		t.Error("empty F input should fail")
+	}
+}
+
+func TestStageSetString(t *testing.T) {
+	cases := map[string]StageSet{
+		"U":     StageU,
+		"U,A":   StageUA,
+		"U,P":   StageUP,
+		"U,A,P": StageUAP,
+	}
+	for want, s := range cases {
+		if got := s.String(); got != want {
+			t.Errorf("StageSet = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestFullReportAndRank(t *testing.T) {
+	var reports []Report
+	for _, cfg := range placement.ConfigsTable2TwoMember() {
+		rep, err := FullReport(cfg, []float64{0.9, 0.9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range AllStages() {
+			if _, ok := rep.PerStage[s.String()]; !ok {
+				t.Errorf("%s: missing stage %s", cfg.Name, s)
+			}
+		}
+		reports = append(reports, rep)
+	}
+	ranked := Rank(reports, StageUAP)
+	if len(ranked) != 5 {
+		t.Fatalf("ranked %d configs", len(ranked))
+	}
+	// With equal efficiencies, placement structure alone decides: C1.5
+	// (CP=1, M=2) must rank first.
+	if ranked[0].Name != "C1.5" {
+		t.Errorf("top config = %s, want C1.5", ranked[0].Name)
+	}
+	for i := 1; i < len(ranked); i++ {
+		if ranked[i-1].Value < ranked[i].Value {
+			t.Error("ranking not descending")
+		}
+	}
+}
+
+// Property: CP lies in (0, 1], equals 1 exactly for fully co-located
+// members, and shrinks when an analysis moves off the simulation's node.
+func TestCPProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		k := 1 + rng.Intn(4)
+		simNode := rng.Intn(4)
+		m := placement.Member{
+			Simulation: placement.Component{Nodes: []int{simNode}, Cores: 16},
+		}
+		allCo := true
+		for j := 0; j < k; j++ {
+			n := rng.Intn(4)
+			if n != simNode {
+				allCo = false
+			}
+			m.Analyses = append(m.Analyses, placement.Component{Nodes: []int{n}, Cores: 8})
+		}
+		cp, err := CP(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cp <= 0 || cp > 1+1e-12 {
+			t.Fatalf("CP = %v outside (0,1] for %+v", cp, m)
+		}
+		if allCo && math.Abs(cp-1) > 1e-12 {
+			t.Fatalf("fully co-located member has CP = %v, want 1", cp)
+		}
+		if !allCo && cp >= 1 {
+			t.Fatalf("spread member has CP = %v, want < 1", cp)
+		}
+	}
+}

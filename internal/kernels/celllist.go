@@ -1,0 +1,99 @@
+package kernels
+
+import "math"
+
+// cellList partitions the periodic box into cubic cells of edge >= cutoff
+// so force evaluation only scans the 27 neighbouring cells of each atom:
+// O(N) per step for homogeneous densities instead of the O(N^2) all-pairs
+// scan. Results are bit-identical to the all-pairs path: the neighbour
+// stencil covers every pair within the cutoff, the caller sorts the
+// candidate list ascending before accumulating, and out-of-cutoff
+// candidates contribute exactly nothing — so the floating-point summation
+// order matches the all-pairs loop term for term.
+type cellList struct {
+	box      float64
+	perSide  int     // cells per box edge
+	cellEdge float64 // box / perSide
+	// heads and next implement the classic linked-cell structure:
+	// heads[c] is the first atom in cell c, next[i] the following atom in
+	// atom i's cell (-1 terminates).
+	heads []int32
+	next  []int32
+}
+
+// newCellList sizes the structure for a box and cutoff. It returns nil if
+// the box is too small for cells (fewer than 3 per side), in which case
+// the caller falls back to the all-pairs path.
+func newCellList(box, cutoff float64, atoms int) *cellList {
+	perSide := int(math.Floor(box / cutoff))
+	if perSide < 3 {
+		return nil
+	}
+	c := &cellList{
+		box:      box,
+		perSide:  perSide,
+		cellEdge: box / float64(perSide),
+		heads:    make([]int32, perSide*perSide*perSide),
+		next:     make([]int32, atoms),
+	}
+	return c
+}
+
+// cellOf maps a (wrapped) position to its cell index.
+func (c *cellList) cellOf(p [3]float64) int {
+	var idx [3]int
+	for d := 0; d < 3; d++ {
+		k := int(p[d] / c.cellEdge)
+		if k >= c.perSide { // p == box edge after wrap rounding
+			k = c.perSide - 1
+		}
+		if k < 0 {
+			k = 0
+		}
+		idx[d] = k
+	}
+	return (idx[0]*c.perSide+idx[1])*c.perSide + idx[2]
+}
+
+// rebuild reassigns every atom to its cell. Atoms are inserted in reverse
+// order so each cell's linked list iterates in increasing atom index —
+// part of the determinism contract.
+func (c *cellList) rebuild(pos [][3]float64) {
+	for i := range c.heads {
+		c.heads[i] = -1
+	}
+	for i := len(pos) - 1; i >= 0; i-- {
+		cell := c.cellOf(pos[i])
+		c.next[i] = c.heads[cell]
+		c.heads[cell] = int32(i)
+	}
+}
+
+// neighborsInto appends the partner candidates of the atom at p (all atoms
+// in the 27 surrounding cells) to buf, in deterministic order.
+func (c *cellList) neighborsInto(p [3]float64, buf []int32) []int32 {
+	var base [3]int
+	for d := 0; d < 3; d++ {
+		k := int(p[d] / c.cellEdge)
+		if k >= c.perSide {
+			k = c.perSide - 1
+		}
+		if k < 0 {
+			k = 0
+		}
+		base[d] = k
+	}
+	for dx := -1; dx <= 1; dx++ {
+		x := (base[0] + dx + c.perSide) % c.perSide
+		for dy := -1; dy <= 1; dy++ {
+			y := (base[1] + dy + c.perSide) % c.perSide
+			for dz := -1; dz <= 1; dz++ {
+				z := (base[2] + dz + c.perSide) % c.perSide
+				for j := c.heads[(x*c.perSide+y)*c.perSide+z]; j >= 0; j = c.next[j] {
+					buf = append(buf, j)
+				}
+			}
+		}
+	}
+	return buf
+}

@@ -1,0 +1,37 @@
+// Package kernels provides the computational payloads of the ensemble
+// components, in two coupled forms:
+//
+//   - calibrated cost profiles (cluster.Profile) that drive the simulated
+//     backend — an MD-simulation proxy standing in for GROMACS and a
+//     memory-intensive analysis proxy standing in for the bipartite
+//     eigenvalue analysis of Johnston et al. (the paper's reference [16]);
+//   - real implementations for the real-execution backend — a Lennard-Jones
+//     molecular-dynamics engine and a power-iteration largest-eigenvalue
+//     analysis over the bipartite contact matrix of each frame.
+//
+// The profiles are calibrated to the scales of the paper's Section 2.2
+// (simulation step ~10 s on 16 cores with stride 800; analysis step under
+// the simulation step once it has 8 cores, Figure 7).
+package kernels
+
+import (
+	"context"
+
+	"ensemblekit/internal/chunk"
+)
+
+// Simulator produces frames, stride MD steps at a time — the real-backend
+// counterpart of the paper's GROMACS component.
+type Simulator interface {
+	// Advance integrates `steps` MD steps using up to `cores` worker
+	// goroutines and returns the frame at the end of the window.
+	Advance(ctx context.Context, steps, cores int) (chunk.Frame, error)
+}
+
+// Analyzer consumes frames and produces a scalar collective variable —
+// the real-backend counterpart of the paper's eigenvalue analysis.
+type Analyzer interface {
+	// Analyze computes the collective variable of the frames using up to
+	// `cores` worker goroutines.
+	Analyze(ctx context.Context, frames []chunk.Frame, cores int) (float64, error)
+}

@@ -1,0 +1,303 @@
+package kernels
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"ensemblekit/internal/chunk"
+)
+
+// LJConfig parameterizes the Lennard-Jones molecular-dynamics engine used
+// by the real-execution backend. Reduced units throughout (sigma = 1,
+// epsilon = 1, mass = 1).
+type LJConfig struct {
+	// Atoms is the number of particles.
+	Atoms int
+	// Box is the cubic periodic box edge length.
+	Box float64
+	// Cutoff is the interaction cutoff radius.
+	Cutoff float64
+	// Dt is the integration timestep.
+	Dt float64
+	// Temperature sets the initial velocity distribution.
+	Temperature float64
+	// Seed makes initialization deterministic.
+	Seed int64
+}
+
+// DefaultLJConfig returns a small liquid-like system suitable for tests
+// and examples: fast enough to integrate thousands of steps in a test.
+func DefaultLJConfig() LJConfig {
+	return LJConfig{
+		Atoms:       400,
+		Box:         8.0,
+		Cutoff:      2.5,
+		Dt:          0.002,
+		Temperature: 0.8,
+		Seed:        1,
+	}
+}
+
+// Validate checks the configuration.
+func (c LJConfig) Validate() error {
+	switch {
+	case c.Atoms <= 1:
+		return errors.New("kernels: LJ needs at least 2 atoms")
+	case c.Box <= 0:
+		return errors.New("kernels: LJ box must be positive")
+	case c.Cutoff <= 0 || c.Cutoff > c.Box/2:
+		return fmt.Errorf("kernels: LJ cutoff must be in (0, box/2]; got %v with box %v", c.Cutoff, c.Box)
+	case c.Dt <= 0:
+		return errors.New("kernels: LJ timestep must be positive")
+	case c.Temperature < 0:
+		return errors.New("kernels: LJ temperature must be non-negative")
+	}
+	return nil
+}
+
+// LJSimulator is a velocity-Verlet Lennard-Jones integrator with periodic
+// boundaries. Force evaluation parallelizes over atoms; each atom
+// accumulates its own force sum, so results are bit-identical regardless
+// of the worker count.
+type LJSimulator struct {
+	cfg   LJConfig
+	pos   [][3]float64
+	vel   [][3]float64
+	frc   [][3]float64
+	cells *cellList // nil: all-pairs fallback for small boxes
+	step  int64
+}
+
+var _ Simulator = (*LJSimulator)(nil)
+
+// NewLJSimulator initializes atoms on a cubic lattice with Maxwell-ish
+// velocities (deterministic for a fixed seed).
+func NewLJSimulator(cfg LJConfig) (*LJSimulator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &LJSimulator{
+		cfg:   cfg,
+		pos:   make([][3]float64, cfg.Atoms),
+		vel:   make([][3]float64, cfg.Atoms),
+		frc:   make([][3]float64, cfg.Atoms),
+		cells: newCellList(cfg.Box, cfg.Cutoff, cfg.Atoms),
+	}
+	// Lattice placement avoids initial overlaps.
+	perSide := int(math.Ceil(math.Cbrt(float64(cfg.Atoms))))
+	spacing := cfg.Box / float64(perSide)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	i := 0
+	for x := 0; x < perSide && i < cfg.Atoms; x++ {
+		for y := 0; y < perSide && i < cfg.Atoms; y++ {
+			for z := 0; z < perSide && i < cfg.Atoms; z++ {
+				s.pos[i] = [3]float64{
+					(float64(x) + 0.5) * spacing,
+					(float64(y) + 0.5) * spacing,
+					(float64(z) + 0.5) * spacing,
+				}
+				i++
+			}
+		}
+	}
+	scale := math.Sqrt(cfg.Temperature)
+	var mean [3]float64
+	for i := range s.vel {
+		for d := 0; d < 3; d++ {
+			s.vel[i][d] = rng.NormFloat64() * scale
+			mean[d] += s.vel[i][d]
+		}
+	}
+	// Remove center-of-mass drift.
+	for d := 0; d < 3; d++ {
+		mean[d] /= float64(cfg.Atoms)
+	}
+	for i := range s.vel {
+		for d := 0; d < 3; d++ {
+			s.vel[i][d] -= mean[d]
+		}
+	}
+	s.computeForces(1)
+	return s, nil
+}
+
+// Step returns the current MD step counter.
+func (s *LJSimulator) Step() int64 { return s.step }
+
+// Advance implements Simulator: velocity-Verlet for `steps` steps using up
+// to `cores` goroutines for force evaluation, returning the final frame.
+func (s *LJSimulator) Advance(ctx context.Context, steps, cores int) (chunk.Frame, error) {
+	if steps <= 0 {
+		return s.Frame(), nil
+	}
+	if cores < 1 {
+		cores = 1
+	}
+	dt := s.cfg.Dt
+	for k := 0; k < steps; k++ {
+		if err := ctx.Err(); err != nil {
+			return chunk.Frame{}, fmt.Errorf("kernels: LJ advance cancelled at step %d: %w", s.step, err)
+		}
+		// First half-kick and drift.
+		for i := range s.pos {
+			for d := 0; d < 3; d++ {
+				s.vel[i][d] += 0.5 * dt * s.frc[i][d]
+				s.pos[i][d] += dt * s.vel[i][d]
+				// Wrap into the periodic box.
+				s.pos[i][d] -= s.cfg.Box * math.Floor(s.pos[i][d]/s.cfg.Box)
+			}
+		}
+		s.computeForces(cores)
+		// Second half-kick.
+		for i := range s.vel {
+			for d := 0; d < 3; d++ {
+				s.vel[i][d] += 0.5 * dt * s.frc[i][d]
+			}
+		}
+		s.step++
+	}
+	return s.Frame(), nil
+}
+
+// Frame snapshots the current positions.
+func (s *LJSimulator) Frame() chunk.Frame {
+	f := chunk.Frame{
+		Step: s.step,
+		Time: float64(s.step) * s.cfg.Dt,
+		Box: [3]float32{
+			float32(s.cfg.Box), float32(s.cfg.Box), float32(s.cfg.Box),
+		},
+		Positions: make([][3]float32, len(s.pos)),
+	}
+	for i, p := range s.pos {
+		f.Positions[i] = [3]float32{float32(p[0]), float32(p[1]), float32(p[2])}
+	}
+	return f
+}
+
+// computeForces evaluates LJ forces with minimum-image periodic
+// boundaries, through the linked-cell structure when the box admits one
+// and the all-pairs scan otherwise. Each worker owns a disjoint range of
+// atoms and accumulates partners in ascending index order, so
+// floating-point results are independent of both `cores` and the
+// neighbour-search strategy.
+func (s *LJSimulator) computeForces(cores int) {
+	n := len(s.pos)
+	if cores > n {
+		cores = n
+	}
+	if s.cells != nil {
+		s.cells.rebuild(s.pos)
+	}
+	var wg sync.WaitGroup
+	chunkSize := (n + cores - 1) / cores
+	for w := 0; w < cores; w++ {
+		lo := w * chunkSize
+		hi := lo + chunkSize
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			var buf []int32
+			for i := lo; i < hi; i++ {
+				if s.cells != nil {
+					buf = buf[:0]
+					buf = s.cells.neighborsInto(s.pos[i], buf)
+					sort.Slice(buf, func(a, b int) bool { return buf[a] < buf[b] })
+					s.frc[i] = s.forceOn(i, buf)
+				} else {
+					s.frc[i] = s.forceOnAll(i)
+				}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// forceOnAll sums atom i's force over all other atoms (the O(N^2) path).
+func (s *LJSimulator) forceOnAll(i int) [3]float64 {
+	n := len(s.pos)
+	var f [3]float64
+	for j := 0; j < n; j++ {
+		s.addPair(i, j, &f)
+	}
+	return f
+}
+
+// forceOn sums atom i's force over the sorted candidate list.
+func (s *LJSimulator) forceOn(i int, candidates []int32) [3]float64 {
+	var f [3]float64
+	for _, j := range candidates {
+		s.addPair(i, int(j), &f)
+	}
+	return f
+}
+
+// addPair accumulates the LJ force of partner j on atom i into f.
+// Out-of-cutoff and self pairs contribute exactly nothing, which keeps
+// cell-list and all-pairs summations bit-identical.
+func (s *LJSimulator) addPair(i, j int, f *[3]float64) {
+	if i == j {
+		return
+	}
+	rc2 := s.cfg.Cutoff * s.cfg.Cutoff
+	box := s.cfg.Box
+	var dr [3]float64
+	r2 := 0.0
+	for d := 0; d < 3; d++ {
+		dd := s.pos[i][d] - s.pos[j][d]
+		dd -= box * math.Round(dd/box)
+		dr[d] = dd
+		r2 += dd * dd
+	}
+	if r2 >= rc2 || r2 == 0 {
+		return
+	}
+	inv2 := 1 / r2
+	inv6 := inv2 * inv2 * inv2
+	// F = 24 eps (2 (sigma/r)^12 - (sigma/r)^6) / r^2 * dr
+	coef := 24 * inv2 * inv6 * (2*inv6 - 1)
+	for d := 0; d < 3; d++ {
+		f[d] += coef * dr[d]
+	}
+}
+
+// Energies returns the kinetic and potential energy of the current state
+// (potential with the plain truncated LJ, no tail correction). Useful for
+// validating the integrator.
+func (s *LJSimulator) Energies() (kinetic, potential float64) {
+	for i := range s.vel {
+		for d := 0; d < 3; d++ {
+			kinetic += 0.5 * s.vel[i][d] * s.vel[i][d]
+		}
+	}
+	rc2 := s.cfg.Cutoff * s.cfg.Cutoff
+	box := s.cfg.Box
+	n := len(s.pos)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			r2 := 0.0
+			for d := 0; d < 3; d++ {
+				dd := s.pos[i][d] - s.pos[j][d]
+				dd -= box * math.Round(dd/box)
+				r2 += dd * dd
+			}
+			if r2 >= rc2 || r2 == 0 {
+				continue
+			}
+			inv6 := 1 / (r2 * r2 * r2)
+			potential += 4 * (inv6*inv6 - inv6)
+		}
+	}
+	return kinetic, potential
+}

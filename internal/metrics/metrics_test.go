@@ -1,0 +1,175 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"ensemblekit/internal/trace"
+)
+
+func component(name string, kind trace.Kind, member int, start, stageDur float64, withCounters bool) *trace.ComponentTrace {
+	c := &trace.ComponentTrace{Name: name, Kind: kind, Member: member, Cores: 8, Nodes: []int{0}, Start: start}
+	t := start
+	stages := trace.SimulationStages()
+	if kind == trace.KindAnalysis {
+		stages = trace.AnalysisStages()
+	}
+	for i := 0; i < 4; i++ {
+		step := trace.StepRecord{Index: i}
+		for _, s := range stages {
+			rec := trace.StageRecord{Stage: s, Start: t, Duration: stageDur}
+			if withCounters {
+				rec.Counters = trace.Counters{Instructions: 1000, Cycles: 2000, LLCRefs: 100, LLCMisses: 25}
+			}
+			t += stageDur
+			step.Stages = append(step.Stages, rec)
+		}
+		c.Steps = append(c.Steps, step)
+	}
+	c.End = t
+	return c
+}
+
+func sampleTrace(withCounters bool) *trace.EnsembleTrace {
+	return &trace.EnsembleTrace{
+		Config: "C-test",
+		Members: []*trace.MemberTrace{
+			{
+				Index:      0,
+				Simulation: component("m0.sim", trace.KindSimulation, 0, 0, 2, withCounters),
+				Analyses:   []*trace.ComponentTrace{component("m0.ana0", trace.KindAnalysis, 0, 1, 2, withCounters)},
+			},
+			{
+				Index:      1,
+				Simulation: component("m1.sim", trace.KindSimulation, 1, 0, 3, withCounters),
+				Analyses:   []*trace.ComponentTrace{component("m1.ana0", trace.KindAnalysis, 1, 1, 3, withCounters)},
+			},
+		},
+	}
+}
+
+func TestForComponentWithCounters(t *testing.T) {
+	c := component("x", trace.KindSimulation, 0, 0, 2, true)
+	m := ForComponent(c)
+	if m.ExecutionTime != 24 { // 4 steps x 3 stages x 2s
+		t.Errorf("execution time = %v, want 24", m.ExecutionTime)
+	}
+	if math.Abs(m.LLCMissRatio-0.25) > 1e-12 {
+		t.Errorf("miss ratio = %v, want 0.25", m.LLCMissRatio)
+	}
+	if math.Abs(m.MemoryIntensity-0.025) > 1e-12 {
+		t.Errorf("memory intensity = %v, want 0.025", m.MemoryIntensity)
+	}
+	if math.Abs(m.IPC-0.5) > 1e-12 {
+		t.Errorf("IPC = %v, want 0.5", m.IPC)
+	}
+}
+
+func TestForComponentWithoutCounters(t *testing.T) {
+	c := component("x", trace.KindAnalysis, 0, 0, 2, false)
+	m := ForComponent(c)
+	if !math.IsNaN(m.LLCMissRatio) || !math.IsNaN(m.MemoryIntensity) || !math.IsNaN(m.IPC) {
+		t.Errorf("counter metrics should be NaN without counters: %+v", m)
+	}
+	if m.ExecutionTime != 24 {
+		t.Errorf("execution time should still be measured: %v", m.ExecutionTime)
+	}
+}
+
+func TestFromTrace(t *testing.T) {
+	e, err := FromTrace(sampleTrace(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Config != "C-test" {
+		t.Errorf("config = %q", e.Config)
+	}
+	if len(e.Components) != 4 {
+		t.Fatalf("components = %d, want 4", len(e.Components))
+	}
+	if len(e.Members) != 2 {
+		t.Fatalf("members = %d, want 2", len(e.Members))
+	}
+	// Member 0: analysis start 1, 24s -> ends 25; makespan 25 - 0 = 25.
+	if e.Members[0].Makespan != 25 {
+		t.Errorf("member 0 makespan = %v, want 25", e.Members[0].Makespan)
+	}
+	// Member 1: analysis ends at 1 + 36 = 37.
+	if e.Members[1].Makespan != 37 {
+		t.Errorf("member 1 makespan = %v, want 37", e.Members[1].Makespan)
+	}
+	if e.Makespan != 37 {
+		t.Errorf("ensemble makespan = %v, want 37 (max member)", e.Makespan)
+	}
+}
+
+func TestFromTraceEmpty(t *testing.T) {
+	if _, err := FromTrace(nil); err == nil {
+		t.Error("nil trace should fail")
+	}
+	if _, err := FromTrace(&trace.EnsembleTrace{}); err == nil {
+		t.Error("empty trace should fail")
+	}
+}
+
+func TestByKind(t *testing.T) {
+	e, err := FromTrace(sampleTrace(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sims := e.ByKind(trace.KindSimulation)
+	anas := e.ByKind(trace.KindAnalysis)
+	if sims.ExecutionTime.N != 2 || anas.ExecutionTime.N != 2 {
+		t.Fatalf("per-kind counts wrong: %d sims, %d anas", sims.ExecutionTime.N, anas.ExecutionTime.N)
+	}
+	// sims: 24 and 36 -> mean 30.
+	if math.Abs(sims.ExecutionTime.Mean-30) > 1e-12 {
+		t.Errorf("sim mean exec = %v, want 30", sims.ExecutionTime.Mean)
+	}
+	if math.Abs(sims.LLCMissRatio.Mean-0.25) > 1e-12 {
+		t.Errorf("sim mean miss ratio = %v, want 0.25", sims.LLCMissRatio.Mean)
+	}
+}
+
+func TestByKindSkipsNaNCounters(t *testing.T) {
+	e, err := FromTrace(sampleTrace(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := e.ByKind(trace.KindSimulation)
+	if s.LLCMissRatio.N != 0 {
+		t.Errorf("counterless traces should contribute no miss-ratio samples, got %d", s.LLCMissRatio.N)
+	}
+	if s.ExecutionTime.N != 2 {
+		t.Errorf("execution times should still be summarized, got %d", s.ExecutionTime.N)
+	}
+}
+
+func TestStragglers(t *testing.T) {
+	e := Ensemble{Members: []Member{
+		{Index: 0, Makespan: 100},
+		{Index: 1, Makespan: 102},
+		{Index: 2, Makespan: 101},
+		{Index: 3, Makespan: 140}, // ~39% over the median
+	}}
+	got := e.Stragglers(0.1)
+	if len(got) != 1 || got[0].Index != 3 {
+		t.Fatalf("stragglers = %+v, want member 3 only", got)
+	}
+	if got[0].Excess < 0.3 || got[0].Excess > 0.5 {
+		t.Errorf("excess = %v, want ~0.39", got[0].Excess)
+	}
+	// Uniform members: no stragglers.
+	uniform := Ensemble{Members: []Member{{Makespan: 10}, {Makespan: 10}}}
+	if s := uniform.Stragglers(0.1); len(s) != 0 {
+		t.Errorf("uniform ensemble has stragglers: %+v", s)
+	}
+	// Default threshold kicks in for non-positive input.
+	if s := e.Stragglers(0); len(s) != 1 {
+		t.Errorf("default threshold: %+v", s)
+	}
+	// Degenerate: empty ensemble.
+	if s := (Ensemble{}).Stragglers(0.1); s != nil {
+		t.Errorf("empty ensemble: %+v", s)
+	}
+}

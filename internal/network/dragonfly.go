@@ -1,0 +1,49 @@
+package network
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Dragonfly describes the optional two-level topology of the fabric,
+// modeling a Cray Aries dragonfly (the paper's interconnect) at the
+// granularity that matters for staging flows: nodes are partitioned into
+// groups with all-to-all local connectivity; traffic between groups
+// traverses the source group's global uplink and the destination group's
+// global downlink, each with a finite aggregate bandwidth shared by all
+// crossing flows.
+type Dragonfly struct {
+	// GroupSize is the number of nodes per group (the last group may be
+	// smaller).
+	GroupSize int
+	// GlobalBandwidth is the aggregate bandwidth of each group's global
+	// uplink and downlink in bytes/s.
+	GlobalBandwidth float64
+	// GlobalLatency is added (once) to transfers that cross groups.
+	GlobalLatency float64
+}
+
+// Validate checks the topology parameters.
+func (d Dragonfly) Validate() error {
+	if d.GroupSize <= 0 {
+		return errors.New("network: dragonfly GroupSize must be positive")
+	}
+	if d.GlobalBandwidth <= 0 {
+		return errors.New("network: dragonfly GlobalBandwidth must be positive")
+	}
+	if d.GlobalLatency < 0 {
+		return errors.New("network: dragonfly GlobalLatency must be non-negative")
+	}
+	return nil
+}
+
+// groupOf returns the group index of a node.
+func (d Dragonfly) groupOf(node int) int { return node / d.GroupSize }
+
+// groups returns the number of groups for n nodes.
+func (d Dragonfly) groups(n int) int { return (n + d.GroupSize - 1) / d.GroupSize }
+
+// String describes the topology.
+func (d Dragonfly) String() string {
+	return fmt.Sprintf("dragonfly{groupSize=%d, globalBW=%.1fGB/s}", d.GroupSize, d.GlobalBandwidth/1e9)
+}

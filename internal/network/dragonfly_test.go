@@ -1,0 +1,157 @@
+package network
+
+import (
+	"math"
+	"testing"
+
+	"ensemblekit/internal/sim"
+)
+
+func dragonflyConfig() Config {
+	return Config{
+		Nodes:        8,
+		NICBandwidth: 8e9,
+		Topology: &Dragonfly{
+			GroupSize:       4,
+			GlobalBandwidth: 4e9,
+			GlobalLatency:   10e-6,
+		},
+	}
+}
+
+func TestDragonflyValidate(t *testing.T) {
+	if err := dragonflyConfig().Validate(); err != nil {
+		t.Fatalf("valid dragonfly config rejected: %v", err)
+	}
+	bad := []Dragonfly{
+		{GroupSize: 0, GlobalBandwidth: 1},
+		{GroupSize: 4, GlobalBandwidth: 0},
+		{GroupSize: 4, GlobalBandwidth: 1, GlobalLatency: -1},
+	}
+	for i, d := range bad {
+		cfg := dragonflyConfig()
+		d := d
+		cfg.Topology = &d
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: invalid topology accepted", i)
+		}
+	}
+	if s := dragonflyConfig().Topology.String(); s == "" {
+		t.Error("empty topology description")
+	}
+}
+
+func TestDragonflyIntraGroupUnaffected(t *testing.T) {
+	// Nodes 0 and 1 share a group: no global link, no global latency.
+	env := sim.NewEnv()
+	fab, err := NewFabric(env, dragonflyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var done float64
+	env.Go("x", func(p *sim.Proc) error {
+		if err := fab.Transfer(p, 0, 1, 8e9); err != nil {
+			return err
+		}
+		done = p.Now()
+		return nil
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(done-1.0) > 1e-6 {
+		t.Errorf("intra-group transfer at %v, want 1.0 (NIC-bound)", done)
+	}
+}
+
+func TestDragonflyGlobalLinkCapsCrossGroupFlow(t *testing.T) {
+	// Nodes 0 (group 0) -> 4 (group 1): the 4 GB/s global link binds
+	// before the 8 GB/s NICs.
+	env := sim.NewEnv()
+	fab, err := NewFabric(env, dragonflyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var done float64
+	env.Go("x", func(p *sim.Proc) error {
+		if err := fab.Transfer(p, 0, 4, 8e9); err != nil {
+			return err
+		}
+		done = p.Now()
+		return nil
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := 2.0 + 10e-6 // 8 GB at 4 GB/s + global latency
+	if math.Abs(done-want) > 1e-6 {
+		t.Errorf("cross-group transfer at %v, want %v (global-link bound)", done, want)
+	}
+}
+
+func TestDragonflyGlobalLinkSharedByGroupTraffic(t *testing.T) {
+	// Two flows from different nodes of group 0 to different nodes of
+	// group 1: disjoint NICs, but both cross group 0's uplink and group
+	// 1's downlink -> each gets 2 GB/s.
+	env := sim.NewEnv()
+	fab, err := NewFabric(env, dragonflyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var t1, t2 float64
+	env.Go("f1", func(p *sim.Proc) error {
+		if err := fab.Transfer(p, 0, 4, 4e9); err != nil {
+			return err
+		}
+		t1 = p.Now()
+		return nil
+	})
+	env.Go("f2", func(p *sim.Proc) error {
+		if err := fab.Transfer(p, 1, 5, 4e9); err != nil {
+			return err
+		}
+		t2 = p.Now()
+		return nil
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := 2.0 + 10e-6 // 4 GB at 2 GB/s each
+	if math.Abs(t1-want) > 1e-6 || math.Abs(t2-want) > 1e-6 {
+		t.Errorf("shared-global completions = %v, %v; want %v each", t1, t2, want)
+	}
+}
+
+func TestDragonflyCrossVsIntraGroupContention(t *testing.T) {
+	// A cross-group flow does not consume the local links of unrelated
+	// intra-group traffic in another group.
+	env := sim.NewEnv()
+	fab, err := NewFabric(env, dragonflyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tCross, tLocal float64
+	env.Go("cross", func(p *sim.Proc) error {
+		if err := fab.Transfer(p, 0, 4, 4e9); err != nil {
+			return err
+		}
+		tCross = p.Now()
+		return nil
+	})
+	env.Go("local", func(p *sim.Proc) error {
+		if err := fab.Transfer(p, 5, 6, 8e9); err != nil {
+			return err
+		}
+		tLocal = p.Now()
+		return nil
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tCross-(1.0+10e-6)) > 1e-6 {
+		t.Errorf("cross-group flow at %v, want ~1.0 (4 GB at 4 GB/s)", tCross)
+	}
+	if math.Abs(tLocal-1.0) > 1e-6 {
+		t.Errorf("intra-group flow at %v, want 1.0 (unaffected)", tLocal)
+	}
+}

@@ -1,0 +1,333 @@
+// Package network models the cluster interconnect (Cray Aries on Cori) for
+// remote staging transfers. Each node has finite NIC injection (egress) and
+// ejection (ingress) bandwidth, each staging flow is additionally capped by
+// the effective per-flow throughput of the staging protocol, and concurrent
+// flows share the fabric with max-min fairness. The model is progress-based:
+// whenever a flow joins or completes, the remaining bytes of every active
+// flow are settled at the old rates and rates are recomputed, so emergent
+// sharing (e.g., two analyses pulling from the same producer node, the C1.4
+// pattern) comes out of the dynamics rather than a static formula.
+package network
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"ensemblekit/internal/sim"
+)
+
+// Config sets the fabric's capacities.
+type Config struct {
+	// Nodes is the number of endpoints.
+	Nodes int
+	// NICBandwidth is the per-node injection and ejection bandwidth in
+	// bytes/s.
+	NICBandwidth float64
+	// Latency is the protocol latency added to every transfer in seconds.
+	Latency float64
+	// PerFlowCap is the maximum throughput of a single flow in bytes/s
+	// (the effective staging protocol throughput); 0 means uncapped.
+	PerFlowCap float64
+	// NodeBandwidth optionally overrides the NIC bandwidth of individual
+	// endpoints (by index). Zero entries keep NICBandwidth. This lets a
+	// storage tier (burst buffer, parallel file system) be modeled as an
+	// extra endpoint with its own aggregate bandwidth.
+	NodeBandwidth []float64
+	// Topology optionally adds dragonfly group structure: inter-group
+	// flows additionally share per-group global links and pay extra
+	// latency. Nil keeps the flat all-to-all fabric.
+	Topology *Dragonfly
+}
+
+// bandwidthOf returns the capacity of endpoint i.
+func (c Config) bandwidthOf(i int) float64 {
+	if i < len(c.NodeBandwidth) && c.NodeBandwidth[i] > 0 {
+		return c.NodeBandwidth[i]
+	}
+	return c.NICBandwidth
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.Nodes <= 0:
+		return errors.New("network: Nodes must be positive")
+	case c.NICBandwidth <= 0:
+		return errors.New("network: NICBandwidth must be positive")
+	case c.Latency < 0:
+		return errors.New("network: Latency must be non-negative")
+	case c.PerFlowCap < 0:
+		return errors.New("network: PerFlowCap must be non-negative")
+	}
+	if c.Topology != nil {
+		if err := c.Topology.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Flow is an in-flight transfer.
+type flow struct {
+	src, dst  int
+	remaining float64 // bytes
+	rate      float64 // bytes/s under the current allocation
+	proc      *sim.Proc
+	done      bool
+}
+
+// Fabric is the interconnect model bound to a simulation environment.
+type Fabric struct {
+	env        *sim.Env
+	cfg        Config
+	flows      []*flow
+	lastSettle float64
+	cancelNext func()
+	// TotalBytes counts all bytes ever delivered (for reporting).
+	totalBytes float64
+}
+
+// NewFabric builds a fabric over the environment.
+func NewFabric(env *sim.Env, cfg Config) (*Fabric, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Fabric{env: env, cfg: cfg}, nil
+}
+
+// ActiveFlows returns the number of in-flight transfers.
+func (f *Fabric) ActiveFlows() int { return len(f.flows) }
+
+// TotalBytes returns the cumulative bytes delivered.
+func (f *Fabric) TotalBytes() float64 { return f.totalBytes }
+
+// Transfer moves bytes from node src to node dst, blocking the calling
+// process until the transfer (including protocol latency) completes.
+// Transfers between a node and itself are rejected: local staging copies
+// are intra-node memory operations and are priced by the cluster model.
+func (f *Fabric) Transfer(p *sim.Proc, src, dst int, bytes int64) error {
+	if src == dst {
+		return fmt.Errorf("network: transfer from node %d to itself (use a local copy)", src)
+	}
+	if src < 0 || src >= f.cfg.Nodes || dst < 0 || dst >= f.cfg.Nodes {
+		return fmt.Errorf("network: endpoints %d->%d out of range [0,%d)", src, dst, f.cfg.Nodes)
+	}
+	if bytes < 0 {
+		return fmt.Errorf("network: negative transfer size %d", bytes)
+	}
+	latency := f.cfg.Latency
+	if t := f.cfg.Topology; t != nil && t.groupOf(src) != t.groupOf(dst) {
+		latency += t.GlobalLatency
+	}
+	if latency > 0 {
+		if err := p.Wait(latency); err != nil {
+			return err
+		}
+	}
+	if bytes == 0 {
+		return nil
+	}
+	fl := &flow{src: src, dst: dst, remaining: float64(bytes), proc: p}
+	f.settle()
+	f.flows = append(f.flows, fl)
+	f.reallocate()
+	// Block until the completion callback wakes us.
+	err := f.block(p, fl)
+	if err != nil {
+		// Interrupted: remove the flow and re-balance survivors.
+		f.settle()
+		f.remove(fl)
+		f.reallocate()
+		return err
+	}
+	return nil
+}
+
+// block parks the process until its flow completes. If the process is
+// interrupted, marking the flow done prevents a later spurious Unpark from
+// the completion path.
+func (f *Fabric) block(p *sim.Proc, fl *flow) error {
+	return p.Park(func() { fl.done = true })
+}
+
+// settle charges elapsed time against every active flow at current rates.
+func (f *Fabric) settle() {
+	dt := f.env.Now() - f.lastSettle
+	f.lastSettle = f.env.Now()
+	if dt <= 0 {
+		return
+	}
+	for _, fl := range f.flows {
+		progress := fl.rate * dt
+		if progress > fl.remaining {
+			progress = fl.remaining
+		}
+		fl.remaining -= progress
+		f.totalBytes += progress
+	}
+}
+
+// remove deletes a flow from the active set.
+func (f *Fabric) remove(fl *flow) {
+	for i, q := range f.flows {
+		if q == fl {
+			f.flows = append(f.flows[:i], f.flows[i+1:]...)
+			return
+		}
+	}
+}
+
+// reallocate recomputes max-min fair rates and schedules the next
+// completion event.
+func (f *Fabric) reallocate() {
+	if f.cancelNext != nil {
+		f.cancelNext()
+		f.cancelNext = nil
+	}
+	if len(f.flows) == 0 {
+		return
+	}
+	f.assignRates()
+	// Earliest completion among active flows.
+	next := math.Inf(1)
+	for _, fl := range f.flows {
+		if fl.rate <= 0 {
+			continue
+		}
+		t := fl.remaining / fl.rate
+		if t < next {
+			next = t
+		}
+	}
+	if math.IsInf(next, 1) {
+		return
+	}
+	at := f.env.Now() + next
+	f.cancelNext = f.env.AtCancelable(at, f.onEvent)
+}
+
+// onEvent fires at the earliest projected completion: settle progress,
+// complete exhausted flows, and re-balance the rest.
+func (f *Fabric) onEvent() {
+	f.cancelNext = nil
+	f.settle()
+	// A flow completes when its residual is sub-byte, or would drain in
+	// less time than the clock can resolve (guarding against an infinite
+	// reschedule loop when now+dt rounds back to now).
+	const epsBytes = 1e-3
+	const epsTime = 1e-9
+	var live []*flow
+	for _, fl := range f.flows {
+		if fl.remaining <= epsBytes || (fl.rate > 0 && fl.remaining/fl.rate <= epsTime) {
+			f.totalBytes += fl.remaining
+			fl.remaining = 0
+			if !fl.done {
+				fl.done = true
+				fl.proc.Unpark()
+			}
+		} else {
+			live = append(live, fl)
+		}
+	}
+	f.flows = live
+	f.reallocate()
+}
+
+// assignRates computes a max-min fair allocation subject to per-node
+// egress/ingress capacities, per-group global-link capacities (when a
+// dragonfly topology is configured), and the per-flow cap, using
+// progressive water-filling over a generic link-constraint set.
+func (f *Fabric) assignRates() {
+	// Link layout: [0,N) egress, [N,2N) ingress, then per-group global
+	// uplinks and downlinks when a topology is configured.
+	n := f.cfg.Nodes
+	nLinks := 2 * n
+	groups := 0
+	if f.cfg.Topology != nil {
+		groups = f.cfg.Topology.groups(n)
+		nLinks += 2 * groups
+	}
+	rem := make([]float64, nLinks)
+	count := make([]int, nLinks)
+	for i := 0; i < n; i++ {
+		rem[i] = f.cfg.bandwidthOf(i)   // egress
+		rem[n+i] = f.cfg.bandwidthOf(i) // ingress
+	}
+	for g := 0; g < groups; g++ {
+		rem[2*n+g] = f.cfg.Topology.GlobalBandwidth        // uplink of group g
+		rem[2*n+groups+g] = f.cfg.Topology.GlobalBandwidth // downlink of group g
+	}
+
+	// Per-flow constraint lists.
+	linksOf := func(fl *flow) []int {
+		links := []int{fl.src, n + fl.dst}
+		if t := f.cfg.Topology; t != nil {
+			gs, gd := t.groupOf(fl.src), t.groupOf(fl.dst)
+			if gs != gd {
+				links = append(links, 2*n+gs, 2*n+groups+gd)
+			}
+		}
+		return links
+	}
+	unfixed := make([]*flow, len(f.flows))
+	copy(unfixed, f.flows)
+	flowLinks := make(map[*flow][]int, len(unfixed))
+	for _, fl := range unfixed {
+		ls := linksOf(fl)
+		flowLinks[fl] = ls
+		for _, l := range ls {
+			count[l]++
+		}
+	}
+	for len(unfixed) > 0 {
+		// Bottleneck fair share across all constrained links.
+		share := math.Inf(1)
+		for l := 0; l < nLinks; l++ {
+			if count[l] > 0 {
+				if s := rem[l] / float64(count[l]); s < share {
+					share = s
+				}
+			}
+		}
+		if f.cfg.PerFlowCap > 0 && f.cfg.PerFlowCap <= share {
+			// The protocol cap binds before any link: every remaining flow
+			// gets the cap.
+			for _, fl := range unfixed {
+				fl.rate = f.cfg.PerFlowCap
+			}
+			return
+		}
+		// Fix flows crossing a bottleneck link at the fair share,
+		// iterating in stable flow order for determinism.
+		fixedAny := false
+		var rest []*flow
+		for _, fl := range unfixed {
+			bottlenecked := false
+			for _, l := range flowLinks[fl] {
+				if rem[l]/float64(count[l]) <= share+1e-9 {
+					bottlenecked = true
+					break
+				}
+			}
+			if bottlenecked {
+				fl.rate = share
+				for _, l := range flowLinks[fl] {
+					rem[l] -= share
+					count[l]--
+				}
+				fixedAny = true
+			} else {
+				rest = append(rest, fl)
+			}
+		}
+		unfixed = rest
+		if !fixedAny {
+			// Defensive: should not happen; avoid an infinite loop.
+			for _, fl := range unfixed {
+				fl.rate = share
+			}
+			return
+		}
+	}
+}

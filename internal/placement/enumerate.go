@@ -1,0 +1,106 @@
+package placement
+
+import (
+	"fmt"
+
+	"ensemblekit/internal/cluster"
+)
+
+// Shape describes the structure of an ensemble whose placements are to be
+// enumerated: per member, how many cores the simulation and each analysis
+// use.
+type Shape struct {
+	// SimCores per member.
+	SimCores int
+	// AnalysisCores per analysis; the slice length is K.
+	AnalysisCores []int
+	// Members is the number of ensemble members (all with the same shape,
+	// as in the paper's experiments).
+	Members int
+}
+
+// Validate checks the shape.
+func (s Shape) Validate() error {
+	if s.Members <= 0 {
+		return fmt.Errorf("placement: shape needs positive members, got %d", s.Members)
+	}
+	if s.SimCores <= 0 {
+		return fmt.Errorf("placement: shape needs positive sim cores, got %d", s.SimCores)
+	}
+	if len(s.AnalysisCores) == 0 {
+		return fmt.Errorf("placement: shape needs at least one analysis")
+	}
+	for j, c := range s.AnalysisCores {
+		if c <= 0 {
+			return fmt.Errorf("placement: analysis %d has non-positive cores %d", j, c)
+		}
+	}
+	return nil
+}
+
+// Enumerate generates every valid single-node-per-component placement of
+// the shape onto at most maxNodes nodes of the spec, deduplicated up to
+// node relabeling. The result is deterministic (lexicographic assignment
+// order).
+//
+// The search space is (maxNodes)^(components); callers should keep member
+// and node counts small (the paper's experiments use 2 members and at most
+// 3 nodes, well within range).
+func Enumerate(spec cluster.Spec, shape Shape, maxNodes int) ([]Placement, error) {
+	if err := shape.Validate(); err != nil {
+		return nil, err
+	}
+	if maxNodes <= 0 || maxNodes > spec.Nodes {
+		maxNodes = spec.Nodes
+	}
+	componentsPerMember := 1 + len(shape.AnalysisCores)
+	total := shape.Members * componentsPerMember
+	assignment := make([]int, total)
+	var out []Placement
+	seen := make(map[string]bool)
+
+	var rec func(pos int)
+	rec = func(pos int) {
+		if pos == total {
+			p := shapeToPlacement(shape, assignment)
+			if p.Validate(spec) != nil {
+				return
+			}
+			key := p.Key()
+			if seen[key] {
+				return
+			}
+			seen[key] = true
+			c := p.Canonical()
+			c.Name = fmt.Sprintf("P%d", len(out)+1)
+			out = append(out, c)
+			return
+		}
+		for n := 0; n < maxNodes; n++ {
+			assignment[pos] = n
+			rec(pos + 1)
+		}
+	}
+	rec(0)
+	return out, nil
+}
+
+// shapeToPlacement materializes an assignment vector into a placement.
+func shapeToPlacement(shape Shape, assignment []int) Placement {
+	componentsPerMember := 1 + len(shape.AnalysisCores)
+	p := Placement{Members: make([]Member, shape.Members)}
+	for i := 0; i < shape.Members; i++ {
+		base := i * componentsPerMember
+		m := Member{
+			Simulation: Component{Nodes: []int{assignment[base]}, Cores: shape.SimCores},
+		}
+		for j, c := range shape.AnalysisCores {
+			m.Analyses = append(m.Analyses, Component{
+				Nodes: []int{assignment[base+1+j]},
+				Cores: c,
+			})
+		}
+		p.Members[i] = m
+	}
+	return p
+}

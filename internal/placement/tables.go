@@ -1,0 +1,119 @@
+package placement
+
+// This file encodes the paper's experimental configurations verbatim:
+// Table 2 (one analysis per simulation) and Table 4 (two analyses per
+// simulation). Every simulation uses 16 cores and every analysis 8 cores,
+// per Section 2.2 and the Section 3.4 heuristic.
+
+// Core counts of the paper's components.
+const (
+	// SimCores is the per-simulation core count (Section 2.2).
+	SimCores = 16
+	// AnalysisCores is the per-analysis core count chosen by the paper's
+	// heuristic (Section 3.4, Figure 7).
+	AnalysisCores = 8
+)
+
+// member1 builds a member with one analysis.
+func member1(simNode, anaNode int) Member {
+	return Member{
+		Simulation: Component{Nodes: []int{simNode}, Cores: SimCores},
+		Analyses:   []Component{{Nodes: []int{anaNode}, Cores: AnalysisCores}},
+	}
+}
+
+// member2 builds a member with two analyses.
+func member2(simNode, ana1Node, ana2Node int) Member {
+	return Member{
+		Simulation: Component{Nodes: []int{simNode}, Cores: SimCores},
+		Analyses: []Component{
+			{Nodes: []int{ana1Node}, Cores: AnalysisCores},
+			{Nodes: []int{ana2Node}, Cores: AnalysisCores},
+		},
+	}
+}
+
+// Cf is the co-location-free elementary configuration: one member with the
+// simulation and the analysis on separate nodes (Table 2).
+func Cf() Placement {
+	return Placement{Name: "C_f", Members: []Member{member1(0, 1)}}
+}
+
+// Cc is the co-located elementary configuration: one member with the
+// simulation and the analysis sharing a node (Table 2).
+func Cc() Placement {
+	return Placement{Name: "C_c", Members: []Member{member1(0, 0)}}
+}
+
+// C11 places the two analyses together and each simulation on a dedicated
+// node (Table 2, C1.1).
+func C11() Placement {
+	return Placement{Name: "C1.1", Members: []Member{member1(0, 2), member1(1, 2)}}
+}
+
+// C12 places the two simulations together and each analysis on a dedicated
+// node (Table 2, C1.2).
+func C12() Placement {
+	return Placement{Name: "C1.2", Members: []Member{member1(0, 1), member1(0, 2)}}
+}
+
+// C13 co-locates the first member's coupling and spreads the second
+// (Table 2, C1.3).
+func C13() Placement {
+	return Placement{Name: "C1.3", Members: []Member{member1(0, 0), member1(1, 2)}}
+}
+
+// C14 shares one node between the simulations and another between the
+// analyses (Table 2, C1.4).
+func C14() Placement {
+	return Placement{Name: "C1.4", Members: []Member{member1(0, 1), member1(0, 1)}}
+}
+
+// C15 co-locates each simulation with its own analysis (Table 2, C1.5) —
+// the configuration the paper finds best.
+func C15() Placement {
+	return Placement{Name: "C1.5", Members: []Member{member1(0, 0), member1(1, 1)}}
+}
+
+// ConfigsTable2 returns the seven configurations of Table 2 in paper
+// order.
+func ConfigsTable2() []Placement {
+	return []Placement{Cf(), Cc(), C11(), C12(), C13(), C14(), C15()}
+}
+
+// ConfigsTable2TwoMember returns only the two-member configurations
+// C1.1-C1.5 (the set used for Figure 8).
+func ConfigsTable2TwoMember() []Placement {
+	return []Placement{C11(), C12(), C13(), C14(), C15()}
+}
+
+// ConfigsTable4 returns the eight configurations of Table 4 (two members,
+// two analyses per simulation — the set used for Figure 9).
+func ConfigsTable4() []Placement {
+	return []Placement{
+		{Name: "C2.1", Members: []Member{member2(0, 2, 2), member2(1, 2, 2)}},
+		{Name: "C2.2", Members: []Member{member2(0, 1, 1), member2(0, 2, 2)}},
+		{Name: "C2.3", Members: []Member{member2(0, 1, 2), member2(0, 1, 2)}},
+		{Name: "C2.4", Members: []Member{member2(0, 0, 2), member2(1, 1, 2)}},
+		{Name: "C2.5", Members: []Member{member2(0, 1, 2), member2(1, 0, 2)}},
+		{Name: "C2.6", Members: []Member{member2(0, 1, 1), member2(0, 1, 1)}},
+		{Name: "C2.7", Members: []Member{member2(0, 0, 1), member2(1, 0, 1)}},
+		{Name: "C2.8", Members: []Member{member2(0, 0, 0), member2(1, 1, 1)}},
+	}
+}
+
+// ByName looks up a built-in configuration (Table 2 or Table 4) by its
+// paper name, e.g. "C1.5".
+func ByName(name string) (Placement, bool) {
+	for _, p := range ConfigsTable2() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	for _, p := range ConfigsTable4() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Placement{}, false
+}

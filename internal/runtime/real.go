@@ -1,0 +1,330 @@
+package runtime
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"ensemblekit/internal/chunk"
+	"ensemblekit/internal/dtl"
+	"ensemblekit/internal/kernels"
+	"ensemblekit/internal/placement"
+	"ensemblekit/internal/trace"
+)
+
+// RealOptions configures the real-execution backend: actual molecular
+// dynamics and eigenvalue analyses over the real in-memory staging area,
+// all on the local machine. Placement still matters for the indicator
+// arithmetic (node sets, CP, M) but carries no performance meaning
+// locally — that is what the simulated backend is for.
+type RealOptions struct {
+	// Steps is the number of in situ steps.
+	Steps int
+	// Stride is the number of MD steps per in situ step.
+	Stride int
+	// FramesPerChunk is the number of frames sampled (evenly) within each
+	// stride window and batched into one chunk — the paper's simulation
+	// "periodically sends in-memory generated frames". Default 1.
+	FramesPerChunk int
+	// LJ configures the molecular-dynamics engine (zero value:
+	// kernels.DefaultLJConfig).
+	LJ kernels.LJConfig
+	// Eigen configures the analysis kernel (zero value:
+	// kernels.DefaultEigenConfig).
+	Eigen kernels.EigenConfig
+	// MaxCores caps the worker goroutines per component (0: GOMAXPROCS).
+	MaxCores int
+	// Timeout bounds the whole execution (0: no bound).
+	Timeout time.Duration
+}
+
+func (o RealOptions) normalized() RealOptions {
+	if o.Steps <= 0 {
+		o.Steps = 5
+	}
+	if o.Stride <= 0 {
+		o.Stride = 20
+	}
+	if o.LJ == (kernels.LJConfig{}) {
+		o.LJ = kernels.DefaultLJConfig()
+	}
+	if o.Eigen == (kernels.EigenConfig{}) {
+		o.Eigen = kernels.DefaultEigenConfig()
+	}
+	if o.FramesPerChunk <= 0 {
+		o.FramesPerChunk = 1
+	}
+	if o.FramesPerChunk > o.Stride {
+		o.FramesPerChunk = o.Stride
+	}
+	if o.MaxCores <= 0 {
+		o.MaxCores = runtime.GOMAXPROCS(0)
+	}
+	return o
+}
+
+// RunReal executes the ensemble for real: one goroutine per component,
+// genuine LJ dynamics, genuine chunk serialization through the in-memory
+// DTL, genuine power-iteration analyses, wall-clock stage timings. The
+// returned trace has the same shape as the simulated backend's (hardware
+// counters are zero — documented behaviour: portable Go cannot read PMUs).
+func RunReal(p placement.Placement, opts RealOptions) (*trace.EnsembleTrace, error) {
+	opts = opts.normalized()
+	if len(p.Members) == 0 {
+		return nil, fmt.Errorf("runtime: placement %q has no members", p.Name)
+	}
+	for i, m := range p.Members {
+		if len(m.Analyses) == 0 {
+			return nil, fmt.Errorf("runtime: member %d has no analyses", i)
+		}
+	}
+	if err := opts.LJ.Validate(); err != nil {
+		return nil, err
+	}
+	if err := opts.Eigen.Validate(); err != nil {
+		return nil, err
+	}
+
+	ctx := context.Background()
+	cancel := context.CancelFunc(func() {})
+	if opts.Timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, opts.Timeout)
+	} else {
+		ctx, cancel = context.WithCancel(ctx)
+	}
+	defer cancel()
+
+	store := dtl.NewMem()
+	for i, m := range p.Members {
+		if err := store.Register(i, len(m.Analyses)); err != nil {
+			return nil, err
+		}
+	}
+
+	tr := &trace.EnsembleTrace{Backend: "real", Config: p.Name}
+	for i, m := range p.Members {
+		mt := &trace.MemberTrace{Index: i}
+		mt.Simulation = &trace.ComponentTrace{
+			Name: fmt.Sprintf("m%d.sim", i), Kind: trace.KindSimulation, Member: i,
+			Nodes: m.Simulation.NodeSet(), Cores: m.Simulation.Cores,
+		}
+		for j, a := range m.Analyses {
+			mt.Analyses = append(mt.Analyses, &trace.ComponentTrace{
+				Name: fmt.Sprintf("m%d.ana%d", i, j), Kind: trace.KindAnalysis,
+				Member: i, Analysis: j,
+				Nodes: a.NodeSet(), Cores: a.Cores,
+			})
+		}
+		tr.Members = append(tr.Members, mt)
+	}
+
+	epoch := time.Now()
+	since := func() float64 { return time.Since(epoch).Seconds() }
+	cores := func(want int) int {
+		if want > opts.MaxCores {
+			return opts.MaxCores
+		}
+		if want < 1 {
+			return 1
+		}
+		return want
+	}
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		cancel() // wind down every component
+	}
+
+	for i := range p.Members {
+		i := i
+		mt := tr.Members[i]
+		simCores := cores(p.Members[i].Simulation.Cores)
+
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ct := mt.Simulation
+			ct.Start = since()
+			defer func() {
+				mu.Lock()
+				ct.End = since()
+				mu.Unlock()
+			}()
+			cfg := opts.LJ
+			cfg.Seed += int64(i) // distinct trajectories per member
+			sim, err := kernels.NewLJSimulator(cfg)
+			if err != nil {
+				fail(fmt.Errorf("%s: %w", ct.Name, err))
+				return
+			}
+			for step := 0; step < opts.Steps; step++ {
+				rec := trace.StepRecord{Index: step}
+				// S: integrate one stride window, sampling frames evenly.
+				sStart := since()
+				frames := make([]chunk.Frame, 0, opts.FramesPerChunk)
+				per := opts.Stride / opts.FramesPerChunk
+				left := opts.Stride
+				var advErr error
+				for f := 0; f < opts.FramesPerChunk; f++ {
+					n := per
+					if f == opts.FramesPerChunk-1 {
+						n = left // absorb the remainder in the last window
+					}
+					var frame chunk.Frame
+					frame, advErr = sim.Advance(ctx, n, simCores)
+					if advErr != nil {
+						break
+					}
+					left -= n
+					frames = append(frames, frame)
+				}
+				if advErr != nil {
+					recordErr(&mu, ct, rec, advErr)
+					fail(fmt.Errorf("%s: %w", ct.Name, advErr))
+					return
+				}
+				rec.Stages = append(rec.Stages, trace.StageRecord{
+					Stage: trace.StageS, Start: sStart, Duration: since() - sStart,
+				})
+				// I^S: the no-buffering protocol.
+				isStart := since()
+				if err := store.AwaitWritable(ctx, i); err != nil {
+					recordErr(&mu, ct, rec, err)
+					fail(fmt.Errorf("%s: %w", ct.Name, err))
+					return
+				}
+				rec.Stages = append(rec.Stages, trace.StageRecord{
+					Stage: trace.StageIS, Start: isStart, Duration: since() - isStart,
+				})
+				// W: serialize and stage.
+				wStart := since()
+				ck := &chunk.Chunk{
+					ID:       chunk.ID{Member: i, Step: step},
+					Producer: ct.Name,
+					Frames:   frames,
+				}
+				data, err := ck.Encode()
+				if err == nil {
+					err = store.Put(ctx, ck.ID, data)
+				}
+				if err != nil {
+					recordErr(&mu, ct, rec, err)
+					fail(fmt.Errorf("%s: %w", ct.Name, err))
+					return
+				}
+				rec.Stages = append(rec.Stages, trace.StageRecord{
+					Stage: trace.StageW, Start: wStart, Duration: since() - wStart,
+					Counters: trace.Counters{Bytes: int64(len(data))},
+				})
+				mu.Lock()
+				ct.Steps = append(ct.Steps, rec)
+				mu.Unlock()
+			}
+		}()
+
+		for j := range p.Members[i].Analyses {
+			j := j
+			anaCores := cores(p.Members[i].Analyses[j].Cores)
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				ct := mt.Analyses[j]
+				analyzer, err := kernels.NewEigenAnalyzer(opts.Eigen)
+				if err != nil {
+					fail(fmt.Errorf("%s: %w", ct.Name, err))
+					return
+				}
+				// Lead-in: the component's timeline starts at its first
+				// available chunk.
+				if err := store.Await(ctx, chunk.ID{Member: i, Step: 0}); err != nil {
+					fail(fmt.Errorf("%s: %w", ct.Name, err))
+					return
+				}
+				ct.Start = since()
+				defer func() {
+					mu.Lock()
+					ct.End = since()
+					mu.Unlock()
+				}()
+				for step := 0; step < opts.Steps; step++ {
+					rec := trace.StepRecord{Index: step}
+					// R: fetch and deserialize.
+					rStart := since()
+					id := chunk.ID{Member: i, Step: step}
+					data, err := store.Get(ctx, id)
+					var ck *chunk.Chunk
+					if err == nil {
+						ck, err = chunk.Decode(data)
+					}
+					if err != nil {
+						recordErr(&mu, ct, rec, err)
+						fail(fmt.Errorf("%s: %w", ct.Name, err))
+						return
+					}
+					rec.Stages = append(rec.Stages, trace.StageRecord{
+						Stage: trace.StageR, Start: rStart, Duration: since() - rStart,
+						Counters: trace.Counters{Bytes: int64(len(data))},
+					})
+					// A: the eigenvalue collective variable.
+					aStart := since()
+					cv, err := analyzer.Analyze(ctx, ck.Frames, anaCores)
+					if err != nil {
+						recordErr(&mu, ct, rec, err)
+						fail(fmt.Errorf("%s: %w", ct.Name, err))
+						return
+					}
+					mu.Lock()
+					ct.Outputs = append(ct.Outputs, cv)
+					mu.Unlock()
+					rec.Stages = append(rec.Stages, trace.StageRecord{
+						Stage: trace.StageA, Start: aStart, Duration: since() - aStart,
+					})
+					// I^A: wait for the next chunk.
+					iaStart := since()
+					if step < opts.Steps-1 {
+						if err := store.Await(ctx, chunk.ID{Member: i, Step: step + 1}); err != nil {
+							recordErr(&mu, ct, rec, err)
+							fail(fmt.Errorf("%s: %w", ct.Name, err))
+							return
+						}
+					}
+					rec.Stages = append(rec.Stages, trace.StageRecord{
+						Stage: trace.StageIA, Start: iaStart, Duration: since() - iaStart,
+					})
+					mu.Lock()
+					ct.Steps = append(ct.Steps, rec)
+					mu.Unlock()
+				}
+			}()
+		}
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return tr, fmt.Errorf("runtime: real execution failed: %w", firstErr)
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, fmt.Errorf("runtime: produced invalid trace: %w", err)
+	}
+	return tr, nil
+}
+
+// recordErr stores a failed partial step in the component trace.
+func recordErr(mu *sync.Mutex, ct *trace.ComponentTrace, rec trace.StepRecord, err error) {
+	mu.Lock()
+	defer mu.Unlock()
+	ct.Err = err.Error()
+	if len(rec.Stages) > 0 {
+		ct.Steps = append(ct.Steps, rec)
+	}
+}

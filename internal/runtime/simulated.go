@@ -1,0 +1,456 @@
+package runtime
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"ensemblekit/internal/cluster"
+	"ensemblekit/internal/dtl"
+	"ensemblekit/internal/network"
+	"ensemblekit/internal/placement"
+	"ensemblekit/internal/sim"
+	"ensemblekit/internal/trace"
+)
+
+// Tier names accepted by SimOptions.
+const (
+	TierDimes       = "dimes"
+	TierBurstBuffer = "burstbuffer"
+	TierPFS         = "pfs"
+)
+
+// SimOptions configures the simulated backend.
+type SimOptions struct {
+	// Tier selects the DTL implementation: TierDimes (default),
+	// TierBurstBuffer, or TierPFS.
+	Tier string
+	// TierBandwidth is the aggregate bandwidth of the burst buffer or PFS
+	// endpoint in bytes/s (defaults: 20 GB/s burst buffer, 5 GB/s PFS).
+	TierBandwidth float64
+	// Jitter adds multiplicative noise to compute stages: each stage is
+	// scaled by 1 + Jitter*N(0,1), clamped. Zero means deterministic.
+	Jitter float64
+	// Seed drives the jitter (deterministic per seed).
+	Seed int64
+	// Model optionally overrides the performance model (nil uses
+	// cluster.NewModel of the spec).
+	Model *cluster.Model
+	// FailStagingAt injects a DTL failure on the n-th staging operation
+	// (1-based, counting all writes and reads); 0 disables injection.
+	FailStagingAt int
+	// StagingSlots is the staging buffer depth per member: the simulation
+	// may run up to StagingSlots chunks ahead of the slowest analysis.
+	// The paper assumes no buffering (1 slot, Section 3.1); larger values
+	// explore the relaxation the paper leaves to future work. Default 1.
+	StagingSlots int
+	// Topology optionally adds dragonfly group structure to the
+	// interconnect (nil keeps the flat fabric).
+	Topology *network.Dragonfly
+}
+
+func (o SimOptions) tier() string {
+	if o.Tier == "" {
+		return TierDimes
+	}
+	return o.Tier
+}
+
+// RunSimulated executes the ensemble on the simulated platform and returns
+// its trace. Component failures (e.g. injected staging errors) abort the
+// whole ensemble: sibling components are interrupted, the partial trace is
+// returned alongside the error.
+func RunSimulated(spec cluster.Spec, p placement.Placement, es EnsembleSpec, opts SimOptions) (*trace.EnsembleTrace, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if err := p.Validate(spec); err != nil {
+		return nil, err
+	}
+	if err := es.Validate(p); err != nil {
+		return nil, err
+	}
+
+	machine, err := cluster.NewMachine(spec)
+	if err != nil {
+		return nil, err
+	}
+	model := opts.Model
+	if model == nil {
+		model = cluster.NewModel(spec)
+	}
+
+	// Allocate every component on its node; reject multi-node components
+	// (the paper's experiments are single-node per component, and the
+	// contention model is node-local).
+	sims := make([]compAlloc, len(p.Members))
+	anas := make([][]compAlloc, len(p.Members))
+	singleNode := func(c placement.Component, label string) (int, error) {
+		ns := c.NodeSet()
+		if len(ns) != 1 {
+			return 0, fmt.Errorf("runtime: %s spans %d nodes; the simulated backend requires single-node components", label, len(ns))
+		}
+		return ns[0], nil
+	}
+	for i, m := range p.Members {
+		node, err := singleNode(m.Simulation, fmt.Sprintf("member %d simulation", i))
+		if err != nil {
+			return nil, err
+		}
+		t, err := machine.Allocate(fmt.Sprintf("m%d.sim", i), node, m.Simulation.Cores, es.Members[i].Sim)
+		if err != nil {
+			return nil, err
+		}
+		sims[i] = compAlloc{tenant: t, node: node}
+		anas[i] = make([]compAlloc, len(m.Analyses))
+		for j, a := range m.Analyses {
+			anode, err := singleNode(a, fmt.Sprintf("member %d analysis %d", i, j))
+			if err != nil {
+				return nil, err
+			}
+			at, err := machine.Allocate(fmt.Sprintf("m%d.ana%d", i, j), anode, a.Cores, es.Members[i].Analyses[j])
+			if err != nil {
+				return nil, err
+			}
+			anas[i][j] = compAlloc{tenant: at, node: anode}
+		}
+	}
+	// DIMES keeps staged data in the producer's node memory, so remote
+	// readers perturb the producer node and the staged chunks (double
+	// buffered: the slot being read plus the one being written, times the
+	// configured slot depth) must fit in the producer's DRAM. Intermediate
+	// tiers (burst buffer, PFS) hold the data off-node: neither applies.
+	if opts.tier() == TierDimes {
+		slots := opts.StagingSlots
+		if slots <= 0 {
+			slots = 1
+		}
+		for i, m := range p.Members {
+			for _, a := range m.Analyses {
+				if a.NodeSet()[0] != sims[i].node {
+					sims[i].tenant.RemoteReaders++
+				}
+			}
+			reserve := es.Members[i].Sim.BytesPerStep * int64(slots+1)
+			if err := machine.ReserveStaging(sims[i].tenant.ID, reserve); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Simulation environment, fabric, and DTL tier.
+	env := sim.NewEnv()
+	var tier dtl.Tier
+	switch opts.tier() {
+	case TierDimes:
+		fab, err := network.NewFabric(env, network.Config{
+			Nodes:        spec.Nodes,
+			NICBandwidth: spec.NICBandwidth,
+			Latency:      spec.NICLatency,
+			PerFlowCap:   model.RemoteStageBW,
+			Topology:     opts.Topology,
+		})
+		if err != nil {
+			return nil, err
+		}
+		tier = dtl.NewDimes(model, fab)
+	case TierBurstBuffer:
+		bw := opts.TierBandwidth
+		if bw <= 0 {
+			bw = 6e9 // aggregate SSD-tier throughput
+		}
+		cfg := dtl.BurstBufferFabricConfig(spec, bw)
+		cfg.Latency = 1e-3 // device + software-stack latency
+		fab, err := network.NewFabric(env, cfg)
+		if err != nil {
+			return nil, err
+		}
+		tier = dtl.NewBurstBuffer(model, fab, spec.Nodes)
+	case TierPFS:
+		bw := opts.TierBandwidth
+		if bw <= 0 {
+			bw = 2e9 // effective per-job share of the shared file system
+		}
+		fab, err := network.NewFabric(env, dtl.PFSFabricConfig(spec, bw))
+		if err != nil {
+			return nil, err
+		}
+		tier = dtl.NewPFS(model, fab, spec.Nodes, 0.01)
+	default:
+		return nil, fmt.Errorf("runtime: unknown DTL tier %q", opts.Tier)
+	}
+	if opts.FailStagingAt > 0 {
+		tier = &dtl.Flaky{Tier: tier, FailAt: opts.FailStagingAt}
+	}
+
+	// Pre-assess every component against its co-location context (static
+	// contention; the DES adds the emergent synchronization and staging
+	// dynamics on top).
+	assessSim := make([]cluster.Assessment, len(p.Members))
+	assessAna := make([][]cluster.Assessment, len(p.Members))
+	for i := range p.Members {
+		node, _ := machine.Node(sims[i].node)
+		a, err := model.Assess(node, sims[i].tenant)
+		if err != nil {
+			return nil, err
+		}
+		assessSim[i] = a
+		assessAna[i] = make([]cluster.Assessment, len(anas[i]))
+		for j := range anas[i] {
+			anode, _ := machine.Node(anas[i][j].node)
+			aa, err := model.Assess(anode, anas[i][j].tenant)
+			if err != nil {
+				return nil, err
+			}
+			assessAna[i][j] = aa
+		}
+	}
+
+	// Trace skeleton.
+	tr := &trace.EnsembleTrace{Backend: "simulated", Config: p.Name}
+	for i := range p.Members {
+		mt := &trace.MemberTrace{Index: i}
+		mt.Simulation = &trace.ComponentTrace{
+			Name: sims[i].tenant.ID, Kind: trace.KindSimulation, Member: i,
+			Nodes: []int{sims[i].node}, Cores: sims[i].tenant.Cores,
+		}
+		for j := range anas[i] {
+			mt.Analyses = append(mt.Analyses, &trace.ComponentTrace{
+				Name: anas[i][j].tenant.ID, Kind: trace.KindAnalysis, Member: i, Analysis: j,
+				Nodes: []int{anas[i][j].node}, Cores: anas[i][j].tenant.Cores,
+			})
+		}
+		tr.Members = append(tr.Members, mt)
+	}
+
+	run := &simRun{
+		env:   env,
+		tier:  tier,
+		model: model,
+		spec:  spec,
+		es:    es,
+		opts:  opts,
+	}
+	// Launch all processes; they all start at t=0 (the paper's concurrent
+	// members starting simultaneously).
+	for i := range p.Members {
+		run.launchMember(i, sims[i], anas[i], assessSim[i], assessAna[i], tr.Members[i])
+	}
+	runErr := env.Run()
+	// A component failure interrupts siblings, so the run drains cleanly;
+	// any deadlock or panic is a runtime bug surfaced to the caller.
+	if runErr != nil {
+		return tr, fmt.Errorf("runtime: simulation engine: %w", runErr)
+	}
+	if run.failure != nil {
+		return tr, fmt.Errorf("runtime: component failed: %w", run.failure)
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, fmt.Errorf("runtime: produced invalid trace: %w", err)
+	}
+	return tr, nil
+}
+
+// simRun carries the shared state of one simulated execution.
+type simRun struct {
+	env     *sim.Env
+	tier    dtl.Tier
+	model   *cluster.Model
+	spec    cluster.Spec
+	es      EnsembleSpec
+	opts    SimOptions
+	procs   []*sim.Proc
+	failure error
+}
+
+// fail records the first component failure and interrupts every other
+// process so the run winds down instead of deadlocking.
+func (r *simRun) fail(err error) {
+	if r.failure == nil {
+		r.failure = err
+	}
+	for _, p := range r.procs {
+		if !p.Done() {
+			p.Interrupt("sibling component failed")
+		}
+	}
+}
+
+// jitterFn returns a per-component noise source. With zero jitter it
+// always returns 1.
+func (r *simRun) jitterFn(componentIndex int64) func() float64 {
+	if r.opts.Jitter <= 0 {
+		return func() float64 { return 1 }
+	}
+	rng := rand.New(rand.NewSource(r.opts.Seed*7919 + componentIndex))
+	j := r.opts.Jitter
+	lo := 1 - 3*j
+	if lo < 0.5 {
+		lo = 0.5
+	}
+	hi := 1 + 3*j
+	return func() float64 {
+		f := 1 + j*rng.NormFloat64()
+		if f < lo {
+			f = lo
+		}
+		if f > hi {
+			f = hi
+		}
+		return f
+	}
+}
+
+// compAlloc pairs a component's machine tenant with its node index.
+type compAlloc struct {
+	tenant *cluster.Tenant
+	node   int
+}
+
+// launchMember starts the simulation process and the K analysis processes
+// of member i, wired together with the synchronous no-buffering protocol.
+func (r *simRun) launchMember(i int, simA compAlloc, anaA []compAlloc,
+	simAssess cluster.Assessment, anaAssess []cluster.Assessment, mt *trace.MemberTrace) {
+
+	k := len(anaA)
+	n := r.es.Steps
+	// writeTokens carries read-completion permits: the simulation needs K
+	// permits before each write; readers deposit one permit per completed
+	// read. Priming with K x slots lets the simulation run `slots` chunks
+	// ahead; slots = 1 is the paper's synchronous no-buffering protocol.
+	slots := r.opts.StagingSlots
+	if slots <= 0 {
+		slots = 1
+	}
+	writeTokens := sim.NewStore[struct{}](r.env, -1)
+	for t := 0; t < k*slots; t++ {
+		writeTokens.Offer(struct{}{})
+	}
+	// announce[j] tells analysis j that a chunk is staged.
+	announce := make([]*sim.Store[int], k)
+	for j := range announce {
+		announce[j] = sim.NewStore[int](r.env, -1)
+	}
+
+	bytes := r.es.Members[i].Sim.BytesPerStep
+	clock := r.spec.ClockHz
+
+	// Simulation process.
+	simTrace := mt.Simulation
+	simJitter := r.jitterFn(int64(i) * 131)
+	simProc := r.env.Go(simTrace.Name, func(p *sim.Proc) error {
+		simTrace.Start = p.Now()
+		defer func() { simTrace.End = p.Now() }()
+		for step := 0; step < n; step++ {
+			rec := trace.StepRecord{Index: step}
+			// S: compute.
+			sStart := p.Now()
+			sDur := simAssess.ComputeTime * simJitter()
+			if err := p.Wait(sDur); err != nil {
+				return r.abort(simTrace, err)
+			}
+			counters := r.model.ComputeCounters(simA.tenant, simAssess)
+			counters.Cycles = sDur * clock * float64(simA.tenant.Cores)
+			rec.Stages = append(rec.Stages, trace.StageRecord{
+				Stage: trace.StageS, Start: sStart, Duration: sDur, Counters: counters,
+			})
+			// I^S: wait for all K reads of the previous chunk.
+			isStart := p.Now()
+			for t := 0; t < k; t++ {
+				if _, err := writeTokens.Get(p); err != nil {
+					return r.abort(simTrace, err)
+				}
+			}
+			rec.Stages = append(rec.Stages, trace.StageRecord{
+				Stage: trace.StageIS, Start: isStart, Duration: p.Now() - isStart,
+			})
+			// W: stage the chunk out.
+			wStart := p.Now()
+			if err := r.tier.Write(p, simA.node, bytes); err != nil {
+				simTrace.Steps = append(simTrace.Steps, rec)
+				return r.abort(simTrace, err)
+			}
+			wDur := p.Now() - wStart
+			rec.Stages = append(rec.Stages, trace.StageRecord{
+				Stage: trace.StageW, Start: wStart, Duration: wDur,
+				Counters: r.model.IOCounters(simA.tenant, bytes, wDur),
+			})
+			simTrace.Steps = append(simTrace.Steps, rec)
+			for j := range announce {
+				announce[j].Offer(step)
+			}
+		}
+		return nil
+	})
+	r.procs = append(r.procs, simProc)
+
+	// Analysis processes.
+	for j := 0; j < k; j++ {
+		j := j
+		anaTrace := mt.Analyses[j]
+		alloc := anaA[j]
+		assess := anaAssess[j]
+		anaJitter := r.jitterFn(int64(i)*131 + int64(j) + 1)
+		proc := r.env.Go(anaTrace.Name, func(p *sim.Proc) error {
+			// Lead-in: wait for the first chunk; the component's own
+			// timeline starts at its first read.
+			if _, err := announce[j].Get(p); err != nil {
+				return r.abort(anaTrace, err)
+			}
+			anaTrace.Start = p.Now()
+			defer func() { anaTrace.End = p.Now() }()
+			for step := 0; step < n; step++ {
+				rec := trace.StepRecord{Index: step}
+				// R: stage the chunk in.
+				rStart := p.Now()
+				if err := r.tier.Read(p, simA.node, alloc.node, bytes); err != nil {
+					anaTrace.Steps = append(anaTrace.Steps, rec)
+					return r.abort(anaTrace, err)
+				}
+				rDur := p.Now() - rStart
+				rec.Stages = append(rec.Stages, trace.StageRecord{
+					Stage: trace.StageR, Start: rStart, Duration: rDur,
+					Counters: r.model.IOCounters(alloc.tenant, bytes, rDur),
+				})
+				// The data is consumed: permit the next write.
+				writeTokens.Offer(struct{}{})
+				// A: compute.
+				aStart := p.Now()
+				aDur := assess.ComputeTime * anaJitter()
+				if err := p.Wait(aDur); err != nil {
+					return r.abort(anaTrace, err)
+				}
+				counters := r.model.ComputeCounters(alloc.tenant, assess)
+				counters.Cycles = aDur * clock * float64(alloc.tenant.Cores)
+				rec.Stages = append(rec.Stages, trace.StageRecord{
+					Stage: trace.StageA, Start: aStart, Duration: aDur, Counters: counters,
+				})
+				// I^A: wait for the next chunk (zero on the final step).
+				iaStart := p.Now()
+				if step < n-1 {
+					if _, err := announce[j].Get(p); err != nil {
+						anaTrace.Steps = append(anaTrace.Steps, rec)
+						return r.abort(anaTrace, err)
+					}
+				}
+				rec.Stages = append(rec.Stages, trace.StageRecord{
+					Stage: trace.StageIA, Start: iaStart, Duration: p.Now() - iaStart,
+				})
+				anaTrace.Steps = append(anaTrace.Steps, rec)
+			}
+			return nil
+		})
+		r.procs = append(r.procs, proc)
+	}
+}
+
+// abort records a component failure in its trace. Interrupts (from a
+// sibling's failure) pass through quietly; primary failures trigger the
+// ensemble-wide wind-down.
+func (r *simRun) abort(ct *trace.ComponentTrace, err error) error {
+	ct.Err = err.Error()
+	if !errors.Is(err, sim.ErrInterrupted) {
+		r.fail(fmt.Errorf("%s: %w", ct.Name, err))
+	}
+	return nil
+}

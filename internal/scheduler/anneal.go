@@ -1,0 +1,135 @@
+package scheduler
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+
+	"ensemblekit/internal/cluster"
+	"ensemblekit/internal/runtime"
+)
+
+// AnnealOptions tunes the simulated-annealing search.
+type AnnealOptions struct {
+	// Iterations is the number of proposed moves (default 2000).
+	Iterations int
+	// InitialTemp scales the acceptance of uphill moves relative to the
+	// objective's magnitude (default 0.5: a move losing 50% of the
+	// current score is accepted with probability 1/e at the start).
+	InitialTemp float64
+	// Seed makes the search deterministic.
+	Seed int64
+}
+
+func (o AnnealOptions) normalized() AnnealOptions {
+	if o.Iterations <= 0 {
+		o.Iterations = 2000
+	}
+	if o.InitialTemp <= 0 {
+		o.InitialTemp = 0.5
+	}
+	return o
+}
+
+// Anneal searches placements by simulated annealing: random single-
+// component moves, accepted when improving or with Boltzmann probability
+// otherwise, under a geometric cooling schedule. It escapes the local
+// optima greedy hill-climbing can stall in, at the cost of more objective
+// evaluations.
+func Anneal(spec cluster.Spec, es runtime.EnsembleSpec, maxNodes int, obj Objective, opts AnnealOptions) (Result, error) {
+	opts = opts.normalized()
+	shape, err := shapeOf(es)
+	if err != nil {
+		return Result{}, err
+	}
+	if maxNodes <= 0 || maxNodes > spec.Nodes {
+		maxNodes = spec.Nodes
+	}
+	total := 0
+	for _, cores := range shape {
+		total += len(cores)
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	// Start from the greedy construction: under the variance-penalizing
+	// objective F, random starts strand the walk in basins that
+	// single-component moves cannot escape (improving one member at a
+	// time raises the stddev before it lowers it).
+	assignment, err := greedyConstruct(shape, maxNodes, spec.CoresPerNode)
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{Score: math.Inf(-1)}
+	evaluate := func(a []int) (float64, bool) {
+		p := materialize(shape, a)
+		if p.Validate(spec) != nil {
+			return 0, false
+		}
+		p.Name = "anneal-candidate"
+		s, err := obj(p)
+		if err != nil {
+			return 0, false
+		}
+		return s, true
+	}
+	cur, ok := evaluate(assignment)
+	res.Evaluated++
+	// If the round-robin start is infeasible, walk forward to a feasible
+	// random assignment.
+	for !ok {
+		if res.Evaluated > 200 {
+			return Result{}, errors.New("scheduler: annealing found no feasible start")
+		}
+		for i := range assignment {
+			assignment[i] = rng.Intn(maxNodes)
+		}
+		cur, ok = evaluate(assignment)
+		res.Evaluated++
+	}
+	best := append([]int(nil), assignment...)
+	bestScore := cur
+
+	temp := opts.InitialTemp * math.Abs(cur)
+	if temp == 0 {
+		temp = opts.InitialTemp
+	}
+	cooling := math.Pow(1e-3, 1/float64(opts.Iterations)) // end at 0.1% of start
+	for it := 0; it < opts.Iterations; it++ {
+		i := rng.Intn(total)
+		old := assignment[i]
+		move := rng.Intn(maxNodes)
+		if move == old {
+			temp *= cooling
+			continue
+		}
+		assignment[i] = move
+		score, ok := evaluate(assignment)
+		res.Evaluated++
+		accept := false
+		if ok {
+			if score >= cur {
+				accept = true
+			} else if temp > 0 && rng.Float64() < math.Exp((score-cur)/temp) {
+				accept = true
+			}
+		}
+		if accept {
+			cur = score
+			if cur > bestScore {
+				bestScore = cur
+				copy(best, assignment)
+			}
+		} else {
+			assignment[i] = old
+		}
+		temp *= cooling
+	}
+	// Polish the annealed optimum with deterministic hill climbing — the
+	// standard hybrid: annealing finds the basin, local search finds its
+	// bottom.
+	bestScore = hillClimb(best, maxNodes, bestScore, evaluate, &res.Evaluated)
+	res.Score = bestScore
+	res.Placement = materialize(shape, best)
+	res.Placement.Name = "anneal-best"
+	return res, nil
+}

@@ -1,0 +1,234 @@
+package scheduler
+
+import (
+	"math"
+	"testing"
+
+	"ensemblekit/internal/cluster"
+	"ensemblekit/internal/indicators"
+	"ensemblekit/internal/placement"
+	"ensemblekit/internal/runtime"
+)
+
+func paperSetup() (cluster.Spec, runtime.EnsembleSpec) {
+	spec := cluster.Cori(3)
+	es := runtime.PaperEnsemble("sched-test", 2, 1, 8)
+	return spec, es
+}
+
+func TestPredictSteadyStates(t *testing.T) {
+	spec, es := paperSetup()
+	model := cluster.NewModel(spec)
+	states, err := PredictSteadyStates(spec, model, es, placement.C15())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(states) != 2 {
+		t.Fatalf("states = %d", len(states))
+	}
+	for i, ss := range states {
+		if ss.S <= 0 || ss.W <= 0 || len(ss.Couplings) != 1 {
+			t.Errorf("member %d: malformed steady state %+v", i, ss)
+		}
+		// The calibrated C1.5 member satisfies Eq. 4.
+		if !ss.SatisfiesEq4() {
+			t.Errorf("member %d: C1.5 should satisfy Eq. 4", i)
+		}
+	}
+	// Co-located reads are cheaper: R(C1.5) < R(C_f).
+	cf, err := PredictSteadyStates(spec, model, es2members(placement.Cf(), es), placement.Cf())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if states[0].Couplings[0].R >= cf[0].Couplings[0].R {
+		t.Errorf("local read %v should beat remote read %v",
+			states[0].Couplings[0].R, cf[0].Couplings[0].R)
+	}
+}
+
+// es2members shapes the spec to the placement's member count.
+func es2members(p placement.Placement, es runtime.EnsembleSpec) runtime.EnsembleSpec {
+	return runtime.SpecForPlacement(p, es.Steps)
+}
+
+func TestAnalyticObjectiveRanksC15First(t *testing.T) {
+	spec, es := paperSetup()
+	obj := AnalyticObjective(spec, nil, es, indicators.StageUAP)
+	best, bestScore := "", math.Inf(-1)
+	for _, cfg := range placement.ConfigsTable2TwoMember() {
+		score, err := obj(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.Name, err)
+		}
+		if score > bestScore {
+			best, bestScore = cfg.Name, score
+		}
+	}
+	if best != "C1.5" {
+		t.Errorf("analytic objective picks %s, want C1.5", best)
+	}
+}
+
+func TestSimulatedObjectiveAgreesOnWinner(t *testing.T) {
+	spec, es := paperSetup()
+	obj := SimulatedObjective(spec, es, runtime.SimOptions{}, indicators.StageUAP)
+	c15, err := obj(placement.C15())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c14, err := obj(placement.C14())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c15 <= c14 {
+		t.Errorf("simulated objective: C1.5 (%v) should beat C1.4 (%v)", c15, c14)
+	}
+}
+
+func TestExhaustiveFindsFullCoLocation(t *testing.T) {
+	spec, es := paperSetup()
+	obj := AnalyticObjective(spec, nil, es, indicators.StageUAP)
+	res, err := Exhaustive(spec, es, 3, obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evaluated == 0 {
+		t.Fatal("nothing evaluated")
+	}
+	// The optimum of the paper's objective is the C1.5 pattern: each
+	// member fully co-located on its own node.
+	if res.Placement.Key() != placement.C15().Key() {
+		t.Errorf("exhaustive best = %s (score %v), want the C1.5 pattern",
+			res.Placement.String(), res.Score)
+	}
+	// Its score must match the direct evaluation of C1.5.
+	want, err := obj(placement.C15())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Score-want) > 1e-12 {
+		t.Errorf("score %v != direct C1.5 score %v", res.Score, want)
+	}
+}
+
+func TestGreedyMatchesExhaustiveOnPaperInstance(t *testing.T) {
+	spec, es := paperSetup()
+	obj := AnalyticObjective(spec, nil, es, indicators.StageUAP)
+	ex, err := Exhaustive(spec, es, 3, obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gr, err := GreedyLocalSearch(spec, es, 3, obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gr.Score < ex.Score-1e-12 {
+		t.Errorf("greedy score %v below exhaustive %v", gr.Score, ex.Score)
+	}
+	if gr.Evaluated >= ex.Evaluated {
+		t.Logf("note: greedy evaluated %d vs exhaustive %d (small instance)", gr.Evaluated, ex.Evaluated)
+	}
+}
+
+func TestGreedyScalesToLargerEnsembles(t *testing.T) {
+	spec := cluster.Cori(6)
+	es := runtime.PaperEnsemble("big", 4, 2, 6)
+	obj := AnalyticObjective(spec, nil, es, indicators.StageUAP)
+	res, err := GreedyLocalSearch(spec, es, 6, obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Placement.Validate(spec); err != nil {
+		t.Fatalf("greedy placement invalid: %v", err)
+	}
+	// Full co-location per member is feasible (16+8+8 = 32) and optimal;
+	// greedy should find every member co-located.
+	for i, m := range res.Placement.Members {
+		cp, err := indicators.CP(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cp != 1 {
+			t.Errorf("member %d not fully co-located (CP=%v) in %s", i, cp, res.Placement)
+		}
+	}
+}
+
+func TestEfficienciesErrors(t *testing.T) {
+	if _, err := Efficiencies(nil); err == nil {
+		t.Error("nil trace should fail")
+	}
+}
+
+func TestSearchValidation(t *testing.T) {
+	spec, _ := paperSetup()
+	obj := func(p placement.Placement) (float64, error) { return 0, nil }
+	if _, err := Exhaustive(spec, runtime.EnsembleSpec{}, 2, obj); err == nil {
+		t.Error("empty ensemble should fail")
+	}
+	if _, err := GreedyLocalSearch(spec, runtime.EnsembleSpec{}, 2, obj); err == nil {
+		t.Error("empty ensemble should fail")
+	}
+}
+
+func TestAnnealMatchesExhaustiveOnPaperInstance(t *testing.T) {
+	spec, es := paperSetup()
+	obj := AnalyticObjective(spec, nil, es, indicators.StageUAP)
+	ex, err := Exhaustive(spec, es, 3, obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := Anneal(spec, es, 3, obj, AnnealOptions{Iterations: 800, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if an.Score < ex.Score-1e-12 {
+		t.Errorf("annealing score %v below exhaustive optimum %v", an.Score, ex.Score)
+	}
+	if err := an.Placement.Validate(spec); err != nil {
+		t.Fatalf("annealed placement invalid: %v", err)
+	}
+}
+
+func TestAnnealDeterministicPerSeed(t *testing.T) {
+	spec, es := paperSetup()
+	obj := AnalyticObjective(spec, nil, es, indicators.StageUAP)
+	a, err := Anneal(spec, es, 3, obj, AnnealOptions{Iterations: 300, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Anneal(spec, es, 3, obj, AnnealOptions{Iterations: 300, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Score != b.Score {
+		t.Errorf("same seed diverges: %v vs %v", a.Score, b.Score)
+	}
+}
+
+func TestAnnealLargerInstance(t *testing.T) {
+	spec := cluster.Cori(6)
+	es := runtime.PaperEnsemble("anneal-big", 4, 2, 6)
+	obj := AnalyticObjective(spec, nil, es, indicators.StageUAP)
+	gr, err := GreedyLocalSearch(spec, es, 6, obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := Anneal(spec, es, 6, obj, AnnealOptions{Iterations: 3000, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Annealing should reach at least 95% of greedy's score on this
+	// instance (both typically find the co-located optimum).
+	if an.Score < 0.95*gr.Score {
+		t.Errorf("annealing %v too far below greedy %v", an.Score, gr.Score)
+	}
+}
+
+func TestAnnealValidation(t *testing.T) {
+	spec, _ := paperSetup()
+	obj := func(p placement.Placement) (float64, error) { return 0, nil }
+	if _, err := Anneal(spec, runtime.EnsembleSpec{}, 2, obj, AnnealOptions{}); err == nil {
+		t.Error("empty ensemble should fail")
+	}
+}

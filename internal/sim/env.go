@@ -1,0 +1,300 @@
+// Package sim implements a deterministic, process-oriented discrete-event
+// simulation engine. It plays the role the physical Cray XC40 testbed plays
+// in the paper: the ensemble runtime executes simulations and analyses as
+// sim processes over a virtual clock, and every hardware effect (compute
+// time, staging transfers, contention) is expressed as timed events.
+//
+// The engine is process-oriented in the style of SimPy: each simulated
+// activity is an ordinary Go function running in its own goroutine, blocked
+// and resumed by the environment so that exactly one process executes at a
+// time. Determinism is guaranteed by a single event queue ordered by
+// (time, insertion sequence).
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ErrInterrupted is wrapped into the error returned from a blocking
+// primitive when the waiting process is interrupted by another process.
+var ErrInterrupted = errors.New("sim: interrupted")
+
+// ErrDeadlock is returned by Run when no scheduled events remain but live
+// processes are still blocked on resources.
+var ErrDeadlock = errors.New("sim: deadlock")
+
+// ErrStopped is returned from blocking primitives when the environment has
+// been stopped while the process was blocked.
+var ErrStopped = errors.New("sim: environment stopped")
+
+type event struct {
+	t         float64
+	seq       int64
+	proc      *Proc // process to resume (nil for callback events)
+	err       error // error delivered to the resumed process
+	fn        func()
+	cancelled bool
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+func (h eventHeap) Peek() *event      { return h[0] }
+func (h eventHeap) isEmpty() bool     { return len(h) == 0 }
+func (h eventHeap) nextTime() float64 { return h[0].t }
+
+// Env is a discrete-event simulation environment. Create one with NewEnv,
+// register processes with Go, then call Run (or RunUntil). Env is not safe
+// for concurrent use from multiple user goroutines: all interaction must
+// happen either before Run or from within simulated processes/callbacks.
+type Env struct {
+	now     float64
+	queue   eventHeap
+	seq     int64
+	yieldCh chan struct{}
+	live    int // processes started and not yet finished
+	blocked []*Proc
+	fatal   error
+	running bool
+	stopped bool
+	// dispatched counts events delivered (for engine statistics).
+	dispatched int64
+}
+
+// Stats reports engine counters: events dispatched and processes started
+// minus finished (live).
+type Stats struct {
+	EventsDispatched int64
+	LiveProcesses    int
+}
+
+// Stats returns the engine's counters.
+func (e *Env) Stats() Stats {
+	return Stats{EventsDispatched: e.dispatched, LiveProcesses: e.live}
+}
+
+// NewEnv returns an environment with the clock at zero.
+func NewEnv() *Env {
+	return &Env{yieldCh: make(chan struct{})}
+}
+
+// Now returns the current simulated time in seconds.
+func (e *Env) Now() float64 { return e.now }
+
+// schedule inserts an event and returns it (so the caller may cancel it).
+func (e *Env) schedule(t float64, ev *event) *event {
+	if t < e.now {
+		t = e.now
+	}
+	ev.t = t
+	ev.seq = e.seq
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// At schedules fn to run at absolute simulated time t (clamped to now).
+// Callbacks run on the scheduler goroutine; they may schedule further events
+// and wake processes but must not block.
+func (e *Env) At(t float64, fn func()) {
+	e.schedule(t, &event{fn: fn})
+}
+
+// After schedules fn to run d seconds from now.
+func (e *Env) After(d float64, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	e.At(e.now+d, fn)
+}
+
+// AtCancelable schedules fn at absolute time t and returns a cancel
+// function. Cancelling after the callback has fired is a no-op.
+func (e *Env) AtCancelable(t float64, fn func()) (cancel func()) {
+	ev := e.schedule(t, &event{fn: fn})
+	return func() { ev.cancelled = true }
+}
+
+// Go starts a new simulated process executing fn. The process begins at the
+// current simulated time, after already-scheduled events at this time.
+// The returned Proc may be used to interrupt the process.
+func (e *Env) Go(name string, fn func(p *Proc) error) *Proc {
+	p := &Proc{env: e, name: name, resume: make(chan procResume)}
+	e.live++
+	go func() {
+		r := <-p.resume // wait for the scheduler to start us
+		if r.err == nil {
+			func() {
+				defer func() {
+					if rec := recover(); rec != nil {
+						p.env.fatal = fmt.Errorf("sim: process %q panicked: %v", p.name, rec)
+					}
+				}()
+				p.err = fn(p)
+			}()
+		} else {
+			p.err = r.err
+		}
+		p.done = true
+		e.live--
+		e.yieldCh <- struct{}{}
+	}()
+	e.schedule(e.now, &event{proc: p})
+	return p
+}
+
+// wake schedules p to resume at the current time with the given error.
+func (e *Env) wake(p *Proc, err error) {
+	e.schedule(e.now, &event{proc: p, err: err})
+}
+
+// step dispatches a single event. It reports whether an event was
+// dispatched.
+func (e *Env) step() bool {
+	for !e.queue.isEmpty() {
+		ev := heap.Pop(&e.queue).(*event)
+		if ev.cancelled {
+			continue
+		}
+		e.now = ev.t
+		e.dispatched++
+		if ev.fn != nil {
+			ev.fn()
+			return true
+		}
+		p := ev.proc
+		if p.done {
+			continue
+		}
+		p.blocking = nil
+		e.unblock(p)
+		p.resume <- procResume{err: ev.err}
+		<-e.yieldCh
+		return true
+	}
+	return false
+}
+
+func (e *Env) block(p *Proc) { e.blocked = append(e.blocked, p) }
+func (e *Env) unblock(p *Proc) {
+	for i, q := range e.blocked {
+		if q == p {
+			e.blocked = append(e.blocked[:i], e.blocked[i+1:]...)
+			return
+		}
+	}
+}
+
+// Run executes events until the queue drains. It returns nil on a clean
+// completion, ErrDeadlock (wrapped, with the names of blocked processes) if
+// live processes remain blocked with no pending events, or the panic error
+// if a process panicked.
+func (e *Env) Run() error {
+	return e.run(-1)
+}
+
+// RunUntil executes events with timestamps <= t, then stops. The clock is
+// left at the time of the last dispatched event (or t if nothing ran after
+// it). Deadlock is only reported if the queue drains before t.
+func (e *Env) RunUntil(t float64) error {
+	return e.run(t)
+}
+
+func (e *Env) run(until float64) error {
+	if e.running {
+		return errors.New("sim: Run called reentrantly")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for {
+		if e.fatal != nil {
+			e.drain()
+			return e.fatal
+		}
+		if e.queue.isEmpty() {
+			break
+		}
+		if until >= 0 && e.queue.nextTime() > until {
+			e.now = until
+			return nil
+		}
+		if !e.step() {
+			break
+		}
+	}
+	if e.fatal != nil {
+		e.drain()
+		return e.fatal
+	}
+	// Deadlock is only meaningful for an unbounded Run: a RunUntil caller
+	// may legitimately leave processes blocked and deliver input (or Stop)
+	// afterwards.
+	if until < 0 && e.live > 0 {
+		return fmt.Errorf("%w: %d process(es) blocked: %s", ErrDeadlock, e.live, e.blockedNames())
+	}
+	if until >= 0 && e.now < until {
+		e.now = until
+	}
+	return nil
+}
+
+// Stop aborts all blocked processes with ErrStopped and drains the event
+// queue. It is intended for tearing down a simulation after RunUntil.
+// Stop must be called from outside Run (i.e., not from a process).
+func (e *Env) Stop() {
+	e.stopped = true
+	// Cancel every pending event so no process resumes normally.
+	for _, ev := range e.queue {
+		ev.cancelled = true
+	}
+	// Wake blocked processes with ErrStopped, one at a time.
+	for len(e.blocked) > 0 {
+		p := e.blocked[0]
+		e.blocked = e.blocked[1:]
+		if p.done {
+			continue
+		}
+		if p.blocking != nil {
+			p.blocking()
+			p.blocking = nil
+		}
+		p.resume <- procResume{err: ErrStopped}
+		<-e.yieldCh
+	}
+	e.drain()
+}
+
+func (e *Env) drain() {
+	for !e.queue.isEmpty() {
+		heap.Pop(&e.queue)
+	}
+}
+
+func (e *Env) blockedNames() string {
+	names := make([]string, 0, len(e.blocked))
+	for _, p := range e.blocked {
+		names = append(names, p.name)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}

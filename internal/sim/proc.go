@@ -1,0 +1,117 @@
+package sim
+
+import "fmt"
+
+type procResume struct {
+	err error
+}
+
+// Proc is a handle to a simulated process. All blocking methods must be
+// called from within the process's own function; Interrupt may be called
+// from any process or callback.
+type Proc struct {
+	env    *Env
+	name   string
+	resume chan procResume
+	done   bool
+	err    error
+
+	// pending is the event scheduled to resume this process from a timed
+	// wait; it is cancelled on interrupt.
+	pending *event
+	// blocking, when non-nil, removes the process from whatever waiter
+	// queue it sits in (used by interrupts and Stop).
+	blocking func()
+}
+
+// Name returns the process name given to Env.Go.
+func (p *Proc) Name() string { return p.name }
+
+// Env returns the owning environment.
+func (p *Proc) Env() *Env { return p.env }
+
+// Now returns the current simulated time.
+func (p *Proc) Now() float64 { return p.env.now }
+
+// Done reports whether the process function has returned.
+func (p *Proc) Done() bool { return p.done }
+
+// Err returns the error the process function returned (valid once Done).
+func (p *Proc) Err() error { return p.err }
+
+// yield hands control back to the scheduler and blocks until resumed.
+// It returns the error delivered with the resume (nil for normal wakeups).
+func (p *Proc) yield() error {
+	p.env.yieldCh <- struct{}{}
+	r := <-p.resume
+	return r.err
+}
+
+// Wait suspends the process for d seconds of simulated time. Negative
+// durations are treated as zero. It returns a non-nil error if the process
+// was interrupted while waiting.
+func (p *Proc) Wait(d float64) error {
+	if d < 0 {
+		d = 0
+	}
+	return p.WaitUntil(p.env.now + d)
+}
+
+// WaitUntil suspends the process until absolute simulated time t
+// (clamped to now).
+func (p *Proc) WaitUntil(t float64) error {
+	ev := p.env.schedule(t, &event{proc: p})
+	p.pending = ev
+	p.env.block(p)
+	err := p.yield()
+	p.pending = nil
+	return err
+}
+
+// Interrupt wakes the target process with an error wrapping ErrInterrupted
+// and the given reason. If the target is not currently blocked (or already
+// done) the interrupt is a no-op. Interrupt must be called from another
+// process or a callback, never from the target itself.
+func (p *Proc) Interrupt(reason string) {
+	if p.done {
+		return
+	}
+	interrupted := false
+	if p.pending != nil {
+		p.pending.cancelled = true
+		p.pending = nil
+		interrupted = true
+	}
+	if p.blocking != nil {
+		p.blocking()
+		p.blocking = nil
+		interrupted = true
+	}
+	if !interrupted {
+		return
+	}
+	p.env.wake(p, fmt.Errorf("%w: %s", ErrInterrupted, reason))
+}
+
+// Park blocks the process until another party calls Unpark (from a
+// callback or another process). onCancel is invoked if the process is
+// interrupted or the environment is stopped while parked; it must make any
+// pending Unpark a no-op (e.g., by flagging the waiting record as dead) so
+// the process is not woken twice.
+func (p *Proc) Park(onCancel func()) error { return p.blockOn(onCancel) }
+
+// Unpark wakes a process parked with Park. Calling Unpark for a process
+// that is not parked corrupts the scheduler; callers must guard with their
+// own bookkeeping (see Park's onCancel contract).
+func (p *Proc) Unpark() { p.env.wake(p, nil) }
+
+// blockOn registers the process as blocked on an external waiter queue.
+// cancel must remove the process from that queue; it is invoked if the
+// process is interrupted or the environment is stopped.
+func (p *Proc) blockOn(cancel func()) error {
+	p.blocking = cancel
+	p.env.block(p)
+	err := p.yield()
+	p.blocking = nil
+	return err
+}

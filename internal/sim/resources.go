@@ -1,0 +1,136 @@
+package sim
+
+import "fmt"
+
+// Semaphore is a counted resource with FIFO granting. It models pools such
+// as cores on a node or slots in a staging area.
+type Semaphore struct {
+	env      *Env
+	capacity int
+	inUse    int
+	waiters  []*semWaiter
+}
+
+type semWaiter struct {
+	proc *Proc
+	n    int
+}
+
+// NewSemaphore returns a semaphore with the given capacity (must be > 0).
+func NewSemaphore(env *Env, capacity int) *Semaphore {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("sim: semaphore capacity must be positive, got %d", capacity))
+	}
+	return &Semaphore{env: env, capacity: capacity}
+}
+
+// Capacity returns the total capacity.
+func (s *Semaphore) Capacity() int { return s.capacity }
+
+// InUse returns the number of currently held units.
+func (s *Semaphore) InUse() int { return s.inUse }
+
+// Acquire blocks p until n units are available, then takes them.
+// Requests larger than the capacity fail immediately.
+func (s *Semaphore) Acquire(p *Proc, n int) error {
+	if n <= 0 {
+		return nil
+	}
+	if n > s.capacity {
+		return fmt.Errorf("sim: acquire %d exceeds semaphore capacity %d", n, s.capacity)
+	}
+	if len(s.waiters) == 0 && s.inUse+n <= s.capacity {
+		s.inUse += n
+		return nil
+	}
+	w := &semWaiter{proc: p, n: n}
+	s.waiters = append(s.waiters, w)
+	err := p.blockOn(func() { s.removeWaiter(w) })
+	if err != nil {
+		return err
+	}
+	return nil
+}
+
+// Release returns n units to the semaphore and grants queued waiters in
+// FIFO order while they fit.
+func (s *Semaphore) Release(n int) {
+	if n <= 0 {
+		return
+	}
+	s.inUse -= n
+	if s.inUse < 0 {
+		panic("sim: semaphore over-released")
+	}
+	s.grant()
+}
+
+func (s *Semaphore) grant() {
+	for len(s.waiters) > 0 {
+		w := s.waiters[0]
+		if s.inUse+w.n > s.capacity {
+			return // strict FIFO: do not skip over the head waiter
+		}
+		s.waiters = s.waiters[1:]
+		s.inUse += w.n
+		s.env.wake(w.proc, nil)
+	}
+}
+
+func (s *Semaphore) removeWaiter(w *semWaiter) {
+	for i, q := range s.waiters {
+		if q == w {
+			s.waiters = append(s.waiters[:i], s.waiters[i+1:]...)
+			return
+		}
+	}
+}
+
+// Gate is a broadcast condition: processes wait until it is opened.
+// Opening wakes all current waiters; a gate may be closed and reopened.
+// It models barriers such as "all simulations start simultaneously".
+type Gate struct {
+	env     *Env
+	open    bool
+	waiters []*Proc
+}
+
+// NewGate returns a closed gate.
+func NewGate(env *Env) *Gate { return &Gate{env: env} }
+
+// IsOpen reports whether the gate is currently open.
+func (g *Gate) IsOpen() bool { return g.open }
+
+// Wait blocks p until the gate is open. If the gate is already open it
+// returns immediately.
+func (g *Gate) Wait(p *Proc) error {
+	if g.open {
+		return nil
+	}
+	g.waiters = append(g.waiters, p)
+	return p.blockOn(func() { g.removeWaiter(p) })
+}
+
+// Open opens the gate and wakes all waiters.
+func (g *Gate) Open() {
+	if g.open {
+		return
+	}
+	g.open = true
+	for _, p := range g.waiters {
+		g.env.wake(p, nil)
+	}
+	g.waiters = nil
+}
+
+// Close closes the gate so subsequent Wait calls block again.
+func (g *Gate) Close() { g.open = false }
+
+func (g *Gate) removeWaiter(p *Proc) {
+	for i, q := range g.waiters {
+		if q == p {
+			g.waiters = append(g.waiters[:i], g.waiters[i+1:]...)
+			return
+		}
+	}
+}

@@ -1,0 +1,155 @@
+package sim
+
+import "fmt"
+
+// Store is a FIFO buffer of items with an optional capacity, analogous to a
+// Go channel inside the simulation. A capacity of zero yields rendezvous
+// semantics: Put blocks until a Get is waiting and vice versa. This is the
+// primitive behind the paper's synchronous, no-buffering staging protocol
+// (W_i happens-before R_i happens-before W_{i+1}).
+type Store[T any] struct {
+	env      *Env
+	capacity int // < 0 means unbounded
+	items    []T
+	getters  []*getWaiter[T]
+	putters  []*putWaiter[T]
+}
+
+type getWaiter[T any] struct {
+	proc  *Proc
+	value T
+}
+
+type putWaiter[T any] struct {
+	proc  *Proc
+	value T
+}
+
+// NewStore returns a store with the given capacity. capacity == 0 gives a
+// rendezvous store; capacity < 0 gives an unbounded store.
+func NewStore[T any](env *Env, capacity int) *Store[T] {
+	return &Store[T]{env: env, capacity: capacity}
+}
+
+// Len returns the number of buffered items.
+func (s *Store[T]) Len() int { return len(s.items) }
+
+// Put delivers v into the store, blocking p while the store is full
+// (or, for a rendezvous store, until a getter arrives).
+func (s *Store[T]) Put(p *Proc, v T) error {
+	// Direct handoff to a waiting getter keeps FIFO ordering: a getter only
+	// waits when the buffer is empty, so handing to the oldest getter
+	// preserves arrival order.
+	if len(s.getters) > 0 {
+		g := s.getters[0]
+		s.getters = s.getters[1:]
+		g.value = v
+		s.env.wake(g.proc, nil)
+		return nil
+	}
+	if s.capacity < 0 || len(s.items) < s.capacity {
+		s.items = append(s.items, v)
+		return nil
+	}
+	w := &putWaiter[T]{proc: p, value: v}
+	s.putters = append(s.putters, w)
+	return p.blockOn(func() { s.removePutter(w) })
+}
+
+// Get removes and returns the oldest item, blocking p while the store is
+// empty and no putter is waiting.
+func (s *Store[T]) Get(p *Proc) (T, error) {
+	if len(s.items) > 0 {
+		v := s.items[0]
+		s.items = s.items[1:]
+		s.admitPutter()
+		return v, nil
+	}
+	if len(s.putters) > 0 {
+		// Rendezvous (capacity 0): take directly from the oldest putter.
+		w := s.putters[0]
+		s.putters = s.putters[1:]
+		s.env.wake(w.proc, nil)
+		return w.value, nil
+	}
+	g := &getWaiter[T]{proc: p}
+	s.getters = append(s.getters, g)
+	if err := p.blockOn(func() { s.removeGetter(g) }); err != nil {
+		var zero T
+		return zero, err
+	}
+	return g.value, nil
+}
+
+// Offer delivers v without blocking: directly to a waiting getter if any,
+// otherwise into free buffer space. It reports whether the item was
+// accepted (false when a bounded store is full and nobody is waiting).
+// Unlike Put it needs no process, so schedulers and callbacks can use it.
+func (s *Store[T]) Offer(v T) bool {
+	if len(s.getters) > 0 {
+		g := s.getters[0]
+		s.getters = s.getters[1:]
+		g.value = v
+		s.env.wake(g.proc, nil)
+		return true
+	}
+	if s.capacity < 0 || len(s.items) < s.capacity {
+		s.items = append(s.items, v)
+		return true
+	}
+	return false
+}
+
+// TryGet removes and returns the oldest item without blocking. The boolean
+// reports whether an item was available.
+func (s *Store[T]) TryGet() (T, bool) {
+	if len(s.items) > 0 {
+		v := s.items[0]
+		s.items = s.items[1:]
+		s.admitPutter()
+		return v, true
+	}
+	var zero T
+	return zero, false
+}
+
+// admitPutter moves a blocked putter's item into freed buffer space.
+func (s *Store[T]) admitPutter() {
+	if len(s.putters) == 0 {
+		return
+	}
+	if s.capacity == 0 {
+		return // rendezvous: putters are only released by a direct Get
+	}
+	if s.capacity > 0 && len(s.items) >= s.capacity {
+		return
+	}
+	w := s.putters[0]
+	s.putters = s.putters[1:]
+	s.items = append(s.items, w.value)
+	s.env.wake(w.proc, nil)
+}
+
+func (s *Store[T]) removeGetter(g *getWaiter[T]) {
+	for i, q := range s.getters {
+		if q == g {
+			s.getters = append(s.getters[:i], s.getters[i+1:]...)
+			return
+		}
+	}
+}
+
+func (s *Store[T]) removePutter(w *putWaiter[T]) {
+	for i, q := range s.putters {
+		if q == w {
+			s.putters = append(s.putters[:i], s.putters[i+1:]...)
+			return
+		}
+	}
+}
+
+// String describes the store state for debugging.
+func (s *Store[T]) String() string {
+	return fmt.Sprintf("Store{items=%d getters=%d putters=%d cap=%d}",
+		len(s.items), len(s.getters), len(s.putters), s.capacity)
+}

@@ -1,0 +1,187 @@
+// Package stats provides the descriptive statistics used by the efficiency
+// model and the performance indicators: means, population standard
+// deviations (the paper's Equation 9 uses the population form), percentiles,
+// and streaming accumulation via Welford's algorithm.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or NaN for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs
+// (sqrt of the mean squared deviation), or NaN for an empty slice.
+// The paper's objective function F (Equation 9) subtracts this quantity
+// from the mean, so the population form (divide by N) is used throughout.
+func StdDev(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	ss := 0.0
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)))
+}
+
+// Variance returns the population variance of xs, or NaN for an empty slice.
+func Variance(xs []float64) float64 {
+	s := StdDev(xs)
+	return s * s
+}
+
+// Min returns the smallest element of xs, or NaN for an empty slice.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest element of xs, or NaN for an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Sum returns the sum of xs (0 for an empty slice).
+func Sum(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of xs using linear
+// interpolation between closest ranks. It returns NaN for an empty slice.
+// The input is not modified.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 || math.IsNaN(p) {
+		return math.NaN()
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Median returns the 50th percentile of xs.
+func Median(xs []float64) float64 { return Percentile(xs, 50) }
+
+// Welford accumulates a stream of observations and reports count, mean and
+// population standard deviation without storing the samples.
+// The zero value is ready to use.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add incorporates one observation.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the number of observations added so far.
+func (w *Welford) N() int { return w.n }
+
+// Mean returns the running mean, or NaN if no observations were added.
+func (w *Welford) Mean() float64 {
+	if w.n == 0 {
+		return math.NaN()
+	}
+	return w.mean
+}
+
+// StdDev returns the running population standard deviation,
+// or NaN if no observations were added.
+func (w *Welford) StdDev() float64 {
+	if w.n == 0 {
+		return math.NaN()
+	}
+	return math.Sqrt(w.m2 / float64(w.n))
+}
+
+// Summary holds the descriptive statistics of a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64
+	Min    float64
+	Max    float64
+	Median float64
+}
+
+// Summarize computes a Summary of xs. All fields are NaN (N=0) when xs is
+// empty.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		nan := math.NaN()
+		return Summary{N: 0, Mean: nan, StdDev: nan, Min: nan, Max: nan, Median: nan}
+	}
+	return Summary{
+		N:      len(xs),
+		Mean:   Mean(xs),
+		StdDev: StdDev(xs),
+		Min:    Min(xs),
+		Max:    Max(xs),
+		Median: Median(xs),
+	}
+}
+
+// MeanMinusStd returns mean(xs) - stddev(xs): the aggregation the paper's
+// objective function F applies to per-member performance indicators
+// (Equation 9). NaN for an empty slice.
+func MeanMinusStd(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	return Mean(xs) - StdDev(xs)
+}

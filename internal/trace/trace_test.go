@@ -1,0 +1,248 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// buildComponent creates a component trace with n steps, each consisting of
+// the given stages with fixed durations.
+func buildComponent(name string, kind Kind, start float64, n int, stages []Stage, durs []float64) *ComponentTrace {
+	c := &ComponentTrace{Name: name, Kind: kind, Cores: 8, Nodes: []int{0}, Start: start}
+	t := start
+	for i := 0; i < n; i++ {
+		step := StepRecord{Index: i}
+		for j, s := range stages {
+			rec := StageRecord{Stage: s, Start: t, Duration: durs[j]}
+			rec.Counters = Counters{Instructions: 100, Cycles: 200, LLCRefs: 10, LLCMisses: 2}
+			t += durs[j]
+			step.Stages = append(step.Stages, rec)
+		}
+		c.Steps = append(c.Steps, step)
+	}
+	c.End = t
+	return c
+}
+
+func sampleTrace() *EnsembleTrace {
+	sim := buildComponent("m0.sim", KindSimulation, 0, 3, SimulationStages(), []float64{10, 1, 0.5})
+	ana := buildComponent("m0.ana0", KindAnalysis, 0.5, 3, AnalysisStages(), []float64{0.5, 8, 2.5})
+	sim2 := buildComponent("m1.sim", KindSimulation, 0, 3, SimulationStages(), []float64{10, 0, 0.5})
+	ana2 := buildComponent("m1.ana0", KindAnalysis, 1.0, 3, AnalysisStages(), []float64{0.5, 9, 2.0})
+	return &EnsembleTrace{
+		Backend: "simulated",
+		Config:  "test",
+		Members: []*MemberTrace{
+			{Index: 0, Simulation: sim, Analyses: []*ComponentTrace{ana}},
+			{Index: 1, Simulation: sim2, Analyses: []*ComponentTrace{ana2}},
+		},
+	}
+}
+
+func TestStageString(t *testing.T) {
+	cases := map[Stage]string{
+		StageS: "S", StageIS: "I^S", StageW: "W",
+		StageR: "R", StageA: "A", StageIA: "I^A",
+	}
+	for s, want := range cases {
+		if got := s.String(); got != want {
+			t.Errorf("Stage(%d).String() = %q, want %q", s, got, want)
+		}
+	}
+	if got := Stage(99).String(); !strings.Contains(got, "99") {
+		t.Errorf("invalid stage string = %q", got)
+	}
+	if Stage(99).Valid() {
+		t.Error("Stage(99) should be invalid")
+	}
+}
+
+func TestStepRecordAccessors(t *testing.T) {
+	c := buildComponent("x", KindSimulation, 5, 1, SimulationStages(), []float64{10, 1, 0.5})
+	step := c.Steps[0]
+	if got := step.StageDuration(StageS); got != 10 {
+		t.Errorf("StageDuration(S) = %v, want 10", got)
+	}
+	if got := step.StageDuration(StageR); got != 0 {
+		t.Errorf("StageDuration(R) = %v, want 0 (absent)", got)
+	}
+	if step.Start() != 5 {
+		t.Errorf("Start = %v, want 5", step.Start())
+	}
+	if step.End() != 16.5 {
+		t.Errorf("End = %v, want 16.5", step.End())
+	}
+	empty := StepRecord{}
+	if empty.Start() != 0 || empty.End() != 0 {
+		t.Error("empty step should have zero Start/End")
+	}
+}
+
+func TestMemberMakespan(t *testing.T) {
+	tr := sampleTrace()
+	m := tr.Members[0]
+	// Simulation starts at 0; analysis ends at 0.5 + 3*11 = 33.5.
+	if got, want := m.Makespan(), 33.5; got != want {
+		t.Errorf("member makespan = %v, want %v", got, want)
+	}
+	if k := m.K(); k != 1 {
+		t.Errorf("K = %d, want 1", k)
+	}
+}
+
+func TestEnsembleMakespan(t *testing.T) {
+	tr := sampleTrace()
+	// Member 1 analysis ends at 1.0 + 3*11.5 = 35.5 -> ensemble makespan 35.5.
+	if got, want := tr.Makespan(), 35.5; got != want {
+		t.Errorf("ensemble makespan = %v, want %v", got, want)
+	}
+}
+
+func TestExecutionTimeAndCounters(t *testing.T) {
+	tr := sampleTrace()
+	sim := tr.Members[0].Simulation
+	if got, want := sim.ExecutionTime(), 34.5; got != want {
+		t.Errorf("execution time = %v, want %v", got, want)
+	}
+	total := sim.TotalCounters()
+	// 3 steps x 3 stages x 100 instructions.
+	if total.Instructions != 900 || total.Cycles != 1800 || total.LLCRefs != 90 || total.LLCMisses != 18 {
+		t.Errorf("unexpected counter totals: %+v", total)
+	}
+}
+
+func TestStageDurations(t *testing.T) {
+	tr := sampleTrace()
+	ds := tr.Members[0].Simulation.StageDurations(StageS)
+	if len(ds) != 3 {
+		t.Fatalf("len = %d, want 3", len(ds))
+	}
+	for _, d := range ds {
+		if d != 10 {
+			t.Errorf("StageDurations(S) = %v, want all 10", ds)
+		}
+	}
+}
+
+func TestComponentsOrder(t *testing.T) {
+	tr := sampleTrace()
+	comps := tr.Components()
+	if len(comps) != 4 {
+		t.Fatalf("len = %d, want 4", len(comps))
+	}
+	wantNames := []string{"m0.sim", "m0.ana0", "m1.sim", "m1.ana0"}
+	for i, w := range wantNames {
+		if comps[i].Name != w {
+			t.Errorf("comps[%d] = %q, want %q", i, comps[i].Name, w)
+		}
+	}
+}
+
+func TestValidateAcceptsWellFormed(t *testing.T) {
+	if err := sampleTrace().Validate(); err != nil {
+		t.Fatalf("valid trace rejected: %v", err)
+	}
+}
+
+func TestValidateRejectsMissingSimulation(t *testing.T) {
+	tr := sampleTrace()
+	tr.Members[0].Simulation = nil
+	if err := tr.Validate(); err == nil {
+		t.Fatal("trace without simulation should be rejected")
+	}
+}
+
+func TestValidateRejectsNegativeDuration(t *testing.T) {
+	tr := sampleTrace()
+	tr.Members[0].Simulation.Steps[0].Stages[0].Duration = -1
+	if err := tr.Validate(); err == nil {
+		t.Fatal("negative duration should be rejected")
+	}
+}
+
+func TestValidateRejectsOverlappingStages(t *testing.T) {
+	tr := sampleTrace()
+	// Make the second stage start before the first ends.
+	tr.Members[0].Simulation.Steps[0].Stages[1].Start = 1
+	if err := tr.Validate(); err == nil {
+		t.Fatal("overlapping stages should be rejected")
+	}
+}
+
+func TestValidateRejectsInvalidStage(t *testing.T) {
+	tr := sampleTrace()
+	tr.Members[0].Simulation.Steps[0].Stages[0].Stage = Stage(42)
+	if err := tr.Validate(); err == nil {
+		t.Fatal("invalid stage id should be rejected")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Makespan() != tr.Makespan() {
+		t.Errorf("makespan after round trip = %v, want %v", got.Makespan(), tr.Makespan())
+	}
+	if len(got.Members) != len(tr.Members) {
+		t.Errorf("members after round trip = %d, want %d", len(got.Members), len(tr.Members))
+	}
+	if err := got.Validate(); err != nil {
+		t.Errorf("round-tripped trace invalid: %v", err)
+	}
+	if got.Config != "test" || got.Backend != "simulated" {
+		t.Errorf("metadata lost in round trip: %+v", got)
+	}
+}
+
+func TestReadJSONError(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("{not json")); err == nil {
+		t.Fatal("malformed JSON should error")
+	}
+}
+
+func TestCountersAdd(t *testing.T) {
+	a := Counters{Instructions: 1, Cycles: 2, LLCRefs: 3, LLCMisses: 4, Bytes: 5}
+	b := Counters{Instructions: 10, Cycles: 20, LLCRefs: 30, LLCMisses: 40, Bytes: 50}
+	a.Add(b)
+	want := Counters{Instructions: 11, Cycles: 22, LLCRefs: 33, LLCMisses: 44, Bytes: 55}
+	if a != want {
+		t.Errorf("Add = %+v, want %+v", a, want)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindSimulation.String() != "simulation" || KindAnalysis.String() != "analysis" {
+		t.Error("unexpected kind strings")
+	}
+	if !strings.Contains(Kind(7).String(), "7") {
+		t.Error("unknown kind should include its number")
+	}
+}
+
+func TestWriteStepsCSV(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := tr.WriteStepsCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	// Header + 4 components x 3 steps x 3 stages.
+	want := 1 + 4*3*3
+	if len(lines) != want {
+		t.Fatalf("CSV lines = %d, want %d", len(lines), want)
+	}
+	if !strings.HasPrefix(lines[0], "component,kind,member,step,stage") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(buf.String(), "m0.sim,simulation,0,0,S,") {
+		t.Error("missing expected first stage row")
+	}
+}

@@ -1,0 +1,59 @@
+package workload
+
+import (
+	"ensemblekit/internal/cluster"
+	"ensemblekit/internal/kernels"
+	"ensemblekit/internal/runtime"
+)
+
+// The paper's introduction motivates workflow ensembles with two families
+// of MD ensemble methods; these presets model their workload shapes so
+// examples and benchmarks can exercise realistic ensembles beyond the
+// paper's 2-member experiments.
+
+// MultiWalker models the multiple-walker free-energy methods (the paper's
+// references [11, 24]): N identical replicas ("walkers") exploring the
+// same landscape, each coupled with one collective-variable analysis that
+// feeds the shared bias. All members are identical — the homogeneous case
+// the paper's experiments restrict to.
+func MultiWalker(walkers, steps int) runtime.EnsembleSpec {
+	es := runtime.EnsembleSpec{Name: "multi-walker", Steps: steps}
+	for i := 0; i < walkers; i++ {
+		es.Members = append(es.Members, runtime.MemberSpec{
+			Sim:      kernels.MDProfile(kernels.ReferenceStride),
+			Analyses: []cluster.Profile{kernels.AnalysisProfile()},
+		})
+	}
+	return es
+}
+
+// GeneralizedEnsemble models generalized-ensemble sampling (references
+// [10, 22]): members simulate different states with different costs
+// (temperature/weight-dependent strides) and couple to two analyses — a
+// cheap state-weight estimator and the full collective-variable analysis.
+// This is the heterogeneous case the paper's theoretical framework
+// supports but its experiments do not exercise.
+func GeneralizedEnsemble(states, steps int) runtime.EnsembleSpec {
+	es := runtime.EnsembleSpec{Name: "generalized-ensemble", Steps: steps}
+	for i := 0; i < states; i++ {
+		// Higher states run shorter strides (cheaper) but heavier
+		// reweighting analyses.
+		stride := kernels.ReferenceStride - i*kernels.ReferenceStride/(2*maxI(states, 2))
+		scale := 1.0 + 0.15*float64(i)
+		es.Members = append(es.Members, runtime.MemberSpec{
+			Sim: kernels.MDProfile(stride),
+			Analyses: []cluster.Profile{
+				kernels.ScaledAnalysisProfile(0.3),   // state-weight estimator
+				kernels.ScaledAnalysisProfile(scale), // collective variable
+			},
+		})
+	}
+	return es
+}
+
+func maxI(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

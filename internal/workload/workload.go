@@ -1,0 +1,142 @@
+// Package workload generates synthetic workflow-ensemble specifications
+// and placements: seeded-random ensembles for property tests, scheduler
+// stress tests, and benchmark sweeps beyond the paper's two-member
+// experiments.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ensemblekit/internal/cluster"
+	"ensemblekit/internal/kernels"
+	"ensemblekit/internal/placement"
+	"ensemblekit/internal/runtime"
+)
+
+// GenOptions bounds the random generator.
+type GenOptions struct {
+	// Members is the number of ensemble members.
+	Members int
+	// MinAnalyses and MaxAnalyses bound K per member.
+	MinAnalyses, MaxAnalyses int
+	// StrideMin and StrideMax bound each member's simulation stride.
+	StrideMin, StrideMax int
+	// AnalysisScaleMin and AnalysisScaleMax bound the per-analysis cost
+	// scale relative to the calibrated profile.
+	AnalysisScaleMin, AnalysisScaleMax float64
+	// Steps is the in situ step count.
+	Steps int
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// Defaults fills zero fields with paper-flavoured values.
+func (o GenOptions) Defaults() GenOptions {
+	if o.Members <= 0 {
+		o.Members = 2
+	}
+	if o.MinAnalyses <= 0 {
+		o.MinAnalyses = 1
+	}
+	if o.MaxAnalyses < o.MinAnalyses {
+		o.MaxAnalyses = o.MinAnalyses
+	}
+	if o.StrideMin <= 0 {
+		o.StrideMin = kernels.ReferenceStride
+	}
+	if o.StrideMax < o.StrideMin {
+		o.StrideMax = o.StrideMin
+	}
+	if o.AnalysisScaleMin <= 0 {
+		o.AnalysisScaleMin = 1
+	}
+	if o.AnalysisScaleMax < o.AnalysisScaleMin {
+		o.AnalysisScaleMax = o.AnalysisScaleMin
+	}
+	if o.Steps <= 0 {
+		o.Steps = 10
+	}
+	return o
+}
+
+// Random generates an ensemble spec within the option bounds. Members may
+// differ in stride (input data differences) and analysis cost (distinct
+// algorithms), matching the paper's description of workflow ensembles as
+// structurally similar workflows with differing task sizes.
+func Random(opts GenOptions) runtime.EnsembleSpec {
+	opts = opts.Defaults()
+	rng := rand.New(rand.NewSource(opts.Seed))
+	es := runtime.EnsembleSpec{
+		Name:  fmt.Sprintf("random-%d", opts.Seed),
+		Steps: opts.Steps,
+	}
+	for i := 0; i < opts.Members; i++ {
+		stride := opts.StrideMin
+		if opts.StrideMax > opts.StrideMin {
+			stride += rng.Intn(opts.StrideMax - opts.StrideMin + 1)
+		}
+		m := runtime.MemberSpec{Sim: kernels.MDProfile(stride)}
+		k := opts.MinAnalyses
+		if opts.MaxAnalyses > opts.MinAnalyses {
+			k += rng.Intn(opts.MaxAnalyses - opts.MinAnalyses + 1)
+		}
+		for j := 0; j < k; j++ {
+			scale := opts.AnalysisScaleMin +
+				rng.Float64()*(opts.AnalysisScaleMax-opts.AnalysisScaleMin)
+			m.Analyses = append(m.Analyses, kernels.ScaledAnalysisProfile(scale))
+		}
+		es.Members = append(es.Members, m)
+	}
+	return es
+}
+
+// RandomPlacement produces a valid random placement for an ensemble spec
+// on the given machine: every component lands on a random node with
+// capacity, simulations first. It returns an error if the ensemble does
+// not fit.
+func RandomPlacement(spec cluster.Spec, es runtime.EnsembleSpec, seed int64) (placement.Placement, error) {
+	rng := rand.New(rand.NewSource(seed))
+	free := make([]int, spec.Nodes)
+	for i := range free {
+		free[i] = spec.CoresPerNode
+	}
+	pick := func(cores int) (int, error) {
+		// Random start, first fit scanning forward: uniform-ish and
+		// deterministic per seed.
+		start := rng.Intn(spec.Nodes)
+		for d := 0; d < spec.Nodes; d++ {
+			n := (start + d) % spec.Nodes
+			if free[n] >= cores {
+				free[n] -= cores
+				return n, nil
+			}
+		}
+		return 0, fmt.Errorf("workload: no node with %d free cores", cores)
+	}
+	p := placement.Placement{Name: es.Name}
+	for i, m := range es.Members {
+		simCores := placement.SimCores
+		node, err := pick(simCores)
+		if err != nil {
+			return placement.Placement{}, fmt.Errorf("workload: member %d simulation: %w", i, err)
+		}
+		pm := placement.Member{
+			Simulation: placement.Component{Nodes: []int{node}, Cores: simCores},
+		}
+		for j := range m.Analyses {
+			anode, err := pick(placement.AnalysisCores)
+			if err != nil {
+				return placement.Placement{}, fmt.Errorf("workload: member %d analysis %d: %w", i, j, err)
+			}
+			pm.Analyses = append(pm.Analyses, placement.Component{
+				Nodes: []int{anode}, Cores: placement.AnalysisCores,
+			})
+		}
+		p.Members = append(p.Members, pm)
+	}
+	if err := p.Validate(spec); err != nil {
+		return placement.Placement{}, err
+	}
+	return p, nil
+}

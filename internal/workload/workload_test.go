@@ -1,0 +1,195 @@
+package workload
+
+import (
+	"testing"
+
+	"ensemblekit/internal/cluster"
+	"ensemblekit/internal/core"
+	"ensemblekit/internal/runtime"
+)
+
+func TestRandomDeterministicAndBounded(t *testing.T) {
+	opts := GenOptions{
+		Members: 4, MinAnalyses: 1, MaxAnalyses: 3,
+		StrideMin: 400, StrideMax: 1200,
+		AnalysisScaleMin: 0.5, AnalysisScaleMax: 2,
+		Steps: 7, Seed: 99,
+	}
+	a := Random(opts)
+	b := Random(opts)
+	if len(a.Members) != 4 || a.Steps != 7 {
+		t.Fatalf("unexpected spec: %+v", a)
+	}
+	for i, m := range a.Members {
+		if k := len(m.Analyses); k < 1 || k > 3 {
+			t.Errorf("member %d: K = %d outside [1,3]", i, k)
+		}
+		if err := m.Sim.Validate(); err != nil {
+			t.Errorf("member %d sim profile: %v", i, err)
+		}
+		for j, ap := range m.Analyses {
+			if err := ap.Validate(); err != nil {
+				t.Errorf("member %d analysis %d: %v", i, j, err)
+			}
+		}
+		// Determinism.
+		if len(b.Members[i].Analyses) != len(m.Analyses) {
+			t.Error("same seed must give the same ensemble")
+		}
+	}
+	c := Random(GenOptions{Members: 4, Seed: 100, Steps: 7, MinAnalyses: 1, MaxAnalyses: 3})
+	diff := false
+	for i := range c.Members {
+		if len(c.Members[i].Analyses) != len(a.Members[i].Analyses) {
+			diff = true
+		}
+	}
+	_ = diff // different seeds may coincide; no assertion beyond no panic
+}
+
+func TestDefaults(t *testing.T) {
+	es := Random(GenOptions{})
+	if len(es.Members) != 2 {
+		t.Errorf("default members = %d, want 2", len(es.Members))
+	}
+	if es.Steps != 10 {
+		t.Errorf("default steps = %d, want 10", es.Steps)
+	}
+}
+
+func TestRandomPlacementValidAndRunnable(t *testing.T) {
+	spec := cluster.Cori(4)
+	es := Random(GenOptions{Members: 3, MinAnalyses: 1, MaxAnalyses: 2, Steps: 4, Seed: 5})
+	p, err := RandomPlacement(spec, es, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(spec); err != nil {
+		t.Fatalf("generated placement invalid: %v", err)
+	}
+	if len(p.Members) != 3 {
+		t.Fatalf("placement members = %d", len(p.Members))
+	}
+	// The generated pair must actually execute.
+	tr, err := runtime.RunSimulated(spec, p, es, runtime.SimOptions{})
+	if err != nil {
+		t.Fatalf("generated workload failed to run: %v", err)
+	}
+	if tr.Makespan() <= 0 {
+		t.Error("non-positive makespan")
+	}
+}
+
+func TestRandomPlacementRejectsOversizedEnsemble(t *testing.T) {
+	spec := cluster.Cori(1) // 32 cores total
+	es := Random(GenOptions{Members: 4, MinAnalyses: 2, MaxAnalyses: 2, Seed: 3})
+	if _, err := RandomPlacement(spec, es, 1); err == nil {
+		t.Error("ensemble beyond machine capacity should fail")
+	}
+}
+
+func TestMultiWalkerPreset(t *testing.T) {
+	es := MultiWalker(3, 6)
+	if len(es.Members) != 3 || es.Steps != 6 {
+		t.Fatalf("unexpected spec: %d members, %d steps", len(es.Members), es.Steps)
+	}
+	// Homogeneous: all members identical.
+	for i, m := range es.Members {
+		if len(m.Analyses) != 1 {
+			t.Errorf("member %d: K = %d, want 1", i, len(m.Analyses))
+		}
+		if m.Sim.InstrPerStep != es.Members[0].Sim.InstrPerStep {
+			t.Error("walkers should be identical")
+		}
+	}
+	// Runnable end to end with a fully co-located placement.
+	spec := cluster.Cori(3)
+	p, err := RandomPlacement(spec, es, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runtime.RunSimulated(spec, p, es, runtime.SimOptions{}); err != nil {
+		t.Fatalf("multi-walker ensemble failed to run: %v", err)
+	}
+}
+
+func TestGeneralizedEnsemblePreset(t *testing.T) {
+	es := GeneralizedEnsemble(3, 5)
+	if len(es.Members) != 3 {
+		t.Fatalf("members = %d", len(es.Members))
+	}
+	// Heterogeneous: strides decrease with the state index, analysis
+	// costs increase.
+	for i := 1; i < len(es.Members); i++ {
+		if es.Members[i].Sim.InstrPerStep >= es.Members[i-1].Sim.InstrPerStep {
+			t.Error("higher states should have cheaper simulations")
+		}
+		if es.Members[i].Analyses[1].InstrPerStep <= es.Members[i-1].Analyses[1].InstrPerStep {
+			t.Error("higher states should have costlier CV analyses")
+		}
+	}
+	for i, m := range es.Members {
+		if len(m.Analyses) != 2 {
+			t.Errorf("member %d: K = %d, want 2", i, len(m.Analyses))
+		}
+		if err := m.Sim.Validate(); err != nil {
+			t.Errorf("member %d: %v", i, err)
+		}
+	}
+	// The heterogeneous ensemble is the case the paper's framework
+	// supports but never runs: make sure the whole pipeline handles it.
+	spec := cluster.Cori(4)
+	p, err := RandomPlacement(spec, es, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := runtime.RunSimulated(spec, p, es, runtime.SimOptions{})
+	if err != nil {
+		t.Fatalf("generalized ensemble failed to run: %v", err)
+	}
+	if len(tr.Members) != 3 {
+		t.Fatalf("trace members = %d", len(tr.Members))
+	}
+}
+
+// Randomized end-to-end property: any valid placement of any generated
+// workload produces a structurally valid trace whose makespan bounds
+// every member makespan, with per-member step counts intact.
+func TestSimulatedRandomizedProperty(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		spec := cluster.Cori(4)
+		es := Random(GenOptions{
+			Members: 1 + int(seed%3), MinAnalyses: 1, MaxAnalyses: 2,
+			StrideMin: 200, StrideMax: 1000,
+			AnalysisScaleMin: 0.5, AnalysisScaleMax: 1.5,
+			Steps: 4, Seed: seed,
+		})
+		p, err := RandomPlacement(spec, es, seed*31)
+		if err != nil {
+			continue // this seed's ensemble does not fit; that is fine
+		}
+		tr, err := runtime.RunSimulated(spec, p, es, runtime.SimOptions{Jitter: 0.03, Seed: seed})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("seed %d: invalid trace: %v", seed, err)
+		}
+		ensemble := tr.Makespan()
+		for i, m := range tr.Members {
+			if ms := m.Makespan(); ms > ensemble+1e-9 {
+				t.Fatalf("seed %d: member %d makespan %v exceeds ensemble %v", seed, i, ms, ensemble)
+			}
+			if len(m.Simulation.Steps) != es.Steps {
+				t.Fatalf("seed %d: member %d has %d steps, want %d", seed, i, len(m.Simulation.Steps), es.Steps)
+			}
+			ss, err := core.FromMemberTrace(m, core.ExtractOptions{})
+			if err != nil {
+				t.Fatalf("seed %d: member %d: %v", seed, i, err)
+			}
+			if e, err := ss.Efficiency(); err != nil || e <= -1 || e > 1 {
+				t.Fatalf("seed %d: member %d: E=%v err=%v", seed, i, e, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,21 @@
+package ensemblekit
+
+import (
+	"fmt"
+
+	"ensemblekit/internal/kernels"
+)
+
+// MDProfile returns the calibrated GROMACS-proxy simulation profile for a
+// stride (MD steps per in situ step); stride <= 0 uses the paper's 800.
+func MDProfile(stride int) Profile { return kernels.MDProfile(stride) }
+
+// AnalysisProfile returns the calibrated eigenvalue-analysis profile.
+func AnalysisProfile() Profile { return kernels.AnalysisProfile() }
+
+// ScaledAnalysisProfile scales the analysis cost (1 = calibrated).
+func ScaledAnalysisProfile(scale float64) Profile { return kernels.ScaledAnalysisProfile(scale) }
+
+func errOutOfRange(i, n int) error {
+	return fmt.Errorf("ensemblekit: member index %d out of range [0,%d)", i, n)
+}

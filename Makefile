@@ -1,0 +1,33 @@
+GO ?= go
+
+.PHONY: all build test check race bench cover clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# check fails if vet reports problems or any file is not gofmt-clean.
+check:
+	$(GO) vet ./...
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+
+# race exercises the packages where the instrumentation layer touches the
+# cooperative scheduler, under the race detector.
+race:
+	$(GO) test -race ./internal/obs/... ./internal/sim/...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+cover:
+	$(GO) test -cover ./...
+
+clean:
+	$(GO) clean ./...

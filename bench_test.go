@@ -23,6 +23,7 @@ import (
 	"ensemblekit/internal/indicators"
 	"ensemblekit/internal/kernels"
 	"ensemblekit/internal/network"
+	"ensemblekit/internal/obs"
 	"ensemblekit/internal/placement"
 	"ensemblekit/internal/runtime"
 	"ensemblekit/internal/scheduler"
@@ -400,6 +401,35 @@ func BenchmarkEigenKernel(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkObsOverhead quantifies the cost of the instrumentation layer on
+// the simulated backend: "disabled" runs with a nil recorder (every emission
+// site pays exactly one branch), "recording" runs with a live event bus.
+// The disabled case must stay within noise (<2%) of a build without any
+// instrumentation, which is the overhead guarantee documented in DESIGN.md.
+func BenchmarkObsOverhead(b *testing.B) {
+	spec := Cori(3)
+	cfg := placement.C15()
+	es := SpecForPlacement(cfg, 8)
+	b.Run("disabled", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := RunSimulated(spec, cfg, es, SimOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("recording", func(b *testing.B) {
+		var events int
+		for i := 0; i < b.N; i++ {
+			rec := obs.NewRecorder(nil)
+			if _, err := RunSimulated(spec, cfg, es, SimOptions{Recorder: rec}); err != nil {
+				b.Fatal(err)
+			}
+			events = len(rec.Events())
+		}
+		b.ReportMetric(float64(events), "events/run")
+	})
 }
 
 // BenchmarkLargeEnsembleDES measures the simulated backend at a scale far

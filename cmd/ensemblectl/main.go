@@ -8,24 +8,63 @@
 //	ensemblectl -config C1.5 [-backend simulated|real] [-steps N]
 //	            [-tier dimes|burstbuffer|pfs] [-jitter F] [-seed N]
 //	            [-nodes N] [-trace FILE] [-placement FILE.json]
+//	            [-obs FILE] [-trace-format chrome|summary]
+//	            [-cpuprofile FILE] [-memprofile FILE]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
+	"strings"
 
 	"ensemblekit/internal/cluster"
 	"ensemblekit/internal/core"
 	"ensemblekit/internal/indicators"
 	"ensemblekit/internal/metrics"
+	"ensemblekit/internal/obs"
 	"ensemblekit/internal/placement"
 	"ensemblekit/internal/report"
 	"ensemblekit/internal/runtime"
-	"strings"
-
 	"ensemblekit/internal/trace"
 )
+
+// obsOutput bundles the instrumentation export flags.
+type obsOutput struct {
+	path   string
+	format string // "chrome" or "summary"
+}
+
+func (o obsOutput) enabled() bool { return o.path != "" }
+
+// validate rejects unknown formats before the run starts.
+func (o obsOutput) validate() error {
+	if o.enabled() && o.format != "chrome" && o.format != "summary" {
+		return fmt.Errorf("unknown -trace-format %q (chrome or summary)", o.format)
+	}
+	return nil
+}
+
+// write exports the event stream in the selected format.
+func (o obsOutput) write(events []obs.Event) error {
+	f, err := os.Create(o.path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	switch o.format {
+	case "chrome":
+		err = obs.WriteChromeTrace(f, events)
+	case "summary":
+		err = obs.WriteSummary(f, obs.Analyze(events))
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("obs %s trace written to %s (chrome traces open in ui.perfetto.dev)\n", o.format, o.path)
+	return nil
+}
 
 func main() {
 	var (
@@ -39,19 +78,56 @@ func main() {
 		nodes      = flag.Int("nodes", 0, "machine size (0 = fit the placement)")
 		traceOut   = flag.String("trace", "", "write the execution trace as JSON to this file")
 		compareArg = flag.String("compare", "", "comma-separated configuration names to run side by side")
+		obsOut     = flag.String("obs", "", "write the instrumentation trace to this file")
+		obsFormat  = flag.String("trace-format", "chrome", "obs output format: chrome (Perfetto JSON) or summary (text)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
-	var err error
-	if *compareArg != "" {
-		err = compare(*compareArg, *steps, *tier, *jitter, *seed)
-	} else {
-		err = run(*configName, *plFile, *backend, *steps, *tier, *jitter, *seed, *nodes, *traceOut)
-	}
-	if err != nil {
+	if err := realMain(*configName, *plFile, *backend, *steps, *tier, *jitter, *seed, *nodes,
+		*traceOut, *compareArg, obsOutput{path: *obsOut, format: *obsFormat},
+		*cpuProfile, *memProfile); err != nil {
 		fmt.Fprintf(os.Stderr, "ensemblectl: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+func realMain(configName, plFile, backend string, steps int, tier string, jitter float64,
+	seed int64, nodes int, traceOut, compareArg string, obsOut obsOutput,
+	cpuProfile, memProfile string) error {
+
+	if err := obsOut.validate(); err != nil {
+		return err
+	}
+	if cpuProfile != "" {
+		f, err := os.Create(cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if memProfile != "" {
+		defer func() {
+			f, err := os.Create(memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "ensemblectl: heap profile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "ensemblectl: heap profile: %v\n", err)
+			}
+		}()
+	}
+	if compareArg != "" {
+		return compare(compareArg, steps, tier, jitter, seed)
+	}
+	return run(configName, plFile, backend, steps, tier, jitter, seed, nodes, traceOut, obsOut)
 }
 
 // compare runs several built-in configurations on the simulated backend
@@ -110,6 +186,15 @@ func compare(names string, steps int, tier string, jitter float64, seed int64) e
 	return nil
 }
 
+// tr2events picks the live event stream when a recorder ran, falling back
+// to the post-hoc conversion of the trace (real backend).
+func tr2events(rec *obs.Recorder, tr *trace.EnsembleTrace) []obs.Event {
+	if rec.Enabled() {
+		return rec.Events()
+	}
+	return obs.FromTrace(tr)
+}
+
 func maxNode(p placement.Placement) int {
 	max := 0
 	for _, n := range p.UsedNodes() {
@@ -120,7 +205,7 @@ func maxNode(p placement.Placement) int {
 	return max
 }
 
-func run(configName, plFile, backend string, steps int, tier string, jitter float64, seed int64, nodes int, traceOut string) error {
+func run(configName, plFile, backend string, steps int, tier string, jitter float64, seed int64, nodes int, traceOut string, obsOut obsOutput) error {
 	var p placement.Placement
 	if plFile != "" {
 		f, err := os.Open(plFile)
@@ -142,6 +227,7 @@ func run(configName, plFile, backend string, steps int, tier string, jitter floa
 	fmt.Println(p.String())
 
 	var tr *trace.EnsembleTrace
+	var rec *obs.Recorder
 	switch backend {
 	case "simulated":
 		if nodes <= 0 {
@@ -153,9 +239,14 @@ func run(configName, plFile, backend string, steps int, tier string, jitter floa
 		}
 		spec := cluster.Cori(nodes)
 		es := runtime.SpecForPlacement(p, steps)
+		if obsOut.enabled() {
+			// Live instrumentation: the engine, DTL, fabric, and stage
+			// loop feed the recorder as the run unfolds.
+			rec = obs.NewRecorder(nil)
+		}
 		var err error
 		tr, err = runtime.RunSimulated(spec, p, es, runtime.SimOptions{
-			Tier: tier, Jitter: jitter, Seed: seed,
+			Tier: tier, Jitter: jitter, Seed: seed, Recorder: rec,
 		})
 		if err != nil {
 			return err
@@ -168,6 +259,12 @@ func run(configName, plFile, backend string, steps int, tier string, jitter floa
 		}
 	default:
 		return fmt.Errorf("unknown backend %q", backend)
+	}
+	if obsOut.enabled() {
+		events := tr2events(rec, tr)
+		if err := obsOut.write(events); err != nil {
+			return err
+		}
 	}
 
 	// Table 1 metrics.

@@ -3,15 +3,17 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
+	"ensemblekit/internal/obs"
 	"ensemblekit/internal/placement"
 	"ensemblekit/internal/trace"
 )
 
 func TestRunBuiltinConfig(t *testing.T) {
 	traceFile := filepath.Join(t.TempDir(), "trace.json")
-	if err := run("C_c", "", "simulated", 6, "dimes", 0, 1, 0, traceFile); err != nil {
+	if err := run("C_c", "", "simulated", 6, "dimes", 0, 1, 0, traceFile, obsOutput{}); err != nil {
 		t.Fatal(err)
 	}
 	f, err := os.Open(traceFile)
@@ -38,25 +40,25 @@ func TestRunPlacementFile(t *testing.T) {
 		t.Fatal(err)
 	}
 	f.Close()
-	if err := run("ignored", plFile, "simulated", 4, "dimes", 0, 1, 0, ""); err != nil {
+	if err := run("ignored", plFile, "simulated", 4, "dimes", 0, 1, 0, "", obsOutput{}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("C9.9", "", "simulated", 4, "dimes", 0, 1, 0, ""); err == nil {
+	if err := run("C9.9", "", "simulated", 4, "dimes", 0, 1, 0, "", obsOutput{}); err == nil {
 		t.Error("unknown config should fail")
 	}
-	if err := run("C_c", "", "quantum", 4, "dimes", 0, 1, 0, ""); err == nil {
+	if err := run("C_c", "", "quantum", 4, "dimes", 0, 1, 0, "", obsOutput{}); err == nil {
 		t.Error("unknown backend should fail")
 	}
-	if err := run("C_c", "/nonexistent/file.json", "simulated", 4, "dimes", 0, 1, 0, ""); err == nil {
+	if err := run("C_c", "/nonexistent/file.json", "simulated", 4, "dimes", 0, 1, 0, "", obsOutput{}); err == nil {
 		t.Error("missing placement file should fail")
 	}
 }
 
 func TestRunRealBackend(t *testing.T) {
-	if err := run("C_c", "", "real", 2, "", 0, 1, 0, ""); err != nil {
+	if err := run("C_c", "", "real", 2, "", 0, 1, 0, "", obsOutput{}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -67,5 +69,50 @@ func TestCompareMode(t *testing.T) {
 	}
 	if err := compare("C9.9", 6, "dimes", 0, 1); err == nil {
 		t.Error("unknown config in compare should fail")
+	}
+}
+
+func TestRunObsExport(t *testing.T) {
+	dir := t.TempDir()
+	chrome := filepath.Join(dir, "run.perfetto.json")
+	if err := run("C1.5", "", "simulated", 4, "dimes", 0, 1, 0, "",
+		obsOutput{path: chrome, format: "chrome"}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(chrome)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.ValidateChromeTrace(data); err != nil {
+		t.Fatalf("exported chrome trace invalid: %v", err)
+	}
+	summary := filepath.Join(dir, "run.summary.txt")
+	if err := run("C1.5", "", "simulated", 4, "dimes", 0, 1, 0, "",
+		obsOutput{path: summary, format: "summary"}); err != nil {
+		t.Fatal(err)
+	}
+	text, err := os.ReadFile(summary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(text), "per-node core occupancy") {
+		t.Errorf("summary missing node occupancy section:\n%s", text)
+	}
+	// Real backend falls back to the post-hoc trace conversion.
+	realOut := filepath.Join(dir, "real.perfetto.json")
+	if err := run("C_c", "", "real", 2, "", 0, 1, 0, "",
+		obsOutput{path: realOut, format: "chrome"}); err != nil {
+		t.Fatal(err)
+	}
+	data, err = os.ReadFile(realOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.ValidateChromeTrace(data); err != nil {
+		t.Fatalf("real-backend chrome trace invalid: %v", err)
+	}
+	// Unknown format is rejected up front.
+	if err := (obsOutput{path: "x", format: "bogus"}).validate(); err == nil {
+		t.Error("bogus trace format should fail validation")
 	}
 }

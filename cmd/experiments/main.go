@@ -8,10 +8,12 @@
 //	                  |tiers|validation|buffers|aggregators|scaling|heterogeneous|topology
 //	                  |sockets|intransit]
 //	            [-trials N] [-steps N] [-jitter F] [-seed N] [-quick]
-//	            [-csv DIR]
+//	            [-csv DIR] [-obs FILE] [-cpuprofile FILE] [-memprofile FILE]
 //
 // The first group regenerates the paper's evaluation; the second group
-// runs the extension studies documented in EXPERIMENTS.md.
+// runs the extension studies documented in EXPERIMENTS.md. -obs runs an
+// instrumented reference execution (C1.5 on the paper's machine) and
+// writes its Chrome/Perfetto trace alongside the tables.
 package main
 
 import (
@@ -19,21 +21,29 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime/pprof"
 	"strings"
 
+	"ensemblekit/internal/cluster"
 	"ensemblekit/internal/experiments"
+	"ensemblekit/internal/obs"
+	"ensemblekit/internal/placement"
 	"ensemblekit/internal/report"
+	"ensemblekit/internal/runtime"
 )
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment to run (all, table1, table2, table4, fig3..fig9, headline)")
-		trials = flag.Int("trials", 5, "trials to average (the paper uses 5)")
-		steps  = flag.Int("steps", 0, "in situ steps (0 = the paper's 37)")
-		jitter = flag.Float64("jitter", 0.02, "stage-time noise amplitude (negative disables)")
-		seed   = flag.Int64("seed", 1, "base RNG seed")
-		quick  = flag.Bool("quick", false, "fast mode: 1 trial, 8 steps, no jitter")
-		csvDir = flag.String("csv", "", "also write each table as CSV into this directory")
+		exp        = flag.String("exp", "all", "experiment to run (all, table1, table2, table4, fig3..fig9, headline)")
+		trials     = flag.Int("trials", 5, "trials to average (the paper uses 5)")
+		steps      = flag.Int("steps", 0, "in situ steps (0 = the paper's 37)")
+		jitter     = flag.Float64("jitter", 0.02, "stage-time noise amplitude (negative disables)")
+		seed       = flag.Int64("seed", 1, "base RNG seed")
+		quick      = flag.Bool("quick", false, "fast mode: 1 trial, 8 steps, no jitter")
+		csvDir     = flag.String("csv", "", "also write each table as CSV into this directory")
+		obsOut     = flag.String("obs", "", "write a Chrome trace of an instrumented reference run (C1.5) to this file")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -47,10 +57,70 @@ func main() {
 		cfg = experiments.Quick()
 	}
 
-	if err := run(cfg, strings.ToLower(*exp), *csvDir); err != nil {
+	if err := realMain(cfg, strings.ToLower(*exp), *csvDir, *obsOut, *cpuProfile, *memProfile); err != nil {
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+func realMain(cfg experiments.Config, exp, csvDir, obsOut, cpuProfile, memProfile string) error {
+	if cpuProfile != "" {
+		f, err := os.Create(cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if memProfile != "" {
+		defer func() {
+			f, err := os.Create(memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: heap profile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: heap profile: %v\n", err)
+			}
+		}()
+	}
+	if err := run(cfg, exp, csvDir); err != nil {
+		return err
+	}
+	if obsOut != "" {
+		return writeReferenceObs(cfg, obsOut)
+	}
+	return nil
+}
+
+// writeReferenceObs runs C1.5 (the paper's winning configuration) with the
+// instrumentation bus attached and exports the Chrome trace. The harness's
+// own experiment runs stay uninstrumented: each spawns its own simulation
+// environment, and a shared recorder would interleave their clocks.
+func writeReferenceObs(cfg experiments.Config, path string) error {
+	p := placement.C15()
+	spec := cluster.Cori(3)
+	es := runtime.SpecForPlacement(p, cfg.Steps)
+	rec := obs.NewRecorder(nil)
+	if _, err := runtime.RunSimulated(spec, p, es, runtime.SimOptions{
+		Jitter: cfg.Jitter, Seed: cfg.BaseSeed, Recorder: rec,
+	}); err != nil {
+		return fmt.Errorf("reference obs run: %w", err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := obs.WriteChromeTrace(f, rec.Events()); err != nil {
+		return err
+	}
+	fmt.Printf("reference C1.5 chrome trace written to %s (open in ui.perfetto.dev)\n", path)
+	return nil
 }
 
 func run(cfg experiments.Config, exp, csvDir string) error {

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"ensemblekit/internal/experiments"
+	"ensemblekit/internal/obs"
 )
 
 func TestRunSingleExperiments(t *testing.T) {
@@ -34,5 +35,19 @@ func TestRunWritesCSV(t *testing.T) {
 	}
 	if len(data) == 0 {
 		t.Error("empty CSV written")
+	}
+}
+
+func TestWriteReferenceObs(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "ref.perfetto.json")
+	if err := writeReferenceObs(experiments.Quick(), out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.ValidateChromeTrace(data); err != nil {
+		t.Fatalf("reference chrome trace invalid: %v", err)
 	}
 }

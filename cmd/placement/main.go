@@ -5,8 +5,8 @@
 // Usage:
 //
 //	placement [-members N] [-analyses K] [-nodes M]
-//	          [-mode exhaustive|greedy] [-objective analytic|simulated]
-//	          [-top N]
+//	          [-mode exhaustive|greedy|anneal] [-objective analytic|simulated]
+//	          [-top N] [-iterations N] [-seed N] [-progress]
 package main
 
 import (
@@ -25,21 +25,24 @@ import (
 
 func main() {
 	var (
-		members   = flag.Int("members", 2, "ensemble members")
-		analyses  = flag.Int("analyses", 1, "analyses per simulation")
-		nodes     = flag.Int("nodes", 3, "nodes available")
-		mode      = flag.String("mode", "exhaustive", "exhaustive or greedy")
-		objective = flag.String("objective", "analytic", "analytic or simulated")
-		top       = flag.Int("top", 5, "show the N best placements (exhaustive only)")
+		members    = flag.Int("members", 2, "ensemble members")
+		analyses   = flag.Int("analyses", 1, "analyses per simulation")
+		nodes      = flag.Int("nodes", 3, "nodes available")
+		mode       = flag.String("mode", "exhaustive", "exhaustive, greedy, or anneal")
+		objective  = flag.String("objective", "analytic", "analytic or simulated")
+		top        = flag.Int("top", 5, "show the N best placements (exhaustive only)")
+		iterations = flag.Int("iterations", 0, "annealing iterations (0 = default)")
+		seed       = flag.Int64("seed", 1, "annealing RNG seed")
+		progress   = flag.Bool("progress", false, "print periodic search progress to stderr")
 	)
 	flag.Parse()
-	if err := run(*members, *analyses, *nodes, *mode, *objective, *top); err != nil {
+	if err := run(*members, *analyses, *nodes, *mode, *objective, *top, *iterations, *seed, *progress); err != nil {
 		fmt.Fprintf(os.Stderr, "placement: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(members, analyses, nodes int, mode, objective string, top int) error {
+func run(members, analyses, nodes int, mode, objective string, top, iterations int, seed int64, progress bool) error {
 	spec := cluster.Cori(nodes)
 	es := runtime.PaperEnsemble("search", members, analyses, 8)
 
@@ -93,17 +96,34 @@ func run(members, analyses, nodes int, mode, objective string, top int) error {
 			t.AddRow(i+1, s.f, s.p.M(), s.p.String())
 		}
 		fmt.Println(t.String())
-	case "greedy":
-		res, err := scheduler.GreedyLocalSearch(spec, es, nodes, obj)
+	case "greedy", "anneal":
+		var mon *scheduler.Monitor
+		if progress {
+			mon = &progressMonitor
+		}
+		res, err := scheduler.Search(scheduler.Strategy(mode), spec, es, nodes, obj, mon,
+			scheduler.AnnealOptions{Iterations: iterations, Seed: seed})
 		if err != nil {
 			return err
 		}
-		fmt.Printf("best placement (greedy, %d evaluations): F = %s\n%s\n",
-			res.Evaluated, report.FormatFloat(res.Score), res.Placement.String())
+		fmt.Printf("best placement (%s, %d evaluations): F = %s\n%s\n",
+			mode, res.Evaluated, report.FormatFloat(res.Score), res.Placement.String())
 	default:
 		return fmt.Errorf("unknown mode %q", mode)
 	}
 	return nil
+}
+
+// progressMonitor prints search progress to stderr at the default cadence.
+var progressMonitor = scheduler.Monitor{
+	OnProgress: func(p scheduler.Progress) {
+		marker := ""
+		if p.Final {
+			marker = " (final)"
+		}
+		fmt.Fprintf(os.Stderr, "[%s] %d evaluations, best F = %.4f, %s elapsed%s\n",
+			p.Strategy, p.Evaluated, p.BestScore, p.Elapsed.Round(1e6), marker)
+	},
 }
 
 func repeat(v, n int) []int {

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	traceview [-steps N] [-width N] FILE.json
+//	traceview [-steps N] [-width N] [-csv FILE] [-obs FILE] [-utilization] FILE.json
 package main
 
 import (
@@ -15,6 +15,7 @@ import (
 
 	"ensemblekit/internal/core"
 	"ensemblekit/internal/metrics"
+	"ensemblekit/internal/obs"
 	"ensemblekit/internal/report"
 	"ensemblekit/internal/stats"
 	"ensemblekit/internal/trace"
@@ -22,22 +23,24 @@ import (
 
 func main() {
 	var (
-		steps  = flag.Int("steps", 4, "timeline: number of leading steps to draw")
-		width  = flag.Int("width", 100, "timeline width in characters")
-		csvOut = flag.String("csv", "", "also export every stage as CSV to this file")
+		steps       = flag.Int("steps", 4, "timeline: number of leading steps to draw")
+		width       = flag.Int("width", 100, "timeline width in characters")
+		csvOut      = flag.String("csv", "", "also export every stage as CSV to this file")
+		obsOut      = flag.String("obs", "", "export a Chrome/Perfetto trace of the run to this file")
+		utilization = flag.Bool("utilization", false, "print the per-node core-occupancy table")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: traceview [-steps N] [-width N] [-csv FILE] FILE.json")
+		fmt.Fprintln(os.Stderr, "usage: traceview [-steps N] [-width N] [-csv FILE] [-obs FILE] [-utilization] FILE.json")
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *steps, *width, *csvOut); err != nil {
+	if err := run(flag.Arg(0), *steps, *width, *csvOut, *obsOut, *utilization); err != nil {
 		fmt.Fprintf(os.Stderr, "traceview: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(path string, steps, width int, csvOut string) error {
+func run(path string, steps, width int, csvOut, obsOut string, utilization bool) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -116,6 +119,18 @@ func run(path string, steps, width int, csvOut string) error {
 	}
 	fmt.Println(g.String())
 
+	if utilization {
+		// Per-node occupancy reconstructed from the trace's component
+		// spans (the live event stream offers the same table via
+		// ensemblectl -obs -trace-format summary).
+		m := obs.Analyze(obs.FromTrace(tr))
+		fmt.Println("## Per-node core occupancy")
+		if err := obs.WriteUtilization(os.Stdout, m); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+
 	if csvOut != "" {
 		f, err := os.Create(csvOut)
 		if err != nil {
@@ -126,6 +141,18 @@ func run(path string, steps, width int, csvOut string) error {
 			return err
 		}
 		fmt.Printf("per-stage CSV written to %s\n", csvOut)
+	}
+
+	if obsOut != "" {
+		f, err := os.Create(obsOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := obs.WriteChromeTrace(f, obs.FromTrace(tr)); err != nil {
+			return err
+		}
+		fmt.Printf("chrome trace written to %s (open in ui.perfetto.dev)\n", obsOut)
 	}
 	return nil
 }

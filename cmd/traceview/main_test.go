@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"ensemblekit/internal/cluster"
+	"ensemblekit/internal/obs"
 	"ensemblekit/internal/placement"
 	"ensemblekit/internal/runtime"
 )
@@ -31,20 +32,35 @@ func writeSampleTrace(t *testing.T) string {
 }
 
 func TestRunOnValidTrace(t *testing.T) {
-	if err := run(writeSampleTrace(t), 3, 80, filepath.Join(t.TempDir(), "steps.csv")); err != nil {
+	if err := run(writeSampleTrace(t), 3, 80, filepath.Join(t.TempDir(), "steps.csv"), "", false); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("/nonexistent.json", 3, 80, ""); err == nil {
+	if err := run("/nonexistent.json", 3, 80, "", "", false); err == nil {
 		t.Error("missing file should fail")
 	}
 	bad := filepath.Join(t.TempDir(), "bad.json")
 	if err := os.WriteFile(bad, []byte("{"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(bad, 3, 80, ""); err == nil {
+	if err := run(bad, 3, 80, "", "", false); err == nil {
 		t.Error("malformed trace should fail")
+	}
+}
+
+func TestRunObsExportAndUtilization(t *testing.T) {
+	path := writeSampleTrace(t)
+	out := filepath.Join(t.TempDir(), "run.perfetto.json")
+	if err := run(path, 3, 80, "", out, true); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.ValidateChromeTrace(data); err != nil {
+		t.Fatalf("traceview chrome export invalid: %v", err)
 	}
 }

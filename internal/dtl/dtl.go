@@ -20,6 +20,28 @@ import (
 	"ensemblekit/internal/sim"
 )
 
+// putSpan opens a put-begin event on the caller's recorder and returns the
+// closer. The closer is invoked on error paths too, so every PutBegin has a
+// matching PutEnd stamped at the time the operation actually stopped.
+func putSpan(p *sim.Proc, tier string, node int, bytes int64) func() {
+	r := p.Env().Recorder()
+	if !r.Enabled() {
+		return func() {}
+	}
+	r.PutBegin(tier, node, bytes)
+	return func() { r.PutEnd(tier, node, bytes) }
+}
+
+// getSpan is the read-side counterpart of putSpan.
+func getSpan(p *sim.Proc, tier string, producerNode, consumerNode int, bytes int64) func() {
+	r := p.Env().Recorder()
+	if !r.Enabled() {
+		return func() {}
+	}
+	r.GetBegin(tier, producerNode, consumerNode, bytes)
+	return func() { r.GetEnd(tier, producerNode, consumerNode, bytes) }
+}
+
 // Tier prices staging operations for the simulated backend. Write and Read
 // block the calling simulation process for the duration of the staging
 // operation, including any contention with concurrent staging traffic.
@@ -55,6 +77,7 @@ func (d *Dimes) Name() string { return "dimes" }
 
 // Write implements Tier: serialize plus an intra-node staging copy.
 func (d *Dimes) Write(p *sim.Proc, producerNode int, bytes int64) error {
+	defer putSpan(p, d.Name(), producerNode, bytes)()
 	dur := d.model.SerializeTime(bytes) + d.model.LocalCopyTime(bytes)
 	return p.Wait(dur)
 }
@@ -62,6 +85,7 @@ func (d *Dimes) Write(p *sim.Proc, producerNode int, bytes int64) error {
 // Read implements Tier: local copy when co-located, fabric transfer when
 // remote, plus deserialization either way.
 func (d *Dimes) Read(p *sim.Proc, producerNode, consumerNode int, bytes int64) error {
+	defer getSpan(p, d.Name(), producerNode, consumerNode, bytes)()
 	if producerNode == consumerNode {
 		if err := p.Wait(d.model.LocalCopyTime(bytes)); err != nil {
 			return err
@@ -112,6 +136,7 @@ func (b *BurstBuffer) Name() string { return "burstbuffer" }
 
 // Write implements Tier: serialize, then push to the burst buffer.
 func (b *BurstBuffer) Write(p *sim.Proc, producerNode int, bytes int64) error {
+	defer putSpan(p, b.Name(), producerNode, bytes)()
 	if err := p.Wait(b.model.SerializeTime(bytes)); err != nil {
 		return err
 	}
@@ -123,6 +148,7 @@ func (b *BurstBuffer) Write(p *sim.Proc, producerNode int, bytes int64) error {
 
 // Read implements Tier: pull from the burst buffer, then deserialize.
 func (b *BurstBuffer) Read(p *sim.Proc, producerNode, consumerNode int, bytes int64) error {
+	defer getSpan(p, b.Name(), producerNode, consumerNode, bytes)()
 	if err := b.fabric.Transfer(p, b.bbNode, consumerNode, bytes); err != nil {
 		return fmt.Errorf("dtl: burst buffer get: %w", err)
 	}
@@ -164,6 +190,7 @@ func (f *PFS) Name() string { return "pfs" }
 
 // Write implements Tier.
 func (f *PFS) Write(p *sim.Proc, producerNode int, bytes int64) error {
+	defer putSpan(p, f.Name(), producerNode, bytes)()
 	if err := p.Wait(f.model.SerializeTime(bytes) + f.mdLatency); err != nil {
 		return err
 	}
@@ -175,6 +202,7 @@ func (f *PFS) Write(p *sim.Proc, producerNode int, bytes int64) error {
 
 // Read implements Tier.
 func (f *PFS) Read(p *sim.Proc, producerNode, consumerNode int, bytes int64) error {
+	defer getSpan(p, f.Name(), producerNode, consumerNode, bytes)()
 	if err := p.Wait(f.mdLatency); err != nil {
 		return err
 	}

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math"
 
+	"ensemblekit/internal/obs"
 	"ensemblekit/internal/sim"
 )
 
@@ -75,6 +76,12 @@ type flow struct {
 	rate      float64 // bytes/s under the current allocation
 	proc      *sim.Proc
 	done      bool
+	// size is the requested transfer size; size-remaining is the bytes
+	// delivered, reported on the flow-end instrumentation event.
+	size float64
+	// link is the precomputed obs label ("n0->n1"), empty when
+	// instrumentation is off.
+	link string
 }
 
 // Fabric is the interconnect model bound to a simulation environment.
@@ -128,7 +135,11 @@ func (f *Fabric) Transfer(p *sim.Proc, src, dst int, bytes int64) error {
 	if bytes == 0 {
 		return nil
 	}
-	fl := &flow{src: src, dst: dst, remaining: float64(bytes), proc: p}
+	fl := &flow{src: src, dst: dst, remaining: float64(bytes), proc: p, size: float64(bytes)}
+	if rec := f.env.Recorder(); rec.Enabled() {
+		fl.link = obs.LinkLabel(src, dst)
+		rec.FlowStart(fl.link, src, dst, fl.size)
+	}
 	f.settle()
 	f.flows = append(f.flows, fl)
 	f.reallocate()
@@ -138,10 +149,19 @@ func (f *Fabric) Transfer(p *sim.Proc, src, dst int, bytes int64) error {
 		// Interrupted: remove the flow and re-balance survivors.
 		f.settle()
 		f.remove(fl)
+		f.flowEnd(fl)
 		f.reallocate()
 		return err
 	}
 	return nil
+}
+
+// flowEnd emits the instrumentation record for a flow leaving the fabric.
+func (f *Fabric) flowEnd(fl *flow) {
+	if fl.link == "" {
+		return
+	}
+	f.env.Recorder().FlowEnd(fl.link, fl.src, fl.dst, fl.size-fl.remaining)
 }
 
 // block parks the process until its flow completes. If the process is
@@ -222,6 +242,7 @@ func (f *Fabric) onEvent() {
 		if fl.remaining <= epsBytes || (fl.rate > 0 && fl.remaining/fl.rate <= epsTime) {
 			f.totalBytes += fl.remaining
 			fl.remaining = 0
+			f.flowEnd(fl)
 			if !fl.done {
 				fl.done = true
 				fl.proc.Unpark()

@@ -1,0 +1,61 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+
+	"ensemblekit/internal/trace"
+)
+
+// FromTrace reconstructs an instrumentation event stream from a post-hoc
+// execution trace. Live recording (SimOptions.Recorder) is richer — it
+// sees queue depths, DTL latencies, and fabric flows — but FromTrace lets
+// any stored trace.EnsembleTrace (from either backend) open in Perfetto
+// and feed the utilization tables: component lifecycles become proc spans,
+// stages become B/E pairs, and core allocations become per-node occupancy
+// timelines.
+func FromTrace(tr *trace.EnsembleTrace) []Event {
+	var events []Event
+	for _, c := range tr.Components() {
+		node := NoNode
+		if len(c.Nodes) > 0 {
+			node = c.Nodes[0]
+		}
+		start, end := c.Start, c.End
+		for _, step := range c.Steps {
+			if e := step.End(); e > end {
+				end = e
+			}
+		}
+		if end < start {
+			end = start
+		}
+		if node != NoNode {
+			events = append(events, Event{
+				T: start, Kind: ResourceAcquire, Subject: fmt.Sprintf("n%d.cores", node),
+				Node: node, Node2: NoNode, Value: float64(c.Cores),
+			})
+		}
+		events = append(events, Event{T: start, Kind: ProcStart, Subject: c.Name, Node: node, Node2: NoNode})
+		for _, step := range c.Steps {
+			for _, st := range step.Stages {
+				events = append(events,
+					Event{T: st.Start, Kind: StageBegin, Subject: c.Name, Detail: st.Stage.String(), Node: node, Node2: NoNode},
+					Event{T: st.End(), Kind: StageEnd, Subject: c.Name, Detail: st.Stage.String(), Node: node, Node2: NoNode, Value: float64(st.Counters.Bytes)},
+				)
+			}
+		}
+		events = append(events, Event{T: end, Kind: ProcEnd, Subject: c.Name, Node: node, Node2: NoNode})
+		if node != NoNode {
+			events = append(events, Event{
+				T: end, Kind: ResourceRelease, Subject: fmt.Sprintf("n%d.cores", node),
+				Node: node, Node2: NoNode, Value: float64(c.Cores),
+			})
+		}
+	}
+	// Interleave the per-component streams into one global timeline; the
+	// stable sort keeps each component's own B-before-E emission order at
+	// equal timestamps.
+	sort.SliceStable(events, func(i, j int) bool { return events[i].T < events[j].T })
+	return events
+}

@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestUtilizationAccumulator(t *testing.T) {
+	var u Utilization
+	u.Set(0, 2)  // 2 cores over [0,4)
+	u.Set(4, 6)  // 6 cores over [4,6)
+	u.Add(6, -6) // idle over [6,10)
+	u.advance(10)
+
+	if !almost(u.Peak(), 6) {
+		t.Errorf("peak = %v, want 6", u.Peak())
+	}
+	// Integral: 2*4 + 6*2 = 20 over 10s -> mean 2.
+	if got := u.MeanOver(0, 10); !almost(got, 2) {
+		t.Errorf("mean = %v, want 2", got)
+	}
+	// Busy over [0,6) of 10.
+	if got := u.BusyFraction(0, 10); !almost(got, 0.6) {
+		t.Errorf("busy = %v, want 0.6", got)
+	}
+	if n := len(u.Samples()); n != 3 {
+		t.Errorf("samples = %d, want 3", n)
+	}
+	if first, last := u.Span(); first != 0 || last != 10 {
+		t.Errorf("span = [%v,%v], want [0,10]", first, last)
+	}
+}
+
+func TestUtilizationExtendsPastLastChange(t *testing.T) {
+	var u Utilization
+	u.Set(0, 4)
+	// Horizon beyond the last sample: level holds.
+	if got := u.MeanOver(0, 8); !almost(got, 4) {
+		t.Errorf("mean = %v, want 4", got)
+	}
+	if got := u.BusyFraction(0, 8); !almost(got, 1) {
+		t.Errorf("busy = %v, want 1", got)
+	}
+	if u.MeanOver(5, 5) != 0 {
+		t.Error("degenerate window should be 0")
+	}
+}
+
+func TestAnalyzeNodeAndLinkTimelines(t *testing.T) {
+	events := []Event{
+		{T: 0, Kind: ResourceAcquire, Subject: "n0.cores", Node: 0, Node2: NoNode, Value: 16},
+		{T: 0, Kind: ResourceAcquire, Subject: "n1.cores", Node: 1, Node2: NoNode, Value: 8},
+		{T: 1, Kind: FlowStart, Subject: "n0->n1", Node: 0, Node2: 1, Value: 1000},
+		{T: 2, Kind: QueueDepth, Subject: "m0.queue", Node: NoNode, Node2: NoNode, Value: 3},
+		{T: 3, Kind: FlowEnd, Subject: "n0->n1", Node: 0, Node2: 1, Value: 1000},
+		{T: 4, Kind: ResourceRelease, Subject: "n1.cores", Node: 1, Node2: NoNode, Value: 8},
+		{T: 8, Kind: ResourceRelease, Subject: "n0.cores", Node: 0, Node2: NoNode, Value: 16},
+	}
+	m := Analyze(events)
+	if m.End != 8 || m.Events != len(events) {
+		t.Fatalf("horizon = %v events = %d", m.End, m.Events)
+	}
+	nodes := m.NodeList()
+	if len(nodes) != 2 || nodes[0].Node != 0 || nodes[1].Node != 1 {
+		t.Fatalf("unexpected node list: %+v", nodes)
+	}
+	if got := nodes[0].Cores.MeanOver(0, 8); !almost(got, 16) {
+		t.Errorf("node0 mean cores = %v, want 16", got)
+	}
+	if got := nodes[1].Cores.MeanOver(0, 8); !almost(got, 4) {
+		t.Errorf("node1 mean cores = %v, want 4 (8 cores over half the run)", got)
+	}
+	links := m.LinkList()
+	if len(links) != 1 || links[0].Transfers != 1 || !almost(links[0].Bytes, 1000) {
+		t.Fatalf("unexpected links: %+v", links)
+	}
+	// One flow over [1,3) of an 8s horizon.
+	if got := links[0].Flows.MeanOver(0, 8); !almost(got, 0.25) {
+		t.Errorf("link mean flows = %v, want 0.25", got)
+	}
+	if q := m.Queues["m0.queue"]; q == nil || q.Peak() != 3 {
+		t.Errorf("queue timeline missing or wrong: %+v", q)
+	}
+}
+
+func TestAnalyzeStagesAndDTL(t *testing.T) {
+	events := []Event{
+		{T: 0, Kind: StageBegin, Subject: "m0.sim", Detail: "S", Node: 0, Node2: NoNode},
+		{T: 5, Kind: StageEnd, Subject: "m0.sim", Detail: "S", Node: 0, Node2: NoNode},
+		{T: 5, Kind: PutBegin, Subject: "dtl", Detail: "dimes", Node: 0, Node2: NoNode, Value: 100},
+		{T: 6, Kind: PutEnd, Subject: "dtl", Detail: "dimes", Node: 0, Node2: NoNode, Value: 100},
+		{T: 6, Kind: GetBegin, Subject: "dtl", Detail: "dimes", Node: 0, Node2: 1, Value: 100},
+		{T: 8, Kind: GetEnd, Subject: "dtl", Detail: "dimes", Node: 0, Node2: 1, Value: 100},
+		{T: 8, Kind: StageBegin, Subject: "m0.sim", Detail: "S", Node: 0, Node2: NoNode},
+		{T: 10, Kind: StageEnd, Subject: "m0.sim", Detail: "S", Node: 0, Node2: NoNode},
+	}
+	m := Analyze(events)
+	stages := m.StageList()
+	if len(stages) != 1 {
+		t.Fatalf("stages = %+v", stages)
+	}
+	if stages[0].Count != 2 || !almost(stages[0].Seconds, 7) {
+		t.Errorf("stage S: count=%d seconds=%v, want 2 and 7", stages[0].Count, stages[0].Seconds)
+	}
+	dtl := m.DTLList()
+	if len(dtl) != 2 {
+		t.Fatalf("dtl = %+v", dtl)
+	}
+	// Sorted: get before put.
+	if dtl[0].Op != "get" || !almost(dtl[0].Seconds, 2) || !almost(dtl[0].Bytes, 100) {
+		t.Errorf("get stats wrong: %+v", dtl[0])
+	}
+	if dtl[1].Op != "put" || !almost(dtl[1].Seconds, 1) || dtl[1].Count != 1 {
+		t.Errorf("put stats wrong: %+v", dtl[1])
+	}
+}
+
+func TestAnalyzeGauges(t *testing.T) {
+	m := Analyze([]Event{
+		{T: 0, Kind: GaugeSet, Subject: "node0", Detail: "membw", Node: 0, Node2: NoNode, Value: 0.25},
+		{T: 4, Kind: GaugeSet, Subject: "node0", Detail: "membw", Node: 0, Node2: NoNode, Value: 0.75},
+	})
+	g := m.Gauges["node0/membw"]
+	if g == nil {
+		t.Fatal("gauge missing")
+	}
+	if !almost(g.Peak(), 0.75) || !almost(g.MeanOver(0, 4), 0.25) {
+		t.Errorf("gauge peak=%v mean=%v", g.Peak(), g.MeanOver(0, 4))
+	}
+}
+
+func TestLinkLabel(t *testing.T) {
+	if LinkLabel(0, 3) != "n0->n3" {
+		t.Errorf("LinkLabel = %q", LinkLabel(0, 3))
+	}
+}

@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	if r.Enabled() {
+		t.Fatal("nil recorder should report disabled")
+	}
+	// Every method must be a no-op on the nil receiver.
+	r.ProcStart("p", 0)
+	r.ProcEnd("p", 0)
+	r.StageBegin("p", "S", 0)
+	r.StageEnd("p", "S", 0, 10)
+	r.ResourceAcquire("cores", 0, 8)
+	r.ResourceRelease("cores", 0, 8)
+	r.QueueDepth("q", 3)
+	r.PutBegin("dimes", 0, 100)
+	r.PutEnd("dimes", 0, 100)
+	r.GetBegin("dimes", 0, 1, 100)
+	r.GetEnd("dimes", 0, 1, 100)
+	r.FlowStart("n0->n1", 0, 1, 100)
+	r.FlowEnd("n0->n1", 0, 1, 100)
+	r.Gauge("node0", "membw", 0, 0.5)
+	r.Emit(Event{})
+	r.EmitNow(Event{})
+	r.Reset()
+	if r.Len() != 0 || r.Events() != nil {
+		t.Fatal("nil recorder must hold no events")
+	}
+}
+
+func TestRecorderStampsClock(t *testing.T) {
+	now := 0.0
+	r := NewRecorder(func() float64 { return now })
+	r.ProcStart("m0.sim", 0)
+	now = 1.5
+	r.StageBegin("m0.sim", "S", 0)
+	now = 2.5
+	r.StageEnd("m0.sim", "S", 0, 0)
+	r.ProcEnd("m0.sim", 0)
+
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("got %d events, want 4", len(evs))
+	}
+	wantT := []float64{0, 1.5, 2.5, 2.5}
+	wantK := []Kind{ProcStart, StageBegin, StageEnd, ProcEnd}
+	for i, ev := range evs {
+		if ev.T != wantT[i] || ev.Kind != wantK[i] {
+			t.Errorf("event %d = {T:%v Kind:%v}, want {T:%v Kind:%v}", i, ev.T, ev.Kind, wantT[i], wantK[i])
+		}
+	}
+	if evs[1].Subject != "m0.sim" || evs[1].Detail != "S" {
+		t.Errorf("stage event mislabeled: %+v", evs[1])
+	}
+	r.Reset()
+	if r.Len() != 0 {
+		t.Error("Reset should drop events")
+	}
+}
+
+func TestRecorderNoClock(t *testing.T) {
+	r := NewRecorder(nil)
+	r.QueueDepth("q", 2)
+	if r.Events()[0].T != 0 {
+		t.Error("clockless recorder should stamp zero")
+	}
+	if !r.Enabled() {
+		t.Error("non-nil recorder should report enabled")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if ProcStart.String() != "proc-start" || GetEnd.String() != "get-end" {
+		t.Errorf("unexpected kind names: %v %v", ProcStart, GetEnd)
+	}
+	if !strings.Contains(Kind(200).String(), "200") {
+		t.Error("unknown kind should include its number")
+	}
+	if Kind(200).Valid() {
+		t.Error("Kind(200) should be invalid")
+	}
+	for k := Kind(0); k.Valid(); k++ {
+		if k.String() == "" {
+			t.Errorf("kind %d has empty name", k)
+		}
+	}
+}

@@ -1,0 +1,365 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// The Chrome trace-event format (the JSON flavour Perfetto's
+// ui.perfetto.dev and chrome://tracing both open): a flat array of events
+// with phase "B"/"E" duration pairs, "C" counters, and "M" metadata naming
+// processes and threads. The exporter maps the virtual topology onto it:
+// one trace "process" per cluster node (plus synthetic processes for the
+// fabric, queues, and the DTL), one thread per simulated component, and
+// counter tracks for core occupancy, link flows, queue depths, and gauges.
+//
+// Field order in the structs below is the serialization order; keep it
+// stable, the golden-file tests depend on it.
+
+type chromeEvent struct {
+	Name string      `json:"name"`
+	Cat  string      `json:"cat,omitempty"`
+	Ph   string      `json:"ph"`
+	TS   float64     `json:"ts"`
+	Pid  int         `json:"pid"`
+	Tid  int         `json:"tid"`
+	Args *chromeArgs `json:"args,omitempty"`
+}
+
+type chromeArgs struct {
+	Name  string   `json:"name,omitempty"`
+	Value *float64 `json:"value,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// secondsToTS converts virtual seconds to trace-event microseconds.
+func secondsToTS(s float64) float64 { return s * 1e6 }
+
+// chromeBuilder assigns deterministic pids/tids and accumulates events.
+type chromeBuilder struct {
+	out []chromeEvent
+
+	pidNamed map[int]string // pid -> process name already emitted
+	tids     map[int]map[string]int
+	nextTid  map[int]int
+
+	// counter levels for running C tracks
+	coreLevel map[int]float64
+	linkLevel map[string]float64
+	dtlLevel  map[string]float64
+	openSpans map[[2]int][]chromeEvent // (pid,tid) -> stack of open B events
+	horizon   float64
+	fabricPID int
+	queuePID  int
+	dtlPID    int
+	orphanPID int
+}
+
+func (b *chromeBuilder) process(pid int, name string) {
+	if _, ok := b.pidNamed[pid]; ok {
+		return
+	}
+	b.pidNamed[pid] = name
+	b.out = append(b.out, chromeEvent{
+		Name: "process_name", Ph: "M", TS: 0, Pid: pid, Tid: 0,
+		Args: &chromeArgs{Name: name},
+	})
+}
+
+// tid returns the thread id for subject within pid, minting one (with its
+// thread_name metadata) on first use.
+func (b *chromeBuilder) tid(pid int, subject string) int {
+	m, ok := b.tids[pid]
+	if !ok {
+		m = make(map[string]int)
+		b.tids[pid] = m
+	}
+	if t, ok := m[subject]; ok {
+		return t
+	}
+	b.nextTid[pid]++
+	t := b.nextTid[pid]
+	m[subject] = t
+	b.out = append(b.out, chromeEvent{
+		Name: "thread_name", Ph: "M", TS: 0, Pid: pid, Tid: t,
+		Args: &chromeArgs{Name: subject},
+	})
+	return t
+}
+
+func (b *chromeBuilder) begin(pid, tid int, name, cat string, t float64) {
+	ev := chromeEvent{Name: name, Cat: cat, Ph: "B", TS: secondsToTS(t), Pid: pid, Tid: tid}
+	b.out = append(b.out, ev)
+	key := [2]int{pid, tid}
+	b.openSpans[key] = append(b.openSpans[key], ev)
+}
+
+func (b *chromeBuilder) end(pid, tid int, name, cat string, t float64) {
+	key := [2]int{pid, tid}
+	stack := b.openSpans[key]
+	if len(stack) == 0 {
+		return // unmatched end: drop rather than corrupt the track
+	}
+	b.openSpans[key] = stack[:len(stack)-1]
+	b.out = append(b.out, chromeEvent{Name: name, Cat: cat, Ph: "E", TS: secondsToTS(t), Pid: pid, Tid: tid})
+}
+
+func (b *chromeBuilder) counter(pid int, name string, t, v float64) {
+	val := v
+	b.out = append(b.out, chromeEvent{
+		Name: name, Ph: "C", TS: secondsToTS(t), Pid: pid, Tid: 0,
+		Args: &chromeArgs{Value: &val},
+	})
+}
+
+// BuildChromeEvents converts an obs event stream into Chrome trace events.
+// The result is sorted by timestamp with metadata records first; every "B"
+// has a matching "E" (spans still open at the end of the stream are closed
+// at the horizon).
+func buildChrome(events []Event) chromeTrace {
+	maxNode := -1
+	subjectNode := make(map[string]int)
+	for _, ev := range events {
+		if ev.Node > maxNode {
+			maxNode = ev.Node
+		}
+		if ev.Node2 > maxNode {
+			maxNode = ev.Node2
+		}
+		switch ev.Kind {
+		case ProcStart, ProcEnd, StageBegin, StageEnd:
+			if ev.Node != NoNode {
+				if _, ok := subjectNode[ev.Subject]; !ok {
+					subjectNode[ev.Subject] = ev.Node
+				}
+			}
+		}
+	}
+	b := &chromeBuilder{
+		pidNamed:  make(map[int]string),
+		tids:      make(map[int]map[string]int),
+		nextTid:   make(map[int]int),
+		coreLevel: make(map[int]float64),
+		linkLevel: make(map[string]float64),
+		dtlLevel:  make(map[string]float64),
+		openSpans: make(map[[2]int][]chromeEvent),
+		fabricPID: maxNode + 2,
+		queuePID:  maxNode + 3,
+		dtlPID:    maxNode + 4,
+		orphanPID: maxNode + 5,
+	}
+	nodePID := func(n int) int { return n + 1 }
+	// trackOf places component subjects on their node's process.
+	trackOf := func(ev Event) (int, int) {
+		n := ev.Node
+		if n == NoNode {
+			if sn, ok := subjectNode[ev.Subject]; ok {
+				n = sn
+			}
+		}
+		pid := b.orphanPID
+		if n != NoNode {
+			pid = nodePID(n)
+			b.process(pid, fmt.Sprintf("node%d", n))
+		} else {
+			b.process(pid, "unplaced")
+		}
+		return pid, b.tid(pid, ev.Subject)
+	}
+
+	for _, ev := range events {
+		if ev.T > b.horizon {
+			b.horizon = ev.T
+		}
+		switch ev.Kind {
+		case ProcStart:
+			pid, tid := trackOf(ev)
+			b.begin(pid, tid, ev.Subject, "proc", ev.T)
+		case ProcEnd:
+			pid, tid := trackOf(ev)
+			b.end(pid, tid, ev.Subject, "proc", ev.T)
+		case StageBegin:
+			pid, tid := trackOf(ev)
+			b.begin(pid, tid, ev.Detail, "stage", ev.T)
+		case StageEnd:
+			pid, tid := trackOf(ev)
+			b.end(pid, tid, ev.Detail, "stage", ev.T)
+		case ResourceAcquire, ResourceRelease:
+			if ev.Node == NoNode {
+				continue
+			}
+			pid := nodePID(ev.Node)
+			b.process(pid, fmt.Sprintf("node%d", ev.Node))
+			d := ev.Value
+			if ev.Kind == ResourceRelease {
+				d = -d
+			}
+			b.coreLevel[ev.Node] += d
+			b.counter(pid, "cores in use", ev.T, b.coreLevel[ev.Node])
+		case QueueDepth:
+			b.process(b.queuePID, "queues")
+			b.counter(b.queuePID, ev.Subject, ev.T, ev.Value)
+		case FlowStart, FlowEnd:
+			b.process(b.fabricPID, "fabric")
+			d := 1.0
+			if ev.Kind == FlowEnd {
+				d = -1
+			}
+			b.linkLevel[ev.Subject] += d
+			b.counter(b.fabricPID, ev.Subject, ev.T, b.linkLevel[ev.Subject])
+		case PutBegin, PutEnd, GetBegin, GetEnd:
+			b.process(b.dtlPID, "dtl")
+			op := "put"
+			d := 1.0
+			switch ev.Kind {
+			case PutEnd:
+				d = -1
+			case GetBegin:
+				op = "get"
+			case GetEnd:
+				op, d = "get", -1
+			}
+			key := ev.Detail + " " + op + "s in flight"
+			b.dtlLevel[key] += d
+			b.counter(b.dtlPID, key, ev.T, b.dtlLevel[key])
+		case GaugeSet:
+			if ev.Node != NoNode {
+				pid := nodePID(ev.Node)
+				b.process(pid, fmt.Sprintf("node%d", ev.Node))
+				b.counter(pid, ev.Subject+"."+ev.Detail, ev.T, ev.Value)
+			} else {
+				b.process(b.queuePID, "queues")
+				b.counter(b.queuePID, ev.Subject+"."+ev.Detail, ev.T, ev.Value)
+			}
+		}
+	}
+	// Close spans still open (components that never finished) at the
+	// horizon so every B has an E.
+	keys := make([][2]int, 0, len(b.openSpans))
+	for k := range b.openSpans {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	for _, k := range keys {
+		for i := len(b.openSpans[k]) - 1; i >= 0; i-- {
+			open := b.openSpans[k][i]
+			b.out = append(b.out, chromeEvent{
+				Name: open.Name, Cat: open.Cat, Ph: "E",
+				TS: secondsToTS(b.horizon), Pid: k[0], Tid: k[1],
+			})
+		}
+	}
+	// Metadata first, then events in non-decreasing timestamp order.
+	sort.SliceStable(b.out, func(i, j int) bool {
+		mi, mj := b.out[i].Ph == "M", b.out[j].Ph == "M"
+		if mi != mj {
+			return mi
+		}
+		if mi {
+			return false // keep metadata in emission order
+		}
+		return b.out[i].TS < b.out[j].TS
+	})
+	return chromeTrace{TraceEvents: b.out, DisplayTimeUnit: "ms"}
+}
+
+// WriteChromeTrace serializes the event stream in the Chrome trace-event
+// JSON format understood by ui.perfetto.dev and chrome://tracing: one
+// track per node (plus fabric/queue/DTL tracks), B/E duration pairs per
+// component stage, and counter tracks for occupancy and queue depths.
+// Field ordering is stable and timestamps are emitted sorted.
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	doc := buildChrome(events)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(doc)
+}
+
+// ValidateChromeTrace structurally checks serialized Chrome trace JSON:
+// parseable, timestamps sorted non-decreasing, every "B" matched by an "E"
+// on the same track, and every referenced process named by exactly one
+// process_name metadata record. It is the acceptance gate behind
+// `ensemblectl -obs`.
+func ValidateChromeTrace(data []byte) error {
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			TS   float64 `json:"ts"`
+			Pid  int     `json:"pid"`
+			Tid  int     `json:"tid"`
+			Args *struct {
+				Name string `json:"name"`
+			} `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("obs: chrome trace not parseable: %w", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		return fmt.Errorf("obs: chrome trace has no events")
+	}
+	lastTS := 0.0
+	sawEvent := false
+	procNames := make(map[int]string)
+	pidsSeen := make(map[int]bool)
+	depth := make(map[[2]int]int)
+	for i, ev := range doc.TraceEvents {
+		pidsSeen[ev.Pid] = true
+		switch ev.Ph {
+		case "M":
+			if sawEvent {
+				return fmt.Errorf("obs: metadata record %d after trace events", i)
+			}
+			if ev.Name == "process_name" {
+				if prev, dup := procNames[ev.Pid]; dup {
+					return fmt.Errorf("obs: pid %d named twice (%q, %q)", ev.Pid, prev, ev.Args.Name)
+				}
+				if ev.Args == nil || ev.Args.Name == "" {
+					return fmt.Errorf("obs: process_name for pid %d has no name", ev.Pid)
+				}
+				procNames[ev.Pid] = ev.Args.Name
+			}
+		case "B", "E", "C":
+			if sawEvent && ev.TS < lastTS {
+				return fmt.Errorf("obs: event %d: timestamp %v before %v (unsorted)", i, ev.TS, lastTS)
+			}
+			sawEvent = true
+			lastTS = ev.TS
+			key := [2]int{ev.Pid, ev.Tid}
+			switch ev.Ph {
+			case "B":
+				depth[key]++
+			case "E":
+				depth[key]--
+				if depth[key] < 0 {
+					return fmt.Errorf("obs: event %d: E without matching B on pid=%d tid=%d", i, ev.Pid, ev.Tid)
+				}
+			}
+		default:
+			return fmt.Errorf("obs: event %d: unknown phase %q", i, ev.Ph)
+		}
+	}
+	for key, d := range depth {
+		if d != 0 {
+			return fmt.Errorf("obs: %d unclosed B event(s) on pid=%d tid=%d", d, key[0], key[1])
+		}
+	}
+	for pid := range pidsSeen {
+		if _, ok := procNames[pid]; !ok {
+			return fmt.Errorf("obs: pid %d has events but no process_name metadata", pid)
+		}
+	}
+	return nil
+}

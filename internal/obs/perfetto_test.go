@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ensemblekit/internal/trace"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// twoMemberTrace builds a small deterministic 2-member ensemble trace:
+// member 0 co-located on node 0, member 1 split across nodes 1 and 2.
+func twoMemberTrace() *trace.EnsembleTrace {
+	build := func(name string, kind trace.Kind, node, cores int, start float64, stages []trace.Stage, durs []float64, bytesPerStep int64) *trace.ComponentTrace {
+		c := &trace.ComponentTrace{Name: name, Kind: kind, Nodes: []int{node}, Cores: cores, Start: start}
+		t := start
+		for i := 0; i < 2; i++ {
+			step := trace.StepRecord{Index: i}
+			for j, s := range stages {
+				rec := trace.StageRecord{Stage: s, Start: t, Duration: durs[j]}
+				if s == trace.StageW || s == trace.StageR {
+					rec.Counters.Bytes = bytesPerStep
+				}
+				t += durs[j]
+				step.Stages = append(step.Stages, rec)
+			}
+			c.Steps = append(c.Steps, step)
+		}
+		c.End = t
+		return c
+	}
+	return &trace.EnsembleTrace{
+		Backend: "simulated",
+		Config:  "golden-2m",
+		Members: []*trace.MemberTrace{
+			{
+				Index:      0,
+				Simulation: build("m0.sim", trace.KindSimulation, 0, 16, 0, trace.SimulationStages(), []float64{10, 1, 0.5}, 1<<20),
+				Analyses: []*trace.ComponentTrace{
+					build("m0.ana0", trace.KindAnalysis, 0, 8, 0.5, trace.AnalysisStages(), []float64{0.5, 8, 2.5}, 1<<20),
+				},
+			},
+			{
+				Index:      1,
+				Simulation: build("m1.sim", trace.KindSimulation, 1, 16, 0, trace.SimulationStages(), []float64{10, 0, 1.5}, 1<<21),
+				Analyses: []*trace.ComponentTrace{
+					build("m1.ana0", trace.KindAnalysis, 2, 8, 1.5, trace.AnalysisStages(), []float64{1.5, 9, 0.5}, 1<<21),
+				},
+			},
+		},
+	}
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run go test ./internal/obs -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s differs from golden file; run go test ./internal/obs -update and inspect the diff", name)
+	}
+}
+
+func TestPerfettoGolden(t *testing.T) {
+	events := FromTrace(twoMemberTrace())
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateChromeTrace(buf.Bytes()); err != nil {
+		t.Fatalf("generated trace fails structural validation: %v", err)
+	}
+	checkGolden(t, "perfetto_2member.golden.json", buf.Bytes())
+}
+
+func TestSummaryGolden(t *testing.T) {
+	m := Analyze(FromTrace(twoMemberTrace()))
+	var buf bytes.Buffer
+	if err := WriteSummary(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "summary_2member.golden.txt", buf.Bytes())
+}
+
+func TestPerfettoDeterministic(t *testing.T) {
+	events := FromTrace(twoMemberTrace())
+	var a, b bytes.Buffer
+	if err := WriteChromeTrace(&a, events); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteChromeTrace(&b, events); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("two exports of the same events differ (field or track ordering unstable)")
+	}
+}
+
+func TestFromTraceTimelines(t *testing.T) {
+	m := Analyze(FromTrace(twoMemberTrace()))
+	if len(m.Nodes) != 3 {
+		t.Fatalf("nodes = %d, want 3", len(m.Nodes))
+	}
+	// Node 0 holds the co-located member: 16+8 cores at peak.
+	if got := m.Nodes[0].Cores.Peak(); got != 24 {
+		t.Errorf("node0 peak cores = %v, want 24", got)
+	}
+	if got := m.Nodes[1].Cores.Peak(); got != 16 {
+		t.Errorf("node1 peak cores = %v, want 16", got)
+	}
+	if got := m.Nodes[2].Cores.Peak(); got != 8 {
+		t.Errorf("node2 peak cores = %v, want 8", got)
+	}
+	// Stage totals: every component recorded 3 distinct stages.
+	if len(m.Stages) != 4*3 {
+		t.Errorf("stage groups = %d, want 12", len(m.Stages))
+	}
+}
+
+func TestValidateChromeTraceRejects(t *testing.T) {
+	cases := map[string]string{
+		"not json":    `{`,
+		"empty":       `{"traceEvents":[]}`,
+		"unsorted":    `{"traceEvents":[{"name":"process_name","ph":"M","ts":0,"pid":1,"tid":0,"args":{"name":"node0"}},{"name":"a","ph":"B","ts":5,"pid":1,"tid":1},{"name":"a","ph":"E","ts":4,"pid":1,"tid":1}]}`,
+		"unmatched B": `{"traceEvents":[{"name":"process_name","ph":"M","ts":0,"pid":1,"tid":0,"args":{"name":"node0"}},{"name":"a","ph":"B","ts":1,"pid":1,"tid":1}]}`,
+		"orphan E":    `{"traceEvents":[{"name":"process_name","ph":"M","ts":0,"pid":1,"tid":0,"args":{"name":"node0"}},{"name":"a","ph":"E","ts":1,"pid":1,"tid":1}]}`,
+		"unnamed pid": `{"traceEvents":[{"name":"a","ph":"B","ts":1,"pid":9,"tid":1},{"name":"a","ph":"E","ts":2,"pid":9,"tid":1}]}`,
+		"late meta":   `{"traceEvents":[{"name":"a","ph":"B","ts":1,"pid":1,"tid":1},{"name":"process_name","ph":"M","ts":0,"pid":1,"tid":0,"args":{"name":"node0"}},{"name":"a","ph":"E","ts":2,"pid":1,"tid":1}]}`,
+		"double name": `{"traceEvents":[{"name":"process_name","ph":"M","ts":0,"pid":1,"tid":0,"args":{"name":"a"}},{"name":"process_name","ph":"M","ts":0,"pid":1,"tid":0,"args":{"name":"b"}}]}`,
+		"bad phase":   `{"traceEvents":[{"name":"a","ph":"X","ts":1,"pid":1,"tid":1}]}`,
+	}
+	for name, data := range cases {
+		if err := ValidateChromeTrace([]byte(data)); err == nil {
+			t.Errorf("%s: validation should fail", name)
+		}
+	}
+}

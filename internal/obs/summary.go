@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+)
+
+// fnum formats a float compactly and deterministically for the summary
+// tables.
+func fnum(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v >= 1e6 || v < 1e-3:
+		return fmt.Sprintf("%.3e", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+// WriteUtilization prints the per-node core-occupancy table: for every
+// node the capacity seen, the time-weighted mean and peak cores in use,
+// and the fraction of the run the node was busy. This is the table
+// `traceview -utilization` shows next to the stage statistics.
+func WriteUtilization(w io.Writer, m *Metrics) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "node\tmean cores\tpeak cores\tbusy frac")
+	for _, n := range m.NodeList() {
+		fmt.Fprintf(tw, "n%d\t%s\t%s\t%s\n",
+			n.Node, fnum(n.Cores.MeanOver(0, m.End)), fnum(n.Cores.Peak()),
+			fnum(n.Cores.BusyFraction(0, m.End)))
+	}
+	return tw.Flush()
+}
+
+// WriteSummary prints the compact text form of the metrics registry:
+// node occupancy, link utilization, DTL traffic, queue peaks, and
+// per-component stage totals.
+func WriteSummary(w io.Writer, m *Metrics) error {
+	fmt.Fprintf(w, "== observability summary ==\n")
+	fmt.Fprintf(w, "events analyzed: %d, horizon: %s s\n\n", m.Events, fnum(m.End))
+
+	fmt.Fprintln(w, "-- per-node core occupancy --")
+	if err := WriteUtilization(w, m); err != nil {
+		return err
+	}
+
+	if len(m.Links) > 0 {
+		fmt.Fprintln(w, "\n-- fabric links --")
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "link\ttransfers\tbytes\tmean flows\tpeak flows")
+		for _, l := range m.LinkList() {
+			fmt.Fprintf(tw, "%s\t%d\t%s\t%s\t%s\n",
+				l.Link, l.Transfers, fnum(l.Bytes),
+				fnum(l.Flows.MeanOver(0, m.End)), fnum(l.Flows.Peak()))
+		}
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+	}
+
+	if len(m.DTL) > 0 {
+		fmt.Fprintln(w, "\n-- DTL traffic --")
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "tier\top\tops\tbytes\ttotal latency (s)")
+		for _, d := range m.DTLList() {
+			fmt.Fprintf(tw, "%s\t%s\t%d\t%s\t%s\n",
+				d.Tier, d.Op, d.Count, fnum(d.Bytes), fnum(d.Seconds))
+		}
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+	}
+
+	if len(m.Queues) > 0 {
+		fmt.Fprintln(w, "\n-- queues --")
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "queue\tmean depth\tpeak depth")
+		for _, q := range m.QueueList() {
+			u := m.Queues[q]
+			fmt.Fprintf(tw, "%s\t%s\t%s\n", q, fnum(u.MeanOver(0, m.End)), fnum(u.Peak()))
+		}
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+	}
+
+	if len(m.Stages) > 0 {
+		fmt.Fprintln(w, "\n-- stage totals --")
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "component\tstage\tcount\ttotal (s)\tbytes")
+		for _, s := range m.StageList() {
+			fmt.Fprintf(tw, "%s\t%s\t%d\t%s\t%s\n",
+				s.Component, s.Stage, s.Count, fnum(s.Seconds), fnum(s.Bytes))
+		}
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

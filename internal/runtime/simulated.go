@@ -8,6 +8,7 @@ import (
 	"ensemblekit/internal/cluster"
 	"ensemblekit/internal/dtl"
 	"ensemblekit/internal/network"
+	"ensemblekit/internal/obs"
 	"ensemblekit/internal/placement"
 	"ensemblekit/internal/sim"
 	"ensemblekit/internal/trace"
@@ -47,6 +48,12 @@ type SimOptions struct {
 	// Topology optionally adds dragonfly group structure to the
 	// interconnect (nil keeps the flat fabric).
 	Topology *network.Dragonfly
+	// Recorder optionally attaches a live instrumentation bus: the engine,
+	// the DTL, the fabric, and the stage loop emit obs events to it as the
+	// run unfolds. Nil (the default) disables instrumentation; attaching a
+	// recorder never changes scheduling, so results are bit-identical
+	// either way.
+	Recorder *obs.Recorder
 }
 
 func (o SimOptions) tier() string {
@@ -140,6 +147,7 @@ func RunSimulated(spec cluster.Spec, p placement.Placement, es EnsembleSpec, opt
 
 	// Simulation environment, fabric, and DTL tier.
 	env := sim.NewEnv()
+	env.SetRecorder(opts.Recorder)
 	var tier dtl.Tier
 	switch opts.tier() {
 	case TierDimes:
@@ -230,6 +238,7 @@ func RunSimulated(spec cluster.Spec, p placement.Placement, es EnsembleSpec, opt
 		spec:  spec,
 		es:    es,
 		opts:  opts,
+		rec:   env.Recorder(),
 	}
 	// Launch all processes; they all start at t=0 (the paper's concurrent
 	// members starting simultaneously).
@@ -259,9 +268,24 @@ type simRun struct {
 	spec    cluster.Spec
 	es      EnsembleSpec
 	opts    SimOptions
+	rec     *obs.Recorder // nil when instrumentation is off
 	procs   []*sim.Proc
 	failure error
 }
+
+// Stage taxonomy names shared with the obs event stream; precomputed so an
+// emission with a nil recorder costs only the branch inside the method.
+var (
+	stageNameS  = trace.StageS.String()
+	stageNameIS = trace.StageIS.String()
+	stageNameW  = trace.StageW.String()
+	stageNameR  = trace.StageR.String()
+	stageNameA  = trace.StageA.String()
+	stageNameIA = trace.StageIA.String()
+)
+
+// coreLabel names a node's core pool in resource events.
+func coreLabel(node int) string { return fmt.Sprintf("n%d.cores", node) }
 
 // fail records the first component failure and interrupts every other
 // process so the run winds down instead of deadlocking.
@@ -323,6 +347,10 @@ func (r *simRun) launchMember(i int, simA compAlloc, anaA []compAlloc,
 		slots = 1
 	}
 	writeTokens := sim.NewStore[struct{}](r.env, -1)
+	rec := r.env.Recorder()
+	if rec.Enabled() {
+		writeTokens.SetLabel(fmt.Sprintf("m%d.writeTokens", i))
+	}
 	for t := 0; t < k*slots; t++ {
 		writeTokens.Offer(struct{}{})
 	}
@@ -330,6 +358,9 @@ func (r *simRun) launchMember(i int, simA compAlloc, anaA []compAlloc,
 	announce := make([]*sim.Store[int], k)
 	for j := range announce {
 		announce[j] = sim.NewStore[int](r.env, -1)
+		if rec.Enabled() {
+			announce[j].SetLabel(fmt.Sprintf("m%d.announce%d", i, j))
+		}
 	}
 
 	bytes := r.es.Members[i].Sim.BytesPerStep
@@ -338,17 +369,25 @@ func (r *simRun) launchMember(i int, simA compAlloc, anaA []compAlloc,
 	// Simulation process.
 	simTrace := mt.Simulation
 	simJitter := r.jitterFn(int64(i) * 131)
+	simCores := coreLabel(simA.node)
 	simProc := r.env.Go(simTrace.Name, func(p *sim.Proc) error {
 		simTrace.Start = p.Now()
-		defer func() { simTrace.End = p.Now() }()
+		r.rec.ResourceAcquire(simCores, simA.node, float64(simA.tenant.Cores))
+		defer func() {
+			simTrace.End = p.Now()
+			r.rec.ResourceRelease(simCores, simA.node, float64(simA.tenant.Cores))
+		}()
 		for step := 0; step < n; step++ {
 			rec := trace.StepRecord{Index: step}
 			// S: compute.
 			sStart := p.Now()
 			sDur := simAssess.ComputeTime * simJitter()
+			r.rec.StageBegin(simTrace.Name, stageNameS, simA.node)
 			if err := p.Wait(sDur); err != nil {
+				r.rec.StageEnd(simTrace.Name, stageNameS, simA.node, 0)
 				return r.abort(simTrace, err)
 			}
+			r.rec.StageEnd(simTrace.Name, stageNameS, simA.node, 0)
 			counters := r.model.ComputeCounters(simA.tenant, simAssess)
 			counters.Cycles = sDur * clock * float64(simA.tenant.Cores)
 			rec.Stages = append(rec.Stages, trace.StageRecord{
@@ -356,20 +395,26 @@ func (r *simRun) launchMember(i int, simA compAlloc, anaA []compAlloc,
 			})
 			// I^S: wait for all K reads of the previous chunk.
 			isStart := p.Now()
+			r.rec.StageBegin(simTrace.Name, stageNameIS, simA.node)
 			for t := 0; t < k; t++ {
 				if _, err := writeTokens.Get(p); err != nil {
+					r.rec.StageEnd(simTrace.Name, stageNameIS, simA.node, 0)
 					return r.abort(simTrace, err)
 				}
 			}
+			r.rec.StageEnd(simTrace.Name, stageNameIS, simA.node, 0)
 			rec.Stages = append(rec.Stages, trace.StageRecord{
 				Stage: trace.StageIS, Start: isStart, Duration: p.Now() - isStart,
 			})
 			// W: stage the chunk out.
 			wStart := p.Now()
+			r.rec.StageBegin(simTrace.Name, stageNameW, simA.node)
 			if err := r.tier.Write(p, simA.node, bytes); err != nil {
+				r.rec.StageEnd(simTrace.Name, stageNameW, simA.node, float64(bytes))
 				simTrace.Steps = append(simTrace.Steps, rec)
 				return r.abort(simTrace, err)
 			}
+			r.rec.StageEnd(simTrace.Name, stageNameW, simA.node, float64(bytes))
 			wDur := p.Now() - wStart
 			rec.Stages = append(rec.Stages, trace.StageRecord{
 				Stage: trace.StageW, Start: wStart, Duration: wDur,
@@ -391,6 +436,7 @@ func (r *simRun) launchMember(i int, simA compAlloc, anaA []compAlloc,
 		alloc := anaA[j]
 		assess := anaAssess[j]
 		anaJitter := r.jitterFn(int64(i)*131 + int64(j) + 1)
+		anaCores := coreLabel(alloc.node)
 		proc := r.env.Go(anaTrace.Name, func(p *sim.Proc) error {
 			// Lead-in: wait for the first chunk; the component's own
 			// timeline starts at its first read.
@@ -398,15 +444,22 @@ func (r *simRun) launchMember(i int, simA compAlloc, anaA []compAlloc,
 				return r.abort(anaTrace, err)
 			}
 			anaTrace.Start = p.Now()
-			defer func() { anaTrace.End = p.Now() }()
+			r.rec.ResourceAcquire(anaCores, alloc.node, float64(alloc.tenant.Cores))
+			defer func() {
+				anaTrace.End = p.Now()
+				r.rec.ResourceRelease(anaCores, alloc.node, float64(alloc.tenant.Cores))
+			}()
 			for step := 0; step < n; step++ {
 				rec := trace.StepRecord{Index: step}
 				// R: stage the chunk in.
 				rStart := p.Now()
+				r.rec.StageBegin(anaTrace.Name, stageNameR, alloc.node)
 				if err := r.tier.Read(p, simA.node, alloc.node, bytes); err != nil {
+					r.rec.StageEnd(anaTrace.Name, stageNameR, alloc.node, float64(bytes))
 					anaTrace.Steps = append(anaTrace.Steps, rec)
 					return r.abort(anaTrace, err)
 				}
+				r.rec.StageEnd(anaTrace.Name, stageNameR, alloc.node, float64(bytes))
 				rDur := p.Now() - rStart
 				rec.Stages = append(rec.Stages, trace.StageRecord{
 					Stage: trace.StageR, Start: rStart, Duration: rDur,
@@ -417,9 +470,12 @@ func (r *simRun) launchMember(i int, simA compAlloc, anaA []compAlloc,
 				// A: compute.
 				aStart := p.Now()
 				aDur := assess.ComputeTime * anaJitter()
+				r.rec.StageBegin(anaTrace.Name, stageNameA, alloc.node)
 				if err := p.Wait(aDur); err != nil {
+					r.rec.StageEnd(anaTrace.Name, stageNameA, alloc.node, 0)
 					return r.abort(anaTrace, err)
 				}
+				r.rec.StageEnd(anaTrace.Name, stageNameA, alloc.node, 0)
 				counters := r.model.ComputeCounters(alloc.tenant, assess)
 				counters.Cycles = aDur * clock * float64(alloc.tenant.Cores)
 				rec.Stages = append(rec.Stages, trace.StageRecord{
@@ -427,12 +483,15 @@ func (r *simRun) launchMember(i int, simA compAlloc, anaA []compAlloc,
 				})
 				// I^A: wait for the next chunk (zero on the final step).
 				iaStart := p.Now()
+				r.rec.StageBegin(anaTrace.Name, stageNameIA, alloc.node)
 				if step < n-1 {
 					if _, err := announce[j].Get(p); err != nil {
+						r.rec.StageEnd(anaTrace.Name, stageNameIA, alloc.node, 0)
 						anaTrace.Steps = append(anaTrace.Steps, rec)
 						return r.abort(anaTrace, err)
 					}
 				}
+				r.rec.StageEnd(anaTrace.Name, stageNameIA, alloc.node, 0)
 				rec.Stages = append(rec.Stages, trace.StageRecord{
 					Stage: trace.StageIA, Start: iaStart, Duration: p.Now() - iaStart,
 				})

@@ -19,6 +19,13 @@ type AnnealOptions struct {
 	InitialTemp float64
 	// Seed makes the search deterministic.
 	Seed int64
+	// Progress, when non-nil, is called every ProgressEvery iterations
+	// with the iteration count, the current temperature, the current
+	// score, and the best score so far. The callback observes the walk
+	// without perturbing it (RNG consumption is unchanged).
+	Progress func(iteration int, temp, current, best float64)
+	// ProgressEvery is the iteration cadence of Progress (default 100).
+	ProgressEvery int
 }
 
 func (o AnnealOptions) normalized() AnnealOptions {
@@ -94,35 +101,40 @@ func Anneal(spec cluster.Spec, es runtime.EnsembleSpec, maxNodes int, obj Object
 		temp = opts.InitialTemp
 	}
 	cooling := math.Pow(1e-3, 1/float64(opts.Iterations)) // end at 0.1% of start
+	progressEvery := opts.ProgressEvery
+	if progressEvery <= 0 {
+		progressEvery = 100
+	}
 	for it := 0; it < opts.Iterations; it++ {
 		i := rng.Intn(total)
 		old := assignment[i]
 		move := rng.Intn(maxNodes)
-		if move == old {
-			temp *= cooling
-			continue
-		}
-		assignment[i] = move
-		score, ok := evaluate(assignment)
-		res.Evaluated++
-		accept := false
-		if ok {
-			if score >= cur {
-				accept = true
-			} else if temp > 0 && rng.Float64() < math.Exp((score-cur)/temp) {
-				accept = true
+		if move != old {
+			assignment[i] = move
+			score, ok := evaluate(assignment)
+			res.Evaluated++
+			accept := false
+			if ok {
+				if score >= cur {
+					accept = true
+				} else if temp > 0 && rng.Float64() < math.Exp((score-cur)/temp) {
+					accept = true
+				}
 			}
-		}
-		if accept {
-			cur = score
-			if cur > bestScore {
-				bestScore = cur
-				copy(best, assignment)
+			if accept {
+				cur = score
+				if cur > bestScore {
+					bestScore = cur
+					copy(best, assignment)
+				}
+			} else {
+				assignment[i] = old
 			}
-		} else {
-			assignment[i] = old
 		}
 		temp *= cooling
+		if opts.Progress != nil && (it+1)%progressEvery == 0 {
+			opts.Progress(it+1, temp, cur, bestScore)
+		}
 	}
 	// Polish the annealed optimum with deterministic hill climbing — the
 	// standard hybrid: annealing finds the basin, local search finds its

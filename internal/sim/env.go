@@ -17,6 +17,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"ensemblekit/internal/obs"
 )
 
 // ErrInterrupted is wrapped into the error returned from a blocking
@@ -79,7 +81,28 @@ type Env struct {
 	stopped bool
 	// dispatched counts events delivered (for engine statistics).
 	dispatched int64
+	// rec is the optional instrumentation bus. A nil recorder is a valid
+	// no-op (every obs.Recorder method nil-checks its receiver), so the
+	// engine emits unconditionally.
+	rec *obs.Recorder
 }
+
+// SetRecorder attaches an instrumentation recorder to the environment.
+// The engine and the primitives built on it (Semaphore, Store, the
+// network fabric) emit lifecycle, queue-depth, and transfer events to it.
+// A nil recorder (the default) disables instrumentation at the cost of a
+// single branch per emission site; attaching or detaching a recorder
+// never changes event ordering, so simulation results are bit-identical
+// either way.
+func (e *Env) SetRecorder(r *obs.Recorder) {
+	e.rec = r
+	r.SetClock(e.Now)
+}
+
+// Recorder returns the attached recorder (nil when instrumentation is
+// off). Components layered over the engine (DTL tiers, the fabric) reach
+// the bus through this accessor.
+func (e *Env) Recorder() *obs.Recorder { return e.rec }
 
 // Stats reports engine counters: events dispatched and processes started
 // minus finished (live).
@@ -96,6 +119,15 @@ func (e *Env) Stats() Stats {
 // NewEnv returns an environment with the clock at zero.
 func NewEnv() *Env {
 	return &Env{yieldCh: make(chan struct{})}
+}
+
+// NewInstrumentedEnv returns an environment with a fresh recorder bound to
+// its clock, ready for exporting (obs.WriteChromeTrace) after the run.
+func NewInstrumentedEnv() (*Env, *obs.Recorder) {
+	e := NewEnv()
+	r := obs.NewRecorder(e.Now)
+	e.rec = r
+	return e, r
 }
 
 // Now returns the current simulated time in seconds.
@@ -141,6 +173,7 @@ func (e *Env) AtCancelable(t float64, fn func()) (cancel func()) {
 func (e *Env) Go(name string, fn func(p *Proc) error) *Proc {
 	p := &Proc{env: e, name: name, resume: make(chan procResume)}
 	e.live++
+	e.rec.ProcStart(name, obs.NoNode)
 	go func() {
 		r := <-p.resume // wait for the scheduler to start us
 		if r.err == nil {
@@ -155,6 +188,9 @@ func (e *Env) Go(name string, fn func(p *Proc) error) *Proc {
 		} else {
 			p.err = r.err
 		}
+		// The scheduler goroutine is parked on yieldCh until this send, so
+		// the emission below cannot race with scheduler-side emissions.
+		e.rec.ProcEnd(p.name, obs.NoNode)
 		p.done = true
 		e.live--
 		e.yieldCh <- struct{}{}

@@ -1,6 +1,10 @@
 package sim
 
-import "fmt"
+import (
+	"fmt"
+
+	"ensemblekit/internal/obs"
+)
 
 // Semaphore is a counted resource with FIFO granting. It models pools such
 // as cores on a node or slots in a staging area.
@@ -9,6 +13,10 @@ type Semaphore struct {
 	capacity int
 	inUse    int
 	waiters  []*semWaiter
+	// label, when set via SetLabel, turns on instrumentation: acquire,
+	// release, and waiter-queue-depth events are emitted to the
+	// environment's recorder under this name.
+	label string
 }
 
 type semWaiter struct {
@@ -30,6 +38,32 @@ func (s *Semaphore) Capacity() int { return s.capacity }
 // InUse returns the number of currently held units.
 func (s *Semaphore) InUse() int { return s.inUse }
 
+// SetLabel names the semaphore for instrumentation. Labeled semaphores
+// emit resource-acquire/release and queue-depth events to the
+// environment's recorder; unlabeled ones stay silent. The current queue
+// depth is sampled immediately so the timeline starts at labeling time.
+func (s *Semaphore) SetLabel(label string) {
+	s.label = label
+	s.record(0)
+}
+
+// Waiting returns the number of queued waiters.
+func (s *Semaphore) Waiting() int { return len(s.waiters) }
+
+// record emits the current occupancy and queue depth for labeled
+// semaphores; delta distinguishes acquires (>0) from releases (<0).
+func (s *Semaphore) record(delta int) {
+	if s.label == "" {
+		return
+	}
+	if delta > 0 {
+		s.env.rec.ResourceAcquire(s.label, obs.NoNode, float64(delta))
+	} else if delta < 0 {
+		s.env.rec.ResourceRelease(s.label, obs.NoNode, float64(-delta))
+	}
+	s.env.rec.QueueDepth(s.label+".waiters", len(s.waiters))
+}
+
 // Acquire blocks p until n units are available, then takes them.
 // Requests larger than the capacity fail immediately.
 func (s *Semaphore) Acquire(p *Proc, n int) error {
@@ -41,10 +75,12 @@ func (s *Semaphore) Acquire(p *Proc, n int) error {
 	}
 	if len(s.waiters) == 0 && s.inUse+n <= s.capacity {
 		s.inUse += n
+		s.record(n)
 		return nil
 	}
 	w := &semWaiter{proc: p, n: n}
 	s.waiters = append(s.waiters, w)
+	s.record(0)
 	err := p.blockOn(func() { s.removeWaiter(w) })
 	if err != nil {
 		return err
@@ -62,6 +98,7 @@ func (s *Semaphore) Release(n int) {
 	if s.inUse < 0 {
 		panic("sim: semaphore over-released")
 	}
+	s.record(-n)
 	s.grant()
 }
 
@@ -73,6 +110,7 @@ func (s *Semaphore) grant() {
 		}
 		s.waiters = s.waiters[1:]
 		s.inUse += w.n
+		s.record(w.n)
 		s.env.wake(w.proc, nil)
 	}
 }

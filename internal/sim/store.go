@@ -13,6 +13,26 @@ type Store[T any] struct {
 	items    []T
 	getters  []*getWaiter[T]
 	putters  []*putWaiter[T]
+	// label, when set via SetLabel, emits a queue-depth event to the
+	// environment's recorder whenever the buffered count changes.
+	label string
+}
+
+// SetLabel names the store for instrumentation: labeled stores sample
+// their backlog depth into the recorder on every change, starting with the
+// current depth (so stores whose depth never changes — e.g. pure
+// rendezvous handoffs — still appear in the timeline).
+func (s *Store[T]) SetLabel(label string) {
+	s.label = label
+	s.record()
+}
+
+// record samples the current backlog for labeled stores.
+func (s *Store[T]) record() {
+	if s.label == "" {
+		return
+	}
+	s.env.rec.QueueDepth(s.label, len(s.items))
 }
 
 type getWaiter[T any] struct {
@@ -49,6 +69,7 @@ func (s *Store[T]) Put(p *Proc, v T) error {
 	}
 	if s.capacity < 0 || len(s.items) < s.capacity {
 		s.items = append(s.items, v)
+		s.record()
 		return nil
 	}
 	w := &putWaiter[T]{proc: p, value: v}
@@ -62,6 +83,7 @@ func (s *Store[T]) Get(p *Proc) (T, error) {
 	if len(s.items) > 0 {
 		v := s.items[0]
 		s.items = s.items[1:]
+		s.record()
 		s.admitPutter()
 		return v, nil
 	}
@@ -95,6 +117,7 @@ func (s *Store[T]) Offer(v T) bool {
 	}
 	if s.capacity < 0 || len(s.items) < s.capacity {
 		s.items = append(s.items, v)
+		s.record()
 		return true
 	}
 	return false
@@ -106,6 +129,7 @@ func (s *Store[T]) TryGet() (T, bool) {
 	if len(s.items) > 0 {
 		v := s.items[0]
 		s.items = s.items[1:]
+		s.record()
 		s.admitPutter()
 		return v, true
 	}
@@ -127,6 +151,7 @@ func (s *Store[T]) admitPutter() {
 	w := s.putters[0]
 	s.putters = s.putters[1:]
 	s.items = append(s.items, w.value)
+	s.record()
 	s.env.wake(w.proc, nil)
 }
 

@@ -299,21 +299,29 @@ func (t *EnsembleTrace) WriteJSON(w io.Writer) error {
 	return enc.Encode(t)
 }
 
-// ReadJSON deserializes a trace produced by WriteJSON.
+// ReadJSON deserializes a trace produced by WriteJSON, rejecting
+// structurally invalid traces (out-of-range stages, negative durations,
+// overlapping stages) so corrupted files fail at the boundary instead of
+// surfacing as nonsense downstream.
 func ReadJSON(r io.Reader) (*EnsembleTrace, error) {
 	var t EnsembleTrace
 	if err := json.NewDecoder(r).Decode(&t); err != nil {
 		return nil, fmt.Errorf("trace: decoding JSON: %w", err)
 	}
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("trace: invalid trace: %w", err)
+	}
 	return &t, nil
 }
 
 // WriteStepsCSV exports every stage of every component as flat CSV rows
-// (component, kind, member, step, stage, start, duration, bytes) for
+// (component, kind, member, step, stage, start, duration, and the full
+// counter set: bytes, instructions, cycles, llcRefs, llcMisses) for
 // external analysis tools.
 func (t *EnsembleTrace) WriteStepsCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
-	header := []string{"component", "kind", "member", "step", "stage", "start", "duration", "bytes"}
+	header := []string{"component", "kind", "member", "step", "stage", "start", "duration",
+		"bytes", "instructions", "cycles", "llcRefs", "llcMisses"}
 	if err := cw.Write(header); err != nil {
 		return err
 	}
@@ -329,6 +337,10 @@ func (t *EnsembleTrace) WriteStepsCSV(w io.Writer) error {
 					strconv.FormatFloat(st.Start, 'g', -1, 64),
 					strconv.FormatFloat(st.Duration, 'g', -1, 64),
 					strconv.FormatInt(st.Counters.Bytes, 10),
+					strconv.FormatFloat(st.Counters.Instructions, 'g', -1, 64),
+					strconv.FormatFloat(st.Counters.Cycles, 'g', -1, 64),
+					strconv.FormatFloat(st.Counters.LLCRefs, 'g', -1, 64),
+					strconv.FormatFloat(st.Counters.LLCMisses, 'g', -1, 64),
 				}
 				if err := cw.Write(row); err != nil {
 					return err

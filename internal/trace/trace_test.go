@@ -208,6 +208,21 @@ func TestReadJSONError(t *testing.T) {
 	}
 }
 
+func TestReadJSONRejectsCorruptedStage(t *testing.T) {
+	// A structurally corrupted file — a stage id outside the S..I^A
+	// taxonomy — must be rejected at the read boundary, not surface as
+	// nonsense downstream.
+	tr := sampleTrace()
+	tr.Members[0].Simulation.Steps[0].Stages[0].Stage = Stage(42)
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadJSON(&buf); err == nil {
+		t.Fatal("corrupted trace (stage 42) should be rejected by ReadJSON")
+	}
+}
+
 func TestCountersAdd(t *testing.T) {
 	a := Counters{Instructions: 1, Cycles: 2, LLCRefs: 3, LLCMisses: 4, Bytes: 5}
 	b := Counters{Instructions: 10, Cycles: 20, LLCRefs: 30, LLCMisses: 40, Bytes: 50}
@@ -244,5 +259,16 @@ func TestWriteStepsCSV(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), "m0.sim,simulation,0,0,S,") {
 		t.Error("missing expected first stage row")
+	}
+	// The full counter set is exported, not just bytes.
+	wantHeader := "component,kind,member,step,stage,start,duration,bytes,instructions,cycles,llcRefs,llcMisses"
+	if lines[0] != wantHeader {
+		t.Errorf("header = %q, want %q", lines[0], wantHeader)
+	}
+	cols := strings.Split(lines[0], ",")
+	for i, line := range lines[1:] {
+		if got := len(strings.Split(line, ",")); got != len(cols) {
+			t.Fatalf("row %d has %d columns, want %d: %q", i+1, got, len(cols), line)
+		}
 	}
 }

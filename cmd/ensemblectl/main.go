@@ -9,7 +9,15 @@
 //	            [-tier dimes|burstbuffer|pfs] [-jitter F] [-seed N]
 //	            [-nodes N] [-trace FILE] [-placement FILE.json]
 //	            [-obs FILE] [-trace-format chrome|summary]
+//	            [-faults PLAN.json] [-degrade failfast|drop]
+//	            [-retries N] [-retry-backoff S] [-stage-timeout S]
+//	            [-restarts N] [-restart-delay S]
 //	            [-cpuprofile FILE] [-memprofile FILE]
+//
+// -faults loads a declarative fault plan (see examples/faultplan/) and
+// injects it into the run; the resilience flags configure the recovery
+// policy. With -degrade drop, members whose recovery budget is exhausted
+// are dropped and the indicators aggregate over the survivors only.
 package main
 
 import (
@@ -21,6 +29,7 @@ import (
 
 	"ensemblekit/internal/cluster"
 	"ensemblekit/internal/core"
+	"ensemblekit/internal/faults"
 	"ensemblekit/internal/indicators"
 	"ensemblekit/internal/metrics"
 	"ensemblekit/internal/obs"
@@ -80,14 +89,34 @@ func main() {
 		compareArg = flag.String("compare", "", "comma-separated configuration names to run side by side")
 		obsOut     = flag.String("obs", "", "write the instrumentation trace to this file")
 		obsFormat  = flag.String("trace-format", "chrome", "obs output format: chrome (Perfetto JSON) or summary (text)")
+		faultsFile = flag.String("faults", "", "JSON fault plan to inject (see examples/faultplan/)")
+		degrade    = flag.String("degrade", "", "degradation mode once recovery is exhausted: failfast (default) or drop")
+		retries    = flag.Int("retries", 0, "retry budget per staging stage for transient faults")
+		retryBack  = flag.Float64("retry-backoff", 0, "delay before the first retry in seconds (doubles per retry)")
+		stageTO    = flag.Float64("stage-timeout", 0, "per-attempt staging-stage timeout in seconds (0 = none)")
+		restarts   = flag.Int("restarts", 0, "crash-restart budget per component")
+		restartDel = flag.Float64("restart-delay", 0, "time a component restart takes in seconds")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
+	mode, err := runtime.ParseDegradationMode(*degrade)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ensemblectl: %v\n", err)
+		os.Exit(1)
+	}
+	res := runtime.Resilience{
+		StagingRetries: *retries,
+		RetryBackoff:   *retryBack,
+		StageTimeout:   *stageTO,
+		RestartLimit:   *restarts,
+		RestartDelay:   *restartDel,
+		Mode:           mode,
+	}
 	if err := realMain(*configName, *plFile, *backend, *steps, *tier, *jitter, *seed, *nodes,
 		*traceOut, *compareArg, obsOutput{path: *obsOut, format: *obsFormat},
-		*cpuProfile, *memProfile); err != nil {
+		*faultsFile, res, *cpuProfile, *memProfile); err != nil {
 		fmt.Fprintf(os.Stderr, "ensemblectl: %v\n", err)
 		os.Exit(1)
 	}
@@ -95,10 +124,23 @@ func main() {
 
 func realMain(configName, plFile, backend string, steps int, tier string, jitter float64,
 	seed int64, nodes int, traceOut, compareArg string, obsOut obsOutput,
-	cpuProfile, memProfile string) error {
+	faultsFile string, res runtime.Resilience, cpuProfile, memProfile string) error {
 
 	if err := obsOut.validate(); err != nil {
 		return err
+	}
+	var plan *faults.Plan
+	if faultsFile != "" {
+		f, err := os.Open(faultsFile)
+		if err != nil {
+			return err
+		}
+		p, err := faults.ReadJSON(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("fault plan %s: %w", faultsFile, err)
+		}
+		plan = p
 	}
 	if cpuProfile != "" {
 		f, err := os.Create(cpuProfile)
@@ -127,7 +169,7 @@ func realMain(configName, plFile, backend string, steps int, tier string, jitter
 	if compareArg != "" {
 		return compare(compareArg, steps, tier, jitter, seed)
 	}
-	return run(configName, plFile, backend, steps, tier, jitter, seed, nodes, traceOut, obsOut)
+	return run(configName, plFile, backend, steps, tier, jitter, seed, nodes, traceOut, obsOut, plan, res)
 }
 
 // compare runs several built-in configurations on the simulated backend
@@ -205,7 +247,7 @@ func maxNode(p placement.Placement) int {
 	return max
 }
 
-func run(configName, plFile, backend string, steps int, tier string, jitter float64, seed int64, nodes int, traceOut string, obsOut obsOutput) error {
+func run(configName, plFile, backend string, steps int, tier string, jitter float64, seed int64, nodes int, traceOut string, obsOut obsOutput, plan *faults.Plan, res runtime.Resilience) error {
 	var p placement.Placement
 	if plFile != "" {
 		f, err := os.Open(plFile)
@@ -247,13 +289,16 @@ func run(configName, plFile, backend string, steps int, tier string, jitter floa
 		var err error
 		tr, err = runtime.RunSimulated(spec, p, es, runtime.SimOptions{
 			Tier: tier, Jitter: jitter, Seed: seed, Recorder: rec,
+			Faults: plan, Resilience: res,
 		})
 		if err != nil {
 			return err
 		}
 	case "real":
 		var err error
-		tr, err = runtime.RunReal(p, runtime.RealOptions{Steps: steps})
+		tr, err = runtime.RunReal(p, runtime.RealOptions{
+			Steps: steps, Faults: plan, Resilience: res,
+		})
 		if err != nil {
 			return err
 		}
@@ -279,11 +324,17 @@ func run(configName, plFile, backend string, steps int, tier string, jitter floa
 	}
 	fmt.Println(ct.String())
 
-	// Efficiency model per member.
+	// Efficiency model per member. Dropped members (degradation mode
+	// "drop") are annotated and excluded from the indicator aggregation.
 	mt := report.NewTable("Efficiency model (Equations 1-3)",
 		"member", "S*+W* (s)", "sigma (s)", "E", "Eq.4", "makespan (s)", "predicted (s)")
-	effs := make([]float64, len(tr.Members))
+	surviving := placement.Placement{Name: p.Name}
+	var effs []float64
 	for i, m := range tr.Members {
+		if m.Dropped() {
+			mt.AddRow(fmt.Sprintf("EM%d (dropped)", i+1), "-", "-", "-", "-", m.Makespan(), "-")
+			continue
+		}
 		ss, err := core.FromMemberTrace(m, core.ExtractOptions{})
 		if err != nil {
 			return err
@@ -292,24 +343,32 @@ func run(configName, plFile, backend string, steps int, tier string, jitter floa
 		if err != nil {
 			return err
 		}
-		effs[i] = e
+		surviving.Members = append(surviving.Members, p.Members[i])
+		effs = append(effs, e)
 		mt.AddRow(fmt.Sprintf("EM%d", i+1), ss.SimBusy(), ss.Sigma(), e,
 			ss.SatisfiesEq4(), m.Makespan(), ss.Makespan(len(m.Simulation.Steps)))
 	}
 	fmt.Println(mt.String())
 	fmt.Printf("Ensemble makespan: %s\n\n", report.FormatFloat(tr.Makespan()))
+	if d := tr.DroppedMembers(); len(d) > 0 {
+		fmt.Printf("Dropped members: %d of %d (excluded from the indicators below)\n\n", len(d), len(tr.Members))
+	}
 
-	// Indicators.
-	rep, err := indicators.FullReport(p, effs)
-	if err != nil {
-		return err
+	// Indicators over the surviving members (Eq. 9).
+	if len(effs) == 0 {
+		fmt.Println("No surviving members; indicators skipped.")
+	} else {
+		rep, err := indicators.FullReport(surviving, effs)
+		if err != nil {
+			return err
+		}
+		it := report.NewTable("Performance indicators (Equations 5-9)",
+			"stage", "F(P_i)")
+		for _, s := range indicators.AllStages() {
+			it.AddRow("F(P^{"+s.String()+"})", rep.PerStage[s.String()])
+		}
+		fmt.Println(it.String())
 	}
-	it := report.NewTable("Performance indicators (Equations 5-9)",
-		"stage", "F(P_i)")
-	for _, s := range indicators.AllStages() {
-		it.AddRow("F(P^{"+s.String()+"})", rep.PerStage[s.String()])
-	}
-	fmt.Println(it.String())
 
 	if traceOut != "" {
 		f, err := os.Create(traceOut)

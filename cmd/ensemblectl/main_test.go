@@ -8,12 +8,13 @@ import (
 
 	"ensemblekit/internal/obs"
 	"ensemblekit/internal/placement"
+	"ensemblekit/internal/runtime"
 	"ensemblekit/internal/trace"
 )
 
 func TestRunBuiltinConfig(t *testing.T) {
 	traceFile := filepath.Join(t.TempDir(), "trace.json")
-	if err := run("C_c", "", "simulated", 6, "dimes", 0, 1, 0, traceFile, obsOutput{}); err != nil {
+	if err := run("C_c", "", "simulated", 6, "dimes", 0, 1, 0, traceFile, obsOutput{}, nil, runtime.Resilience{}); err != nil {
 		t.Fatal(err)
 	}
 	f, err := os.Open(traceFile)
@@ -40,25 +41,25 @@ func TestRunPlacementFile(t *testing.T) {
 		t.Fatal(err)
 	}
 	f.Close()
-	if err := run("ignored", plFile, "simulated", 4, "dimes", 0, 1, 0, "", obsOutput{}); err != nil {
+	if err := run("ignored", plFile, "simulated", 4, "dimes", 0, 1, 0, "", obsOutput{}, nil, runtime.Resilience{}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("C9.9", "", "simulated", 4, "dimes", 0, 1, 0, "", obsOutput{}); err == nil {
+	if err := run("C9.9", "", "simulated", 4, "dimes", 0, 1, 0, "", obsOutput{}, nil, runtime.Resilience{}); err == nil {
 		t.Error("unknown config should fail")
 	}
-	if err := run("C_c", "", "quantum", 4, "dimes", 0, 1, 0, "", obsOutput{}); err == nil {
+	if err := run("C_c", "", "quantum", 4, "dimes", 0, 1, 0, "", obsOutput{}, nil, runtime.Resilience{}); err == nil {
 		t.Error("unknown backend should fail")
 	}
-	if err := run("C_c", "/nonexistent/file.json", "simulated", 4, "dimes", 0, 1, 0, "", obsOutput{}); err == nil {
+	if err := run("C_c", "/nonexistent/file.json", "simulated", 4, "dimes", 0, 1, 0, "", obsOutput{}, nil, runtime.Resilience{}); err == nil {
 		t.Error("missing placement file should fail")
 	}
 }
 
 func TestRunRealBackend(t *testing.T) {
-	if err := run("C_c", "", "real", 2, "", 0, 1, 0, "", obsOutput{}); err != nil {
+	if err := run("C_c", "", "real", 2, "", 0, 1, 0, "", obsOutput{}, nil, runtime.Resilience{}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -76,7 +77,7 @@ func TestRunObsExport(t *testing.T) {
 	dir := t.TempDir()
 	chrome := filepath.Join(dir, "run.perfetto.json")
 	if err := run("C1.5", "", "simulated", 4, "dimes", 0, 1, 0, "",
-		obsOutput{path: chrome, format: "chrome"}); err != nil {
+		obsOutput{path: chrome, format: "chrome"}, nil, runtime.Resilience{}); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(chrome)
@@ -88,7 +89,7 @@ func TestRunObsExport(t *testing.T) {
 	}
 	summary := filepath.Join(dir, "run.summary.txt")
 	if err := run("C1.5", "", "simulated", 4, "dimes", 0, 1, 0, "",
-		obsOutput{path: summary, format: "summary"}); err != nil {
+		obsOutput{path: summary, format: "summary"}, nil, runtime.Resilience{}); err != nil {
 		t.Fatal(err)
 	}
 	text, err := os.ReadFile(summary)
@@ -101,7 +102,7 @@ func TestRunObsExport(t *testing.T) {
 	// Real backend falls back to the post-hoc trace conversion.
 	realOut := filepath.Join(dir, "real.perfetto.json")
 	if err := run("C_c", "", "real", 2, "", 0, 1, 0, "",
-		obsOutput{path: realOut, format: "chrome"}); err != nil {
+		obsOutput{path: realOut, format: "chrome"}, nil, runtime.Resilience{}); err != nil {
 		t.Fatal(err)
 	}
 	data, err = os.ReadFile(realOut)

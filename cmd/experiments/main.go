@@ -6,7 +6,7 @@
 //
 //	experiments [-exp all|table1|table2|table4|fig3|fig4|fig5|fig6|fig7|fig8|fig9|headline
 //	                  |tiers|validation|buffers|aggregators|scaling|heterogeneous|topology
-//	                  |sockets|intransit]
+//	                  |sockets|intransit|faults]
 //	            [-trials N] [-steps N] [-jitter F] [-seed N] [-quick]
 //	            [-csv DIR] [-obs FILE] [-cpuprofile FILE] [-memprofile FILE]
 //
@@ -320,6 +320,16 @@ func run(cfg experiments.Config, exp, csvDir string) error {
 			return err
 		}
 		if err := emit("sockets", experiments.SocketTable(rows)); err != nil {
+			return err
+		}
+	}
+	if selected("faults") {
+		any = true
+		rows, err := experiments.FaultStudy(cfg)
+		if err != nil {
+			return err
+		}
+		if err := emit("faults", experiments.FaultTable(rows)); err != nil {
 			return err
 		}
 	}

@@ -32,8 +32,11 @@
 package ensemblekit
 
 import (
+	"io"
+
 	"ensemblekit/internal/cluster"
 	"ensemblekit/internal/core"
+	"ensemblekit/internal/faults"
 	"ensemblekit/internal/heuristic"
 	"ensemblekit/internal/indicators"
 	"ensemblekit/internal/placement"
@@ -85,6 +88,61 @@ type (
 	// ScheduleResult is a placement-search outcome.
 	ScheduleResult = scheduler.Result
 )
+
+// Fault injection and resilience (both backends).
+type (
+	// FaultPlan is a declarative, seeded fault-injection plan.
+	FaultPlan = faults.Plan
+	// StagingFault injects staging-operation failures.
+	StagingFault = faults.StagingFault
+	// NodeCrash crashes a node at a virtual time.
+	NodeCrash = faults.NodeCrash
+	// NetworkWindow degrades interconnect capacity over a time window.
+	NetworkWindow = faults.NetworkWindow
+	// StragglerFault dilates a component's compute stages over a window
+	// (named to avoid colliding with the metrics Straggler report type).
+	StragglerFault = faults.Straggler
+	// Resilience is the recovery policy applied around a fault plan.
+	Resilience = runtime.Resilience
+	// DegradationMode selects behaviour once recovery is exhausted.
+	DegradationMode = runtime.DegradationMode
+)
+
+// Degradation modes.
+const (
+	// FailFast aborts the ensemble on the first unrecovered failure.
+	FailFast = runtime.FailFast
+	// DropMember drops the failed member and completes the survivors.
+	DropMember = runtime.DropMember
+)
+
+// ReadFaultPlan decodes and validates a JSON fault plan (see
+// examples/faultplan/plan.json for the format).
+func ReadFaultPlan(r io.Reader) (*FaultPlan, error) { return faults.ReadJSON(r) }
+
+// SurvivingEfficiencies extracts E_i for the members that survived the
+// run (dropped members excluded) along with the filtered placement to
+// aggregate them over (Eq. 9 over survivors).
+func SurvivingEfficiencies(p Placement, tr *EnsembleTrace) (Placement, []float64, error) {
+	filtered := Placement{Name: p.Name}
+	var effs []float64
+	for i, m := range tr.Members {
+		if m.Dropped() {
+			continue
+		}
+		ss, err := core.FromMemberTrace(m, core.ExtractOptions{})
+		if err != nil {
+			return filtered, nil, err
+		}
+		e, err := ss.Efficiency()
+		if err != nil {
+			return filtered, nil, err
+		}
+		filtered.Members = append(filtered.Members, p.Members[i])
+		effs = append(effs, e)
+	}
+	return filtered, effs, nil
+}
 
 // Indicator stage sets (Equations 5-8).
 var (

@@ -215,6 +215,11 @@ func (f *PFS) Read(p *sim.Proc, producerNode, consumerNode int, bytes int64) err
 // Flaky wraps a tier and injects failures: the n-th operation (1-based,
 // counting writes and reads together) returns an error. It exists for
 // failure-injection tests of the runtime's error handling.
+//
+// Deprecated: use a faults.Plan with a StagingFault{FailAtOp: n} rule
+// (runtime.SimOptions.Faults), which subsumes this wrapper with windows,
+// rates, and seeded determinism. Flaky is kept for back-compat with
+// existing tests and specs; the runtime itself no longer uses it.
 type Flaky struct {
 	Tier
 	// FailAt is the 1-based index of the operation that fails; 0 disables

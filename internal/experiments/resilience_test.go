@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"testing"
+
+	"ensemblekit/internal/placement"
+)
+
+func TestFaultStudy(t *testing.T) {
+	rows, err := FaultStudy(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(placement.ConfigsTable2()) * len(FaultRates)
+	if len(rows) != want {
+		t.Fatalf("rows = %d, want %d", len(rows), want)
+	}
+	for _, r := range rows {
+		if r.Rate == 0 {
+			if r.Retries != 0 || r.Dropped != 0 {
+				t.Errorf("%s: fault-free baseline recorded retries %v / drops %v",
+					r.Config, r.Retries, r.Dropped)
+			}
+			if r.Slowdown != 1 {
+				t.Errorf("%s: baseline slowdown %v, want 1", r.Config, r.Slowdown)
+			}
+		}
+		if r.Makespan <= 0 || r.Slowdown <= 0 {
+			t.Errorf("%s rate %v: non-positive makespan/slowdown", r.Config, r.Rate)
+		}
+	}
+	// The degradation curve: the heaviest fault rate must cost at least as
+	// much makespan as the fault-free baseline on every configuration.
+	base := map[string]float64{}
+	worst := map[string]float64{}
+	for _, r := range rows {
+		if r.Rate == 0 {
+			base[r.Config] = r.Makespan
+		}
+		if r.Rate == FaultRates[len(FaultRates)-1] {
+			worst[r.Config] = r.Makespan
+		}
+	}
+	for cfgName, b := range base {
+		if worst[cfgName] < b {
+			t.Errorf("%s: makespan under faults (%v) below the baseline (%v)",
+				cfgName, worst[cfgName], b)
+		}
+	}
+	if FaultTable(rows).NumRows() != want {
+		t.Error("table rendering lost rows")
+	}
+}

@@ -1,0 +1,261 @@
+package faults
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func validPlan() *Plan {
+	return &Plan{
+		Name: "test",
+		Seed: 42,
+		Staging: []StagingFault{
+			{Tier: "dimes", Rate: 0.1},
+			{Tier: "*", FailAtOp: 7},
+		},
+		Network:    []NetworkWindow{{Start: 10, End: 20, Factor: 0.25}},
+		Crashes:    []NodeCrash{{Node: 1, At: 30}},
+		Stragglers: []Straggler{{Component: "m0.*", Start: 5, End: 15, Factor: 2}},
+	}
+}
+
+func TestPlanValidate(t *testing.T) {
+	if err := validPlan().Validate(); err != nil {
+		t.Fatalf("valid plan rejected: %v", err)
+	}
+	var nilPlan *Plan
+	if err := nilPlan.Validate(); err != nil {
+		t.Errorf("nil plan should validate: %v", err)
+	}
+	if !nilPlan.Empty() {
+		t.Error("nil plan should be empty")
+	}
+	cases := []struct {
+		name string
+		mut  func(*Plan)
+	}{
+		{"rate above 1", func(p *Plan) { p.Staging[0].Rate = 1.5 }},
+		{"negative rate", func(p *Plan) { p.Staging[0].Rate = -0.1 }},
+		{"no trigger", func(p *Plan) { p.Staging[0].Rate = 0 }},
+		{"both triggers", func(p *Plan) { p.Staging[0].FailAtOp = 3 }},
+		{"staging window empty", func(p *Plan) { p.Staging[0].Start = 5; p.Staging[0].End = 5 }},
+		{"network factor zero", func(p *Plan) { p.Network[0].Factor = 0 }},
+		{"network factor above 1", func(p *Plan) { p.Network[0].Factor = 1.5 }},
+		{"network window empty", func(p *Plan) { p.Network[0].End = p.Network[0].Start }},
+		{"negative crash node", func(p *Plan) { p.Crashes[0].Node = -1 }},
+		{"negative crash time", func(p *Plan) { p.Crashes[0].At = -1 }},
+		{"straggler factor below 1", func(p *Plan) { p.Stragglers[0].Factor = 0.5 }},
+		{"straggler window empty", func(p *Plan) { p.Stragglers[0].End = p.Stragglers[0].Start }},
+	}
+	for _, tc := range cases {
+		p := validPlan()
+		tc.mut(p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", tc.name)
+		}
+	}
+}
+
+func TestPlanJSONRoundTrip(t *testing.T) {
+	p := validPlan()
+	var buf bytes.Buffer
+	if err := p.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	q, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Name != p.Name || q.Seed != p.Seed || len(q.Staging) != 2 ||
+		len(q.Network) != 1 || len(q.Crashes) != 1 || len(q.Stragglers) != 1 {
+		t.Errorf("round trip mangled the plan: %+v", q)
+	}
+}
+
+func TestReadJSONStrict(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader(`{"seed": 1, "stagging": []}`)); err == nil {
+		t.Error("unknown field should be rejected")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"staging": [{"tier": "dimes"}]}`)); err == nil {
+		t.Error("invalid plan should be rejected at the boundary")
+	}
+	if _, err := ReadJSON(strings.NewReader(`not json`)); err == nil {
+		t.Error("garbage should be rejected")
+	}
+}
+
+func TestInjectorDeterminism(t *testing.T) {
+	// The same plan must yield the same fault sequence across injectors.
+	record := func() []bool {
+		in := NewInjector(validPlan())
+		out := make([]bool, 0, 200)
+		for i := 0; i < 200; i++ {
+			out = append(out, in.StagingOp("dimes", float64(i)) != nil)
+		}
+		return out
+	}
+	a, b := record(), record()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("op %d: injectors diverge", i)
+		}
+	}
+	// A different seed must (eventually) yield a different sequence.
+	p := validPlan()
+	p.Seed = 43
+	in := NewInjector(p)
+	same := true
+	for i := 0; i < 200; i++ {
+		if (in.StagingOp("dimes", float64(i)) != nil) != a[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds should perturb the fault sequence")
+	}
+}
+
+func TestInjectorFailAtOp(t *testing.T) {
+	in := NewInjector(&Plan{Staging: []StagingFault{{FailAtOp: 3}}})
+	for i := 1; i <= 5; i++ {
+		err := in.StagingOp("pfs", 0)
+		if (err != nil) != (i == 3) {
+			t.Errorf("op %d: err = %v", i, err)
+		}
+		if err != nil && !errors.Is(err, ErrInjected) {
+			t.Errorf("injected error should wrap ErrInjected: %v", err)
+		}
+	}
+}
+
+func TestInjectorRateAndWindow(t *testing.T) {
+	// Rate 1 inside the window fails every op; outside it never fails.
+	in := NewInjector(&Plan{Staging: []StagingFault{{Rate: 1, Start: 10, End: 20}}})
+	if err := in.StagingOp("dimes", 5); err != nil {
+		t.Errorf("before window: %v", err)
+	}
+	if err := in.StagingOp("dimes", 15); err == nil {
+		t.Error("inside window: rate 1 should always fail")
+	}
+	if err := in.StagingOp("dimes", 25); err != nil {
+		t.Errorf("after window: %v", err)
+	}
+	// Tier matching.
+	in2 := NewInjector(&Plan{Staging: []StagingFault{{Tier: "pfs", Rate: 1}}})
+	if err := in2.StagingOp("dimes", 0); err != nil {
+		t.Errorf("other tier should not fail: %v", err)
+	}
+	if err := in2.StagingOp("pfs", 0); err == nil {
+		t.Error("matching tier should fail")
+	}
+	// A rate close to r should fail roughly r of the time.
+	rate := 0.3
+	in3 := NewInjector(&Plan{Seed: 7, Staging: []StagingFault{{Rate: rate}}})
+	fails := 0
+	const n = 5000
+	for i := 0; i < n; i++ {
+		if in3.StagingOp("dimes", 0) != nil {
+			fails++
+		}
+	}
+	got := float64(fails) / n
+	if got < rate-0.05 || got > rate+0.05 {
+		t.Errorf("empirical failure rate %v far from %v", got, rate)
+	}
+}
+
+func TestSlowdown(t *testing.T) {
+	in := NewInjector(&Plan{Stragglers: []Straggler{
+		{Component: "m0.*", Start: 10, End: 20, Factor: 2},
+		{Component: "m0.sim", Start: 10, End: 20, Factor: 3},
+	}})
+	if f := in.Slowdown("m0.sim", 15); f != 6 {
+		t.Errorf("overlapping windows should multiply: got %v", f)
+	}
+	if f := in.Slowdown("m0.ana0", 15); f != 2 {
+		t.Errorf("prefix match: got %v", f)
+	}
+	if f := in.Slowdown("m1.sim", 15); f != 1 {
+		t.Errorf("non-matching component: got %v", f)
+	}
+	if f := in.Slowdown("m0.sim", 25); f != 1 {
+		t.Errorf("outside window: got %v", f)
+	}
+	// Open-ended window.
+	in2 := NewInjector(&Plan{Stragglers: []Straggler{{Start: 10, Factor: 2}}})
+	if f := in2.Slowdown("anything", 1e9); f != 2 {
+		t.Errorf("open-ended window should stay active: got %v", f)
+	}
+}
+
+func TestNilInjector(t *testing.T) {
+	var in *Injector
+	if in.Enabled() {
+		t.Error("nil injector should be disabled")
+	}
+	if err := in.StagingOp("dimes", 0); err != nil {
+		t.Errorf("nil injector should never fail: %v", err)
+	}
+	if f := in.Slowdown("m0.sim", 0); f != 1 {
+		t.Errorf("nil injector slowdown = %v", f)
+	}
+	if in.Crashes() != nil || in.NetworkWindows() != nil || in.Plan() != nil {
+		t.Error("nil injector schedules should be nil")
+	}
+	if NewInjector(nil) != nil {
+		t.Error("nil plan should yield nil injector")
+	}
+	if NewInjector(&Plan{Seed: 5}) != nil {
+		t.Error("empty plan should yield nil injector")
+	}
+}
+
+func TestMatchComponent(t *testing.T) {
+	cases := []struct {
+		pattern, name string
+		want          bool
+	}{
+		{"", "m0.sim", true},
+		{"*", "m0.sim", true},
+		{"m0.*", "m0.sim", true},
+		{"m0.*", "m0.ana1", true},
+		{"m0.*", "m1.sim", false},
+		{"m0.sim", "m0.sim", true},
+		{"m0.sim", "m0.sim2", false},
+	}
+	for _, tc := range cases {
+		if got := MatchComponent(tc.pattern, tc.name); got != tc.want {
+			t.Errorf("MatchComponent(%q, %q) = %v, want %v", tc.pattern, tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestRandomizedPlansDeterministic is a property test: arbitrary seeded
+// plans always produce identical decision sequences across injectors.
+func TestRandomizedPlansDeterministic(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		p := &Plan{Seed: rng.Int63()}
+		for i := 0; i < 1+rng.Intn(3); i++ {
+			p.Staging = append(p.Staging, StagingFault{Rate: rng.Float64()})
+		}
+		seq := func() string {
+			in := NewInjector(p)
+			var sb strings.Builder
+			for i := 0; i < 100; i++ {
+				if in.StagingOp("dimes", float64(i)) != nil {
+					sb.WriteByte('F')
+				} else {
+					sb.WriteByte('.')
+				}
+			}
+			return sb.String()
+		}
+		if a, b := seq(), seq(); a != b {
+			t.Fatalf("trial %d: sequences diverge:\n%s\n%s", trial, a, b)
+		}
+	}
+}

@@ -84,6 +84,13 @@ type flow struct {
 	link string
 }
 
+// degradeWindow is a transient capacity-degradation interval: while
+// active, every link capacity and the per-flow cap are multiplied by
+// factor.
+type degradeWindow struct {
+	start, end, factor float64
+}
+
 // Fabric is the interconnect model bound to a simulation environment.
 type Fabric struct {
 	env        *sim.Env
@@ -93,6 +100,9 @@ type Fabric struct {
 	cancelNext func()
 	// TotalBytes counts all bytes ever delivered (for reporting).
 	totalBytes float64
+	// degrade holds transient capacity-degradation windows (fault
+	// injection); boundary crossings re-settle and re-balance all flows.
+	degrade []degradeWindow
 }
 
 // NewFabric builds a fabric over the environment.
@@ -101,6 +111,46 @@ func NewFabric(env *sim.Env, cfg Config) (*Fabric, error) {
 		return nil, err
 	}
 	return &Fabric{env: env, cfg: cfg}, nil
+}
+
+// Degrade installs a transient degradation window: between virtual times
+// start and end every link capacity and the per-flow protocol cap are
+// scaled by factor (0 < factor <= 1). Overlapping windows compound.
+// Boundary events settle in-flight transfers at the old rates and
+// re-balance at the new ones, so a flow spanning a window boundary pays
+// exactly the degraded rate for exactly the degraded interval. Install
+// windows before Env.Run for deterministic replay.
+func (f *Fabric) Degrade(start, end, factor float64) error {
+	if factor <= 0 || factor > 1 {
+		return fmt.Errorf("network: degradation factor %v outside (0,1]", factor)
+	}
+	if end <= start {
+		return fmt.Errorf("network: degradation window [%v,%v) is empty", start, end)
+	}
+	f.degrade = append(f.degrade, degradeWindow{start: start, end: end, factor: factor})
+	rebalance := func() {
+		f.settle()
+		f.reallocate()
+	}
+	f.env.At(start, func() {
+		if rec := f.env.Recorder(); rec.Enabled() {
+			rec.Fault("fabric", "degradation", obs.NoNode, factor)
+		}
+		rebalance()
+	})
+	f.env.At(end, rebalance)
+	return nil
+}
+
+// capacityFactor is the compound degradation factor at virtual time t.
+func (f *Fabric) capacityFactor(t float64) float64 {
+	factor := 1.0
+	for _, w := range f.degrade {
+		if t >= w.start && t < w.end {
+			factor *= w.factor
+		}
+	}
+	return factor
 }
 
 // ActiveFlows returns the number of in-flight transfers.
@@ -269,16 +319,21 @@ func (f *Fabric) assignRates() {
 		groups = f.cfg.Topology.groups(n)
 		nLinks += 2 * groups
 	}
+	// Transient degradation scales every capacity (and the per-flow cap
+	// below); window boundaries re-settle and call back in here, so the
+	// factor is constant between reallocations.
+	factor := f.capacityFactor(f.env.Now())
 	rem := make([]float64, nLinks)
 	count := make([]int, nLinks)
 	for i := 0; i < n; i++ {
-		rem[i] = f.cfg.bandwidthOf(i)   // egress
-		rem[n+i] = f.cfg.bandwidthOf(i) // ingress
+		rem[i] = f.cfg.bandwidthOf(i) * factor   // egress
+		rem[n+i] = f.cfg.bandwidthOf(i) * factor // ingress
 	}
 	for g := 0; g < groups; g++ {
-		rem[2*n+g] = f.cfg.Topology.GlobalBandwidth        // uplink of group g
-		rem[2*n+groups+g] = f.cfg.Topology.GlobalBandwidth // downlink of group g
+		rem[2*n+g] = f.cfg.Topology.GlobalBandwidth * factor        // uplink of group g
+		rem[2*n+groups+g] = f.cfg.Topology.GlobalBandwidth * factor // downlink of group g
 	}
+	perFlowCap := f.cfg.PerFlowCap * factor
 
 	// Per-flow constraint lists.
 	linksOf := func(fl *flow) []int {
@@ -311,11 +366,11 @@ func (f *Fabric) assignRates() {
 				}
 			}
 		}
-		if f.cfg.PerFlowCap > 0 && f.cfg.PerFlowCap <= share {
+		if perFlowCap > 0 && perFlowCap <= share {
 			// The protocol cap binds before any link: every remaining flow
 			// gets the cap.
 			for _, fl := range unfixed {
-				fl.rate = f.cfg.PerFlowCap
+				fl.rate = perFlowCap
 			}
 			return
 		}

@@ -162,6 +162,9 @@ type Metrics struct {
 	DTL map[string]*DTLStat
 	// Gauges maps "subject/name" to the sampled timeline.
 	Gauges map[string]*Utilization
+	// Faults counts resilience events by kind name ("fault:staging",
+	// "retry", "restart", "member-drop").
+	Faults map[string]int
 	// Events counts the events analyzed.
 	Events int
 }
@@ -184,6 +187,7 @@ func Analyze(events []Event) *Metrics {
 		Stages: make(map[string]*StageTotal),
 		DTL:    make(map[string]*DTLStat),
 		Gauges: make(map[string]*Utilization),
+		Faults: make(map[string]int),
 		Events: len(events),
 	}
 	node := func(i int) *NodeUsage {
@@ -263,6 +267,14 @@ func Analyze(events []Event) *Metrics {
 				m.Gauges[key] = g
 			}
 			g.Set(ev.T, ev.Value)
+		case FaultInject:
+			m.Faults["fault:"+ev.Detail]++
+		case RetryAttempt:
+			m.Faults["retry"]++
+		case ComponentRestart:
+			m.Faults["restart"]++
+		case MemberDrop:
+			m.Faults["member-drop"]++
 		}
 	}
 	// Close every timeline at the horizon so means cover the full run.
@@ -352,6 +364,16 @@ func (m *Metrics) QueueList() []string {
 	out := make([]string, 0, len(m.Queues))
 	for q := range m.Queues {
 		out = append(out, q)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// FaultList returns the resilience-event keys sorted.
+func (m *Metrics) FaultList() []string {
+	out := make([]string, 0, len(m.Faults))
+	for k := range m.Faults {
+		out = append(out, k)
 	}
 	sort.Strings(out)
 	return out

@@ -60,6 +60,20 @@ const (
 	// GaugeSet samples an arbitrary named quantity (memory-bandwidth
 	// pressure, link occupancy); Value is the sample.
 	GaugeSet
+	// FaultInject marks an injected fault firing: Subject is the afflicted
+	// component/tier/node label, Detail the fault kind ("staging",
+	// "node-crash", "degradation", "straggler").
+	FaultInject
+	// RetryAttempt marks a staging retry being scheduled after a transient
+	// fault; Detail is the stage, Value the attempt number (1 = first
+	// retry).
+	RetryAttempt
+	// ComponentRestart marks a component restarting after a crash fault;
+	// Value is the restart count so far.
+	ComponentRestart
+	// MemberDrop marks an ensemble member being dropped under graceful
+	// degradation; Value is the member index.
+	MemberDrop
 	numKinds
 )
 
@@ -68,6 +82,7 @@ var kindNames = [numKinds]string{
 	"resource-acquire", "resource-release", "queue-depth",
 	"put-begin", "put-end", "get-begin", "get-end",
 	"flow-start", "flow-end", "gauge",
+	"fault", "retry", "restart", "member-drop",
 }
 
 // String returns the event taxonomy name of the kind.
@@ -304,4 +319,42 @@ func (r *Recorder) Gauge(subject, name string, node int, value float64) {
 		return
 	}
 	r.events = append(r.events, Event{T: r.now(), Kind: GaugeSet, Subject: subject, Detail: name, Node: node, Node2: NoNode, Value: value})
+}
+
+// Fault records an injected fault firing against subject; kind names the
+// fault taxonomy entry ("staging", "node-crash", "degradation",
+// "straggler") and value carries a kind-specific magnitude (bytes lost,
+// slowdown factor, bandwidth factor).
+func (r *Recorder) Fault(subject, kind string, node int, value float64) {
+	if r == nil {
+		return
+	}
+	r.events = append(r.events, Event{T: r.now(), Kind: FaultInject, Subject: subject, Detail: kind, Node: node, Node2: NoNode, Value: value})
+}
+
+// Retry records a staging retry scheduled for component after a transient
+// fault in stage; attempt is 1-based.
+func (r *Recorder) Retry(component, stage string, node, attempt int) {
+	if r == nil {
+		return
+	}
+	r.events = append(r.events, Event{T: r.now(), Kind: RetryAttempt, Subject: component, Detail: stage, Node: node, Node2: NoNode, Value: float64(attempt)})
+}
+
+// Restart records a component restarting after a crash fault; n counts the
+// restarts so far for the component.
+func (r *Recorder) Restart(component string, node, n int) {
+	if r == nil {
+		return
+	}
+	r.events = append(r.events, Event{T: r.now(), Kind: ComponentRestart, Subject: component, Node: node, Node2: NoNode, Value: float64(n)})
+}
+
+// MemberDropped records an ensemble member leaving the run under graceful
+// degradation; cause summarizes the triggering fault.
+func (r *Recorder) MemberDropped(member int, cause string) {
+	if r == nil {
+		return
+	}
+	r.events = append(r.events, Event{T: r.now(), Kind: MemberDrop, Subject: fmt.Sprintf("m%d", member), Detail: cause, Node: NoNode, Node2: NoNode, Value: float64(member)})
 }

@@ -26,6 +26,10 @@ type chromeEvent struct {
 	Pid  int         `json:"pid"`
 	Tid  int         `json:"tid"`
 	Args *chromeArgs `json:"args,omitempty"`
+	// Scope is the "s" field of instant ("i") events: "t" scopes the
+	// marker to its thread. Empty (and omitted) for all other phases, so
+	// pre-existing golden files are unaffected.
+	Scope string `json:"s,omitempty"`
 }
 
 type chromeArgs struct {
@@ -59,6 +63,7 @@ type chromeBuilder struct {
 	queuePID  int
 	dtlPID    int
 	orphanPID int
+	faultsPID int
 }
 
 func (b *chromeBuilder) process(pid int, name string) {
@@ -110,6 +115,14 @@ func (b *chromeBuilder) end(pid, tid int, name, cat string, t float64) {
 	b.out = append(b.out, chromeEvent{Name: name, Cat: cat, Ph: "E", TS: secondsToTS(t), Pid: pid, Tid: tid})
 }
 
+// instant emits a thread-scoped instant marker ("i" phase): the Perfetto
+// rendering of point events like injected faults, retries, and restarts.
+func (b *chromeBuilder) instant(pid, tid int, name, cat string, t float64) {
+	b.out = append(b.out, chromeEvent{
+		Name: name, Cat: cat, Ph: "i", TS: secondsToTS(t), Pid: pid, Tid: tid, Scope: "t",
+	})
+}
+
 func (b *chromeBuilder) counter(pid int, name string, t, v float64) {
 	val := v
 	b.out = append(b.out, chromeEvent{
@@ -153,6 +166,7 @@ func buildChrome(events []Event) chromeTrace {
 		queuePID:  maxNode + 3,
 		dtlPID:    maxNode + 4,
 		orphanPID: maxNode + 5,
+		faultsPID: maxNode + 6,
 	}
 	nodePID := func(n int) int { return n + 1 }
 	// trackOf places component subjects on their node's process.
@@ -237,6 +251,17 @@ func buildChrome(events []Event) chromeTrace {
 				b.process(b.queuePID, "queues")
 				b.counter(b.queuePID, ev.Subject+"."+ev.Detail, ev.T, ev.Value)
 			}
+		case FaultInject, RetryAttempt, ComponentRestart, MemberDrop:
+			// Faults, retries, restarts, and drops get their own process
+			// with one track per subject, so resilience activity reads as
+			// a distinct swimlane over the execution below it.
+			b.process(b.faultsPID, "faults")
+			tid := b.tid(b.faultsPID, ev.Subject)
+			name := ev.Kind.String()
+			if ev.Detail != "" {
+				name += ":" + ev.Detail
+			}
+			b.instant(b.faultsPID, tid, name, "fault", ev.T)
 		}
 	}
 	// Close spans still open (components that never finished) at the

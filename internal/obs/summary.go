@@ -98,5 +98,17 @@ func WriteSummary(w io.Writer, m *Metrics) error {
 			return err
 		}
 	}
+
+	if len(m.Faults) > 0 {
+		fmt.Fprintln(w, "\n-- resilience events --")
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "event\tcount")
+		for _, k := range m.FaultList() {
+			fmt.Fprintf(tw, "%s\t%d\n", k, m.Faults[k])
+		}
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+	}
 	return nil
 }

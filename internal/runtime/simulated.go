@@ -7,6 +7,7 @@ import (
 
 	"ensemblekit/internal/cluster"
 	"ensemblekit/internal/dtl"
+	"ensemblekit/internal/faults"
 	"ensemblekit/internal/network"
 	"ensemblekit/internal/obs"
 	"ensemblekit/internal/placement"
@@ -39,7 +40,22 @@ type SimOptions struct {
 	Model *cluster.Model
 	// FailStagingAt injects a DTL failure on the n-th staging operation
 	// (1-based, counting all writes and reads); 0 disables injection.
+	//
+	// Deprecated: use Faults with a faults.StagingFault{FailAtOp: n} rule
+	// instead. A non-zero FailStagingAt is converted to exactly that rule
+	// (appended to Faults when both are set), so existing specs keep
+	// working unchanged.
 	FailStagingAt int
+	// Faults optionally injects a declarative fault plan (staging
+	// failures, network-degradation windows, node crashes, stragglers;
+	// see internal/faults). Same plan + same seed => identical faults and
+	// byte-identical traces.
+	Faults *faults.Plan
+	// Resilience configures the recovery policy applied around the fault
+	// plan (retries, timeouts, crash-restarts, degradation mode). The
+	// zero value recovers nothing and fails fast, reproducing the
+	// historical behaviour exactly.
+	Resilience Resilience
 	// StagingSlots is the staging buffer depth per member: the simulation
 	// may run up to StagingSlots chunks ahead of the slowest analysis.
 	// The paper assumes no buffering (1 slot, Section 3.1); larger values
@@ -77,6 +93,24 @@ func RunSimulated(spec cluster.Spec, p placement.Placement, es EnsembleSpec, opt
 	if err := es.Validate(p); err != nil {
 		return nil, err
 	}
+	if err := opts.Resilience.Validate(); err != nil {
+		return nil, err
+	}
+	// The legacy FailStagingAt hook is a one-rule fault plan.
+	plan := opts.Faults
+	if opts.FailStagingAt > 0 {
+		merged := faults.Plan{}
+		if plan != nil {
+			merged = *plan
+		}
+		merged.Staging = append(append([]faults.StagingFault(nil), merged.Staging...),
+			faults.StagingFault{FailAtOp: opts.FailStagingAt})
+		plan = &merged
+	}
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	inj := faults.NewInjector(plan)
 
 	machine, err := cluster.NewMachine(spec)
 	if err != nil {
@@ -149,9 +183,10 @@ func RunSimulated(spec cluster.Spec, p placement.Placement, es EnsembleSpec, opt
 	env := sim.NewEnv()
 	env.SetRecorder(opts.Recorder)
 	var tier dtl.Tier
+	var fab *network.Fabric
 	switch opts.tier() {
 	case TierDimes:
-		fab, err := network.NewFabric(env, network.Config{
+		fab, err = network.NewFabric(env, network.Config{
 			Nodes:        spec.Nodes,
 			NICBandwidth: spec.NICBandwidth,
 			Latency:      spec.NICLatency,
@@ -169,7 +204,7 @@ func RunSimulated(spec cluster.Spec, p placement.Placement, es EnsembleSpec, opt
 		}
 		cfg := dtl.BurstBufferFabricConfig(spec, bw)
 		cfg.Latency = 1e-3 // device + software-stack latency
-		fab, err := network.NewFabric(env, cfg)
+		fab, err = network.NewFabric(env, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -179,7 +214,7 @@ func RunSimulated(spec cluster.Spec, p placement.Placement, es EnsembleSpec, opt
 		if bw <= 0 {
 			bw = 2e9 // effective per-job share of the shared file system
 		}
-		fab, err := network.NewFabric(env, dtl.PFSFabricConfig(spec, bw))
+		fab, err = network.NewFabric(env, dtl.PFSFabricConfig(spec, bw))
 		if err != nil {
 			return nil, err
 		}
@@ -187,8 +222,13 @@ func RunSimulated(spec cluster.Spec, p placement.Placement, es EnsembleSpec, opt
 	default:
 		return nil, fmt.Errorf("runtime: unknown DTL tier %q", opts.Tier)
 	}
-	if opts.FailStagingAt > 0 {
-		tier = &dtl.Flaky{Tier: tier, FailAt: opts.FailStagingAt}
+	if inj.Enabled() {
+		tier = &faultedTier{Tier: tier, inj: inj, env: env}
+		for _, w := range inj.NetworkWindows() {
+			if err := fab.Degrade(w.Start, w.End, w.Factor); err != nil {
+				return nil, err
+			}
+		}
 	}
 
 	// Pre-assess every component against its co-location context (static
@@ -232,18 +272,31 @@ func RunSimulated(spec cluster.Spec, p placement.Placement, es EnsembleSpec, opt
 	}
 
 	run := &simRun{
-		env:   env,
-		tier:  tier,
-		model: model,
-		spec:  spec,
-		es:    es,
-		opts:  opts,
-		rec:   env.Recorder(),
+		env:     env,
+		tier:    tier,
+		model:   model,
+		spec:    spec,
+		es:      es,
+		opts:    opts,
+		res:     opts.Resilience.normalized(),
+		inj:     inj,
+		rec:     env.Recorder(),
+		members: tr.Members,
+		crashed: make(map[string]bool),
+		dropped: make(map[int]bool),
 	}
 	// Launch all processes; they all start at t=0 (the paper's concurrent
 	// members starting simultaneously).
+	run.memberProcs = make([][]*sim.Proc, len(p.Members))
 	for i := range p.Members {
 		run.launchMember(i, sims[i], anas[i], assessSim[i], assessAna[i], tr.Members[i])
+	}
+	// Crash schedule: at each crash instant, interrupt every component
+	// still running on the node (they are all blocked in a stage wait —
+	// the DES runs callbacks only between process executions).
+	for _, c := range inj.Crashes() {
+		c := c
+		env.At(c.At, func() { run.crashNode(c.Node) })
 	}
 	runErr := env.Run()
 	// A component failure interrupts siblings, so the run drains cleanly;
@@ -260,6 +313,31 @@ func RunSimulated(spec cluster.Spec, p placement.Placement, es EnsembleSpec, opt
 	return tr, nil
 }
 
+// faultedTier interposes the fault plan on a DTL tier: each staging
+// operation first consults the injector and surfaces faults.ErrInjected
+// (with an instrumentation event) before touching the real tier.
+type faultedTier struct {
+	dtl.Tier
+	inj *faults.Injector
+	env *sim.Env
+}
+
+func (t *faultedTier) Write(p *sim.Proc, producerNode int, bytes int64) error {
+	if err := t.inj.StagingOp(t.Tier.Name(), p.Now()); err != nil {
+		t.env.Recorder().Fault(t.Tier.Name(), "staging", producerNode, float64(bytes))
+		return err
+	}
+	return t.Tier.Write(p, producerNode, bytes)
+}
+
+func (t *faultedTier) Read(p *sim.Proc, producerNode, consumerNode int, bytes int64) error {
+	if err := t.inj.StagingOp(t.Tier.Name(), p.Now()); err != nil {
+		t.env.Recorder().Fault(t.Tier.Name(), "staging", consumerNode, float64(bytes))
+		return err
+	}
+	return t.Tier.Read(p, producerNode, consumerNode, bytes)
+}
+
 // simRun carries the shared state of one simulated execution.
 type simRun struct {
 	env     *sim.Env
@@ -268,9 +346,66 @@ type simRun struct {
 	spec    cluster.Spec
 	es      EnsembleSpec
 	opts    SimOptions
-	rec     *obs.Recorder // nil when instrumentation is off
+	res     Resilience       // normalized resilience policy
+	inj     *faults.Injector // nil when no faults are injected
+	rec     *obs.Recorder    // nil when instrumentation is off
 	procs   []*sim.Proc
 	failure error
+
+	// members mirrors the trace skeleton for drop annotations.
+	members []*trace.MemberTrace
+	// memberProcs groups processes by member for drop-member interrupts.
+	memberProcs [][]*sim.Proc
+	// comps lists every running component for crash targeting.
+	comps []runningComp
+	// crashed flags components whose node crashed; the component's error
+	// handler consumes the flag to tell a crash interrupt apart from a
+	// sibling wind-down or a stage timeout.
+	crashed map[string]bool
+	// dropped flags members removed by the drop-member policy.
+	dropped map[int]bool
+}
+
+// runningComp pairs a live process with its identity for crash targeting.
+type runningComp struct {
+	proc *sim.Proc
+	name string
+	node int
+}
+
+// crashNode delivers a node crash: every component still running on the
+// node is flagged and interrupted. What happens next (restart, drop,
+// abort) is the per-component resilience policy's decision.
+func (r *simRun) crashNode(node int) {
+	for _, c := range r.comps {
+		if c.node != node || c.proc.Done() {
+			continue
+		}
+		r.crashed[c.name] = true
+		r.rec.Fault(c.name, "crash", node, 0)
+		c.proc.Interrupt("node crash")
+	}
+}
+
+// dropMember removes member i from the run: all its component traces are
+// annotated with the cause and its processes are interrupted so the
+// survivors keep the fabric and the DTL to themselves. The run completes
+// without error; the drop is visible only in the trace and the event
+// stream.
+func (r *simRun) dropMember(i int, cause string) {
+	if r.dropped[i] {
+		return
+	}
+	r.dropped[i] = true
+	r.rec.MemberDropped(i, cause)
+	for _, c := range r.members[i].Components() {
+		c.Dropped = cause
+	}
+	for _, p := range r.memberProcs[i] {
+		if !p.Done() {
+			p.Interrupt("member dropped")
+		}
+	}
 }
 
 // Stage taxonomy names shared with the obs event stream; precomputed so an
@@ -371,6 +506,7 @@ func (r *simRun) launchMember(i int, simA compAlloc, anaA []compAlloc,
 	simJitter := r.jitterFn(int64(i) * 131)
 	simCores := coreLabel(simA.node)
 	simProc := r.env.Go(simTrace.Name, func(p *sim.Proc) error {
+		cc := &compCtx{r: r, p: p, ct: simTrace, node: simA.node, member: i}
 		simTrace.Start = p.Now()
 		r.rec.ResourceAcquire(simCores, simA.node, float64(simA.tenant.Cores))
 		defer func() {
@@ -379,46 +515,64 @@ func (r *simRun) launchMember(i int, simA compAlloc, anaA []compAlloc,
 		}()
 		for step := 0; step < n; step++ {
 			rec := trace.StepRecord{Index: step}
-			// S: compute.
+			// S: compute (stragglers dilate the modeled duration).
 			sStart := p.Now()
-			sDur := simAssess.ComputeTime * simJitter()
+			sDur := simAssess.ComputeTime * simJitter() * r.inj.Slowdown(simTrace.Name, sStart)
 			r.rec.StageBegin(simTrace.Name, stageNameS, simA.node)
-			if err := p.Wait(sDur); err != nil {
-				r.rec.StageEnd(simTrace.Name, stageNameS, simA.node, 0)
-				return r.abort(simTrace, err)
-			}
+			sRetries, sRecovered, err := cc.attempt(stageNameS, false, func() error { return p.Wait(sDur) })
 			r.rec.StageEnd(simTrace.Name, stageNameS, simA.node, 0)
+			if err != nil {
+				rec.Stages = append(rec.Stages, trace.StageRecord{
+					Stage: trace.StageS, Start: sStart, Duration: p.Now() - sStart, Retries: sRetries,
+				})
+				simTrace.Steps = append(simTrace.Steps, rec)
+				return cc.fail(err)
+			}
 			counters := r.model.ComputeCounters(simA.tenant, simAssess)
 			counters.Cycles = sDur * clock * float64(simA.tenant.Cores)
 			rec.Stages = append(rec.Stages, trace.StageRecord{
-				Stage: trace.StageS, Start: sStart, Duration: sDur, Counters: counters,
+				Stage: trace.StageS, Start: sStart, Duration: stageSpan(p, sStart, sDur, sRecovered),
+				Counters: counters, Retries: sRetries,
 			})
 			// I^S: wait for all K reads of the previous chunk.
 			isStart := p.Now()
+			isRetries := 0
 			r.rec.StageBegin(simTrace.Name, stageNameIS, simA.node)
-			for t := 0; t < k; t++ {
-				if _, err := writeTokens.Get(p); err != nil {
-					r.rec.StageEnd(simTrace.Name, stageNameIS, simA.node, 0)
-					return r.abort(simTrace, err)
-				}
+			var isErr error
+			for t := 0; t < k && isErr == nil; t++ {
+				var ret int
+				ret, _, isErr = cc.attempt(stageNameIS, false, func() error {
+					_, e := writeTokens.Get(p)
+					return e
+				})
+				isRetries += ret
 			}
 			r.rec.StageEnd(simTrace.Name, stageNameIS, simA.node, 0)
 			rec.Stages = append(rec.Stages, trace.StageRecord{
-				Stage: trace.StageIS, Start: isStart, Duration: p.Now() - isStart,
+				Stage: trace.StageIS, Start: isStart, Duration: p.Now() - isStart, Retries: isRetries,
 			})
-			// W: stage the chunk out.
+			if isErr != nil {
+				simTrace.Steps = append(simTrace.Steps, rec)
+				return cc.fail(isErr)
+			}
+			// W: stage the chunk out (each retry attempt re-stages).
 			wStart := p.Now()
 			r.rec.StageBegin(simTrace.Name, stageNameW, simA.node)
-			if err := r.tier.Write(p, simA.node, bytes); err != nil {
-				r.rec.StageEnd(simTrace.Name, stageNameW, simA.node, float64(bytes))
-				simTrace.Steps = append(simTrace.Steps, rec)
-				return r.abort(simTrace, err)
-			}
+			wRetries, _, err := cc.attempt(stageNameW, true, func() error {
+				return r.tier.Write(p, simA.node, bytes)
+			})
 			r.rec.StageEnd(simTrace.Name, stageNameW, simA.node, float64(bytes))
 			wDur := p.Now() - wStart
+			if err != nil {
+				rec.Stages = append(rec.Stages, trace.StageRecord{
+					Stage: trace.StageW, Start: wStart, Duration: wDur, Retries: wRetries,
+				})
+				simTrace.Steps = append(simTrace.Steps, rec)
+				return cc.fail(err)
+			}
 			rec.Stages = append(rec.Stages, trace.StageRecord{
 				Stage: trace.StageW, Start: wStart, Duration: wDur,
-				Counters: r.model.IOCounters(simA.tenant, bytes, wDur),
+				Counters: r.model.IOCounters(simA.tenant, bytes, wDur), Retries: wRetries,
 			})
 			simTrace.Steps = append(simTrace.Steps, rec)
 			for j := range announce {
@@ -428,6 +582,8 @@ func (r *simRun) launchMember(i int, simA compAlloc, anaA []compAlloc,
 		return nil
 	})
 	r.procs = append(r.procs, simProc)
+	r.memberProcs[i] = append(r.memberProcs[i], simProc)
+	r.comps = append(r.comps, runningComp{proc: simProc, name: simTrace.Name, node: simA.node})
 
 	// Analysis processes.
 	for j := 0; j < k; j++ {
@@ -438,10 +594,14 @@ func (r *simRun) launchMember(i int, simA compAlloc, anaA []compAlloc,
 		anaJitter := r.jitterFn(int64(i)*131 + int64(j) + 1)
 		anaCores := coreLabel(alloc.node)
 		proc := r.env.Go(anaTrace.Name, func(p *sim.Proc) error {
+			cc := &compCtx{r: r, p: p, ct: anaTrace, node: alloc.node, member: i}
 			// Lead-in: wait for the first chunk; the component's own
 			// timeline starts at its first read.
-			if _, err := announce[j].Get(p); err != nil {
-				return r.abort(anaTrace, err)
+			if _, _, err := cc.attempt(stageNameR, false, func() error {
+				_, e := announce[j].Get(p)
+				return e
+			}); err != nil {
+				return cc.fail(err)
 			}
 			anaTrace.Start = p.Now()
 			r.rec.ResourceAcquire(anaCores, alloc.node, float64(alloc.tenant.Cores))
@@ -451,65 +611,181 @@ func (r *simRun) launchMember(i int, simA compAlloc, anaA []compAlloc,
 			}()
 			for step := 0; step < n; step++ {
 				rec := trace.StepRecord{Index: step}
-				// R: stage the chunk in.
+				// R: stage the chunk in (each retry attempt re-reads).
 				rStart := p.Now()
 				r.rec.StageBegin(anaTrace.Name, stageNameR, alloc.node)
-				if err := r.tier.Read(p, simA.node, alloc.node, bytes); err != nil {
-					r.rec.StageEnd(anaTrace.Name, stageNameR, alloc.node, float64(bytes))
-					anaTrace.Steps = append(anaTrace.Steps, rec)
-					return r.abort(anaTrace, err)
-				}
+				rRetries, _, err := cc.attempt(stageNameR, true, func() error {
+					return r.tier.Read(p, simA.node, alloc.node, bytes)
+				})
 				r.rec.StageEnd(anaTrace.Name, stageNameR, alloc.node, float64(bytes))
 				rDur := p.Now() - rStart
+				if err != nil {
+					rec.Stages = append(rec.Stages, trace.StageRecord{
+						Stage: trace.StageR, Start: rStart, Duration: rDur, Retries: rRetries,
+					})
+					anaTrace.Steps = append(anaTrace.Steps, rec)
+					return cc.fail(err)
+				}
 				rec.Stages = append(rec.Stages, trace.StageRecord{
 					Stage: trace.StageR, Start: rStart, Duration: rDur,
-					Counters: r.model.IOCounters(alloc.tenant, bytes, rDur),
+					Counters: r.model.IOCounters(alloc.tenant, bytes, rDur), Retries: rRetries,
 				})
 				// The data is consumed: permit the next write.
 				writeTokens.Offer(struct{}{})
-				// A: compute.
+				// A: compute (stragglers dilate the modeled duration).
 				aStart := p.Now()
-				aDur := assess.ComputeTime * anaJitter()
+				aDur := assess.ComputeTime * anaJitter() * r.inj.Slowdown(anaTrace.Name, aStart)
 				r.rec.StageBegin(anaTrace.Name, stageNameA, alloc.node)
-				if err := p.Wait(aDur); err != nil {
-					r.rec.StageEnd(anaTrace.Name, stageNameA, alloc.node, 0)
-					return r.abort(anaTrace, err)
-				}
+				aRetries, aRecovered, err := cc.attempt(stageNameA, false, func() error { return p.Wait(aDur) })
 				r.rec.StageEnd(anaTrace.Name, stageNameA, alloc.node, 0)
+				if err != nil {
+					rec.Stages = append(rec.Stages, trace.StageRecord{
+						Stage: trace.StageA, Start: aStart, Duration: p.Now() - aStart, Retries: aRetries,
+					})
+					anaTrace.Steps = append(anaTrace.Steps, rec)
+					return cc.fail(err)
+				}
 				counters := r.model.ComputeCounters(alloc.tenant, assess)
 				counters.Cycles = aDur * clock * float64(alloc.tenant.Cores)
 				rec.Stages = append(rec.Stages, trace.StageRecord{
-					Stage: trace.StageA, Start: aStart, Duration: aDur, Counters: counters,
+					Stage: trace.StageA, Start: aStart, Duration: stageSpan(p, aStart, aDur, aRecovered),
+					Counters: counters, Retries: aRetries,
 				})
 				// I^A: wait for the next chunk (zero on the final step).
 				iaStart := p.Now()
+				iaRetries := 0
 				r.rec.StageBegin(anaTrace.Name, stageNameIA, alloc.node)
+				var iaErr error
 				if step < n-1 {
-					if _, err := announce[j].Get(p); err != nil {
-						r.rec.StageEnd(anaTrace.Name, stageNameIA, alloc.node, 0)
-						anaTrace.Steps = append(anaTrace.Steps, rec)
-						return r.abort(anaTrace, err)
-					}
+					iaRetries, _, iaErr = cc.attempt(stageNameIA, false, func() error {
+						_, e := announce[j].Get(p)
+						return e
+					})
 				}
 				r.rec.StageEnd(anaTrace.Name, stageNameIA, alloc.node, 0)
 				rec.Stages = append(rec.Stages, trace.StageRecord{
-					Stage: trace.StageIA, Start: iaStart, Duration: p.Now() - iaStart,
+					Stage: trace.StageIA, Start: iaStart, Duration: p.Now() - iaStart, Retries: iaRetries,
 				})
 				anaTrace.Steps = append(anaTrace.Steps, rec)
+				if iaErr != nil {
+					return cc.fail(iaErr)
+				}
 			}
 			return nil
 		})
 		r.procs = append(r.procs, proc)
+		r.memberProcs[i] = append(r.memberProcs[i], proc)
+		r.comps = append(r.comps, runningComp{proc: proc, name: anaTrace.Name, node: alloc.node})
 	}
 }
 
-// abort records a component failure in its trace. Interrupts (from a
-// sibling's failure) pass through quietly; primary failures trigger the
-// ensemble-wide wind-down.
-func (r *simRun) abort(ct *trace.ComponentTrace, err error) error {
-	ct.Err = err.Error()
-	if !errors.Is(err, sim.ErrInterrupted) {
-		r.fail(fmt.Errorf("%s: %w", ct.Name, err))
+// stageSpan returns the recorded duration of a compute stage: the modeled
+// duration when the attempt was clean (preserving exact legacy trace
+// bytes), the elapsed span when recovery time (retries, restarts) was
+// folded in.
+func stageSpan(p *sim.Proc, start, modeled float64, recovered bool) float64 {
+	if !recovered {
+		return modeled
 	}
+	return p.Now() - start
+}
+
+// compCtx carries the per-process resilience state of one running
+// component: the stage-attempt loop implementing retries, timeouts, and
+// crash-restarts lives here.
+type compCtx struct {
+	r      *simRun
+	p      *sim.Proc
+	ct     *trace.ComponentTrace
+	node   int
+	member int
+}
+
+// attempt runs one stage operation under the resilience policy.
+// Transient faults (injected staging failures, stage timeouts) consume
+// the retry budget with exponential backoff elapsed on the virtual
+// clock; a node crash consumes the component's restart budget, each
+// restart waiting RestartDelay before resuming the interrupted stage
+// (never a completed step). retries counts recovered transient attempts
+// for the stage record, recovered reports whether any recovery time was
+// folded into the stage, and a non-nil err is unrecoverable under the
+// policy.
+func (c *compCtx) attempt(stageName string, guarded bool, op func() error) (retries int, recovered bool, err error) {
+	res := c.r.res
+	backoff := res.RetryBackoff
+	delay := 0.0 // pending recovery delay before the next attempt
+	for {
+		err = nil
+		if delay > 0 {
+			err = c.p.Wait(delay)
+		}
+		delay = 0
+		var timedOut bool
+		if err == nil {
+			var cancelGuard func()
+			if guarded && res.StageTimeout > 0 {
+				cancelGuard = c.r.env.AtCancelable(c.p.Now()+res.StageTimeout, func() {
+					timedOut = true
+					c.p.Interrupt("stage timeout")
+				})
+			}
+			err = op()
+			if cancelGuard != nil {
+				cancelGuard()
+			}
+			if err == nil {
+				return retries, recovered, nil
+			}
+		}
+		switch {
+		case c.r.crashed[c.ct.Name]:
+			delete(c.r.crashed, c.ct.Name)
+			if c.ct.Restarts >= res.RestartLimit {
+				return retries, recovered, fmt.Errorf(
+					"%s: node %d crashed (restart limit %d exhausted)", stageName, c.node, res.RestartLimit)
+			}
+			c.ct.Restarts++
+			recovered = true
+			c.r.rec.Restart(c.ct.Name, c.node, c.ct.Restarts)
+			delay = res.RestartDelay
+		case timedOut || errors.Is(err, faults.ErrInjected):
+			if timedOut {
+				c.r.rec.Fault(c.ct.Name, "timeout", c.node, res.StageTimeout)
+			}
+			if retries >= res.StagingRetries {
+				if timedOut {
+					return retries, recovered, fmt.Errorf(
+						"%s: attempt timed out after %v s (retry budget %d exhausted)",
+						stageName, res.StageTimeout, res.StagingRetries)
+				}
+				return retries, recovered, fmt.Errorf(
+					"%s (retry budget %d exhausted): %w", stageName, res.StagingRetries, err)
+			}
+			retries++
+			recovered = true
+			c.r.rec.Retry(c.ct.Name, stageName, c.node, retries)
+			delay = backoff
+			backoff *= res.BackoffFactor
+		default:
+			return retries, recovered, err
+		}
+	}
+}
+
+// fail terminates the component under the degradation policy. Interrupt
+// errors are a sibling wind-down, a member drop, or an engine stop: they
+// pass through quietly with only the Err annotation. Anything else is a
+// primary failure: FailFast aborts the ensemble, DropMember removes this
+// component's member and lets the rest of the ensemble continue.
+func (c *compCtx) fail(err error) error {
+	c.ct.Err = err.Error()
+	if errors.Is(err, sim.ErrInterrupted) {
+		return nil
+	}
+	if c.r.res.Mode == DropMember {
+		c.r.dropMember(c.member, fmt.Sprintf("%s: %v", c.ct.Name, err))
+		return nil
+	}
+	c.r.fail(fmt.Errorf("%s: %w", c.ct.Name, err))
 	return nil
 }

@@ -86,6 +86,10 @@ type StageRecord struct {
 	Start    float64  `json:"start"`
 	Duration float64  `json:"duration"`
 	Counters Counters `json:"counters"`
+	// Retries counts recovered attempts folded into Duration: transient
+	// staging faults and stage timeouts the resilience policy absorbed
+	// (0 for a clean stage).
+	Retries int `json:"retries,omitempty"`
 }
 
 // End returns the completion time of the stage.
@@ -163,6 +167,14 @@ type ComponentTrace struct {
 	// otherwise.
 	Outputs []float64 `json:"outputs,omitempty"`
 	Err     string    `json:"err,omitempty"` // non-empty if the component failed
+	// Restarts counts crash-restarts the component performed (resilience
+	// policy: resume from the interrupted stage after a node crash).
+	Restarts int `json:"restarts,omitempty"`
+	// Dropped carries the failure cause when the component's member was
+	// removed by the drop-member degradation policy; empty otherwise.
+	// Dropped members are excluded from ensemble-level aggregation
+	// (Eq. 9) by SurvivingMembers.
+	Dropped string `json:"dropped,omitempty"`
 }
 
 // ExecutionTime returns the component's total wall time (Table 1:
@@ -220,6 +232,17 @@ func (m *MemberTrace) Makespan() float64 {
 	return end - m.Simulation.Start
 }
 
+// Dropped reports whether the member was removed by the drop-member
+// degradation policy (any of its components carries a drop annotation).
+func (m *MemberTrace) Dropped() bool {
+	for _, c := range m.Components() {
+		if c.Dropped != "" {
+			return true
+		}
+	}
+	return false
+}
+
 // Components returns the simulation followed by the analyses.
 func (m *MemberTrace) Components() []*ComponentTrace {
 	out := make([]*ComponentTrace, 0, 1+len(m.Analyses))
@@ -247,6 +270,31 @@ func (t *EnsembleTrace) Makespan() float64 {
 		}
 	}
 	return max
+}
+
+// DroppedMembers returns the indexes of members removed by the
+// drop-member degradation policy, in order.
+func (t *EnsembleTrace) DroppedMembers() []int {
+	var out []int
+	for _, m := range t.Members {
+		if m.Dropped() {
+			out = append(out, m.Index)
+		}
+	}
+	return out
+}
+
+// SurvivingMembers returns the members that were not dropped. Ensemble
+// aggregation (Eq. 9) runs over these: a dropped member contributes
+// neither efficiency nor makespan to the objective.
+func (t *EnsembleTrace) SurvivingMembers() []*MemberTrace {
+	out := make([]*MemberTrace, 0, len(t.Members))
+	for _, m := range t.Members {
+		if !m.Dropped() {
+			out = append(out, m)
+		}
+	}
+	return out
 }
 
 // Components returns every component trace in the ensemble, members in

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check race bench cover clean
+.PHONY: all build test check race bench cover serve clean
 
 all: build test
 
@@ -18,13 +18,19 @@ check:
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
 	fi
 
-# race exercises the packages where the instrumentation layer touches the
-# cooperative scheduler, under the race detector.
+# race runs the whole test suite under the race detector; the campaign
+# service makes every package a concurrency consumer.
 race:
-	$(GO) test -race ./internal/obs/... ./internal/sim/...
+	$(GO) test -race ./...
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# serve builds the campaign HTTP server and smoke-tests it end to end:
+# POST the Table 2 campaign to a loopback listener, cold then warm cache.
+serve:
+	$(GO) build ./cmd/ensembled
+	$(GO) run ./cmd/ensembled -smoke
 
 cover:
 	$(GO) test -cover ./...

@@ -13,6 +13,7 @@ package ensemblekit
 // EXPERIMENTS.md.
 
 import (
+	"fmt"
 	"testing"
 
 	"context"
@@ -456,4 +457,74 @@ func BenchmarkLargeEnsembleDES(b *testing.B) {
 			b.ReportMetric(tr.Makespan(), "makespan-s")
 		}
 	}
+}
+
+// BenchmarkCampaignSweep measures the campaign service against the serial
+// path on the Table 2 sweep (3 seeds per configuration): serial
+// RunSimulated, a pooled cold-cache service, and a warm-cache re-run.
+func BenchmarkCampaignSweep(b *testing.B) {
+	sweep := Sweep{
+		Placements: ConfigsTable2(),
+		Seeds:      []int64{1, 2, 3},
+		Steps:      8,
+	}
+	cands, err := sweep.Jobs()
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, c := range cands {
+				for _, js := range c.Specs {
+					opts := js.Sim.Options()
+					opts.Faults = js.Faults
+					if _, err := RunSimulated(js.Cluster, js.Placement, js.Ensemble, opts); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}
+	})
+
+	for _, workers := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("pooled-%dw-cold", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				svc, err := NewService(ServiceConfig{Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				if _, err := RunCampaign(context.Background(), svc, sweep); err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				svc.Close()
+				b.StartTimer()
+			}
+		})
+	}
+
+	b.Run("pooled-4w-warm", func(b *testing.B) {
+		svc, err := NewService(ServiceConfig{Workers: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer svc.Close()
+		if _, err := RunCampaign(context.Background(), svc, sweep); err != nil {
+			b.Fatal(err) // prime the cache outside the timed region
+		}
+		b.ResetTimer()
+		var last *CampaignResult
+		for i := 0; i < b.N; i++ {
+			res, err := RunCampaign(context.Background(), svc, sweep)
+			if err != nil {
+				b.Fatal(err)
+			}
+			last = res
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(last.CacheHits)/float64(last.Jobs)*100, "hit-%")
+	})
 }

@@ -1,0 +1,197 @@
+// Command ensembled serves the campaign service over HTTP: a bounded
+// worker pool evaluating ensemble placements with a content-addressed
+// result cache, exposed as a JSON API.
+//
+// Usage:
+//
+//	ensembled [-addr :8080] [-workers N] [-queue N]
+//	          [-cache-bytes N] [-cache-dir DIR] [-smoke]
+//
+// Endpoints:
+//
+//	POST /v1/campaigns        submit a sweep ({"configs":["table2"]})
+//	GET  /v1/campaigns        list campaigns
+//	GET  /v1/campaigns/{id}   poll a campaign (F(P) ranking once done)
+//	GET  /v1/jobs/{id}        one job's status
+//	GET  /v1/jobs/{id}/trace  Perfetto (Chrome JSON) trace of a done job
+//	GET  /v1/stats            cache hit rate, queue depth, worker counters
+//
+// -smoke starts the server on a loopback listener, POSTs the paper's
+// Table 2 campaign to it twice (cold then warm cache), prints the ranking
+// and the cache stats, and exits — an end-to-end self-test used by
+// `make serve`.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ensemblekit/internal/campaign"
+	"ensemblekit/internal/obs"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		workers    = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		queue      = flag.Int("queue", 0, "job queue depth (0 = default 256)")
+		cacheBytes = flag.Int64("cache-bytes", 0, "in-memory result-cache budget (0 = default 256 MiB)")
+		cacheDir   = flag.String("cache-dir", "", "optional on-disk result cache directory")
+		smoke      = flag.Bool("smoke", false, "run the Table 2 self-test against a loopback server and exit")
+	)
+	flag.Parse()
+	if err := run(*addr, *workers, *queue, *cacheBytes, *cacheDir, *smoke); err != nil {
+		fmt.Fprintf(os.Stderr, "ensembled: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, workers, queue int, cacheBytes int64, cacheDir string, smoke bool) error {
+	start := time.Now()
+	rec := obs.NewRecorder(func() float64 { return time.Since(start).Seconds() })
+	svc, err := campaign.NewService(campaign.Config{
+		Workers:    workers,
+		QueueDepth: queue,
+		CacheBytes: cacheBytes,
+		CacheDir:   cacheDir,
+		Recorder:   rec,
+	})
+	if err != nil {
+		return err
+	}
+	defer svc.Close()
+
+	srv := &http.Server{Handler: campaign.NewServer(svc).Handler()}
+	if smoke {
+		addr = "127.0.0.1:0" // the self-test picks its own port
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+
+	if smoke {
+		go func() { _ = srv.Serve(ln) }()
+		defer srv.Close()
+		return smokeTest("http://" + ln.Addr().String())
+	}
+
+	fmt.Fprintf(os.Stderr, "ensembled: listening on %s (workers=%d)\n",
+		ln.Addr(), svc.Stats().Workers)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(shutdownCtx)
+	}()
+	if err := srv.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
+
+// smokeTest drives the HTTP API end to end: it submits the paper's
+// Table 2 campaign twice and verifies the second run is answered entirely
+// from the cache.
+func smokeTest(base string) error {
+	ranking, err := runTable2(base)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Table 2 campaign ranking (F at P^{U,A,P}):")
+	for i, r := range ranking {
+		fmt.Printf("  %d. %-5s %.4f\n", i+1, r.Name, r.Value)
+	}
+
+	// Second submission: every job's hash is now cached.
+	if _, err := runTable2(base); err != nil {
+		return fmt.Errorf("warm re-run: %w", err)
+	}
+	var stats struct {
+		campaign.Stats
+		HitRate float64 `json:"hitRate"`
+	}
+	if err := getJSON(base+"/v1/stats", &stats); err != nil {
+		return err
+	}
+	fmt.Printf("cache: %d hits / %d misses (hit rate %.0f%%), %d jobs completed\n",
+		stats.CacheHits, stats.CacheMisses, 100*stats.HitRate, stats.Completed)
+	if stats.CacheHits == 0 {
+		return errors.New("smoke: warm re-run produced no cache hits")
+	}
+	fmt.Println("smoke test passed")
+	return nil
+}
+
+// runTable2 POSTs the Table 2 campaign and polls it to completion.
+func runTable2(base string) ([]indicatorRanked, error) {
+	body, _ := json.Marshal(map[string]any{
+		"name":    "table2-smoke",
+		"configs": []string{"table2"},
+		"steps":   8,
+	})
+	resp, err := http.Post(base+"/v1/campaigns", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	var st campaign.CampaignStatus
+	if err := decodeJSON(resp, &st); err != nil {
+		return nil, err
+	}
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		if err := getJSON(base+"/v1/campaigns/"+st.ID, &st); err != nil {
+			return nil, err
+		}
+		switch st.Status {
+		case "done":
+			out := make([]indicatorRanked, len(st.Result.Ranking))
+			for i, r := range st.Result.Ranking {
+				out[i] = indicatorRanked{Name: r.Name, Value: r.Value}
+			}
+			return out, nil
+		case "failed":
+			return nil, fmt.Errorf("campaign failed: %s", st.Error)
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("campaign %s timed out (%d/%d jobs)", st.ID, st.Done, st.Total)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// indicatorRanked mirrors indicators.Ranked for JSON decoding.
+type indicatorRanked struct {
+	Name  string  `json:"Name"`
+	Value float64 `json:"Value"`
+}
+
+func getJSON(url string, v any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	return decodeJSON(resp, v)
+}
+
+func decodeJSON(resp *http.Response, v any) error {
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		b, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("HTTP %d: %s", resp.StatusCode, b)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}

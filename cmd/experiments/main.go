@@ -7,7 +7,7 @@
 //	experiments [-exp all|table1|table2|table4|fig3|fig4|fig5|fig6|fig7|fig8|fig9|headline
 //	                  |tiers|validation|buffers|aggregators|scaling|heterogeneous|topology
 //	                  |sockets|intransit|faults]
-//	            [-trials N] [-steps N] [-jitter F] [-seed N] [-quick]
+//	            [-trials N] [-steps N] [-jitter F] [-seed N] [-quick] [-workers N]
 //	            [-csv DIR] [-obs FILE] [-cpuprofile FILE] [-memprofile FILE]
 //
 // The first group regenerates the paper's evaluation; the second group
@@ -24,6 +24,7 @@ import (
 	"runtime/pprof"
 	"strings"
 
+	"ensemblekit/internal/campaign"
 	"ensemblekit/internal/cluster"
 	"ensemblekit/internal/experiments"
 	"ensemblekit/internal/obs"
@@ -44,6 +45,7 @@ func main() {
 		obsOut     = flag.String("obs", "", "write a Chrome trace of an instrumented reference run (C1.5) to this file")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		workers    = flag.Int("workers", 0, "evaluate through a campaign service with N workers (0 = serial)")
 	)
 	flag.Parse()
 
@@ -55,6 +57,15 @@ func main() {
 	}.Defaults()
 	if *quick {
 		cfg = experiments.Quick()
+	}
+	if *workers > 0 {
+		svc, err := campaign.NewService(campaign.Config{Workers: *workers})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		defer svc.Close()
+		cfg.Service = svc
 	}
 
 	if err := realMain(cfg, strings.ToLower(*exp), *csvDir, *obsOut, *cpuProfile, *memProfile); err != nil {

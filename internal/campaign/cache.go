@@ -1,0 +1,154 @@
+package campaign
+
+import (
+	"container/list"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"ensemblekit/internal/indicators"
+	"ensemblekit/internal/trace"
+)
+
+// Result is the outcome of one evaluated job: the execution trace plus the
+// paper's derived quantities (efficiencies over the surviving members,
+// the full indicator report, the objective F(P^{U,A,P})). Results are
+// shared between cache readers and must be treated as immutable.
+type Result struct {
+	// Hash is the content address of the job that produced the result.
+	Hash string `json:"hash"`
+	// Trace is the execution record (byte-identical to a serial
+	// RunSimulated of the same spec).
+	Trace *trace.EnsembleTrace `json:"trace"`
+	// Efficiencies holds E_i (Eq. 3) for the surviving members, in member
+	// order. Without faults this is every member.
+	Efficiencies []float64 `json:"efficiencies"`
+	// Report is the indicator report (Eq. 5-9) over the survivors.
+	Report indicators.Report `json:"report"`
+	// Objective is F(P^{U,A,P}), the paper's headline score.
+	Objective float64 `json:"objective"`
+	// Makespan is the ensemble makespan in virtual seconds.
+	Makespan float64 `json:"makespan"`
+	// Dropped counts members removed by the drop-member policy.
+	Dropped int `json:"dropped,omitempty"`
+}
+
+// resultCache is a content-addressed cache: an in-memory LRU bounded by a
+// byte budget, optionally backed by an on-disk store so results survive
+// process restarts. It is not locked internally; the service serializes
+// access under its own mutex.
+type resultCache struct {
+	budget  int64 // in-memory byte budget (<= 0 disables the memory tier)
+	dir     string
+	order   *list.List // front = most recent; values are *cacheEntry
+	entries map[string]*list.Element
+	bytes   int64
+}
+
+type cacheEntry struct {
+	hash string
+	res  *Result
+	size int64
+}
+
+// newResultCache builds the cache, creating the disk directory on demand.
+func newResultCache(budget int64, dir string) (*resultCache, error) {
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("campaign: cache dir: %w", err)
+		}
+	}
+	return &resultCache{
+		budget:  budget,
+		dir:     dir,
+		order:   list.New(),
+		entries: make(map[string]*list.Element),
+	}, nil
+}
+
+// get returns the cached result for hash. The second return distinguishes
+// a memory hit from a disk hit (false when served from the memory tier or
+// not found at all).
+func (c *resultCache) get(hash string) (*Result, bool, error) {
+	if c == nil {
+		return nil, false, nil
+	}
+	if el, ok := c.entries[hash]; ok {
+		c.order.MoveToFront(el)
+		return el.Value.(*cacheEntry).res, false, nil
+	}
+	if c.dir == "" {
+		return nil, false, nil
+	}
+	b, err := os.ReadFile(c.path(hash))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, false, nil
+		}
+		return nil, false, fmt.Errorf("campaign: cache read: %w", err)
+	}
+	var res Result
+	if err := json.Unmarshal(b, &res); err != nil {
+		return nil, false, fmt.Errorf("campaign: cache entry %s corrupt: %w", hash, err)
+	}
+	c.admit(hash, &res, int64(len(b)))
+	return &res, true, nil
+}
+
+// put stores a result under its hash in both tiers.
+func (c *resultCache) put(hash string, res *Result) error {
+	if c == nil {
+		return nil
+	}
+	b, err := json.Marshal(res)
+	if err != nil {
+		return fmt.Errorf("campaign: encoding result: %w", err)
+	}
+	if c.dir != "" {
+		// Write-then-rename so a crashed writer never leaves a torn entry
+		// that a later get would reject as corrupt.
+		tmp := c.path(hash) + ".tmp"
+		if err := os.WriteFile(tmp, b, 0o644); err != nil {
+			return fmt.Errorf("campaign: cache write: %w", err)
+		}
+		if err := os.Rename(tmp, c.path(hash)); err != nil {
+			return fmt.Errorf("campaign: cache write: %w", err)
+		}
+	}
+	c.admit(hash, res, int64(len(b)))
+	return nil
+}
+
+// admit inserts into the memory tier and evicts LRU entries past budget.
+func (c *resultCache) admit(hash string, res *Result, size int64) {
+	if c.budget <= 0 {
+		return
+	}
+	if el, ok := c.entries[hash]; ok {
+		c.order.MoveToFront(el)
+		return
+	}
+	el := c.order.PushFront(&cacheEntry{hash: hash, res: res, size: size})
+	c.entries[hash] = el
+	c.bytes += size
+	for c.bytes > c.budget && c.order.Len() > 1 {
+		oldest := c.order.Back()
+		e := oldest.Value.(*cacheEntry)
+		c.order.Remove(oldest)
+		delete(c.entries, e.hash)
+		c.bytes -= e.size
+	}
+}
+
+// stats reports the memory tier's occupancy.
+func (c *resultCache) stats() (entries int, bytes int64) {
+	if c == nil {
+		return 0, 0
+	}
+	return c.order.Len(), c.bytes
+}
+
+func (c *resultCache) path(hash string) string {
+	return filepath.Join(c.dir, hash+".json")
+}

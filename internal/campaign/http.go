@@ -1,0 +1,301 @@
+package campaign
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"ensemblekit/internal/obs"
+	"ensemblekit/internal/placement"
+)
+
+// CampaignRequest is the body of POST /v1/campaigns: a Sweep, with the
+// option of naming built-in placements instead of (or in addition to)
+// inlining them. Configs accepts paper names ("C1.5") and the shortcuts
+// "table2", "table2x2", "table4" for whole tables.
+type CampaignRequest struct {
+	Sweep
+	Configs []string `json:"configs,omitempty"`
+}
+
+// resolve expands Configs into Sweep.Placements (built-ins first, inline
+// placements after, matching the order the request lists them).
+func (r CampaignRequest) resolve() (Sweep, error) {
+	sw := r.Sweep
+	var resolved []placement.Placement
+	for _, name := range r.Configs {
+		switch name {
+		case "table2":
+			resolved = append(resolved, placement.ConfigsTable2()...)
+		case "table2x2":
+			resolved = append(resolved, placement.ConfigsTable2TwoMember()...)
+		case "table4":
+			resolved = append(resolved, placement.ConfigsTable4()...)
+		default:
+			p, ok := placement.ByName(name)
+			if !ok {
+				return Sweep{}, fmt.Errorf("campaign: unknown config %q", name)
+			}
+			resolved = append(resolved, p)
+		}
+	}
+	sw.Placements = append(resolved, sw.Placements...)
+	return sw, nil
+}
+
+// CampaignStatus is the wire form of a campaign's state, returned by the
+// campaign endpoints.
+type CampaignStatus struct {
+	// ID identifies the campaign within the server ("c-1").
+	ID string `json:"id"`
+	// Name echoes the request name.
+	Name string `json:"name,omitempty"`
+	// Status is "running", "done" or "failed".
+	Status string `json:"status"`
+	// Done and Total report job-level progress.
+	Done  int `json:"done"`
+	Total int `json:"total"`
+	// Error carries the failure of a failed campaign.
+	Error string `json:"error,omitempty"`
+	// Result is present once the campaign is done.
+	Result *CampaignResult `json:"result,omitempty"`
+}
+
+// campaignRun tracks one asynchronous RunCampaign.
+type campaignRun struct {
+	id   string
+	name string
+	done chan struct{}
+
+	mu     sync.Mutex
+	nDone  int
+	nTotal int
+	result *CampaignResult
+	err    error
+}
+
+func (c *campaignRun) status() CampaignStatus {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := CampaignStatus{ID: c.id, Name: c.name, Status: "running", Done: c.nDone, Total: c.nTotal}
+	select {
+	case <-c.done:
+		if c.err != nil {
+			st.Status = "failed"
+			st.Error = c.err.Error()
+		} else {
+			st.Status = "done"
+			st.Result = c.result
+		}
+	default:
+	}
+	return st
+}
+
+// Server exposes a Service over HTTP: campaign submission and polling,
+// per-job Perfetto trace download, and the service's cache/queue counters.
+// Build one with NewServer and mount its Handler.
+type Server struct {
+	svc *Service
+
+	mu        sync.Mutex
+	seq       int64
+	campaigns map[string]*campaignRun
+}
+
+// NewServer wraps a service. The server does not own the service; closing
+// is the caller's job.
+func NewServer(svc *Service) *Server {
+	return &Server{svc: svc, campaigns: make(map[string]*campaignRun)}
+}
+
+// Handler returns the route table:
+//
+//	POST /v1/campaigns        submit a sweep, returns 202 + campaign status
+//	GET  /v1/campaigns        list campaigns
+//	GET  /v1/campaigns/{id}   poll one campaign (result once done)
+//	GET  /v1/jobs/{id}        one job's status
+//	GET  /v1/jobs/{id}/trace  Perfetto (Chrome JSON) trace of a done job
+//	GET  /v1/stats            service counters incl. cache hit rate
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/campaigns", s.postCampaign)
+	mux.HandleFunc("GET /v1/campaigns", s.listCampaigns)
+	mux.HandleFunc("GET /v1/campaigns/{id}", s.getCampaign)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.getJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.getJobTrace)
+	mux.HandleFunc("GET /v1/stats", s.getStats)
+	return mux
+}
+
+// writeJSON writes v as a JSON response.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// httpError writes a JSON error body.
+func httpError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) postCampaign(w http.ResponseWriter, r *http.Request) {
+	var req CampaignRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	sw, err := req.resolve()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	// Expand eagerly so malformed sweeps fail the POST, not the poll.
+	cands, err := sw.Jobs()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	total := 0
+	for _, c := range cands {
+		total += len(c.Specs)
+	}
+
+	s.mu.Lock()
+	s.seq++
+	run := &campaignRun{
+		id:     fmt.Sprintf("c-%d", s.seq),
+		name:   sw.Name,
+		done:   make(chan struct{}),
+		nTotal: total,
+	}
+	s.campaigns[run.id] = run
+	s.mu.Unlock()
+
+	sw.Progress = func(done, total int) {
+		run.mu.Lock()
+		run.nDone, run.nTotal = done, total
+		run.mu.Unlock()
+	}
+	go func() {
+		res, err := RunCampaign(context.Background(), s.svc, sw)
+		run.mu.Lock()
+		run.result, run.err = res, err
+		run.mu.Unlock()
+		close(run.done)
+	}()
+
+	writeJSON(w, http.StatusAccepted, run.status())
+}
+
+func (s *Server) listCampaigns(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	runs := make([]*campaignRun, 0, len(s.campaigns))
+	for _, c := range s.campaigns {
+		runs = append(runs, c)
+	}
+	s.mu.Unlock()
+	out := make([]CampaignStatus, 0, len(runs))
+	for _, c := range runs {
+		st := c.status()
+		st.Result = nil // listings stay light; poll the campaign for the result
+		out = append(out, st)
+	}
+	// Deterministic order: by numeric suffix via the id's natural length
+	// then lexicographic ("c-2" < "c-10").
+	for i := 1; i < len(out); i++ {
+		for k := i; k > 0 && idLess(out[k].ID, out[k-1].ID); k-- {
+			out[k], out[k-1] = out[k-1], out[k]
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// idLess orders "c-2" before "c-10" (shorter numeric suffix first).
+func idLess(a, b string) bool {
+	if len(a) != len(b) {
+		return len(a) < len(b)
+	}
+	return a < b
+}
+
+func (s *Server) getCampaign(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	run, ok := s.campaigns[r.PathValue("id")]
+	s.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("campaign: no campaign %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, run.status())
+}
+
+// jobStatus is the wire form of a job.
+type jobStatus struct {
+	ID       string  `json:"id"`
+	Hash     string  `json:"hash"`
+	Label    string  `json:"label,omitempty"`
+	Status   Status  `json:"status"`
+	CacheHit bool    `json:"cacheHit,omitempty"`
+	Error    string  `json:"error,omitempty"`
+	Result   *Result `json:"result,omitempty"`
+}
+
+func (s *Server) getJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.svc.Job(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("campaign: no job %q", r.PathValue("id")))
+		return
+	}
+	st := jobStatus{ID: j.ID, Hash: j.Hash, Label: j.Label, Status: j.Status(), CacheHit: j.CacheHit}
+	if res, err := j.Result(); err != nil {
+		st.Error = err.Error()
+	} else if res != nil {
+		st.Result = res
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) getJobTrace(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.svc.Job(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("campaign: no job %q", r.PathValue("id")))
+		return
+	}
+	res, err := j.Result()
+	if err != nil {
+		httpError(w, http.StatusConflict, fmt.Errorf("campaign: job %s failed: %w", j.ID, err))
+		return
+	}
+	if res == nil || res.Trace == nil {
+		httpError(w, http.StatusConflict, fmt.Errorf("campaign: job %s has no trace yet", j.ID))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Disposition",
+		fmt.Sprintf("attachment; filename=%q", j.ID+"-trace.json"))
+	// The stored trace replays into obs events post hoc, so traces cost
+	// nothing unless somebody downloads one.
+	if err := obs.WriteChromeTrace(w, obs.FromTrace(res.Trace)); err != nil {
+		// Headers are gone; all we can do is drop the connection.
+		return
+	}
+}
+
+// statsResponse decorates Stats with the derived hit rate.
+type statsResponse struct {
+	Stats
+	HitRate float64 `json:"hitRate"`
+}
+
+func (s *Server) getStats(w http.ResponseWriter, _ *http.Request) {
+	st := s.svc.Stats()
+	writeJSON(w, http.StatusOK, statsResponse{Stats: st, HitRate: st.HitRate()})
+}

@@ -1,0 +1,201 @@
+package campaign
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func newTestServer(t *testing.T) (*httptest.Server, *Service) {
+	t.Helper()
+	svc, err := NewService(Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(svc.Close)
+	ts := httptest.NewServer(NewServer(svc).Handler())
+	t.Cleanup(ts.Close)
+	return ts, svc
+}
+
+func postCampaign(t *testing.T, ts *httptest.Server, body string) CampaignStatus {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/campaigns", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /v1/campaigns: HTTP %d", resp.StatusCode)
+	}
+	var st CampaignStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func pollCampaign(t *testing.T, ts *httptest.Server, id string) CampaignStatus {
+	t.Helper()
+	deadline := time.Now().Add(time.Minute)
+	for {
+		resp, err := http.Get(ts.URL + "/v1/campaigns/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st CampaignStatus
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Status != "running" {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("campaign %s stuck at %d/%d", id, st.Done, st.Total)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestHTTPCampaignLifecycle(t *testing.T) {
+	ts, _ := newTestServer(t)
+
+	st := postCampaign(t, ts, `{"name":"t2","configs":["table2"],"steps":4}`)
+	if st.ID == "" || st.Total != 7 {
+		t.Fatalf("accepted status %+v", st)
+	}
+	final := pollCampaign(t, ts, st.ID)
+	if final.Status != "done" || final.Result == nil {
+		t.Fatalf("final status %+v", final)
+	}
+	if len(final.Result.Ranking) != 7 || final.Done != 7 {
+		t.Errorf("ranking %d entries, done %d", len(final.Result.Ranking), final.Done)
+	}
+
+	// The listing shows the campaign without the heavy result payload.
+	resp, err := http.Get(ts.URL + "/v1/campaigns")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list []CampaignStatus
+	err = json.NewDecoder(resp.Body).Decode(&list)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 1 || list[0].ID != st.ID || list[0].Result != nil {
+		t.Errorf("listing %+v", list)
+	}
+}
+
+func TestHTTPStatsReportWarmRerun(t *testing.T) {
+	ts, _ := newTestServer(t)
+
+	body := `{"configs":["C1.5","C1.4"],"steps":4}`
+	first := pollCampaign(t, ts, postCampaign(t, ts, body).ID)
+	if first.Status != "done" {
+		t.Fatalf("cold run: %+v", first)
+	}
+	second := pollCampaign(t, ts, postCampaign(t, ts, body).ID)
+	if second.Status != "done" {
+		t.Fatalf("warm run: %+v", second)
+	}
+	if second.Result.CacheHits != second.Result.Jobs {
+		t.Errorf("warm run hit %d/%d", second.Result.CacheHits, second.Result.Jobs)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats struct {
+		Stats
+		HitRate float64 `json:"hitRate"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.CacheHits != 2 || stats.CacheMisses != 2 || stats.HitRate != 0.5 {
+		t.Errorf("stats %+v", stats)
+	}
+}
+
+func TestHTTPJobTraceDownload(t *testing.T) {
+	ts, _ := newTestServer(t)
+
+	final := pollCampaign(t, ts, postCampaign(t, ts, `{"configs":["C1.5"],"steps":4}`).ID)
+	if final.Status != "done" {
+		t.Fatalf("campaign: %+v", final)
+	}
+	jobID := final.Result.Candidates[0].JobIDs[0]
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + jobID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trace download: HTTP %d", resp.StatusCode)
+	}
+	var chrome struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&chrome); err != nil {
+		t.Fatal(err)
+	}
+	if len(chrome.TraceEvents) == 0 {
+		t.Error("empty Perfetto trace")
+	}
+
+	// The job endpoint itself reports the finished state.
+	jr, err := http.Get(ts.URL + "/v1/jobs/" + jobID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jr.Body.Close()
+	var js struct {
+		Status Status `json:"status"`
+	}
+	if err := json.NewDecoder(jr.Body).Decode(&js); err != nil {
+		t.Fatal(err)
+	}
+	if js.Status != StatusDone {
+		t.Errorf("job status %s", js.Status)
+	}
+}
+
+func TestHTTPErrors(t *testing.T) {
+	ts, _ := newTestServer(t)
+
+	cases := []struct {
+		method, path, body string
+		want               int
+	}{
+		{"POST", "/v1/campaigns", `{"configs":["C9.9"]}`, http.StatusBadRequest},
+		{"POST", "/v1/campaigns", `{"bogus":true}`, http.StatusBadRequest},
+		{"POST", "/v1/campaigns", `{}`, http.StatusBadRequest}, // no placements
+		{"GET", "/v1/campaigns/c-404", "", http.StatusNotFound},
+		{"GET", "/v1/jobs/j-404", "", http.StatusNotFound},
+		{"GET", "/v1/jobs/j-404/trace", "", http.StatusNotFound},
+	}
+	for _, c := range cases {
+		req, err := http.NewRequest(c.method, ts.URL+c.path, strings.NewReader(c.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != c.want {
+			t.Errorf("%s %s: HTTP %d, want %d", c.method, c.path, resp.StatusCode, c.want)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package campaign
+
+import (
+	"fmt"
+
+	"ensemblekit/internal/core"
+	"ensemblekit/internal/indicators"
+	"ensemblekit/internal/placement"
+	"ensemblekit/internal/runtime"
+	"ensemblekit/internal/trace"
+)
+
+// Execute runs one job to completion in the calling goroutine — the serial
+// path the service parallelizes. The returned result is exactly what a
+// direct runtime.RunSimulated of the same inputs produces (the trace is
+// byte-identical), plus the derived indicator quantities.
+func Execute(spec JobSpec) (*Result, error) {
+	hash, err := spec.Hash()
+	if err != nil {
+		return nil, err
+	}
+	opts := spec.Sim.Options()
+	opts.Faults = spec.Faults
+	tr, err := runtime.RunSimulated(spec.Cluster, spec.Placement, spec.Ensemble, opts)
+	if err != nil {
+		return nil, err
+	}
+	return derive(hash, spec.Placement, tr)
+}
+
+// derive computes the paper's quantities from a finished trace: surviving
+// efficiencies (Eq. 3), the full indicator report, and F(P^{U,A,P}).
+func derive(hash string, p placement.Placement, tr *trace.EnsembleTrace) (*Result, error) {
+	surviving := placement.Placement{Name: p.Name}
+	var effs []float64
+	dropped := 0
+	for i, m := range tr.Members {
+		if m.Dropped() {
+			dropped++
+			continue
+		}
+		ss, err := core.FromMemberTrace(m, core.ExtractOptions{})
+		if err != nil {
+			return nil, fmt.Errorf("campaign: member %d: %w", i, err)
+		}
+		e, err := ss.Efficiency()
+		if err != nil {
+			return nil, fmt.Errorf("campaign: member %d: %w", i, err)
+		}
+		surviving.Members = append(surviving.Members, p.Members[i])
+		effs = append(effs, e)
+	}
+	res := &Result{
+		Hash:     hash,
+		Trace:    tr,
+		Makespan: tr.Makespan(),
+		Dropped:  dropped,
+	}
+	if len(effs) == 0 {
+		return nil, fmt.Errorf("campaign: no surviving members in %q", p.Name)
+	}
+	rep, err := indicators.FullReport(surviving, effs)
+	if err != nil {
+		return nil, err
+	}
+	res.Efficiencies = effs
+	res.Report = rep
+	res.Objective = rep.PerStage[indicators.StageUAP.String()]
+	return res, nil
+}

@@ -1,0 +1,556 @@
+package campaign
+
+import (
+	"container/heap"
+	"context"
+	"errors"
+	"fmt"
+	gort "runtime"
+	"sync"
+
+	"ensemblekit/internal/obs"
+)
+
+// Service errors.
+var (
+	// ErrQueueFull is returned by Submit when the job queue is at capacity:
+	// backpressure is explicit rather than blocking the caller forever.
+	ErrQueueFull = errors.New("campaign: job queue full")
+	// ErrClosed is returned by Submit after Close.
+	ErrClosed = errors.New("campaign: service closed")
+)
+
+// Config sizes the service.
+type Config struct {
+	// Workers is the number of concurrent simulation workers
+	// (default: GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the number of queued (not yet running) jobs;
+	// Submit returns ErrQueueFull beyond it (default 256).
+	QueueDepth int
+	// CacheBytes is the in-memory result-cache budget (default 256 MiB;
+	// negative disables the memory tier).
+	CacheBytes int64
+	// CacheDir optionally persists results on disk, content-addressed by
+	// job hash, so campaigns survive process restarts.
+	CacheDir string
+	// Recorder optionally receives service telemetry as obs events
+	// (queue depth, counters for submissions/hits/misses/dedups). The
+	// service serializes its emissions under the service mutex.
+	Recorder *obs.Recorder
+
+	// runFn overrides job execution (tests count real simulations with
+	// it). Nil runs Execute.
+	runFn func(context.Context, JobSpec) (*Result, error)
+}
+
+func (c Config) normalized() Config {
+	if c.Workers <= 0 {
+		c.Workers = gort.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.CacheBytes == 0 {
+		c.CacheBytes = 256 << 20
+	}
+	if c.runFn == nil {
+		c.runFn = func(_ context.Context, spec JobSpec) (*Result, error) {
+			return Execute(spec)
+		}
+	}
+	return c
+}
+
+// Status is a job's lifecycle state.
+type Status string
+
+const (
+	// StatusQueued marks a job waiting for a worker.
+	StatusQueued Status = "queued"
+	// StatusRunning marks a job occupying a worker.
+	StatusRunning Status = "running"
+	// StatusDone marks a completed job with a result.
+	StatusDone Status = "done"
+	// StatusFailed marks a job whose execution returned an error.
+	StatusFailed Status = "failed"
+	// StatusCancelled marks a job cancelled before completion.
+	StatusCancelled Status = "cancelled"
+)
+
+// Job is a submitted evaluation. Wait for its result, Cancel to abandon
+// it. Jobs returned for cache hits are already done; jobs returned for
+// duplicate submissions are shared with the first submitter.
+type Job struct {
+	// ID identifies the job within the service ("j-17").
+	ID string
+	// Hash is the content address of the spec.
+	Hash string
+	// Label is the submitter's display label.
+	Label string
+	// Priority orders the queue (higher runs first).
+	Priority int
+	// CacheHit reports that the job was answered from the cache without
+	// queueing.
+	CacheHit bool
+
+	spec   JobSpec
+	seq    int64
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	svc     *Service
+	mu      sync.Mutex
+	status  Status
+	started bool // a worker popped it (Running was incremented)
+	result  *Result
+	err     error
+}
+
+// Status returns the job's current state.
+func (j *Job) Status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status
+}
+
+// Result returns the result and error of a finished job (nil, nil while
+// the job is still pending).
+func (j *Job) Result() (*Result, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.result, j.err
+}
+
+// Wait blocks until the job finishes or ctx is done. A ctx expiry leaves
+// the job running (other waiters may still want it); use Cancel to
+// abandon the work itself.
+func (j *Job) Wait(ctx context.Context) (*Result, error) {
+	select {
+	case <-j.done:
+		return j.Result()
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Cancel abandons the job: a queued job is removed from the queue, a
+// running job's result is discarded when the worker returns (the
+// cooperative simulation itself is not interruptible mid-run). Cancelled
+// jobs never enter the cache. Cancelling a shared (deduplicated) job
+// cancels it for every submitter.
+func (j *Job) Cancel() {
+	j.cancel()
+	j.svc.dropQueued(j)
+}
+
+// Spec returns the job's spec.
+func (j *Job) Spec() JobSpec { return j.spec }
+
+// Stats is a snapshot of the service's counters.
+type Stats struct {
+	// Submitted counts Submit calls that were admitted (including cache
+	// hits and deduplicated attaches).
+	Submitted int64 `json:"submitted"`
+	// Completed, Failed and Cancelled count finished executions.
+	Completed int64 `json:"completed"`
+	Failed    int64 `json:"failed"`
+	Cancelled int64 `json:"cancelled"`
+	// CacheHits counts submissions answered from the cache; DiskHits is
+	// the subset served by the on-disk tier. CacheMisses counts
+	// submissions that enqueued a new execution.
+	CacheHits   int64 `json:"cacheHits"`
+	DiskHits    int64 `json:"diskHits"`
+	CacheMisses int64 `json:"cacheMisses"`
+	// Dedups counts submissions attached to an identical in-flight job
+	// (singleflight).
+	Dedups int64 `json:"dedups"`
+	// QueueDepth and Running describe the pool right now.
+	QueueDepth int `json:"queueDepth"`
+	Running    int `json:"running"`
+	Workers    int `json:"workers"`
+	// CacheEntries and CacheBytes describe the in-memory cache tier.
+	CacheEntries int   `json:"cacheEntries"`
+	CacheBytes   int64 `json:"cacheBytes"`
+}
+
+// HitRate returns the fraction of cache-answerable submissions served
+// from the cache (hits / (hits + misses)); 0 before any lookup.
+func (s Stats) HitRate() float64 {
+	total := s.CacheHits + s.CacheMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.CacheHits) / float64(total)
+}
+
+// Service is the concurrent ensemble-evaluation engine: a bounded
+// priority queue feeding a worker pool, fronted by a content-addressed
+// result cache with singleflight deduplication. All methods are safe for
+// concurrent use.
+type Service struct {
+	cfg Config
+
+	mu       sync.Mutex
+	space    *sync.Cond // signalled when queue slots free up
+	work     *sync.Cond // signalled when work arrives
+	queue    jobQueue
+	inflight map[string]*Job // hash -> queued or running job
+	jobs     map[string]*Job // id -> every job ever returned
+	cache    *resultCache
+	stats    Stats
+	closed   bool
+	seq      int64
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	wg         sync.WaitGroup
+}
+
+// NewService starts the worker pool. Callers must Close it.
+func NewService(cfg Config) (*Service, error) {
+	cfg = cfg.normalized()
+	cache, err := newResultCache(cfg.CacheBytes, cfg.CacheDir)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Service{
+		cfg:        cfg,
+		inflight:   make(map[string]*Job),
+		jobs:       make(map[string]*Job),
+		cache:      cache,
+		baseCtx:    ctx,
+		baseCancel: cancel,
+	}
+	s.space = sync.NewCond(&s.mu)
+	s.work = sync.NewCond(&s.mu)
+	s.stats.Workers = cfg.Workers
+	s.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Close stops accepting submissions, cancels queued and running jobs, and
+// waits for the workers to exit.
+func (s *Service) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	// Fail the queue: every queued job reports ErrClosed to its waiters.
+	queued := append([]*Job(nil), s.queue.items...)
+	s.queue.items = nil
+	s.work.Broadcast()
+	s.space.Broadcast()
+	s.mu.Unlock()
+
+	for _, j := range queued {
+		s.finish(j, nil, ErrClosed, StatusCancelled)
+	}
+	s.baseCancel()
+	s.wg.Wait()
+}
+
+// SubmitOptions label and order a submission.
+type SubmitOptions struct {
+	// Priority orders the queue: higher-priority jobs run first; ties run
+	// in submission order.
+	Priority int
+	// Label names the job in listings (defaults to the placement name).
+	Label string
+}
+
+// Submit admits a job: served from the cache if its hash is known,
+// attached to an identical in-flight job if one exists (singleflight),
+// queued otherwise. Returns ErrQueueFull when the queue is at capacity —
+// callers own their backpressure policy — and ErrClosed after Close.
+func (s *Service) Submit(ctx context.Context, spec JobSpec, opts SubmitOptions) (*Job, error) {
+	return s.submit(ctx, spec, opts, false)
+}
+
+// SubmitWait is Submit with blocking backpressure: instead of returning
+// ErrQueueFull it waits for a queue slot (or ctx expiry). The campaign
+// planner and the batch sweeps use it to fan out arbitrarily large
+// expansions over the bounded queue.
+func (s *Service) SubmitWait(ctx context.Context, spec JobSpec, opts SubmitOptions) (*Job, error) {
+	return s.submit(ctx, spec, opts, true)
+}
+
+func (s *Service) submit(ctx context.Context, spec JobSpec, opts SubmitOptions, wait bool) (*Job, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	hash, err := spec.Hash()
+	if err != nil {
+		return nil, err
+	}
+	label := opts.Label
+	if label == "" {
+		label = spec.Placement.Name
+	}
+
+	// ctx cancellation must break SubmitWait out of its cond wait; a
+	// watcher goroutine broadcasting on expiry keeps the wait honest.
+	if wait {
+		stop := context.AfterFunc(ctx, func() {
+			s.mu.Lock()
+			s.space.Broadcast()
+			s.mu.Unlock()
+		})
+		defer stop()
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.closed {
+			return nil, ErrClosed
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		s.stats.Submitted++
+		// Cache tier first: a known hash never queues.
+		res, fromDisk, err := s.cache.get(hash)
+		if err != nil {
+			return nil, err
+		}
+		if res != nil {
+			s.stats.CacheHits++
+			if fromDisk {
+				s.stats.DiskHits++
+			}
+			s.emitTelemetry()
+			return s.completedJobLocked(hash, label, res), nil
+		}
+		// Singleflight: identical concurrent submissions share one run.
+		if j, ok := s.inflight[hash]; ok {
+			s.stats.Dedups++
+			s.emitTelemetry()
+			return j, nil
+		}
+		s.stats.CacheMisses++
+		if len(s.queue.items) < s.cfg.QueueDepth {
+			break
+		}
+		if !wait {
+			// Undo the optimistic miss accounting: nothing was admitted.
+			s.stats.Submitted--
+			s.stats.CacheMisses--
+			return nil, ErrQueueFull
+		}
+		s.stats.Submitted--
+		s.stats.CacheMisses--
+		s.space.Wait()
+	}
+
+	s.seq++
+	jctx, cancel := context.WithCancel(s.baseCtx)
+	j := &Job{
+		ID:       fmt.Sprintf("j-%d", s.seq),
+		Hash:     hash,
+		Label:    label,
+		Priority: opts.Priority,
+		spec:     spec,
+		seq:      s.seq,
+		ctx:      jctx,
+		cancel:   cancel,
+		done:     make(chan struct{}),
+		svc:      s,
+		status:   StatusQueued,
+	}
+	heap.Push(&s.queue, j)
+	s.inflight[hash] = j
+	s.jobs[j.ID] = j
+	s.emitTelemetry()
+	s.work.Signal()
+	return j, nil
+}
+
+// completedJobLocked wraps a cached result as an already-finished job so
+// cache hits and real runs share one call shape.
+func (s *Service) completedJobLocked(hash, label string, res *Result) *Job {
+	s.seq++
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	j := &Job{
+		ID:       fmt.Sprintf("j-%d", s.seq),
+		Hash:     hash,
+		Label:    label,
+		CacheHit: true,
+		ctx:      ctx,
+		cancel:   func() {},
+		done:     make(chan struct{}),
+		svc:      s,
+		status:   StatusDone,
+		result:   res,
+	}
+	close(j.done)
+	s.jobs[j.ID] = j
+	return j
+}
+
+// Job looks up a job by ID.
+func (s *Service) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Stats snapshots the counters.
+func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.QueueDepth = len(s.queue.items)
+	st.CacheEntries, st.CacheBytes = s.cache.stats()
+	return st
+}
+
+// worker runs queued jobs until the service closes.
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		for len(s.queue.items) == 0 && !s.closed {
+			s.work.Wait()
+		}
+		if s.closed {
+			s.mu.Unlock()
+			return
+		}
+		j := heap.Pop(&s.queue).(*Job)
+		s.stats.Running++
+		j.mu.Lock()
+		j.status = StatusRunning
+		j.started = true
+		j.mu.Unlock()
+		s.emitTelemetry()
+		s.space.Signal()
+		s.mu.Unlock()
+
+		s.execute(j)
+	}
+}
+
+// execute runs one job and publishes its outcome.
+func (s *Service) execute(j *Job) {
+	if err := j.ctx.Err(); err != nil {
+		s.finish(j, nil, err, StatusCancelled)
+		return
+	}
+	res, err := s.cfg.runFn(j.ctx, j.spec)
+	switch {
+	case j.ctx.Err() != nil:
+		// Cancelled mid-run: discard whatever the worker produced so a
+		// torn or unwanted result never poisons the cache.
+		s.finish(j, nil, j.ctx.Err(), StatusCancelled)
+	case err != nil:
+		s.finish(j, nil, err, StatusFailed)
+	default:
+		// A cache-store failure degrades to uncached operation; the
+		// result itself is still good.
+		s.mu.Lock()
+		_ = s.cache.put(j.Hash, res)
+		s.mu.Unlock()
+		s.finish(j, res, nil, StatusDone)
+	}
+}
+
+// finish publishes a job outcome exactly once.
+func (s *Service) finish(j *Job, res *Result, err error, status Status) {
+	j.mu.Lock()
+	if j.status == StatusDone || j.status == StatusFailed || j.status == StatusCancelled {
+		j.mu.Unlock()
+		return
+	}
+	started := j.started
+	j.status = status
+	j.result = res
+	j.err = err
+	j.mu.Unlock()
+
+	s.mu.Lock()
+	if s.inflight[j.Hash] == j {
+		delete(s.inflight, j.Hash)
+	}
+	if started {
+		s.stats.Running--
+	}
+	switch status {
+	case StatusDone:
+		s.stats.Completed++
+	case StatusFailed:
+		s.stats.Failed++
+	case StatusCancelled:
+		s.stats.Cancelled++
+	}
+	s.emitTelemetry()
+	s.mu.Unlock()
+	close(j.done)
+}
+
+// dropQueued removes a cancelled job from the queue if it has not started.
+func (s *Service) dropQueued(j *Job) {
+	s.mu.Lock()
+	removed := false
+	for i, q := range s.queue.items {
+		if q == j {
+			heap.Remove(&s.queue, i)
+			removed = true
+			break
+		}
+	}
+	if removed {
+		s.space.Signal()
+	}
+	s.mu.Unlock()
+	if removed {
+		s.finish(j, nil, context.Canceled, StatusCancelled)
+	}
+}
+
+// emitTelemetry mirrors the counters onto the obs recorder (if any).
+// Called under s.mu, which also serializes the recorder.
+func (s *Service) emitTelemetry() {
+	rec := s.cfg.Recorder
+	if rec == nil {
+		return
+	}
+	rec.QueueDepth("campaign.queue", len(s.queue.items))
+	rec.Count("campaign.submitted", float64(s.stats.Submitted))
+	rec.Count("campaign.cache.hits", float64(s.stats.CacheHits))
+	rec.Count("campaign.cache.misses", float64(s.stats.CacheMisses))
+	rec.Count("campaign.dedups", float64(s.stats.Dedups))
+	rec.Gauge("campaign", "running", obs.NoNode, float64(s.stats.Running))
+}
+
+// jobQueue is a max-heap on (priority, -seq): higher priority first, FIFO
+// within a priority level.
+type jobQueue struct{ items []*Job }
+
+func (q jobQueue) Len() int { return len(q.items) }
+func (q jobQueue) Less(i, k int) bool {
+	if q.items[i].Priority != q.items[k].Priority {
+		return q.items[i].Priority > q.items[k].Priority
+	}
+	return q.items[i].seq < q.items[k].seq
+}
+func (q jobQueue) Swap(i, k int) { q.items[i], q.items[k] = q.items[k], q.items[i] }
+func (q *jobQueue) Push(x any)   { q.items = append(q.items, x.(*Job)) }
+func (q *jobQueue) Pop() any {
+	old := q.items
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	q.items = old[:n-1]
+	return it
+}

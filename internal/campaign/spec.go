@@ -1,0 +1,206 @@
+// Package campaign is the ensemble-evaluation service of the reproduction:
+// a concurrent engine that runs many placement configurations — the batch
+// workload behind the paper's Tables 2 and 4 and the scheduler's candidate
+// evaluations — through a bounded worker pool with a content-addressed
+// result cache.
+//
+// The design exploits one property relentlessly: a simulated ensemble run
+// is a pure function of its inputs. A JobSpec captures those inputs
+// completely (cluster, placement, workload, simulation options, fault
+// plan), canonicalizes them, and hashes them; the hash keys a cache of
+// results, and singleflight deduplication collapses concurrent identical
+// submissions into one execution. Everything downstream — the campaign
+// planner, the scheduler's placement search, the experiments sweeps, the
+// HTTP API of cmd/ensembled — submits JobSpecs and shares the same cache,
+// so a placement evaluated by the annealer yesterday costs nothing when a
+// Table 2 campaign asks for it today.
+package campaign
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"ensemblekit/internal/cluster"
+	"ensemblekit/internal/faults"
+	"ensemblekit/internal/network"
+	"ensemblekit/internal/placement"
+	"ensemblekit/internal/runtime"
+)
+
+// SimConfig is the serializable subset of runtime.SimOptions: every field
+// that changes a simulated run's result, and nothing that does not (live
+// recorders) or cannot be serialized (model overrides). It is the part of
+// a JobSpec that makes runs content-addressable.
+type SimConfig struct {
+	// Tier selects the DTL implementation ("" = DIMES).
+	Tier string `json:"tier,omitempty"`
+	// TierBandwidth overrides the burst-buffer/PFS bandwidth in bytes/s.
+	TierBandwidth float64 `json:"tierBandwidth,omitempty"`
+	// Jitter is the multiplicative compute-stage noise amplitude.
+	Jitter float64 `json:"jitter,omitempty"`
+	// Seed drives the jitter and the fault plan's fallback seed.
+	Seed int64 `json:"seed,omitempty"`
+	// StagingSlots is the per-member staging buffer depth (0 = 1 slot).
+	StagingSlots int `json:"stagingSlots,omitempty"`
+	// Topology optionally adds dragonfly structure to the interconnect.
+	Topology *network.Dragonfly `json:"topology,omitempty"`
+	// Resilience is the recovery policy applied around the fault plan.
+	Resilience runtime.Resilience `json:"resilience,omitempty"`
+}
+
+// Options expands the config into runtime.SimOptions for execution.
+func (c SimConfig) Options() runtime.SimOptions {
+	return runtime.SimOptions{
+		Tier:          c.Tier,
+		TierBandwidth: c.TierBandwidth,
+		Jitter:        c.Jitter,
+		Seed:          c.Seed,
+		StagingSlots:  c.StagingSlots,
+		Topology:      c.Topology,
+		Resilience:    c.Resilience,
+	}
+}
+
+// ErrNotCacheable marks runtime.SimOptions that cannot be captured in a
+// JobSpec: a *cluster.Model override changes results but has no canonical
+// serialization, so caching it would alias distinct runs.
+var ErrNotCacheable = errors.New("campaign: SimOptions.Model overrides are not content-addressable")
+
+// SimConfigOf captures runtime.SimOptions as a serializable SimConfig and
+// the effective fault plan (the legacy FailStagingAt hook folded in, as
+// RunSimulated does). Recorders are dropped — instrumentation never
+// changes results — while model overrides are rejected with
+// ErrNotCacheable.
+func SimConfigOf(o runtime.SimOptions) (SimConfig, *faults.Plan, error) {
+	if o.Model != nil {
+		return SimConfig{}, nil, ErrNotCacheable
+	}
+	plan, err := o.EffectivePlan()
+	if err != nil {
+		return SimConfig{}, nil, err
+	}
+	return SimConfig{
+		Tier:          o.Tier,
+		TierBandwidth: o.TierBandwidth,
+		Jitter:        o.Jitter,
+		Seed:          o.Seed,
+		StagingSlots:  o.StagingSlots,
+		Topology:      o.Topology,
+		Resilience:    o.Resilience,
+	}, plan, nil
+}
+
+// JobSpec is the canonical description of one simulated ensemble run: the
+// complete, serializable input set of runtime.RunSimulated. Two JobSpecs
+// with the same Hash produce byte-identical traces; the service relies on
+// this to cache and deduplicate.
+type JobSpec struct {
+	// Cluster is the simulated machine.
+	Cluster cluster.Spec `json:"cluster"`
+	// Placement maps every component to nodes (Tables 2 and 4).
+	Placement placement.Placement `json:"placement"`
+	// Ensemble is the workload (what every component computes).
+	Ensemble runtime.EnsembleSpec `json:"ensemble"`
+	// Sim configures the simulated backend.
+	Sim SimConfig `json:"sim,omitempty"`
+	// Faults optionally injects a declarative fault plan.
+	Faults *faults.Plan `json:"faults,omitempty"`
+}
+
+// NewJob assembles a JobSpec from the public run parameters, growing the
+// cluster to fit the placement (as the scheduler's evaluators do) and
+// folding the legacy FailStagingAt hook into the fault plan.
+func NewJob(spec cluster.Spec, p placement.Placement, es runtime.EnsembleSpec, opts runtime.SimOptions) (JobSpec, error) {
+	cfg, plan, err := SimConfigOf(opts)
+	if err != nil {
+		return JobSpec{}, err
+	}
+	for _, n := range p.UsedNodes() {
+		if n+1 > spec.Nodes {
+			spec.Nodes = n + 1
+		}
+	}
+	return JobSpec{Cluster: spec, Placement: p, Ensemble: es, Sim: cfg, Faults: plan}, nil
+}
+
+// Validate checks the spec the same way RunSimulated will, so malformed
+// jobs fail at submission instead of occupying a worker.
+func (s JobSpec) Validate() error {
+	if err := s.Cluster.Validate(); err != nil {
+		return err
+	}
+	if err := s.Placement.Validate(s.Cluster); err != nil {
+		return err
+	}
+	if err := s.Ensemble.Validate(s.Placement); err != nil {
+		return err
+	}
+	if err := s.Sim.Resilience.Validate(); err != nil {
+		return err
+	}
+	return s.Faults.Validate()
+}
+
+// canonical returns a semantically equal copy in normal form: component
+// node sets deduplicated and sorted (order and duplicates never change a
+// run), empty fault plans erased, and empty fault-rule slices nil, so the
+// encoding — and therefore the hash — is invariant under representation
+// choices and JSON round-trips.
+func (s JobSpec) canonical() JobSpec {
+	p := placement.Placement{Name: s.Placement.Name, Members: make([]placement.Member, len(s.Placement.Members))}
+	for i, m := range s.Placement.Members {
+		nm := placement.Member{Simulation: placement.Component{
+			Nodes: m.Simulation.NodeSet(), Cores: m.Simulation.Cores,
+		}}
+		for _, a := range m.Analyses {
+			nm.Analyses = append(nm.Analyses, placement.Component{Nodes: a.NodeSet(), Cores: a.Cores})
+		}
+		p.Members[i] = nm
+	}
+	s.Placement = p
+	if s.Faults.Empty() {
+		s.Faults = nil
+	} else {
+		plan := *s.Faults
+		if len(plan.Staging) == 0 {
+			plan.Staging = nil
+		}
+		if len(plan.Network) == 0 {
+			plan.Network = nil
+		}
+		if len(plan.Crashes) == 0 {
+			plan.Crashes = nil
+		}
+		if len(plan.Stragglers) == 0 {
+			plan.Stragglers = nil
+		}
+		s.Faults = &plan
+	}
+	return s
+}
+
+// CanonicalJSON encodes the spec in normal form. encoding/json emits
+// struct fields in declaration order and sorts map keys, so the encoding
+// is deterministic; the canonicalization above removes every remaining
+// representational degree of freedom.
+func (s JobSpec) CanonicalJSON() ([]byte, error) {
+	return json.Marshal(s.canonical())
+}
+
+// Hash returns the content address of the job: the hex SHA-256 of its
+// canonical encoding. Every field that changes the run's result changes
+// the hash (placement structure, workload, steps, seed, jitter, tier,
+// fault plan, resilience policy, machine shape); representational noise
+// (node-list order, empty-vs-nil fault slices, JSON round-trips) does
+// not.
+func (s JobSpec) Hash() (string, error) {
+	b, err := s.CanonicalJSON()
+	if err != nil {
+		return "", fmt.Errorf("campaign: hashing job spec: %w", err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}

@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"ensemblekit/internal/campaign"
+	"ensemblekit/internal/placement"
+)
+
+// TestRunConfigServiceMatchesSerial pins the acceptance guarantee: a
+// sweep evaluated through the campaign service (pooled, cached) yields
+// byte-identical traces to the serial path for a fixed base seed.
+func TestRunConfigServiceMatchesSerial(t *testing.T) {
+	svc, err := campaign.NewService(campaign.Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	serialCfg := Quick()
+	serialCfg.Trials = 3
+	pooledCfg := serialCfg
+	pooledCfg.Service = svc
+
+	for _, p := range placement.ConfigsTable2() {
+		serial, err := runConfig(serialCfg, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pooled, err := runConfig(pooledCfg, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(pooled) != len(serial) {
+			t.Fatalf("%s: %d pooled traces vs %d serial", p.Name, len(pooled), len(serial))
+		}
+		for i := range serial {
+			want, err := json.Marshal(serial[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := json.Marshal(pooled[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("%s trial %d: pooled trace differs from serial", p.Name, i)
+			}
+		}
+	}
+	if st := svc.Stats(); st.Completed == 0 {
+		t.Error("service never ran a job")
+	}
+}
+
+// TestIndicatorRankingThroughService re-derives Figure 8's ranking via
+// the service and checks it against the serial evaluation.
+func TestIndicatorRankingThroughService(t *testing.T) {
+	svc, err := campaign.NewService(campaign.Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	cfg := Quick()
+	pooled := cfg
+	pooled.Service = svc
+
+	_, want, err := indicatorStudy(cfg, placement.ConfigsTable2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, got, err := indicatorStudy(pooled, placement.ConfigsTable2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%d vs %d reports", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Name != want[i].Name {
+			t.Errorf("report %d: %s vs %s", i, got[i].Name, want[i].Name)
+			continue
+		}
+		for stage, w := range want[i].PerStage {
+			if g := got[i].PerStage[stage]; g != w {
+				t.Errorf("%s %s: %v vs %v", want[i].Name, stage, g, w)
+			}
+		}
+	}
+}

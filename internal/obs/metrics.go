@@ -165,6 +165,9 @@ type Metrics struct {
 	// Faults counts resilience events by kind name ("fault:staging",
 	// "retry", "restart", "member-drop").
 	Faults map[string]int
+	// Counters holds the latest sample of each monotonic named counter
+	// (CounterSet events, e.g. the campaign service's cache statistics).
+	Counters map[string]float64
 	// Events counts the events analyzed.
 	Events int
 }
@@ -181,14 +184,15 @@ type stageOpen struct {
 // recorder.
 func Analyze(events []Event) *Metrics {
 	m := &Metrics{
-		Nodes:  make(map[int]*NodeUsage),
-		Links:  make(map[string]*LinkUsage),
-		Queues: make(map[string]*Utilization),
-		Stages: make(map[string]*StageTotal),
-		DTL:    make(map[string]*DTLStat),
-		Gauges: make(map[string]*Utilization),
-		Faults: make(map[string]int),
-		Events: len(events),
+		Nodes:    make(map[int]*NodeUsage),
+		Links:    make(map[string]*LinkUsage),
+		Queues:   make(map[string]*Utilization),
+		Stages:   make(map[string]*StageTotal),
+		DTL:      make(map[string]*DTLStat),
+		Gauges:   make(map[string]*Utilization),
+		Faults:   make(map[string]int),
+		Counters: make(map[string]float64),
+		Events:   len(events),
 	}
 	node := func(i int) *NodeUsage {
 		n, ok := m.Nodes[i]
@@ -275,6 +279,8 @@ func Analyze(events []Event) *Metrics {
 			m.Faults["restart"]++
 		case MemberDrop:
 			m.Faults["member-drop"]++
+		case CounterSet:
+			m.Counters[ev.Subject] = ev.Value
 		}
 	}
 	// Close every timeline at the horizon so means cover the full run.
@@ -364,6 +370,16 @@ func (m *Metrics) QueueList() []string {
 	out := make([]string, 0, len(m.Queues))
 	for q := range m.Queues {
 		out = append(out, q)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CounterList returns the counter names sorted.
+func (m *Metrics) CounterList() []string {
+	out := make([]string, 0, len(m.Counters))
+	for k := range m.Counters {
+		out = append(out, k)
 	}
 	sort.Strings(out)
 	return out

@@ -74,6 +74,9 @@ const (
 	// MemberDrop marks an ensemble member being dropped under graceful
 	// degradation; Value is the member index.
 	MemberDrop
+	// CounterSet samples a monotonic named counter (campaign submissions,
+	// cache hits); Value is the cumulative count.
+	CounterSet
 	numKinds
 )
 
@@ -82,7 +85,7 @@ var kindNames = [numKinds]string{
 	"resource-acquire", "resource-release", "queue-depth",
 	"put-begin", "put-end", "get-begin", "get-end",
 	"flow-start", "flow-end", "gauge",
-	"fault", "retry", "restart", "member-drop",
+	"fault", "retry", "restart", "member-drop", "counter",
 }
 
 // String returns the event taxonomy name of the kind.
@@ -348,6 +351,17 @@ func (r *Recorder) Restart(component string, node, n int) {
 		return
 	}
 	r.events = append(r.events, Event{T: r.now(), Kind: ComponentRestart, Subject: component, Node: node, Node2: NoNode, Value: float64(n)})
+}
+
+// Count samples the cumulative value of the named monotonic counter
+// (e.g. "campaign.cache.hits"). Analyze keeps the latest sample per
+// counter, so emitting on every change yields exact final totals plus a
+// QueueDepth-style timeline of intermediate values.
+func (r *Recorder) Count(name string, total float64) {
+	if r == nil {
+		return
+	}
+	r.events = append(r.events, Event{T: r.now(), Kind: CounterSet, Subject: name, Node: NoNode, Node2: NoNode, Value: total})
 }
 
 // MemberDropped records an ensemble member leaving the run under graceful

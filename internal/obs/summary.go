@@ -110,5 +110,17 @@ func WriteSummary(w io.Writer, m *Metrics) error {
 			return err
 		}
 	}
+
+	if len(m.Counters) > 0 {
+		fmt.Fprintln(w, "\n-- counters --")
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "counter\tvalue")
+		for _, k := range m.CounterList() {
+			fmt.Fprintf(tw, "%s\t%s\n", k, fnum(m.Counters[k]))
+		}
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+	}
 	return nil
 }

@@ -79,6 +79,27 @@ func (o SimOptions) tier() string {
 	return o.Tier
 }
 
+// EffectivePlan returns the validated fault plan the run will execute: the
+// declarative Faults plan with the legacy FailStagingAt hook folded in as
+// a one-rule staging fault. This is the canonical fault input of the run —
+// the campaign service hashes it, and RunSimulated executes it.
+func (o SimOptions) EffectivePlan() (*faults.Plan, error) {
+	plan := o.Faults
+	if o.FailStagingAt > 0 {
+		merged := faults.Plan{}
+		if plan != nil {
+			merged = *plan
+		}
+		merged.Staging = append(append([]faults.StagingFault(nil), merged.Staging...),
+			faults.StagingFault{FailAtOp: o.FailStagingAt})
+		plan = &merged
+	}
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	return plan, nil
+}
+
 // RunSimulated executes the ensemble on the simulated platform and returns
 // its trace. Component failures (e.g. injected staging errors) abort the
 // whole ensemble: sibling components are interrupted, the partial trace is
@@ -97,17 +118,8 @@ func RunSimulated(spec cluster.Spec, p placement.Placement, es EnsembleSpec, opt
 		return nil, err
 	}
 	// The legacy FailStagingAt hook is a one-rule fault plan.
-	plan := opts.Faults
-	if opts.FailStagingAt > 0 {
-		merged := faults.Plan{}
-		if plan != nil {
-			merged = *plan
-		}
-		merged.Staging = append(append([]faults.StagingFault(nil), merged.Staging...),
-			faults.StagingFault{FailAtOp: opts.FailStagingAt})
-		plan = &merged
-	}
-	if err := plan.Validate(); err != nil {
+	plan, err := opts.EffectivePlan()
+	if err != nil {
 		return nil, err
 	}
 	inj := faults.NewInjector(plan)

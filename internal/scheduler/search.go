@@ -60,25 +60,20 @@ func materialize(shape [][]int, assignment []int) placement.Placement {
 	return p
 }
 
-// Exhaustive evaluates every valid placement of the ensemble on up to
-// maxNodes nodes (deduplicated up to node relabeling) and returns the
-// best. Suitable for paper-scale instances (2 members, <= 3 nodes).
-func Exhaustive(spec cluster.Spec, es runtime.EnsembleSpec, maxNodes int, obj Objective) (Result, error) {
-	shape, err := shapeOf(es)
-	if err != nil {
-		return Result{}, err
-	}
-	if maxNodes <= 0 || maxNodes > spec.Nodes {
-		maxNodes = spec.Nodes
-	}
+// enumeratePlacements visits every valid placement of the shape on up to
+// maxNodes nodes, deduplicated up to node relabeling, in a deterministic
+// canonical order. Candidates arrive named "candidate-N" with N counting
+// from 1 in visit order — the naming contract the exhaustive searches and
+// the campaign cache share, so a candidate hashes identically no matter
+// which code path evaluates it.
+func enumeratePlacements(spec cluster.Spec, shape [][]int, maxNodes int, visit func(placement.Placement)) {
 	total := 0
 	for _, cores := range shape {
 		total += len(cores)
 	}
 	assignment := make([]int, total)
-	best := Result{Score: math.Inf(-1)}
 	seen := make(map[string]bool)
-	var firstErr error
+	count := 0
 
 	var rec func(pos int)
 	rec = func(pos int) {
@@ -92,19 +87,9 @@ func Exhaustive(spec cluster.Spec, es runtime.EnsembleSpec, maxNodes int, obj Ob
 				return
 			}
 			seen[key] = true
-			p.Name = fmt.Sprintf("candidate-%d", best.Evaluated+1)
-			score, err := obj(p)
-			best.Evaluated++
-			if err != nil {
-				if firstErr == nil {
-					firstErr = err
-				}
-				return
-			}
-			if score > best.Score {
-				best.Score = score
-				best.Placement = p
-			}
+			count++
+			p.Name = fmt.Sprintf("candidate-%d", count)
+			visit(p)
 			return
 		}
 		for n := 0; n < maxNodes; n++ {
@@ -113,6 +98,35 @@ func Exhaustive(spec cluster.Spec, es runtime.EnsembleSpec, maxNodes int, obj Ob
 		}
 	}
 	rec(0)
+}
+
+// Exhaustive evaluates every valid placement of the ensemble on up to
+// maxNodes nodes (deduplicated up to node relabeling) and returns the
+// best. Suitable for paper-scale instances (2 members, <= 3 nodes).
+func Exhaustive(spec cluster.Spec, es runtime.EnsembleSpec, maxNodes int, obj Objective) (Result, error) {
+	shape, err := shapeOf(es)
+	if err != nil {
+		return Result{}, err
+	}
+	if maxNodes <= 0 || maxNodes > spec.Nodes {
+		maxNodes = spec.Nodes
+	}
+	best := Result{Score: math.Inf(-1)}
+	var firstErr error
+	enumeratePlacements(spec, shape, maxNodes, func(p placement.Placement) {
+		score, err := obj(p)
+		best.Evaluated++
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			return
+		}
+		if score > best.Score {
+			best.Score = score
+			best.Placement = p
+		}
+	})
 	if math.IsInf(best.Score, -1) {
 		if firstErr != nil {
 			return Result{}, fmt.Errorf("scheduler: no placement evaluated: %w", firstErr)

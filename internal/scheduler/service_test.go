@@ -1,0 +1,126 @@
+package scheduler
+
+import (
+	"context"
+	"testing"
+
+	"ensemblekit/internal/campaign"
+	"ensemblekit/internal/cluster"
+	"ensemblekit/internal/indicators"
+	"ensemblekit/internal/placement"
+	"ensemblekit/internal/runtime"
+)
+
+func newTestService(t *testing.T, workers int) *campaign.Service {
+	t.Helper()
+	svc, err := campaign.NewService(campaign.Config{Workers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(svc.Close)
+	return svc
+}
+
+// TestExhaustiveServiceMatchesSerial is the drop-in guarantee: the
+// parallel fan-out returns the same placement, score and evaluation count
+// as the serial search for a fixed seed.
+func TestExhaustiveServiceMatchesSerial(t *testing.T) {
+	spec := cluster.Cori(2)
+	es := runtime.PaperEnsemble("search", 1, 1, 4)
+	opts := runtime.SimOptions{Seed: 5, Jitter: 0.02}
+
+	serial, err := Exhaustive(spec, es, 2, SimulatedObjective(spec, es, opts, indicators.StageUAP))
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := newTestService(t, 4)
+	pooled, err := ExhaustiveService(context.Background(), svc, spec, es, 2, opts, indicators.StageUAP)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if pooled.Score != serial.Score {
+		t.Errorf("score: pooled %v vs serial %v", pooled.Score, serial.Score)
+	}
+	if pooled.Evaluated != serial.Evaluated {
+		t.Errorf("evaluated: pooled %d vs serial %d", pooled.Evaluated, serial.Evaluated)
+	}
+	if pooled.Placement.Key() != serial.Placement.Key() {
+		t.Errorf("placement: pooled %s vs serial %s",
+			pooled.Placement.String(), serial.Placement.String())
+	}
+	if pooled.Placement.Name != "exhaustive-best" {
+		t.Errorf("winner name %q", pooled.Placement.Name)
+	}
+}
+
+// TestServiceObjectiveMatchesSimulated checks score equality candidate by
+// candidate, and that search revisits come from the cache.
+func TestServiceObjectiveMatchesSimulated(t *testing.T) {
+	spec := cluster.Cori(2)
+	es := runtime.PaperEnsemble("search", 1, 1, 4)
+	opts := runtime.SimOptions{Seed: 2}
+	svc := newTestService(t, 2)
+
+	direct := SimulatedObjective(spec, es, opts, indicators.StageUAP)
+	viaService := ServiceObjective(svc, spec, es, opts, indicators.StageUAP)
+
+	shape, err := shapeOf(es)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	enumeratePlacements(spec, shape, 2, func(p placement.Placement) {
+		n++
+		want, err1 := direct(p)
+		got, err2 := viaService(p)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("%s: error mismatch: %v vs %v", p.Name, err1, err2)
+		}
+		if err1 == nil && got != want {
+			t.Errorf("%s: score %v vs %v", p.Name, got, want)
+		}
+	})
+	if n == 0 {
+		t.Fatal("no candidates enumerated")
+	}
+
+	// Re-scoring every candidate again must be answered from the cache.
+	before := svc.Stats()
+	enumeratePlacements(spec, shape, 2, func(p placement.Placement) {
+		if _, err := viaService(p); err != nil {
+			t.Fatal(err)
+		}
+	})
+	after := svc.Stats()
+	if after.CacheHits != before.CacheHits+int64(n) {
+		t.Errorf("revisits hit %d times, want %d", after.CacheHits-before.CacheHits, n)
+	}
+	if after.Completed != before.Completed {
+		t.Errorf("revisits ran %d extra simulations", after.Completed-before.Completed)
+	}
+}
+
+// TestSearchServiceStrategies covers the dispatch wrapper.
+func TestSearchServiceStrategies(t *testing.T) {
+	spec := cluster.Cori(2)
+	es := runtime.PaperEnsemble("search", 1, 1, 4)
+	opts := runtime.SimOptions{Seed: 1}
+	svc := newTestService(t, 2)
+
+	ex, err := SearchService(context.Background(), StrategyExhaustive, svc, spec, es, 2, opts, indicators.StageUAP, nil, AnnealOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Placement.Name != "exhaustive-best" {
+		t.Errorf("exhaustive winner %q", ex.Placement.Name)
+	}
+
+	gr, err := SearchService(context.Background(), StrategyGreedy, svc, spec, es, 2, opts, indicators.StageUAP, nil, AnnealOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gr.Score <= 0 {
+		t.Errorf("greedy score %v", gr.Score)
+	}
+}

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check race bench cover serve clean
+.PHONY: all build test check race bench bench-json cover serve clean
 
 all: build test
 
@@ -25,6 +25,12 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# bench-json runs the full benchmark suite and writes a dated,
+# machine-readable snapshot (BENCH_<date>.json) for committing alongside
+# perf-sensitive changes; cmd/benchjson aggregates repeated -count runs.
+bench-json:
+	$(GO) test -run '^$$' -bench=. -benchmem . | $(GO) run ./cmd/benchjson -o BENCH_$$(date +%Y-%m-%d).json
 
 # serve builds the campaign HTTP server and smoke-tests it end to end:
 # POST the Table 2 campaign to a loopback listener, cold then warm cache.

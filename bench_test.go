@@ -34,6 +34,7 @@ import (
 func benchConfig() experiments.Config { return experiments.Quick() }
 
 func BenchmarkTable1Metrics(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Table1(benchConfig()); err != nil {
 			b.Fatal(err)
@@ -42,6 +43,7 @@ func BenchmarkTable1Metrics(b *testing.B) {
 }
 
 func BenchmarkTable2Configs(b *testing.B) {
+	b.ReportAllocs()
 	spec := Cori(3)
 	for i := 0; i < b.N; i++ {
 		for _, p := range placement.ConfigsTable2() {
@@ -58,6 +60,7 @@ func BenchmarkTable2Configs(b *testing.B) {
 }
 
 func BenchmarkTable4Configs(b *testing.B) {
+	b.ReportAllocs()
 	spec := Cori(3)
 	for i := 0; i < b.N; i++ {
 		for _, p := range placement.ConfigsTable4() {
@@ -74,6 +77,7 @@ func BenchmarkTable4Configs(b *testing.B) {
 }
 
 func BenchmarkFig3ComponentMetrics(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows, err := experiments.Fig3(benchConfig())
 		if err != nil {
@@ -86,6 +90,7 @@ func BenchmarkFig3ComponentMetrics(b *testing.B) {
 }
 
 func BenchmarkFig4MemberMakespan(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows, err := experiments.Fig4(benchConfig())
 		if err != nil {
@@ -98,6 +103,7 @@ func BenchmarkFig4MemberMakespan(b *testing.B) {
 }
 
 func BenchmarkFig5EnsembleMakespan(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows, err := experiments.Fig5(benchConfig())
 		if err != nil {
@@ -110,6 +116,7 @@ func BenchmarkFig5EnsembleMakespan(b *testing.B) {
 }
 
 func BenchmarkFig6Timeline(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Fig6(benchConfig()); err != nil {
 			b.Fatal(err)
@@ -118,6 +125,7 @@ func BenchmarkFig6Timeline(b *testing.B) {
 }
 
 func BenchmarkFig7CoreSweep(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		points, err := experiments.Fig7(benchConfig())
 		if err != nil {
@@ -134,6 +142,7 @@ func BenchmarkFig7CoreSweep(b *testing.B) {
 }
 
 func BenchmarkFig8IndicatorStages(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows, _, err := experiments.Fig8(benchConfig())
 		if err != nil {
@@ -150,6 +159,7 @@ func BenchmarkFig8IndicatorStages(b *testing.B) {
 }
 
 func BenchmarkFig9IndicatorStages(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows, _, err := experiments.Fig9(benchConfig())
 		if err != nil {
@@ -166,6 +176,7 @@ func BenchmarkFig9IndicatorStages(b *testing.B) {
 }
 
 func BenchmarkHeadlineCoLocationGain(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.Headline(benchConfig())
 		if err != nil {
@@ -182,11 +193,13 @@ func BenchmarkHeadlineCoLocationGain(b *testing.B) {
 // BenchmarkAblationDTLTiers compares the three staging tiers on the
 // co-located configuration.
 func BenchmarkAblationDTLTiers(b *testing.B) {
+	b.ReportAllocs()
 	spec := Cori(3)
 	cfg := ConfigCc()
 	es := SpecForPlacement(cfg, 8)
 	for _, tier := range []string{runtime.TierDimes, runtime.TierBurstBuffer, runtime.TierPFS} {
 		b.Run(tier, func(b *testing.B) {
+			b.ReportAllocs()
 			var makespan float64
 			for i := 0; i < b.N; i++ {
 				tr, err := RunSimulated(spec, cfg, es, SimOptions{Tier: tier})
@@ -203,6 +216,7 @@ func BenchmarkAblationDTLTiers(b *testing.B) {
 // BenchmarkAblationInterference quantifies what the interference model
 // contributes: C1.4 with and without co-location degradation.
 func BenchmarkAblationInterference(b *testing.B) {
+	b.ReportAllocs()
 	spec := Cori(3)
 	cfg := placement.C14()
 	es := SpecForPlacement(cfg, 8)
@@ -226,6 +240,7 @@ func BenchmarkAblationInterference(b *testing.B) {
 	}
 	for _, c := range cases {
 		b.Run(c.name, func(b *testing.B) {
+			b.ReportAllocs()
 			var makespan float64
 			for i := 0; i < b.N; i++ {
 				tr, err := RunSimulated(spec, cfg, es, c.opts)
@@ -242,10 +257,12 @@ func BenchmarkAblationInterference(b *testing.B) {
 // BenchmarkAblationScheduler compares exhaustive search with the greedy
 // heuristic on the paper instance.
 func BenchmarkAblationScheduler(b *testing.B) {
+	b.ReportAllocs()
 	spec := Cori(3)
 	es := PaperEnsemble("bench", 2, 1, 6)
 	obj := scheduler.AnalyticObjective(spec, nil, es, indicators.StageUAP)
 	b.Run("exhaustive", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := scheduler.Exhaustive(spec, es, 3, obj); err != nil {
 				b.Fatal(err)
@@ -253,6 +270,7 @@ func BenchmarkAblationScheduler(b *testing.B) {
 		}
 	})
 	b.Run("greedy", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := scheduler.GreedyLocalSearch(spec, es, 3, obj); err != nil {
 				b.Fatal(err)
@@ -263,6 +281,7 @@ func BenchmarkAblationScheduler(b *testing.B) {
 
 // BenchmarkRealBackend measures the real-execution path end to end.
 func BenchmarkRealBackend(b *testing.B) {
+	b.ReportAllocs()
 	cfg := ConfigCc()
 	opts := RealOptions{Steps: 2, Stride: 3}
 	for i := 0; i < b.N; i++ {
@@ -274,6 +293,7 @@ func BenchmarkRealBackend(b *testing.B) {
 
 // BenchmarkChunkCodec measures the DTL plugin's marshaling throughput.
 func BenchmarkChunkCodec(b *testing.B) {
+	b.ReportAllocs()
 	c := chunk.Synthetic(chunk.ID{Member: 0, Step: 0}, 8, 5000, 1)
 	data, err := c.Encode()
 	if err != nil {
@@ -295,6 +315,7 @@ func BenchmarkChunkCodec(b *testing.B) {
 // BenchmarkDESEngine measures raw event throughput of the simulation
 // engine.
 func BenchmarkDESEngine(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		env := sim.NewEnv()
 		for p := 0; p < 10; p++ {
@@ -315,6 +336,7 @@ func BenchmarkDESEngine(b *testing.B) {
 
 // BenchmarkFabric measures contended transfer scheduling.
 func BenchmarkFabric(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		env := sim.NewEnv()
 		fab, err := network.NewFabric(env, network.Config{Nodes: 8, NICBandwidth: 8e9})
@@ -335,6 +357,7 @@ func BenchmarkFabric(b *testing.B) {
 
 // BenchmarkExtensionScaling runs the ensemble-size scaling study.
 func BenchmarkExtensionScaling(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.ScalingStudy(benchConfig()); err != nil {
 			b.Fatal(err)
@@ -344,6 +367,7 @@ func BenchmarkExtensionScaling(b *testing.B) {
 
 // BenchmarkExtensionHeterogeneous runs the heterogeneous-ensemble study.
 func BenchmarkExtensionHeterogeneous(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.HeterogeneousStudy(benchConfig()); err != nil {
 			b.Fatal(err)
@@ -354,10 +378,12 @@ func BenchmarkExtensionHeterogeneous(b *testing.B) {
 // BenchmarkAblationAnnealing compares the third search strategy against
 // greedy on a 4-member instance.
 func BenchmarkAblationAnnealing(b *testing.B) {
+	b.ReportAllocs()
 	spec := Cori(6)
 	es := PaperEnsemble("anneal-bench", 4, 2, 6)
 	obj := scheduler.AnalyticObjective(spec, nil, es, indicators.StageUAP)
 	b.Run("greedy", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := scheduler.GreedyLocalSearch(spec, es, 6, obj); err != nil {
 				b.Fatal(err)
@@ -365,6 +391,7 @@ func BenchmarkAblationAnnealing(b *testing.B) {
 		}
 	})
 	b.Run("anneal", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := scheduler.Anneal(spec, es, 6, obj, scheduler.AnnealOptions{Iterations: 1000, Seed: 1}); err != nil {
 				b.Fatal(err)
@@ -375,6 +402,7 @@ func BenchmarkAblationAnnealing(b *testing.B) {
 
 // BenchmarkLJKernel measures the real MD force evaluation.
 func BenchmarkLJKernel(b *testing.B) {
+	b.ReportAllocs()
 	sim, err := kernels.NewLJSimulator(kernels.DefaultLJConfig())
 	if err != nil {
 		b.Fatal(err)
@@ -390,6 +418,7 @@ func BenchmarkLJKernel(b *testing.B) {
 
 // BenchmarkEigenKernel measures the real analysis kernel.
 func BenchmarkEigenKernel(b *testing.B) {
+	b.ReportAllocs()
 	a, err := kernels.NewEigenAnalyzer(kernels.DefaultEigenConfig())
 	if err != nil {
 		b.Fatal(err)
@@ -410,10 +439,12 @@ func BenchmarkEigenKernel(b *testing.B) {
 // The disabled case must stay within noise (<2%) of a build without any
 // instrumentation, which is the overhead guarantee documented in DESIGN.md.
 func BenchmarkObsOverhead(b *testing.B) {
+	b.ReportAllocs()
 	spec := Cori(3)
 	cfg := placement.C15()
 	es := SpecForPlacement(cfg, 8)
 	b.Run("disabled", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := RunSimulated(spec, cfg, es, SimOptions{}); err != nil {
 				b.Fatal(err)
@@ -421,6 +452,7 @@ func BenchmarkObsOverhead(b *testing.B) {
 		}
 	})
 	b.Run("recording", func(b *testing.B) {
+		b.ReportAllocs()
 		var events int
 		for i := 0; i < b.N; i++ {
 			rec := obs.NewRecorder(nil)
@@ -437,6 +469,7 @@ func BenchmarkObsOverhead(b *testing.B) {
 // beyond the paper's experiments: 16 fully co-located members on 16
 // nodes, 37 in situ steps.
 func BenchmarkLargeEnsembleDES(b *testing.B) {
+	b.ReportAllocs()
 	const members = 16
 	spec := Cori(members)
 	p := Placement{Name: "large"}
@@ -463,6 +496,7 @@ func BenchmarkLargeEnsembleDES(b *testing.B) {
 // path on the Table 2 sweep (3 seeds per configuration): serial
 // RunSimulated, a pooled cold-cache service, and a warm-cache re-run.
 func BenchmarkCampaignSweep(b *testing.B) {
+	b.ReportAllocs()
 	sweep := Sweep{
 		Placements: ConfigsTable2(),
 		Seeds:      []int64{1, 2, 3},
@@ -474,6 +508,7 @@ func BenchmarkCampaignSweep(b *testing.B) {
 	}
 
 	b.Run("serial", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			for _, c := range cands {
 				for _, js := range c.Specs {
@@ -489,6 +524,7 @@ func BenchmarkCampaignSweep(b *testing.B) {
 
 	for _, workers := range []int{2, 4, 8} {
 		b.Run(fmt.Sprintf("pooled-%dw-cold", workers), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				b.StopTimer()
 				svc, err := NewService(ServiceConfig{Workers: workers})
@@ -507,6 +543,7 @@ func BenchmarkCampaignSweep(b *testing.B) {
 	}
 
 	b.Run("pooled-4w-warm", func(b *testing.B) {
+		b.ReportAllocs()
 		svc, err := NewService(ServiceConfig{Workers: 4})
 		if err != nil {
 			b.Fatal(err)

@@ -1,0 +1,153 @@
+// Command benchjson converts `go test -bench` output into a JSON snapshot
+// suitable for committing alongside the code (see `make bench-json`) and
+// for diffing across revisions by machine. It reads the benchmark text
+// from stdin and aggregates repeated runs of the same benchmark
+// (`-count N`) into per-metric means, keeping the run count so consumers
+// can judge stability.
+//
+// Usage:
+//
+//	go test -bench=. -benchmem . | go run ./cmd/benchjson -o BENCH_2026-08-06.json
+//
+// With no -o flag the JSON is written to stdout.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Snapshot is the top-level JSON document.
+type Snapshot struct {
+	// Context lines from the benchmark header (goos, goarch, pkg, cpu).
+	Context map[string]string `json:"context,omitempty"`
+	// Benchmarks, in first-appearance order.
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// Benchmark is one aggregated benchmark result.
+type Benchmark struct {
+	Name string `json:"name"`
+	// Runs is how many result lines were aggregated (the -count value).
+	Runs int `json:"runs"`
+	// Iterations is the mean b.N across runs.
+	Iterations float64 `json:"iterations"`
+	// Metrics maps a unit (ns/op, B/op, allocs/op, custom b.ReportMetric
+	// units) to its mean value across runs.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// parse consumes `go test -bench` text and returns the aggregated
+// snapshot. Unrecognized lines (PASS, ok, test logs) are skipped.
+func parse(r io.Reader) (*Snapshot, error) {
+	snap := &Snapshot{Context: map[string]string{}}
+	index := map[string]int{} // name -> position in snap.Benchmarks
+	sums := map[string]map[string]float64{}
+	iters := map[string]float64{}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if k, v, ok := contextLine(line); ok {
+			snap.Context[k] = v
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// A result line is: Name N value unit [value unit]...
+		if len(fields) < 4 || (len(fields)-2)%2 != 0 {
+			continue
+		}
+		n, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			continue
+		}
+		name := fields[0]
+		if _, seen := index[name]; !seen {
+			index[name] = len(snap.Benchmarks)
+			snap.Benchmarks = append(snap.Benchmarks, Benchmark{Name: name})
+			sums[name] = map[string]float64{}
+		}
+		b := &snap.Benchmarks[index[name]]
+		b.Runs++
+		iters[name] += n
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchjson: bad value %q in line %q", fields[i], line)
+			}
+			sums[name][fields[i+1]] += v
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for i := range snap.Benchmarks {
+		b := &snap.Benchmarks[i]
+		b.Iterations = iters[b.Name] / float64(b.Runs)
+		b.Metrics = map[string]float64{}
+		for unit, sum := range sums[b.Name] {
+			b.Metrics[unit] = sum / float64(b.Runs)
+		}
+	}
+	return snap, nil
+}
+
+// contextLine recognizes the "key: value" header lines go test prints
+// before the results.
+func contextLine(line string) (key, value string, ok bool) {
+	for _, k := range []string{"goos", "goarch", "pkg", "cpu"} {
+		if strings.HasPrefix(line, k+":") {
+			return k, strings.TrimSpace(line[len(k)+1:]), true
+		}
+	}
+	return "", "", false
+}
+
+// render marshals the snapshot with stable formatting (sorted metric keys
+// come free with encoding/json's map ordering).
+func render(snap *Snapshot) ([]byte, error) {
+	out, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}
+
+func main() {
+	outPath := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	snap, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if len(snap.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark results on stdin")
+		os.Exit(1)
+	}
+	out, err := render(snap)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *outPath == "" {
+		os.Stdout.Write(out)
+		return
+	}
+	if err := os.WriteFile(*outPath, out, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%d benchmarks)\n", *outPath, len(snap.Benchmarks))
+}

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: ensemblekit
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkDESEngine        	     422	   2748441 ns/op	    5296 B/op	      74 allocs/op
+BenchmarkDESEngine        	     400	   2751559 ns/op	    5296 B/op	      74 allocs/op
+BenchmarkLargeEnsembleDES 	     907	   1441953 ns/op	       395.3 makespan-s	  360726 B/op	     905 allocs/op
+BenchmarkCampaignSweep/pooled-4w-warm 	      66	  17000000 ns/op
+some unrelated log line
+PASS
+ok  	ensemblekit	13.983s
+`
+
+func TestParseAggregatesRuns(t *testing.T) {
+	snap, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := snap.Context["goos"]; got != "linux" {
+		t.Errorf("goos = %q, want linux", got)
+	}
+	if got := snap.Context["cpu"]; !strings.Contains(got, "Xeon") {
+		t.Errorf("cpu = %q, want Xeon model string", got)
+	}
+	if len(snap.Benchmarks) != 3 {
+		t.Fatalf("got %d benchmarks, want 3", len(snap.Benchmarks))
+	}
+
+	des := snap.Benchmarks[0]
+	if des.Name != "BenchmarkDESEngine" || des.Runs != 2 {
+		t.Fatalf("first benchmark = %q runs=%d, want BenchmarkDESEngine runs=2", des.Name, des.Runs)
+	}
+	if want := (2748441.0 + 2751559.0) / 2; math.Abs(des.Metrics["ns/op"]-want) > 1e-6 {
+		t.Errorf("DESEngine ns/op = %v, want mean %v", des.Metrics["ns/op"], want)
+	}
+	if math.Abs(des.Iterations-411) > 1e-9 {
+		t.Errorf("DESEngine iterations = %v, want 411", des.Iterations)
+	}
+
+	large := snap.Benchmarks[1]
+	if large.Metrics["makespan-s"] != 395.3 {
+		t.Errorf("custom metric makespan-s = %v, want 395.3", large.Metrics["makespan-s"])
+	}
+	if large.Metrics["allocs/op"] != 905 {
+		t.Errorf("allocs/op = %v, want 905", large.Metrics["allocs/op"])
+	}
+
+	sub := snap.Benchmarks[2]
+	if sub.Name != "BenchmarkCampaignSweep/pooled-4w-warm" || sub.Runs != 1 {
+		t.Errorf("sub-benchmark = %q runs=%d, want BenchmarkCampaignSweep/pooled-4w-warm runs=1", sub.Name, sub.Runs)
+	}
+}
+
+func TestParseRejectsNothing(t *testing.T) {
+	snap, err := parse(strings.NewReader("PASS\nok  \tensemblekit\t0.1s\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Benchmarks) != 0 {
+		t.Fatalf("got %d benchmarks from benchmark-free input, want 0", len(snap.Benchmarks))
+	}
+}
+
+func TestRenderRoundTrips(t *testing.T) {
+	snap, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := render(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(out, &back); err != nil {
+		t.Fatalf("rendered JSON does not parse: %v", err)
+	}
+	if len(back.Benchmarks) != len(snap.Benchmarks) {
+		t.Errorf("round-trip lost benchmarks: %d != %d", len(back.Benchmarks), len(snap.Benchmarks))
+	}
+}

@@ -87,13 +87,14 @@ func (d *Dimes) Write(p *sim.Proc, producerNode int, bytes int64) error {
 func (d *Dimes) Read(p *sim.Proc, producerNode, consumerNode int, bytes int64) error {
 	defer getSpan(p, d.Name(), producerNode, consumerNode, bytes)()
 	if producerNode == consumerNode {
-		if err := p.Wait(d.model.LocalCopyTime(bytes)); err != nil {
-			return err
-		}
-	} else {
-		if err := d.fabric.Transfer(p, producerNode, consumerNode, bytes); err != nil {
-			return fmt.Errorf("dtl: dimes remote get: %w", err)
-		}
+		// Copy and deserialize are consecutive model delays with nothing
+		// observable between them, so they elapse as a single event — the
+		// same coalescing Write applies to serialize+copy. Same end time,
+		// one fewer goroutine crossing per co-located read.
+		return p.Wait(d.model.LocalCopyTime(bytes) + d.model.DeserializeTime(bytes))
+	}
+	if err := d.fabric.Transfer(p, producerNode, consumerNode, bytes); err != nil {
+		return fmt.Errorf("dtl: dimes remote get: %w", err)
 	}
 	return p.Wait(d.model.DeserializeTime(bytes))
 }

@@ -7,6 +7,14 @@
 // flow are settled at the old rates and rates are recomputed, so emergent
 // sharing (e.g., two analyses pulling from the same producer node, the C1.4
 // pattern) comes out of the dynamics rather than a static formula.
+//
+// The reallocation path is allocation-free in steady state: flow structs
+// are pooled, each flow carries its precomputed link-constraint list, and
+// assignRates water-fills over scratch buffers owned by the Fabric. None
+// of this changes the arithmetic — rates are computed over the same links
+// in the same stable flow order, so simulated timestamps are identical to
+// the straightforward implementation (pinned by the golden determinism
+// tests at the repository root).
 package network
 
 import (
@@ -69,7 +77,10 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// Flow is an in-flight transfer.
+// Flow is an in-flight transfer. Flow structs are pooled on the Fabric;
+// ownership of a record follows the party that removes it from the active
+// set: the completion path (onEvent) releases flows it unparks, and the
+// Transfer error path releases flows whose wait was interrupted.
 type flow struct {
 	src, dst  int
 	remaining float64 // bytes
@@ -82,7 +93,20 @@ type flow struct {
 	// link is the precomputed obs label ("n0->n1"), empty when
 	// instrumentation is off.
 	link string
+	// links is the flow's constraint list — egress, ingress, and (for
+	// inter-group flows under a dragonfly topology) group uplink and
+	// downlink indices into the fabric's capacity arrays — precomputed at
+	// admission so reallocation never rebuilds it.
+	links  [4]int32
+	nlinks uint8
+	// idx is the flow's slot in Fabric.flows, giving removal without a
+	// scan (-1 when not in the active set).
+	idx int32
 }
+
+// CancelWait implements sim.Waiter for the blocked transfer: marking the
+// flow done makes the completion path's pending Unpark a no-op.
+func (fl *flow) CancelWait(*sim.Proc) { fl.done = true }
 
 // degradeWindow is a transient capacity-degradation interval: while
 // active, every link capacity and the per-flow cap are multiplied by
@@ -97,12 +121,31 @@ type Fabric struct {
 	cfg        Config
 	flows      []*flow
 	lastSettle float64
-	cancelNext func()
+	// next is the pending earliest-completion callback.
+	next sim.Timer
+	// onEventFn is the bound completion callback, created once so
+	// reallocate does not allocate a method value per reschedule.
+	onEventFn func()
 	// TotalBytes counts all bytes ever delivered (for reporting).
 	totalBytes float64
 	// degrade holds transient capacity-degradation windows (fault
-	// injection); boundary crossings re-settle and re-balance all flows.
+	// injection); boundary crossings re-settle and re-balance all flows,
+	// and prune windows that have ended so capacityFactor only ever scans
+	// live ones.
 	degrade []degradeWindow
+
+	// Link layout (fixed per configuration): [0,N) egress, [N,2N)
+	// ingress, then per-group global uplinks and downlinks when a
+	// topology is configured.
+	nLinks int
+	groups int
+	// rem/count/unfixed are assignRates scratch, reused across
+	// reallocations so the water-filling loop performs zero allocations.
+	rem     []float64
+	count   []int32
+	unfixed []*flow
+	// free is the flow pool.
+	free []*flow
 }
 
 // NewFabric builds a fabric over the environment.
@@ -110,7 +153,16 @@ func NewFabric(env *sim.Env, cfg Config) (*Fabric, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Fabric{env: env, cfg: cfg}, nil
+	f := &Fabric{env: env, cfg: cfg}
+	f.nLinks = 2 * cfg.Nodes
+	if cfg.Topology != nil {
+		f.groups = cfg.Topology.groups(cfg.Nodes)
+		f.nLinks += 2 * f.groups
+	}
+	f.rem = make([]float64, f.nLinks)
+	f.count = make([]int32, f.nLinks)
+	f.onEventFn = f.onEvent
+	return f, nil
 }
 
 // Degrade installs a transient degradation window: between virtual times
@@ -129,6 +181,7 @@ func (f *Fabric) Degrade(start, end, factor float64) error {
 	}
 	f.degrade = append(f.degrade, degradeWindow{start: start, end: end, factor: factor})
 	rebalance := func() {
+		f.pruneDegrade()
 		f.settle()
 		f.reallocate()
 	}
@@ -140,6 +193,22 @@ func (f *Fabric) Degrade(start, end, factor float64) error {
 	})
 	f.env.At(end, rebalance)
 	return nil
+}
+
+// pruneDegrade drops windows that have ended. An ended window never
+// contributes to capacityFactor again (t >= end fails its guard), so
+// removal cannot change any rate — it only stops dead windows from being
+// scanned on every reallocation for the rest of the run.
+func (f *Fabric) pruneDegrade() {
+	now := f.env.Now()
+	w := 0
+	for _, win := range f.degrade {
+		if win.end > now {
+			f.degrade[w] = win
+			w++
+		}
+	}
+	f.degrade = f.degrade[:w]
 }
 
 // capacityFactor is the compound degradation factor at virtual time t.
@@ -158,6 +227,45 @@ func (f *Fabric) ActiveFlows() int { return len(f.flows) }
 
 // TotalBytes returns the cumulative bytes delivered.
 func (f *Fabric) TotalBytes() float64 { return f.totalBytes }
+
+// newFlow takes a flow from the pool and initializes it, precomputing the
+// constraint list.
+func (f *Fabric) newFlow(p *sim.Proc, src, dst int, bytes float64) *flow {
+	var fl *flow
+	if n := len(f.free); n > 0 {
+		fl = f.free[n-1]
+		f.free[n-1] = nil
+		f.free = f.free[:n-1]
+	} else {
+		fl = &flow{}
+	}
+	fl.src, fl.dst = src, dst
+	fl.remaining, fl.size = bytes, bytes
+	fl.rate = 0
+	fl.proc = p
+	fl.done = false
+	fl.link = ""
+	fl.idx = -1
+	n := f.cfg.Nodes
+	fl.links[0] = int32(src)
+	fl.links[1] = int32(n + dst)
+	fl.nlinks = 2
+	if t := f.cfg.Topology; t != nil {
+		if gs, gd := t.groupOf(src), t.groupOf(dst); gs != gd {
+			fl.links[2] = int32(2*n + gs)
+			fl.links[3] = int32(2*n + f.groups + gd)
+			fl.nlinks = 4
+		}
+	}
+	return fl
+}
+
+// releaseFlow returns a flow to the pool (see the ownership rule on flow).
+func (f *Fabric) releaseFlow(fl *flow) {
+	fl.proc = nil
+	fl.link = ""
+	f.free = append(f.free, fl)
+}
 
 // Transfer moves bytes from node src to node dst, blocking the calling
 // process until the transfer (including protocol latency) completes.
@@ -185,22 +293,23 @@ func (f *Fabric) Transfer(p *sim.Proc, src, dst int, bytes int64) error {
 	if bytes == 0 {
 		return nil
 	}
-	fl := &flow{src: src, dst: dst, remaining: float64(bytes), proc: p, size: float64(bytes)}
+	fl := f.newFlow(p, src, dst, float64(bytes))
 	if rec := f.env.Recorder(); rec.Enabled() {
 		fl.link = obs.LinkLabel(src, dst)
 		rec.FlowStart(fl.link, src, dst, fl.size)
 	}
 	f.settle()
+	fl.idx = int32(len(f.flows))
 	f.flows = append(f.flows, fl)
 	f.reallocate()
 	// Block until the completion callback wakes us.
-	err := f.block(p, fl)
-	if err != nil {
+	if err := p.ParkOn(fl); err != nil {
 		// Interrupted: remove the flow and re-balance survivors.
 		f.settle()
 		f.remove(fl)
 		f.flowEnd(fl)
 		f.reallocate()
+		f.releaseFlow(fl)
 		return err
 	}
 	return nil
@@ -214,14 +323,10 @@ func (f *Fabric) flowEnd(fl *flow) {
 	f.env.Recorder().FlowEnd(fl.link, fl.src, fl.dst, fl.size-fl.remaining)
 }
 
-// block parks the process until its flow completes. If the process is
-// interrupted, marking the flow done prevents a later spurious Unpark from
-// the completion path.
-func (f *Fabric) block(p *sim.Proc, fl *flow) error {
-	return p.Park(func() { fl.done = true })
-}
-
 // settle charges elapsed time against every active flow at current rates.
+// The dt == 0 cheap-exit matters: re-balance points (completion events,
+// interrupt cleanup, degradation boundaries) frequently coincide at one
+// timestamp, and only the first settle at that instant may walk the flows.
 func (f *Fabric) settle() {
 	dt := f.env.Now() - f.lastSettle
 	f.lastSettle = f.env.Now()
@@ -238,23 +343,30 @@ func (f *Fabric) settle() {
 	}
 }
 
-// remove deletes a flow from the active set.
+// remove deletes a flow from the active set via its recorded slot,
+// shifting the tail down (order is semantically significant: assignRates
+// fixes flows in stable order and the completion path wakes processes in
+// flow order, so a swap-remove would perturb determinism).
 func (f *Fabric) remove(fl *flow) {
-	for i, q := range f.flows {
-		if q == fl {
-			f.flows = append(f.flows[:i], f.flows[i+1:]...)
-			return
-		}
+	i := int(fl.idx)
+	if i < 0 || i >= len(f.flows) || f.flows[i] != fl {
+		return
 	}
+	copy(f.flows[i:], f.flows[i+1:])
+	last := len(f.flows) - 1
+	f.flows[last] = nil
+	f.flows = f.flows[:last]
+	for ; i < last; i++ {
+		f.flows[i].idx = int32(i)
+	}
+	fl.idx = -1
 }
 
 // reallocate recomputes max-min fair rates and schedules the next
 // completion event.
 func (f *Fabric) reallocate() {
-	if f.cancelNext != nil {
-		f.cancelNext()
-		f.cancelNext = nil
-	}
+	f.next.Cancel()
+	f.next = sim.Timer{}
 	if len(f.flows) == 0 {
 		return
 	}
@@ -273,93 +385,82 @@ func (f *Fabric) reallocate() {
 	if math.IsInf(next, 1) {
 		return
 	}
-	at := f.env.Now() + next
-	f.cancelNext = f.env.AtCancelable(at, f.onEvent)
+	f.next = f.env.AtTimer(f.env.Now()+next, f.onEventFn)
 }
 
 // onEvent fires at the earliest projected completion: settle progress,
 // complete exhausted flows, and re-balance the rest.
 func (f *Fabric) onEvent() {
-	f.cancelNext = nil
+	f.next = sim.Timer{}
 	f.settle()
 	// A flow completes when its residual is sub-byte, or would drain in
 	// less time than the clock can resolve (guarding against an infinite
 	// reschedule loop when now+dt rounds back to now).
 	const epsBytes = 1e-3
 	const epsTime = 1e-9
-	var live []*flow
+	w := 0
 	for _, fl := range f.flows {
 		if fl.remaining <= epsBytes || (fl.rate > 0 && fl.remaining/fl.rate <= epsTime) {
 			f.totalBytes += fl.remaining
 			fl.remaining = 0
 			f.flowEnd(fl)
+			fl.idx = -1
 			if !fl.done {
 				fl.done = true
 				fl.proc.Unpark()
+				f.releaseFlow(fl)
 			}
+			// An already-done flow was interrupted at this same instant;
+			// its Transfer error path owns (and releases) the record.
 		} else {
-			live = append(live, fl)
+			fl.idx = int32(w)
+			f.flows[w] = fl
+			w++
 		}
 	}
-	f.flows = live
+	for i := w; i < len(f.flows); i++ {
+		f.flows[i] = nil
+	}
+	f.flows = f.flows[:w]
 	f.reallocate()
 }
 
 // assignRates computes a max-min fair allocation subject to per-node
 // egress/ingress capacities, per-group global-link capacities (when a
 // dragonfly topology is configured), and the per-flow cap, using
-// progressive water-filling over a generic link-constraint set.
+// progressive water-filling over the precomputed per-flow constraint
+// lists. All state lives in scratch buffers on the Fabric; the loop
+// allocates nothing.
 func (f *Fabric) assignRates() {
-	// Link layout: [0,N) egress, [N,2N) ingress, then per-group global
-	// uplinks and downlinks when a topology is configured.
 	n := f.cfg.Nodes
-	nLinks := 2 * n
-	groups := 0
-	if f.cfg.Topology != nil {
-		groups = f.cfg.Topology.groups(n)
-		nLinks += 2 * groups
-	}
 	// Transient degradation scales every capacity (and the per-flow cap
 	// below); window boundaries re-settle and call back in here, so the
 	// factor is constant between reallocations.
 	factor := f.capacityFactor(f.env.Now())
-	rem := make([]float64, nLinks)
-	count := make([]int, nLinks)
+	rem, count := f.rem, f.count
 	for i := 0; i < n; i++ {
 		rem[i] = f.cfg.bandwidthOf(i) * factor   // egress
 		rem[n+i] = f.cfg.bandwidthOf(i) * factor // ingress
 	}
-	for g := 0; g < groups; g++ {
-		rem[2*n+g] = f.cfg.Topology.GlobalBandwidth * factor        // uplink of group g
-		rem[2*n+groups+g] = f.cfg.Topology.GlobalBandwidth * factor // downlink of group g
+	for g := 0; g < f.groups; g++ {
+		rem[2*n+g] = f.cfg.Topology.GlobalBandwidth * factor          // uplink of group g
+		rem[2*n+f.groups+g] = f.cfg.Topology.GlobalBandwidth * factor // downlink of group g
+	}
+	for i := range count {
+		count[i] = 0
 	}
 	perFlowCap := f.cfg.PerFlowCap * factor
 
-	// Per-flow constraint lists.
-	linksOf := func(fl *flow) []int {
-		links := []int{fl.src, n + fl.dst}
-		if t := f.cfg.Topology; t != nil {
-			gs, gd := t.groupOf(fl.src), t.groupOf(fl.dst)
-			if gs != gd {
-				links = append(links, 2*n+gs, 2*n+groups+gd)
-			}
-		}
-		return links
-	}
-	unfixed := make([]*flow, len(f.flows))
-	copy(unfixed, f.flows)
-	flowLinks := make(map[*flow][]int, len(unfixed))
+	unfixed := append(f.unfixed[:0], f.flows...)
 	for _, fl := range unfixed {
-		ls := linksOf(fl)
-		flowLinks[fl] = ls
-		for _, l := range ls {
+		for _, l := range fl.links[:fl.nlinks] {
 			count[l]++
 		}
 	}
 	for len(unfixed) > 0 {
 		// Bottleneck fair share across all constrained links.
 		share := math.Inf(1)
-		for l := 0; l < nLinks; l++ {
+		for l := 0; l < f.nLinks; l++ {
 			if count[l] > 0 {
 				if s := rem[l] / float64(count[l]); s < share {
 					share = s
@@ -372,15 +473,16 @@ func (f *Fabric) assignRates() {
 			for _, fl := range unfixed {
 				fl.rate = perFlowCap
 			}
-			return
+			break
 		}
 		// Fix flows crossing a bottleneck link at the fair share,
-		// iterating in stable flow order for determinism.
+		// iterating in stable flow order for determinism; survivors are
+		// compacted in place.
 		fixedAny := false
-		var rest []*flow
+		w := 0
 		for _, fl := range unfixed {
 			bottlenecked := false
-			for _, l := range flowLinks[fl] {
+			for _, l := range fl.links[:fl.nlinks] {
 				if rem[l]/float64(count[l]) <= share+1e-9 {
 					bottlenecked = true
 					break
@@ -388,22 +490,28 @@ func (f *Fabric) assignRates() {
 			}
 			if bottlenecked {
 				fl.rate = share
-				for _, l := range flowLinks[fl] {
+				for _, l := range fl.links[:fl.nlinks] {
 					rem[l] -= share
 					count[l]--
 				}
 				fixedAny = true
 			} else {
-				rest = append(rest, fl)
+				unfixed[w] = fl
+				w++
 			}
 		}
-		unfixed = rest
+		unfixed = unfixed[:w]
 		if !fixedAny {
 			// Defensive: should not happen; avoid an infinite loop.
 			for _, fl := range unfixed {
 				fl.rate = share
 			}
-			return
+			break
 		}
 	}
+	// Keep the (possibly grown) scratch backing for the next reallocation.
+	// Stale flow refs in the backing are harmless: flows are pooled for
+	// the fabric's lifetime and the scratch is always rewritten from
+	// f.flows before being read.
+	f.unfixed = unfixed[:0]
 }

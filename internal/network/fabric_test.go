@@ -350,6 +350,47 @@ func TestInterruptedTransferReleasesBandwidth(t *testing.T) {
 	}
 }
 
+func TestInterruptedTransferTotalBytes(t *testing.T) {
+	// Byte-conservation regression for the interrupt path: an interrupted
+	// flow must contribute exactly the bytes it delivered before the
+	// interrupt — not its full size, and not zero. Same timeline as
+	// TestInterruptedTransferReleasesBandwidth: A runs alone at 8 GB/s for
+	// 0.5 s (4 GB), shares at 4 GB/s for 0.5 s (+2 GB), and is killed at
+	// t=1 with 6 GB delivered; B delivers its full 8 GB.
+	env := sim.NewEnv()
+	fab, err := NewFabric(env, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := env.Go("a", func(p *sim.Proc) error {
+		err := fab.Transfer(p, 0, 1, 80e9)
+		if !errors.Is(err, sim.ErrInterrupted) {
+			t.Errorf("transfer A: %v, want ErrInterrupted", err)
+		}
+		return nil
+	})
+	env.Go("b", func(p *sim.Proc) error {
+		if err := p.Wait(0.5); err != nil {
+			return err
+		}
+		return fab.Transfer(p, 0, 2, 8e9)
+	})
+	env.Go("killer", func(p *sim.Proc) error {
+		if err := p.Wait(1); err != nil {
+			return err
+		}
+		a.Interrupt("cancel transfer")
+		return nil
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	const want = 6e9 + 8e9
+	if got := fab.TotalBytes(); math.Abs(got-want) > 1 {
+		t.Errorf("TotalBytes = %v, want %v (interrupted flow must count partial delivery only)", got, want)
+	}
+}
+
 func TestManyFlowsFairShareConservation(t *testing.T) {
 	// N flows through one egress link: each gets BW/N; all complete
 	// simultaneously; aggregate equals link capacity.
@@ -448,7 +489,9 @@ func TestAssignRatesProperties(t *testing.T) {
 		for f := 0; f < nFlows; f++ {
 			src := rng.Intn(nodes)
 			dst := (src + 1 + rng.Intn(nodes-1)) % nodes
-			fab.flows = append(fab.flows, &flow{src: src, dst: dst, remaining: 1e9})
+			fl := fab.newFlow(nil, src, dst, 1e9)
+			fl.idx = int32(len(fab.flows))
+			fab.flows = append(fab.flows, fl)
 		}
 		fab.assignRates()
 		// Per-flow constraints.

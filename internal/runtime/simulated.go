@@ -138,15 +138,21 @@ func RunSimulated(spec cluster.Spec, p placement.Placement, es EnsembleSpec, opt
 	// contention model is node-local).
 	sims := make([]compAlloc, len(p.Members))
 	anas := make([][]compAlloc, len(p.Members))
-	singleNode := func(c placement.Component, label string) (int, error) {
+	// analysis < 0 means "the member's simulation"; the error label is only
+	// built on the failure path.
+	singleNode := func(c placement.Component, member, analysis int) (int, error) {
 		ns := c.NodeSet()
 		if len(ns) != 1 {
+			label := fmt.Sprintf("member %d simulation", member)
+			if analysis >= 0 {
+				label = fmt.Sprintf("member %d analysis %d", member, analysis)
+			}
 			return 0, fmt.Errorf("runtime: %s spans %d nodes; the simulated backend requires single-node components", label, len(ns))
 		}
 		return ns[0], nil
 	}
 	for i, m := range p.Members {
-		node, err := singleNode(m.Simulation, fmt.Sprintf("member %d simulation", i))
+		node, err := singleNode(m.Simulation, i, -1)
 		if err != nil {
 			return nil, err
 		}
@@ -157,7 +163,7 @@ func RunSimulated(spec cluster.Spec, p placement.Placement, es EnsembleSpec, opt
 		sims[i] = compAlloc{tenant: t, node: node}
 		anas[i] = make([]compAlloc, len(m.Analyses))
 		for j, a := range m.Analyses {
-			anode, err := singleNode(a, fmt.Sprintf("member %d analysis %d", i, j))
+			anode, err := singleNode(a, i, j)
 			if err != nil {
 				return nil, err
 			}
@@ -519,6 +525,22 @@ func (r *simRun) launchMember(i int, simA compAlloc, anaA []compAlloc,
 	simCores := coreLabel(simA.node)
 	simProc := r.env.Go(simTrace.Name, func(p *sim.Proc) error {
 		cc := &compCtx{r: r, p: p, ct: simTrace, node: simA.node, member: i}
+		// Stage operations are hoisted out of the step loop: each is one
+		// closure for the component's whole run, with per-step parameters
+		// (sDur) passed through a captured local, so the loop body itself
+		// allocates nothing per step.
+		var sDur float64
+		waitS := func() error { return p.Wait(sDur) }
+		getToken := func() error {
+			_, e := writeTokens.Get(p)
+			return e
+		}
+		writeOp := func() error { return r.tier.Write(p, simA.node, bytes) }
+		// Stage records for all steps share one flat backing (3 per step:
+		// S, I^S, W — error paths record fewer, never more, so the backing
+		// never reallocates and every rec.Stages stays valid).
+		stageBuf := make([]trace.StageRecord, 0, 3*n)
+		simTrace.Steps = make([]trace.StepRecord, 0, n)
 		simTrace.Start = p.Now()
 		r.rec.ResourceAcquire(simCores, simA.node, float64(simA.tenant.Cores))
 		defer func() {
@@ -527,22 +549,24 @@ func (r *simRun) launchMember(i int, simA compAlloc, anaA []compAlloc,
 		}()
 		for step := 0; step < n; step++ {
 			rec := trace.StepRecord{Index: step}
+			base := len(stageBuf)
 			// S: compute (stragglers dilate the modeled duration).
 			sStart := p.Now()
-			sDur := simAssess.ComputeTime * simJitter() * r.inj.Slowdown(simTrace.Name, sStart)
+			sDur = simAssess.ComputeTime * simJitter() * r.inj.Slowdown(simTrace.Name, sStart)
 			r.rec.StageBegin(simTrace.Name, stageNameS, simA.node)
-			sRetries, sRecovered, err := cc.attempt(stageNameS, false, func() error { return p.Wait(sDur) })
+			sRetries, sRecovered, err := cc.attempt(stageNameS, false, waitS)
 			r.rec.StageEnd(simTrace.Name, stageNameS, simA.node, 0)
 			if err != nil {
-				rec.Stages = append(rec.Stages, trace.StageRecord{
+				stageBuf = append(stageBuf, trace.StageRecord{
 					Stage: trace.StageS, Start: sStart, Duration: p.Now() - sStart, Retries: sRetries,
 				})
+				rec.Stages = stageBuf[base:len(stageBuf):len(stageBuf)]
 				simTrace.Steps = append(simTrace.Steps, rec)
 				return cc.fail(err)
 			}
 			counters := r.model.ComputeCounters(simA.tenant, simAssess)
 			counters.Cycles = sDur * clock * float64(simA.tenant.Cores)
-			rec.Stages = append(rec.Stages, trace.StageRecord{
+			stageBuf = append(stageBuf, trace.StageRecord{
 				Stage: trace.StageS, Start: sStart, Duration: stageSpan(p, sStart, sDur, sRecovered),
 				Counters: counters, Retries: sRetries,
 			})
@@ -553,39 +577,37 @@ func (r *simRun) launchMember(i int, simA compAlloc, anaA []compAlloc,
 			var isErr error
 			for t := 0; t < k && isErr == nil; t++ {
 				var ret int
-				ret, _, isErr = cc.attempt(stageNameIS, false, func() error {
-					_, e := writeTokens.Get(p)
-					return e
-				})
+				ret, _, isErr = cc.attempt(stageNameIS, false, getToken)
 				isRetries += ret
 			}
 			r.rec.StageEnd(simTrace.Name, stageNameIS, simA.node, 0)
-			rec.Stages = append(rec.Stages, trace.StageRecord{
+			stageBuf = append(stageBuf, trace.StageRecord{
 				Stage: trace.StageIS, Start: isStart, Duration: p.Now() - isStart, Retries: isRetries,
 			})
 			if isErr != nil {
+				rec.Stages = stageBuf[base:len(stageBuf):len(stageBuf)]
 				simTrace.Steps = append(simTrace.Steps, rec)
 				return cc.fail(isErr)
 			}
 			// W: stage the chunk out (each retry attempt re-stages).
 			wStart := p.Now()
 			r.rec.StageBegin(simTrace.Name, stageNameW, simA.node)
-			wRetries, _, err := cc.attempt(stageNameW, true, func() error {
-				return r.tier.Write(p, simA.node, bytes)
-			})
+			wRetries, _, err := cc.attempt(stageNameW, true, writeOp)
 			r.rec.StageEnd(simTrace.Name, stageNameW, simA.node, float64(bytes))
 			wDur := p.Now() - wStart
 			if err != nil {
-				rec.Stages = append(rec.Stages, trace.StageRecord{
+				stageBuf = append(stageBuf, trace.StageRecord{
 					Stage: trace.StageW, Start: wStart, Duration: wDur, Retries: wRetries,
 				})
+				rec.Stages = stageBuf[base:len(stageBuf):len(stageBuf)]
 				simTrace.Steps = append(simTrace.Steps, rec)
 				return cc.fail(err)
 			}
-			rec.Stages = append(rec.Stages, trace.StageRecord{
+			stageBuf = append(stageBuf, trace.StageRecord{
 				Stage: trace.StageW, Start: wStart, Duration: wDur,
 				Counters: r.model.IOCounters(simA.tenant, bytes, wDur), Retries: wRetries,
 			})
+			rec.Stages = stageBuf[base:len(stageBuf):len(stageBuf)]
 			simTrace.Steps = append(simTrace.Steps, rec)
 			for j := range announce {
 				announce[j].Offer(step)
@@ -607,12 +629,20 @@ func (r *simRun) launchMember(i int, simA compAlloc, anaA []compAlloc,
 		anaCores := coreLabel(alloc.node)
 		proc := r.env.Go(anaTrace.Name, func(p *sim.Proc) error {
 			cc := &compCtx{r: r, p: p, ct: anaTrace, node: alloc.node, member: i}
-			// Lead-in: wait for the first chunk; the component's own
-			// timeline starts at its first read.
-			if _, _, err := cc.attempt(stageNameR, false, func() error {
+			// Hoisted stage operations (see the simulation process above).
+			var aDur float64
+			waitA := func() error { return p.Wait(aDur) }
+			getChunk := func() error {
 				_, e := announce[j].Get(p)
 				return e
-			}); err != nil {
+			}
+			readOp := func() error { return r.tier.Read(p, simA.node, alloc.node, bytes) }
+			// Flat stage-record backing: 3 per step (R, A, I^A).
+			stageBuf := make([]trace.StageRecord, 0, 3*n)
+			anaTrace.Steps = make([]trace.StepRecord, 0, n)
+			// Lead-in: wait for the first chunk; the component's own
+			// timeline starts at its first read.
+			if _, _, err := cc.attempt(stageNameR, false, getChunk); err != nil {
 				return cc.fail(err)
 			}
 			anaTrace.Start = p.Now()
@@ -623,22 +653,22 @@ func (r *simRun) launchMember(i int, simA compAlloc, anaA []compAlloc,
 			}()
 			for step := 0; step < n; step++ {
 				rec := trace.StepRecord{Index: step}
+				base := len(stageBuf)
 				// R: stage the chunk in (each retry attempt re-reads).
 				rStart := p.Now()
 				r.rec.StageBegin(anaTrace.Name, stageNameR, alloc.node)
-				rRetries, _, err := cc.attempt(stageNameR, true, func() error {
-					return r.tier.Read(p, simA.node, alloc.node, bytes)
-				})
+				rRetries, _, err := cc.attempt(stageNameR, true, readOp)
 				r.rec.StageEnd(anaTrace.Name, stageNameR, alloc.node, float64(bytes))
 				rDur := p.Now() - rStart
 				if err != nil {
-					rec.Stages = append(rec.Stages, trace.StageRecord{
+					stageBuf = append(stageBuf, trace.StageRecord{
 						Stage: trace.StageR, Start: rStart, Duration: rDur, Retries: rRetries,
 					})
+					rec.Stages = stageBuf[base:len(stageBuf):len(stageBuf)]
 					anaTrace.Steps = append(anaTrace.Steps, rec)
 					return cc.fail(err)
 				}
-				rec.Stages = append(rec.Stages, trace.StageRecord{
+				stageBuf = append(stageBuf, trace.StageRecord{
 					Stage: trace.StageR, Start: rStart, Duration: rDur,
 					Counters: r.model.IOCounters(alloc.tenant, bytes, rDur), Retries: rRetries,
 				})
@@ -646,20 +676,21 @@ func (r *simRun) launchMember(i int, simA compAlloc, anaA []compAlloc,
 				writeTokens.Offer(struct{}{})
 				// A: compute (stragglers dilate the modeled duration).
 				aStart := p.Now()
-				aDur := assess.ComputeTime * anaJitter() * r.inj.Slowdown(anaTrace.Name, aStart)
+				aDur = assess.ComputeTime * anaJitter() * r.inj.Slowdown(anaTrace.Name, aStart)
 				r.rec.StageBegin(anaTrace.Name, stageNameA, alloc.node)
-				aRetries, aRecovered, err := cc.attempt(stageNameA, false, func() error { return p.Wait(aDur) })
+				aRetries, aRecovered, err := cc.attempt(stageNameA, false, waitA)
 				r.rec.StageEnd(anaTrace.Name, stageNameA, alloc.node, 0)
 				if err != nil {
-					rec.Stages = append(rec.Stages, trace.StageRecord{
+					stageBuf = append(stageBuf, trace.StageRecord{
 						Stage: trace.StageA, Start: aStart, Duration: p.Now() - aStart, Retries: aRetries,
 					})
+					rec.Stages = stageBuf[base:len(stageBuf):len(stageBuf)]
 					anaTrace.Steps = append(anaTrace.Steps, rec)
 					return cc.fail(err)
 				}
 				counters := r.model.ComputeCounters(alloc.tenant, assess)
 				counters.Cycles = aDur * clock * float64(alloc.tenant.Cores)
-				rec.Stages = append(rec.Stages, trace.StageRecord{
+				stageBuf = append(stageBuf, trace.StageRecord{
 					Stage: trace.StageA, Start: aStart, Duration: stageSpan(p, aStart, aDur, aRecovered),
 					Counters: counters, Retries: aRetries,
 				})
@@ -669,15 +700,13 @@ func (r *simRun) launchMember(i int, simA compAlloc, anaA []compAlloc,
 				r.rec.StageBegin(anaTrace.Name, stageNameIA, alloc.node)
 				var iaErr error
 				if step < n-1 {
-					iaRetries, _, iaErr = cc.attempt(stageNameIA, false, func() error {
-						_, e := announce[j].Get(p)
-						return e
-					})
+					iaRetries, _, iaErr = cc.attempt(stageNameIA, false, getChunk)
 				}
 				r.rec.StageEnd(anaTrace.Name, stageNameIA, alloc.node, 0)
-				rec.Stages = append(rec.Stages, trace.StageRecord{
+				stageBuf = append(stageBuf, trace.StageRecord{
 					Stage: trace.StageIA, Start: iaStart, Duration: p.Now() - iaStart, Retries: iaRetries,
 				})
+				rec.Stages = stageBuf[base:len(stageBuf):len(stageBuf)]
 				anaTrace.Steps = append(anaTrace.Steps, rec)
 				if iaErr != nil {
 					return cc.fail(iaErr)
@@ -711,6 +740,13 @@ type compCtx struct {
 	ct     *trace.ComponentTrace
 	node   int
 	member int
+	// timedOut flags that the current attempt was interrupted by its
+	// stage-timeout guard (a field, not a per-attempt local, so the guard
+	// closure below can be created once instead of escaping per attempt).
+	timedOut bool
+	// guard is the stage-timeout callback, created lazily on the first
+	// guarded attempt and reused for every one after.
+	guard func()
 }
 
 // attempt runs one stage operation under the resilience policy.
@@ -732,19 +768,20 @@ func (c *compCtx) attempt(stageName string, guarded bool, op func() error) (retr
 			err = c.p.Wait(delay)
 		}
 		delay = 0
-		var timedOut bool
+		c.timedOut = false
 		if err == nil {
-			var cancelGuard func()
+			var tm sim.Timer
 			if guarded && res.StageTimeout > 0 {
-				cancelGuard = c.r.env.AtCancelable(c.p.Now()+res.StageTimeout, func() {
-					timedOut = true
-					c.p.Interrupt("stage timeout")
-				})
+				if c.guard == nil {
+					c.guard = func() {
+						c.timedOut = true
+						c.p.Interrupt("stage timeout")
+					}
+				}
+				tm = c.r.env.AtTimer(c.p.Now()+res.StageTimeout, c.guard)
 			}
 			err = op()
-			if cancelGuard != nil {
-				cancelGuard()
-			}
+			tm.Cancel()
 			if err == nil {
 				return retries, recovered, nil
 			}
@@ -760,12 +797,12 @@ func (c *compCtx) attempt(stageName string, guarded bool, op func() error) (retr
 			recovered = true
 			c.r.rec.Restart(c.ct.Name, c.node, c.ct.Restarts)
 			delay = res.RestartDelay
-		case timedOut || errors.Is(err, faults.ErrInjected):
-			if timedOut {
+		case c.timedOut || errors.Is(err, faults.ErrInjected):
+			if c.timedOut {
 				c.r.rec.Fault(c.ct.Name, "timeout", c.node, res.StageTimeout)
 			}
 			if retries >= res.StagingRetries {
-				if timedOut {
+				if c.timedOut {
 					return retries, recovered, fmt.Errorf(
 						"%s: attempt timed out after %v s (retry budget %d exhausted)",
 						stageName, res.StageTimeout, res.StagingRetries)

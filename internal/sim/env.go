@@ -9,10 +9,29 @@
 // and resumed by the environment so that exactly one process executes at a
 // time. Determinism is guaranteed by a single event queue ordered by
 // (time, insertion sequence).
+//
+// # Scheduling internals
+//
+// There is no dedicated scheduler goroutine. The dispatch loop runs on
+// whichever goroutine is relinquishing control — the Run caller starting
+// the simulation, a process entering a blocking primitive, or a process
+// whose function just returned. Timer callbacks (At/After) execute inline
+// on that goroutine with zero crossings, and resuming a process is a
+// single buffered-channel send straight from the yielding goroutine to
+// the resumed one: one goroutine crossing per event instead of the two a
+// central scheduler pays (scheduler->process, process->scheduler). Event
+// structs are pooled in a per-environment free list (generation counters
+// keep stale cancel handles harmless), cancelled events are deleted
+// lazily (skipped at pop, compacted in bulk when they dominate the
+// queue), and the blocked-process registry supports O(1) removal via an
+// index stored on each Proc. None of this changes event ordering: the
+// queue is still a single binary heap keyed by (time, sequence), so
+// simulated timestamps and the obs event stream are bit-identical to the
+// central-scheduler implementation (pinned by the golden determinism
+// tests at the repository root).
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"sort"
@@ -33,6 +52,10 @@ var ErrDeadlock = errors.New("sim: deadlock")
 // been stopped while the process was blocked.
 var ErrStopped = errors.New("sim: environment stopped")
 
+// event is one scheduled occurrence: either a process resume (proc set)
+// or a callback (fn set). Events are pooled: gen increments every time an
+// event returns to the free list, so a cancel handle captured before the
+// recycle can recognize that its event already fired.
 type event struct {
 	t         float64
 	seq       int64
@@ -40,45 +63,57 @@ type event struct {
 	err       error // error delivered to the resumed process
 	fn        func()
 	cancelled bool
+	inNow     bool // true while the event sits in nowQ, not the heap
+	gen       uint64
 }
-
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].t != h[j].t {
-		return h[i].t < h[j].t
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
-}
-func (h eventHeap) Peek() *event      { return h[0] }
-func (h eventHeap) isEmpty() bool     { return len(h) == 0 }
-func (h eventHeap) nextTime() float64 { return h[0].t }
 
 // Env is a discrete-event simulation environment. Create one with NewEnv,
 // register processes with Go, then call Run (or RunUntil). Env is not safe
 // for concurrent use from multiple user goroutines: all interaction must
 // happen either before Run or from within simulated processes/callbacks.
 type Env struct {
-	now     float64
-	queue   eventHeap
+	now float64
+	// queue is a binary min-heap ordered by (t, seq). The heap is
+	// maintained by hand (siftUp/siftDown below) rather than through
+	// container/heap: the hot path dispatches millions of events and the
+	// interface indirection is measurable.
+	queue []*event
+	// nowQ holds events scheduled at the current instant (wakes, process
+	// starts, same-time callbacks — the majority of all events) as a
+	// plain FIFO, skipping the heap entirely. This preserves exact
+	// (t, seq) order: an event lands in nowQ only when scheduled at
+	// t <= now, so its seq is strictly greater than that of every heap
+	// event with t == now (those were inserted before the clock reached
+	// t), and nowQ itself is appended in seq order. Dispatch therefore
+	// drains heap events at the current time first, then nowQ in order,
+	// before advancing the clock.
+	nowQ    []*event
+	nowHead int
 	seq     int64
-	yieldCh chan struct{}
-	live    int // processes started and not yet finished
-	blocked []*Proc
-	fatal   error
-	running bool
-	stopped bool
+	// free is the event free list; dispatched and compacted events return
+	// here and schedule reuses them.
+	free []*event
+	// cancelledCount tracks cancelled events still sitting in the queue;
+	// when they outnumber the live ones the queue is compacted in one
+	// O(n) pass instead of popping through them one heap operation each.
+	cancelledCount int
+	live           int // processes started and not yet finished
+	// blocked registers processes parked in blocking primitives, in block
+	// order (Stop wakes them FIFO). Removal tombstones the slot via the
+	// index stored on the Proc (O(1)) and compacts when tombstones
+	// dominate, preserving order.
+	blocked     []*Proc
+	blockedDead int
+	fatal       error
+	cbPanic     any // panic raised by a callback, re-thrown by run
+	running     bool
+	stopping    bool
+	// controlCh returns the control token to the Run/Stop caller when the
+	// dispatch loop quiesces (queue empty, horizon reached, fatal). It is
+	// buffered so the sender never blocks on it.
+	controlCh chan struct{}
+	// until is the dispatch horizon of the active run (< 0: unbounded).
+	until float64
 	// dispatched counts events delivered (for engine statistics).
 	dispatched int64
 	// rec is the optional instrumentation bus. A nil recorder is a valid
@@ -118,7 +153,7 @@ func (e *Env) Stats() Stats {
 
 // NewEnv returns an environment with the clock at zero.
 func NewEnv() *Env {
-	return &Env{yieldCh: make(chan struct{})}
+	return &Env{controlCh: make(chan struct{}, 1), until: -1}
 }
 
 // NewInstrumentedEnv returns an environment with a fresh recorder bound to
@@ -133,23 +168,167 @@ func NewInstrumentedEnv() (*Env, *obs.Recorder) {
 // Now returns the current simulated time in seconds.
 func (e *Env) Now() float64 { return e.now }
 
+// less orders events by (time, insertion sequence); seq is unique so the
+// order is total and replays identically.
+func eventLess(a, b *event) bool {
+	if a.t != b.t {
+		return a.t < b.t
+	}
+	return a.seq < b.seq
+}
+
+// newEvent takes an event from the free list (or allocates one).
+func (e *Env) newEvent() *event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		return ev
+	}
+	return &event{}
+}
+
+// release returns an event to the free list, bumping its generation so
+// stale cancel handles become no-ops.
+func (e *Env) release(ev *event) {
+	ev.gen++
+	ev.proc = nil
+	ev.err = nil
+	ev.fn = nil
+	ev.cancelled = false
+	ev.inNow = false
+	e.free = append(e.free, ev)
+}
+
 // schedule inserts an event and returns it (so the caller may cancel it).
-func (e *Env) schedule(t float64, ev *event) *event {
+// Events at the current instant go to the nowQ FIFO; only genuinely
+// future events pay for heap insertion.
+func (e *Env) schedule(t float64, proc *Proc, err error, fn func()) *event {
 	if t < e.now {
 		t = e.now
 	}
+	ev := e.newEvent()
 	ev.t = t
 	ev.seq = e.seq
 	e.seq++
-	heap.Push(&e.queue, ev)
+	ev.proc = proc
+	ev.err = err
+	ev.fn = fn
+	if t <= e.now {
+		ev.inNow = true
+		if e.nowHead == len(e.nowQ) && e.nowHead > 0 {
+			e.nowQ = e.nowQ[:0]
+			e.nowHead = 0
+		}
+		e.nowQ = append(e.nowQ, ev)
+	} else {
+		e.heapPush(ev)
+	}
 	return ev
 }
 
+// cancelEvent marks an event dead. The slot is reclaimed lazily: the
+// dispatch loop skips cancelled events as they surface, and when
+// cancelled events outnumber live ones in the heap the whole heap is
+// compacted in one pass. nowQ events are merely flagged (the FIFO drains
+// within the current instant anyway).
+func (e *Env) cancelEvent(ev *event) {
+	if ev.cancelled {
+		return
+	}
+	ev.cancelled = true
+	if ev.inNow {
+		return
+	}
+	e.cancelledCount++
+	if e.cancelledCount > 64 && e.cancelledCount*2 > len(e.queue) {
+		e.compactQueue()
+	}
+}
+
+// compactQueue drops every cancelled event and re-heapifies. Heapify
+// preserves the total (t, seq) order of the survivors, so dispatch order
+// is unchanged.
+func (e *Env) compactQueue() {
+	old := e.queue
+	live := old[:0]
+	for _, ev := range old {
+		if ev.cancelled {
+			e.release(ev)
+		} else {
+			live = append(live, ev)
+		}
+	}
+	for i := len(live); i < len(old); i++ {
+		old[i] = nil
+	}
+	e.queue = live
+	e.cancelledCount = 0
+	for i := len(live)/2 - 1; i >= 0; i-- {
+		e.siftDown(i)
+	}
+}
+
+func (e *Env) heapPush(ev *event) {
+	e.queue = append(e.queue, ev)
+	e.siftUp(len(e.queue) - 1)
+}
+
+func (e *Env) heapPop() *event {
+	q := e.queue
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q[n] = nil
+	e.queue = q[:n]
+	if n > 1 {
+		e.siftDown(0)
+	}
+	return top
+}
+
+func (e *Env) siftUp(i int) {
+	q := e.queue
+	ev := q[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		pv := q[parent]
+		if eventLess(pv, ev) {
+			break
+		}
+		q[i] = pv
+		i = parent
+	}
+	q[i] = ev
+}
+
+func (e *Env) siftDown(i int) {
+	q := e.queue
+	n := len(q)
+	ev := q[i]
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m, mv := l, q[l]
+		if r := l + 1; r < n && eventLess(q[r], mv) {
+			m, mv = r, q[r]
+		}
+		if eventLess(ev, mv) {
+			break
+		}
+		q[i] = mv
+		i = m
+	}
+	q[i] = ev
+}
+
 // At schedules fn to run at absolute simulated time t (clamped to now).
-// Callbacks run on the scheduler goroutine; they may schedule further events
-// and wake processes but must not block.
+// Callbacks run inline on the dispatching goroutine; they may schedule
+// further events and wake processes but must not block.
 func (e *Env) At(t float64, fn func()) {
-	e.schedule(t, &event{fn: fn})
+	e.schedule(t, nil, nil, fn)
 }
 
 // After schedules fn to run d seconds from now.
@@ -161,21 +340,52 @@ func (e *Env) After(d float64, fn func()) {
 }
 
 // AtCancelable schedules fn at absolute time t and returns a cancel
-// function. Cancelling after the callback has fired is a no-op.
+// function. Cancelling after the callback has fired is a no-op (the
+// generation check recognizes a recycled event).
 func (e *Env) AtCancelable(t float64, fn func()) (cancel func()) {
-	ev := e.schedule(t, &event{fn: fn})
-	return func() { ev.cancelled = true }
+	ev := e.schedule(t, nil, nil, fn)
+	g := ev.gen
+	return func() {
+		if ev.gen == g {
+			e.cancelEvent(ev)
+		}
+	}
+}
+
+// Timer is a cancellable handle to a scheduled callback — the
+// allocation-free alternative to AtCancelable (a value, not a closure).
+// The zero Timer is valid and cancels nothing.
+type Timer struct {
+	env *Env
+	ev  *event
+	gen uint64
+}
+
+// AtTimer schedules fn at absolute time t (clamped to now) and returns a
+// cancellable handle.
+func (e *Env) AtTimer(t float64, fn func()) Timer {
+	ev := e.schedule(t, nil, nil, fn)
+	return Timer{env: e, ev: ev, gen: ev.gen}
+}
+
+// Cancel revokes the timer if it has not fired. Cancelling a fired (or
+// zero) timer is a no-op: firing recycles the event and bumps its
+// generation, so the handle no longer matches.
+func (tm Timer) Cancel() {
+	if tm.ev != nil && tm.ev.gen == tm.gen {
+		tm.env.cancelEvent(tm.ev)
+	}
 }
 
 // Go starts a new simulated process executing fn. The process begins at the
 // current simulated time, after already-scheduled events at this time.
 // The returned Proc may be used to interrupt the process.
 func (e *Env) Go(name string, fn func(p *Proc) error) *Proc {
-	p := &Proc{env: e, name: name, resume: make(chan procResume)}
+	p := &Proc{env: e, name: name, resume: make(chan procResume, 1), blockedIdx: -1}
 	e.live++
 	e.rec.ProcStart(name, obs.NoNode)
 	go func() {
-		r := <-p.resume // wait for the scheduler to start us
+		r := <-p.resume // wait for the dispatch loop to start us
 		if r.err == nil {
 			func() {
 				defer func() {
@@ -188,57 +398,142 @@ func (e *Env) Go(name string, fn func(p *Proc) error) *Proc {
 		} else {
 			p.err = r.err
 		}
-		// The scheduler goroutine is parked on yieldCh until this send, so
-		// the emission below cannot race with scheduler-side emissions.
+		// This goroutine holds the control token until dispatch hands it
+		// off, so the emission below cannot race with other emissions.
 		e.rec.ProcEnd(p.name, obs.NoNode)
 		p.done = true
 		e.live--
-		e.yieldCh <- struct{}{}
+		e.dispatch()
 	}()
-	e.schedule(e.now, &event{proc: p})
+	e.schedule(e.now, p, nil, nil)
 	return p
 }
 
 // wake schedules p to resume at the current time with the given error.
 func (e *Env) wake(p *Proc, err error) {
-	e.schedule(e.now, &event{proc: p, err: err})
+	e.schedule(e.now, p, err, nil)
 }
 
-// step dispatches a single event. It reports whether an event was
-// dispatched.
-func (e *Env) step() bool {
-	for !e.queue.isEmpty() {
-		ev := heap.Pop(&e.queue).(*event)
-		if ev.cancelled {
-			continue
+// dispatch runs the scheduler loop on the calling goroutine until either
+// control is handed to a process (a single channel send — the resumed
+// process continues the loop when it next yields) or the run quiesces, in
+// which case the control token is returned to the Run/Stop caller parked
+// on controlCh. Callback events execute inline with no crossing at all.
+func (e *Env) dispatch() {
+	if e.until >= 0 && e.now > e.until {
+		// Horizon already passed: even events at the current instant must
+		// stay queued for a later run.
+		e.controlCh <- struct{}{}
+		return
+	}
+	for e.fatal == nil && e.cbPanic == nil && !e.stopping {
+		// Lazy deletion: cancelled events are dropped when they surface.
+		for len(e.queue) > 0 && e.queue[0].cancelled {
+			e.cancelledCount--
+			e.release(e.heapPop())
+		}
+		var ev *event
+		if len(e.queue) > 0 && e.queue[0].t <= e.now {
+			// A heap event at the current instant was inserted before the
+			// clock reached this time, so its seq precedes everything in
+			// nowQ: it dispatches first.
+			ev = e.heapPop()
+		} else {
+			for e.nowHead < len(e.nowQ) {
+				cand := e.nowQ[e.nowHead]
+				e.nowQ[e.nowHead] = nil
+				e.nowHead++
+				if cand.cancelled {
+					e.release(cand)
+					continue
+				}
+				ev = cand
+				break
+			}
+			if ev == nil {
+				e.nowQ = e.nowQ[:0]
+				e.nowHead = 0
+				if len(e.queue) == 0 || (e.until >= 0 && e.queue[0].t > e.until) {
+					break
+				}
+				ev = e.heapPop()
+			}
 		}
 		e.now = ev.t
 		e.dispatched++
 		if ev.fn != nil {
-			ev.fn()
-			return true
+			fn := ev.fn
+			e.release(ev)
+			e.runCallback(fn)
+			continue
 		}
 		p := ev.proc
+		errv := ev.err
+		if p.pending == ev {
+			p.pending = nil
+		}
+		e.release(ev)
 		if p.done {
 			continue
 		}
 		p.blocking = nil
+		p.blockingQ = nil
 		e.unblock(p)
-		p.resume <- procResume{err: ev.err}
-		<-e.yieldCh
-		return true
+		p.resume <- procResume{err: errv}
+		return
 	}
-	return false
+	// No dispatchable work: hand the control token back to Run/Stop.
+	e.controlCh <- struct{}{}
 }
 
-func (e *Env) block(p *Proc) { e.blocked = append(e.blocked, p) }
+// runCallback executes a callback event, converting a panic into a
+// deferred re-panic out of Run (the dispatching goroutine may be a
+// process goroutine, which must not crash the program directly).
+func (e *Env) runCallback(fn func()) {
+	defer func() {
+		if r := recover(); r != nil {
+			e.cbPanic = r
+		}
+	}()
+	fn()
+}
+
+// block registers p as parked in a blocking primitive.
+func (e *Env) block(p *Proc) {
+	p.blockedIdx = len(e.blocked)
+	e.blocked = append(e.blocked, p)
+}
+
+// unblock removes p from the blocked registry in O(1) by tombstoning the
+// slot recorded on the Proc; tombstones are compacted (order-preserving)
+// when they dominate the registry.
 func (e *Env) unblock(p *Proc) {
-	for i, q := range e.blocked {
-		if q == p {
-			e.blocked = append(e.blocked[:i], e.blocked[i+1:]...)
-			return
+	i := p.blockedIdx
+	if i < 0 || i >= len(e.blocked) || e.blocked[i] != p {
+		return
+	}
+	e.blocked[i] = nil
+	p.blockedIdx = -1
+	e.blockedDead++
+	if e.blockedDead > 32 && e.blockedDead*2 > len(e.blocked) {
+		e.compactBlocked()
+	}
+}
+
+func (e *Env) compactBlocked() {
+	old := e.blocked
+	live := old[:0]
+	for _, q := range old {
+		if q != nil {
+			q.blockedIdx = len(live)
+			live = append(live, q)
 		}
 	}
+	for i := len(live); i < len(old); i++ {
+		old[i] = nil
+	}
+	e.blocked = live
+	e.blockedDead = 0
 }
 
 // Run executes events until the queue drains. It returns nil on a clean
@@ -262,21 +557,13 @@ func (e *Env) run(until float64) error {
 	}
 	e.running = true
 	defer func() { e.running = false }()
-	for {
-		if e.fatal != nil {
-			e.drain()
-			return e.fatal
-		}
-		if e.queue.isEmpty() {
-			break
-		}
-		if until >= 0 && e.queue.nextTime() > until {
-			e.now = until
-			return nil
-		}
-		if !e.step() {
-			break
-		}
+	e.until = until
+	e.dispatch()
+	<-e.controlCh
+	if e.cbPanic != nil {
+		p := e.cbPanic
+		e.cbPanic = nil
+		panic(p)
 	}
 	if e.fatal != nil {
 		e.drain()
@@ -284,7 +571,8 @@ func (e *Env) run(until float64) error {
 	}
 	// Deadlock is only meaningful for an unbounded Run: a RunUntil caller
 	// may legitimately leave processes blocked and deliver input (or Stop)
-	// afterwards.
+	// afterwards. blockedNames (which allocates and sorts) is reached only
+	// on this error path, never on a healthy run.
 	if until < 0 && e.live > 0 {
 		return fmt.Errorf("%w: %d process(es) blocked: %s", ErrDeadlock, e.live, e.blockedNames())
 	}
@@ -298,38 +586,67 @@ func (e *Env) run(until float64) error {
 // queue. It is intended for tearing down a simulation after RunUntil.
 // Stop must be called from outside Run (i.e., not from a process).
 func (e *Env) Stop() {
-	e.stopped = true
+	e.stopping = true
+	defer func() { e.stopping = false }()
 	// Cancel every pending event so no process resumes normally.
 	for _, ev := range e.queue {
-		ev.cancelled = true
+		if !ev.cancelled {
+			ev.cancelled = true
+			e.cancelledCount++
+		}
 	}
-	// Wake blocked processes with ErrStopped, one at a time.
-	for len(e.blocked) > 0 {
-		p := e.blocked[0]
-		e.blocked = e.blocked[1:]
-		if p.done {
+	for i := e.nowHead; i < len(e.nowQ); i++ {
+		e.nowQ[i].cancelled = true
+	}
+	// Wake blocked processes with ErrStopped, one at a time, in block
+	// order (processes that block again while stopping are re-woken).
+	for i := 0; i < len(e.blocked); i++ {
+		p := e.blocked[i]
+		if p == nil || p.done {
 			continue
 		}
+		e.blocked[i] = nil
+		e.blockedDead++
+		p.blockedIdx = -1
 		if p.blocking != nil {
 			p.blocking()
 			p.blocking = nil
 		}
+		if p.blockingQ != nil {
+			p.blockingQ.CancelWait(p)
+			p.blockingQ = nil
+		}
+		p.pending = nil // its timer event was cancelled above
 		p.resume <- procResume{err: ErrStopped}
-		<-e.yieldCh
+		// The woken process runs until it finishes or blocks again; the
+		// stopping flag makes its dispatch return the token immediately.
+		<-e.controlCh
 	}
+	e.blocked = e.blocked[:0]
+	e.blockedDead = 0
 	e.drain()
 }
 
 func (e *Env) drain() {
-	for !e.queue.isEmpty() {
-		heap.Pop(&e.queue)
+	for _, ev := range e.queue {
+		e.release(ev)
 	}
+	e.queue = e.queue[:0]
+	e.cancelledCount = 0
+	for i := e.nowHead; i < len(e.nowQ); i++ {
+		e.release(e.nowQ[i])
+		e.nowQ[i] = nil
+	}
+	e.nowQ = e.nowQ[:0]
+	e.nowHead = 0
 }
 
 func (e *Env) blockedNames() string {
 	names := make([]string, 0, len(e.blocked))
 	for _, p := range e.blocked {
-		names = append(names, p.name)
+		if p != nil {
+			names = append(names, p.name)
+		}
 	}
 	sort.Strings(names)
 	return strings.Join(names, ", ")

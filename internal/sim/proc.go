@@ -6,6 +6,18 @@ type procResume struct {
 	err error
 }
 
+// Waiter is implemented by waiter containers (Store, Semaphore, Gate,
+// network flows) that park processes. CancelWait must remove p from the
+// container's waiter queue and make any pending wake for p a no-op; the
+// engine invokes it on interrupt and Stop. Blocking through a Waiter
+// instead of a cancel closure keeps the block path allocation-free (a
+// closure capturing the waiter record escapes to the heap on every
+// call). CancelWait is for blocking-primitive implementations only;
+// application code never calls it.
+type Waiter interface {
+	CancelWait(p *Proc)
+}
+
 // Proc is a handle to a simulated process. All blocking methods must be
 // called from within the process's own function; Interrupt may be called
 // from any process or callback.
@@ -22,6 +34,12 @@ type Proc struct {
 	// blocking, when non-nil, removes the process from whatever waiter
 	// queue it sits in (used by interrupts and Stop).
 	blocking func()
+	// blockingQ is the closure-free form of blocking: the Waiter the
+	// process is parked in, if any.
+	blockingQ Waiter
+	// blockedIdx is this process's slot in Env.blocked (-1 when not
+	// blocked), giving O(1) removal on resume.
+	blockedIdx int
 }
 
 // Name returns the process name given to Env.Go.
@@ -39,10 +57,13 @@ func (p *Proc) Done() bool { return p.done }
 // Err returns the error the process function returned (valid once Done).
 func (p *Proc) Err() error { return p.err }
 
-// yield hands control back to the scheduler and blocks until resumed.
+// yield hands control back to the engine and blocks until resumed. The
+// calling goroutine itself runs the dispatch loop until it can hand
+// control to the next process (or to the Run caller), so a resume costs
+// one goroutine crossing, not two.
 // It returns the error delivered with the resume (nil for normal wakeups).
 func (p *Proc) yield() error {
-	p.env.yieldCh <- struct{}{}
+	p.env.dispatch()
 	r := <-p.resume
 	return r.err
 }
@@ -60,7 +81,7 @@ func (p *Proc) Wait(d float64) error {
 // WaitUntil suspends the process until absolute simulated time t
 // (clamped to now).
 func (p *Proc) WaitUntil(t float64) error {
-	ev := p.env.schedule(t, &event{proc: p})
+	ev := p.env.schedule(t, p, nil, nil)
 	p.pending = ev
 	p.env.block(p)
 	err := p.yield()
@@ -78,13 +99,18 @@ func (p *Proc) Interrupt(reason string) {
 	}
 	interrupted := false
 	if p.pending != nil {
-		p.pending.cancelled = true
+		p.env.cancelEvent(p.pending)
 		p.pending = nil
 		interrupted = true
 	}
 	if p.blocking != nil {
 		p.blocking()
 		p.blocking = nil
+		interrupted = true
+	}
+	if p.blockingQ != nil {
+		p.blockingQ.CancelWait(p)
+		p.blockingQ = nil
 		interrupted = true
 	}
 	if !interrupted {
@@ -100,6 +126,10 @@ func (p *Proc) Interrupt(reason string) {
 // the process is not woken twice.
 func (p *Proc) Park(onCancel func()) error { return p.blockOn(onCancel) }
 
+// ParkOn is the closure-free variant of Park: q.CancelWait(p) plays the
+// role of onCancel.
+func (p *Proc) ParkOn(q Waiter) error { return p.blockOnQueue(q) }
+
 // Unpark wakes a process parked with Park. Calling Unpark for a process
 // that is not parked corrupts the scheduler; callers must guard with their
 // own bookkeeping (see Park's onCancel contract).
@@ -113,5 +143,15 @@ func (p *Proc) blockOn(cancel func()) error {
 	p.env.block(p)
 	err := p.yield()
 	p.blocking = nil
+	return err
+}
+
+// blockOnQueue is blockOn without the closure allocation: cancellation
+// goes through the Waiter interface.
+func (p *Proc) blockOnQueue(q Waiter) error {
+	p.blockingQ = q
+	p.env.block(p)
+	err := p.yield()
+	p.blockingQ = nil
 	return err
 }

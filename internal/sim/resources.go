@@ -12,7 +12,12 @@ type Semaphore struct {
 	env      *Env
 	capacity int
 	inUse    int
-	waiters  []*semWaiter
+	// waiters is a FIFO of (proc, n) records held by value: a record is
+	// only read before its process is woken, never after, so no pointer
+	// has to be shared with the blocked caller and the queue allocates
+	// nothing per wait. Pops advance head instead of re-slicing.
+	waiters []semWaiter
+	head    int
 	// label, when set via SetLabel, turns on instrumentation: acquire,
 	// release, and waiter-queue-depth events are emitted to the
 	// environment's recorder under this name.
@@ -48,7 +53,7 @@ func (s *Semaphore) SetLabel(label string) {
 }
 
 // Waiting returns the number of queued waiters.
-func (s *Semaphore) Waiting() int { return len(s.waiters) }
+func (s *Semaphore) Waiting() int { return len(s.waiters) - s.head }
 
 // record emits the current occupancy and queue depth for labeled
 // semaphores; delta distinguishes acquires (>0) from releases (<0).
@@ -61,7 +66,7 @@ func (s *Semaphore) record(delta int) {
 	} else if delta < 0 {
 		s.env.rec.ResourceRelease(s.label, obs.NoNode, float64(-delta))
 	}
-	s.env.rec.QueueDepth(s.label+".waiters", len(s.waiters))
+	s.env.rec.QueueDepth(s.label+".waiters", len(s.waiters)-s.head)
 }
 
 // Acquire blocks p until n units are available, then takes them.
@@ -73,19 +78,18 @@ func (s *Semaphore) Acquire(p *Proc, n int) error {
 	if n > s.capacity {
 		return fmt.Errorf("sim: acquire %d exceeds semaphore capacity %d", n, s.capacity)
 	}
-	if len(s.waiters) == 0 && s.inUse+n <= s.capacity {
+	if len(s.waiters) == s.head && s.inUse+n <= s.capacity {
 		s.inUse += n
 		s.record(n)
 		return nil
 	}
-	w := &semWaiter{proc: p, n: n}
-	s.waiters = append(s.waiters, w)
-	s.record(0)
-	err := p.blockOn(func() { s.removeWaiter(w) })
-	if err != nil {
-		return err
+	if s.head == len(s.waiters) && s.head > 0 {
+		s.waiters = s.waiters[:0]
+		s.head = 0
 	}
-	return nil
+	s.waiters = append(s.waiters, semWaiter{proc: p, n: n})
+	s.record(0)
+	return p.blockOnQueue(s)
 }
 
 // Release returns n units to the semaphore and grants queued waiters in
@@ -103,22 +107,35 @@ func (s *Semaphore) Release(n int) {
 }
 
 func (s *Semaphore) grant() {
-	for len(s.waiters) > 0 {
-		w := s.waiters[0]
+	for s.head < len(s.waiters) {
+		w := s.waiters[s.head]
 		if s.inUse+w.n > s.capacity {
 			return // strict FIFO: do not skip over the head waiter
 		}
-		s.waiters = s.waiters[1:]
+		s.waiters[s.head] = semWaiter{}
+		s.head++
+		if s.head == len(s.waiters) {
+			s.waiters = s.waiters[:0]
+			s.head = 0
+		}
 		s.inUse += w.n
 		s.record(w.n)
 		s.env.wake(w.proc, nil)
 	}
 }
 
-func (s *Semaphore) removeWaiter(w *semWaiter) {
-	for i, q := range s.waiters {
-		if q == w {
-			s.waiters = append(s.waiters[:i], s.waiters[i+1:]...)
+// CancelWait removes p's record from the waiter queue, preserving FIFO
+// order (interrupt and Stop path; see the Waiter interface).
+func (s *Semaphore) CancelWait(p *Proc) {
+	for i := s.head; i < len(s.waiters); i++ {
+		if s.waiters[i].proc == p {
+			copy(s.waiters[i:], s.waiters[i+1:])
+			s.waiters[len(s.waiters)-1] = semWaiter{}
+			s.waiters = s.waiters[:len(s.waiters)-1]
+			if s.head == len(s.waiters) {
+				s.waiters = s.waiters[:0]
+				s.head = 0
+			}
 			return
 		}
 	}
@@ -146,7 +163,7 @@ func (g *Gate) Wait(p *Proc) error {
 		return nil
 	}
 	g.waiters = append(g.waiters, p)
-	return p.blockOn(func() { g.removeWaiter(p) })
+	return p.blockOnQueue(g)
 }
 
 // Open opens the gate and wakes all waiters.
@@ -158,13 +175,15 @@ func (g *Gate) Open() {
 	for _, p := range g.waiters {
 		g.env.wake(p, nil)
 	}
-	g.waiters = nil
+	g.waiters = g.waiters[:0]
 }
 
 // Close closes the gate so subsequent Wait calls block again.
 func (g *Gate) Close() { g.open = false }
 
-func (g *Gate) removeWaiter(p *Proc) {
+// CancelWait removes p from the waiter list (interrupt and Stop path;
+// see the Waiter interface).
+func (g *Gate) CancelWait(p *Proc) {
 	for i, q := range g.waiters {
 		if q == p {
 			g.waiters = append(g.waiters[:i], g.waiters[i+1:]...)

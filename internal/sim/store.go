@@ -2,6 +2,92 @@ package sim
 
 import "fmt"
 
+// waiter is a pooled record for a process blocked on a Store: a getter
+// waiting to receive a value or a putter carrying one. Records live in a
+// per-store free list; the blocking process owns its record and returns
+// it to the pool after it resumes (the waker only ever reads or writes
+// the record before scheduling the wake, never after).
+type waiter[T any] struct {
+	proc  *Proc
+	value T
+}
+
+// waiterQ is a FIFO of waiters. Pops advance a head index instead of
+// re-slicing (no backing-array churn), and removal by process — the
+// interrupt/Stop path — preserves FIFO order.
+type waiterQ[T any] struct {
+	buf  []*waiter[T]
+	head int
+}
+
+func (q *waiterQ[T]) len() int { return len(q.buf) - q.head }
+
+func (q *waiterQ[T]) push(w *waiter[T]) {
+	if q.head == len(q.buf) && q.head > 0 {
+		q.buf = q.buf[:0]
+		q.head = 0
+	}
+	q.buf = append(q.buf, w)
+}
+
+func (q *waiterQ[T]) pop() *waiter[T] {
+	w := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head++
+	if q.head == len(q.buf) {
+		q.buf = q.buf[:0]
+		q.head = 0
+	}
+	return w
+}
+
+// removeProc drops the waiter belonging to p, preserving FIFO order, and
+// returns it (nil if p is not queued).
+func (q *waiterQ[T]) removeProc(p *Proc) *waiter[T] {
+	for i := q.head; i < len(q.buf); i++ {
+		if q.buf[i].proc == p {
+			w := q.buf[i]
+			copy(q.buf[i:], q.buf[i+1:])
+			q.buf[len(q.buf)-1] = nil
+			q.buf = q.buf[:len(q.buf)-1]
+			if q.head == len(q.buf) {
+				q.buf = q.buf[:0]
+				q.head = 0
+			}
+			return w
+		}
+	}
+	return nil
+}
+
+// itemQ is the buffered-item FIFO, with the same head-index pop scheme.
+type itemQ[T any] struct {
+	buf  []T
+	head int
+}
+
+func (q *itemQ[T]) len() int { return len(q.buf) - q.head }
+
+func (q *itemQ[T]) push(v T) {
+	if q.head == len(q.buf) && q.head > 0 {
+		q.buf = q.buf[:0]
+		q.head = 0
+	}
+	q.buf = append(q.buf, v)
+}
+
+func (q *itemQ[T]) pop() T {
+	v := q.buf[q.head]
+	var zero T
+	q.buf[q.head] = zero
+	q.head++
+	if q.head == len(q.buf) {
+		q.buf = q.buf[:0]
+		q.head = 0
+	}
+	return v
+}
+
 // Store is a FIFO buffer of items with an optional capacity, analogous to a
 // Go channel inside the simulation. A capacity of zero yields rendezvous
 // semantics: Put blocks until a Get is waiting and vice versa. This is the
@@ -10,9 +96,10 @@ import "fmt"
 type Store[T any] struct {
 	env      *Env
 	capacity int // < 0 means unbounded
-	items    []T
-	getters  []*getWaiter[T]
-	putters  []*putWaiter[T]
+	items    itemQ[T]
+	getters  waiterQ[T]
+	putters  waiterQ[T]
+	free     []*waiter[T]
 	// label, when set via SetLabel, emits a queue-depth event to the
 	// environment's recorder whenever the buffered count changes.
 	label string
@@ -32,17 +119,7 @@ func (s *Store[T]) record() {
 	if s.label == "" {
 		return
 	}
-	s.env.rec.QueueDepth(s.label, len(s.items))
-}
-
-type getWaiter[T any] struct {
-	proc  *Proc
-	value T
-}
-
-type putWaiter[T any] struct {
-	proc  *Proc
-	value T
+	s.env.rec.QueueDepth(s.label, s.items.len())
 }
 
 // NewStore returns a store with the given capacity. capacity == 0 gives a
@@ -52,7 +129,27 @@ func NewStore[T any](env *Env, capacity int) *Store[T] {
 }
 
 // Len returns the number of buffered items.
-func (s *Store[T]) Len() int { return len(s.items) }
+func (s *Store[T]) Len() int { return s.items.len() }
+
+// newWaiter takes a record from the free list (or allocates one).
+func (s *Store[T]) newWaiter(p *Proc, v T) *waiter[T] {
+	if n := len(s.free); n > 0 {
+		w := s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		w.proc = p
+		w.value = v
+		return w
+	}
+	return &waiter[T]{proc: p, value: v}
+}
+
+func (s *Store[T]) releaseWaiter(w *waiter[T]) {
+	var zero T
+	w.proc = nil
+	w.value = zero
+	s.free = append(s.free, w)
+}
 
 // Put delivers v into the store, blocking p while the store is full
 // (or, for a rendezvous store, until a getter arrives).
@@ -60,47 +157,50 @@ func (s *Store[T]) Put(p *Proc, v T) error {
 	// Direct handoff to a waiting getter keeps FIFO ordering: a getter only
 	// waits when the buffer is empty, so handing to the oldest getter
 	// preserves arrival order.
-	if len(s.getters) > 0 {
-		g := s.getters[0]
-		s.getters = s.getters[1:]
+	if s.getters.len() > 0 {
+		g := s.getters.pop()
 		g.value = v
 		s.env.wake(g.proc, nil)
 		return nil
 	}
-	if s.capacity < 0 || len(s.items) < s.capacity {
-		s.items = append(s.items, v)
+	if s.capacity < 0 || s.items.len() < s.capacity {
+		s.items.push(v)
 		s.record()
 		return nil
 	}
-	w := &putWaiter[T]{proc: p, value: v}
-	s.putters = append(s.putters, w)
-	return p.blockOn(func() { s.removePutter(w) })
+	w := s.newWaiter(p, v)
+	s.putters.push(w)
+	err := p.blockOnQueue(s)
+	s.releaseWaiter(w)
+	return err
 }
 
 // Get removes and returns the oldest item, blocking p while the store is
 // empty and no putter is waiting.
 func (s *Store[T]) Get(p *Proc) (T, error) {
-	if len(s.items) > 0 {
-		v := s.items[0]
-		s.items = s.items[1:]
+	if s.items.len() > 0 {
+		v := s.items.pop()
 		s.record()
 		s.admitPutter()
 		return v, nil
 	}
-	if len(s.putters) > 0 {
+	if s.putters.len() > 0 {
 		// Rendezvous (capacity 0): take directly from the oldest putter.
-		w := s.putters[0]
-		s.putters = s.putters[1:]
+		w := s.putters.pop()
+		v := w.value
 		s.env.wake(w.proc, nil)
-		return w.value, nil
+		return v, nil
 	}
-	g := &getWaiter[T]{proc: p}
-	s.getters = append(s.getters, g)
-	if err := p.blockOn(func() { s.removeGetter(g) }); err != nil {
-		var zero T
+	var zero T
+	g := s.newWaiter(p, zero)
+	s.getters.push(g)
+	if err := p.blockOnQueue(s); err != nil {
+		s.releaseWaiter(g)
 		return zero, err
 	}
-	return g.value, nil
+	v := g.value
+	s.releaseWaiter(g)
+	return v, nil
 }
 
 // Offer delivers v without blocking: directly to a waiting getter if any,
@@ -108,15 +208,14 @@ func (s *Store[T]) Get(p *Proc) (T, error) {
 // accepted (false when a bounded store is full and nobody is waiting).
 // Unlike Put it needs no process, so schedulers and callbacks can use it.
 func (s *Store[T]) Offer(v T) bool {
-	if len(s.getters) > 0 {
-		g := s.getters[0]
-		s.getters = s.getters[1:]
+	if s.getters.len() > 0 {
+		g := s.getters.pop()
 		g.value = v
 		s.env.wake(g.proc, nil)
 		return true
 	}
-	if s.capacity < 0 || len(s.items) < s.capacity {
-		s.items = append(s.items, v)
+	if s.capacity < 0 || s.items.len() < s.capacity {
+		s.items.push(v)
 		s.record()
 		return true
 	}
@@ -126,9 +225,8 @@ func (s *Store[T]) Offer(v T) bool {
 // TryGet removes and returns the oldest item without blocking. The boolean
 // reports whether an item was available.
 func (s *Store[T]) TryGet() (T, bool) {
-	if len(s.items) > 0 {
-		v := s.items[0]
-		s.items = s.items[1:]
+	if s.items.len() > 0 {
+		v := s.items.pop()
 		s.record()
 		s.admitPutter()
 		return v, true
@@ -139,42 +237,34 @@ func (s *Store[T]) TryGet() (T, bool) {
 
 // admitPutter moves a blocked putter's item into freed buffer space.
 func (s *Store[T]) admitPutter() {
-	if len(s.putters) == 0 {
+	if s.putters.len() == 0 {
 		return
 	}
 	if s.capacity == 0 {
 		return // rendezvous: putters are only released by a direct Get
 	}
-	if s.capacity > 0 && len(s.items) >= s.capacity {
+	if s.capacity > 0 && s.items.len() >= s.capacity {
 		return
 	}
-	w := s.putters[0]
-	s.putters = s.putters[1:]
-	s.items = append(s.items, w.value)
+	w := s.putters.pop()
+	s.items.push(w.value)
 	s.record()
 	s.env.wake(w.proc, nil)
 }
 
-func (s *Store[T]) removeGetter(g *getWaiter[T]) {
-	for i, q := range s.getters {
-		if q == g {
-			s.getters = append(s.getters[:i], s.getters[i+1:]...)
-			return
-		}
+// CancelWait removes p from whichever waiter queue it sits in (interrupt
+// and Stop path; see the Waiter interface). The waiter record itself is
+// returned to the pool by the blocked caller when it resumes with the
+// error.
+func (s *Store[T]) CancelWait(p *Proc) {
+	if s.getters.removeProc(p) != nil {
+		return
 	}
-}
-
-func (s *Store[T]) removePutter(w *putWaiter[T]) {
-	for i, q := range s.putters {
-		if q == w {
-			s.putters = append(s.putters[:i], s.putters[i+1:]...)
-			return
-		}
-	}
+	s.putters.removeProc(p)
 }
 
 // String describes the store state for debugging.
 func (s *Store[T]) String() string {
 	return fmt.Sprintf("Store{items=%d getters=%d putters=%d cap=%d}",
-		len(s.items), len(s.getters), len(s.putters), s.capacity)
+		s.items.len(), s.getters.len(), s.putters.len(), s.capacity)
 }

@@ -29,6 +29,7 @@ import (
 	"ensemblekit/internal/runtime"
 	"ensemblekit/internal/scheduler"
 	"ensemblekit/internal/sim"
+	"ensemblekit/internal/telemetry"
 )
 
 func benchConfig() experiments.Config { return experiments.Quick() }
@@ -563,5 +564,42 @@ func BenchmarkCampaignSweep(b *testing.B) {
 		}
 		b.StopTimer()
 		b.ReportMetric(float64(last.CacheHits)/float64(last.Jobs)*100, "hit-%")
+	})
+}
+
+// BenchmarkTelemetryOverhead measures the cost the metrics registry adds
+// to the campaign service's hot path: a warm-cache sweep (pure service
+// overhead — no simulation work) with instrumentation off (nil registry,
+// the no-op path) and on. The two must stay within a few percent of each
+// other; the delta is the per-job price of counters, histograms, and the
+// event broadcaster.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	sweep := Sweep{
+		Placements: ConfigsTable2(),
+		Seeds:      []int64{1, 2, 3},
+		Steps:      8,
+	}
+	run := func(b *testing.B, cfg ServiceConfig) {
+		b.ReportAllocs()
+		svc, err := NewService(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer svc.Close()
+		if _, err := RunCampaign(context.Background(), svc, sweep); err != nil {
+			b.Fatal(err) // prime the cache outside the timed region
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := RunCampaign(context.Background(), svc, sweep); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("noop", func(b *testing.B) {
+		run(b, ServiceConfig{Workers: 4})
+	})
+	b.Run("instrumented", func(b *testing.B) {
+		run(b, ServiceConfig{Workers: 4, Metrics: telemetry.NewRegistry()})
 	})
 }

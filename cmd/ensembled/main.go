@@ -1,28 +1,36 @@
 // Command ensembled serves the campaign service over HTTP: a bounded
 // worker pool evaluating ensemble placements with a content-addressed
-// result cache, exposed as a JSON API.
+// result cache, exposed as a JSON API with Prometheus metrics, live
+// server-sent-events campaign streams, structured JSON logs, and
+// (opt-in) pprof profiling.
 //
 // Usage:
 //
 //	ensembled [-addr :8080] [-workers N] [-queue N]
-//	          [-cache-bytes N] [-cache-dir DIR] [-smoke]
+//	          [-cache-bytes N] [-cache-dir DIR]
+//	          [-log-level info] [-pprof] [-smoke]
 //
 // Endpoints:
 //
-//	POST /v1/campaigns        submit a sweep ({"configs":["table2"]})
-//	GET  /v1/campaigns        list campaigns
-//	GET  /v1/campaigns/{id}   poll a campaign (F(P) ranking once done)
-//	GET  /v1/jobs/{id}        one job's status
-//	GET  /v1/jobs/{id}/trace  Perfetto (Chrome JSON) trace of a done job
-//	GET  /v1/stats            cache hit rate, queue depth, worker counters
+//	POST /v1/campaigns             submit a sweep ({"configs":["table2"]})
+//	GET  /v1/campaigns             list campaigns
+//	GET  /v1/campaigns/{id}        poll a campaign (F(P) ranking once done)
+//	GET  /v1/campaigns/{id}/events live SSE stream: one event per job state
+//	                               transition plus a terminal summary
+//	GET  /v1/jobs/{id}             one job's status
+//	GET  /v1/jobs/{id}/trace       Perfetto (Chrome JSON) trace of a done job
+//	GET  /v1/stats                 cache hit rate, queue depth, worker counters
+//	GET  /metrics                  Prometheus text exposition (service + obs)
+//	GET  /debug/pprof/*            runtime profiles (only with -pprof)
 //
 // -smoke starts the server on a loopback listener, POSTs the paper's
-// Table 2 campaign to it twice (cold then warm cache), prints the ranking
-// and the cache stats, and exits — an end-to-end self-test used by
-// `make serve`.
+// Table 2 campaign to it twice (cold then warm cache), scrapes /metrics,
+// consumes one SSE stream end to end, prints the ranking and the cache
+// stats, and exits — the self-test behind `make serve`.
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -32,13 +40,16 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"ensemblekit/internal/campaign"
 	"ensemblekit/internal/obs"
+	"ensemblekit/internal/telemetry"
 )
 
 func main() {
@@ -48,31 +59,58 @@ func main() {
 		queue      = flag.Int("queue", 0, "job queue depth (0 = default 256)")
 		cacheBytes = flag.Int64("cache-bytes", 0, "in-memory result-cache budget (0 = default 256 MiB)")
 		cacheDir   = flag.String("cache-dir", "", "optional on-disk result cache directory")
+		logLevel   = flag.String("log-level", "info", "log level: debug, info, warn, error")
+		pprofOn    = flag.Bool("pprof", false, "expose GET /debug/pprof/* runtime profiles")
 		smoke      = flag.Bool("smoke", false, "run the Table 2 self-test against a loopback server and exit")
 	)
 	flag.Parse()
-	if err := run(*addr, *workers, *queue, *cacheBytes, *cacheDir, *smoke); err != nil {
+	if err := run(*addr, *workers, *queue, *cacheBytes, *cacheDir, *logLevel, *pprofOn, *smoke); err != nil {
 		fmt.Fprintf(os.Stderr, "ensembled: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, workers, queue int, cacheBytes int64, cacheDir string, smoke bool) error {
+func run(addr string, workers, queue int, cacheBytes int64, cacheDir, logLevel string, pprofOn, smoke bool) error {
+	level, ok := telemetry.ParseLevel(logLevel)
+	if !ok {
+		return fmt.Errorf("unknown -log-level %q (want debug, info, warn, or error)", logLevel)
+	}
+	log := telemetry.NewLogger(os.Stderr, level)
+	reg := telemetry.NewRegistry()
+
+	// The obs recorder keeps the service's counters as a virtual-time
+	// event log; the sink bridges the same emissions into the Prometheus
+	// registry so one scrape covers both telemetry tiers.
 	start := time.Now()
 	rec := obs.NewRecorder(func() float64 { return time.Since(start).Seconds() })
+	rec.SetSink(telemetry.NewObsSink(reg))
+
 	svc, err := campaign.NewService(campaign.Config{
 		Workers:    workers,
 		QueueDepth: queue,
 		CacheBytes: cacheBytes,
 		CacheDir:   cacheDir,
 		Recorder:   rec,
+		Metrics:    reg,
+		Logger:     log,
 	})
 	if err != nil {
 		return err
 	}
 	defer svc.Close()
 
-	srv := &http.Server{Handler: campaign.NewServer(svc).Handler()}
+	mux := http.NewServeMux()
+	mux.Handle("/v1/", campaign.NewServer(svc).Handler())
+	mux.Handle("GET /metrics", reg.Handler())
+	if pprofOn {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
+
+	srv := &http.Server{Handler: mux}
 	if smoke {
 		addr = "127.0.0.1:0" // the self-test picks its own port
 	}
@@ -87,12 +125,14 @@ func run(addr string, workers, queue int, cacheBytes int64, cacheDir string, smo
 		return smokeTest("http://" + ln.Addr().String())
 	}
 
-	fmt.Fprintf(os.Stderr, "ensembled: listening on %s (workers=%d)\n",
-		ln.Addr(), svc.Stats().Workers)
+	log.Info("ensembled listening",
+		"addr", ln.Addr().String(), "workers", svc.Stats().Workers,
+		"queue", svc.Stats().QueueCapacity, "pprof", pprofOn)
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	go func() {
 		<-ctx.Done()
+		log.Info("shutting down")
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		_ = srv.Shutdown(shutdownCtx)
@@ -104,8 +144,9 @@ func run(addr string, workers, queue int, cacheBytes int64, cacheDir string, smo
 }
 
 // smokeTest drives the HTTP API end to end: it submits the paper's
-// Table 2 campaign twice and verifies the second run is answered entirely
-// from the cache.
+// Table 2 campaign twice (verifying the second run is answered entirely
+// from the cache), scrapes /metrics, and consumes one SSE event stream
+// through its terminal summary.
 func smokeTest(base string) error {
 	ranking, err := runTable2(base)
 	if err != nil {
@@ -132,7 +173,127 @@ func smokeTest(base string) error {
 	if stats.CacheHits == 0 {
 		return errors.New("smoke: warm re-run produced no cache hits")
 	}
+
+	if err := smokeMetrics(base); err != nil {
+		return err
+	}
+	if err := smokeSSE(base); err != nil {
+		return err
+	}
 	fmt.Println("smoke test passed")
+	return nil
+}
+
+// smokeMetrics scrapes /metrics and sanity-checks the exposition: the
+// service and HTTP families must be present and every sample line must
+// have the name{labels} value shape.
+func smokeMetrics(base string) error {
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("smoke: GET /metrics: HTTP %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	samples := 0
+	for _, line := range strings.Split(string(body), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !strings.Contains(line, " ") {
+			return fmt.Errorf("smoke: malformed metrics line %q", line)
+		}
+		samples++
+	}
+	for _, want := range []string{
+		"campaign_cache_hits_total", "campaign_queue_depth",
+		"campaign_execute_seconds_bucket", "http_requests_total",
+		"obs_counter_total",
+	} {
+		if !strings.Contains(string(body), want) {
+			return fmt.Errorf("smoke: /metrics missing %s", want)
+		}
+	}
+	fmt.Printf("metrics: %d samples scraped\n", samples)
+	return nil
+}
+
+// smokeSSE submits a (fully cached) Table 2 campaign and consumes its SSE
+// stream: one terminal event per job, then the summary.
+func smokeSSE(base string) error {
+	body, _ := json.Marshal(map[string]any{
+		"name":    "table2-sse",
+		"configs": []string{"table2"},
+		"steps":   8,
+	})
+	resp, err := http.Post(base+"/v1/campaigns", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	var st campaign.CampaignStatus
+	if err := decodeJSON(resp, &st); err != nil {
+		return err
+	}
+
+	stream, err := http.Get(base + "/v1/campaigns/" + st.ID + "/events")
+	if err != nil {
+		return err
+	}
+	defer stream.Body.Close()
+	if ct := stream.Header.Get("Content-Type"); ct != "text/event-stream" {
+		return fmt.Errorf("smoke: SSE content type %q", ct)
+	}
+
+	jobEvents, terminal := 0, 0
+	var summary campaign.CampaignSummary
+	sc := bufio.NewScanner(stream.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	event := ""
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data := strings.TrimPrefix(line, "data: ")
+			switch event {
+			case "job":
+				var ev campaign.JobEvent
+				if err := json.Unmarshal([]byte(data), &ev); err != nil {
+					return fmt.Errorf("smoke: SSE job event: %w", err)
+				}
+				jobEvents++
+				if ev.Terminal() {
+					terminal++
+				}
+			case "summary":
+				if err := json.Unmarshal([]byte(data), &summary); err != nil {
+					return fmt.Errorf("smoke: SSE summary event: %w", err)
+				}
+			case "error":
+				return fmt.Errorf("smoke: SSE stream errored: %s", data)
+			}
+		}
+		if summary.Campaign != "" {
+			break
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if summary.Status != "done" {
+		return fmt.Errorf("smoke: SSE summary status %q, want done", summary.Status)
+	}
+	if terminal != summary.Jobs {
+		return fmt.Errorf("smoke: SSE delivered %d terminal events for %d jobs", terminal, summary.Jobs)
+	}
+	fmt.Printf("sse: %d job events (%d terminal), summary best=%s F=%.4f\n",
+		jobEvents, terminal, summary.Best, summary.Objective)
 	return nil
 }
 

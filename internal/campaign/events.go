@@ -1,0 +1,206 @@
+package campaign
+
+import (
+	"sync"
+	"time"
+)
+
+// Event statuses beyond the job lifecycle Status values.
+const (
+	// EventCached marks a submission answered from the result cache: the
+	// job is born terminal, so "cached" is both its first and last event.
+	EventCached = "cached"
+)
+
+// JobEvent is one job state transition, as published on the service's
+// event stream and pushed over the SSE endpoint. The transition ladder is
+// queued → running → done|failed|cancelled, with cache hits collapsing to
+// a single "cached" terminal event.
+type JobEvent struct {
+	// Seq is the broadcaster's monotonic sequence number (1-based);
+	// subscribers use it to detect history they missed.
+	Seq int64 `json:"seq"`
+	// Time is the wall-clock time of the transition.
+	Time time.Time `json:"ts"`
+	// Campaign tags the owning campaign ("c-1"); empty for jobs submitted
+	// outside a campaign.
+	Campaign string `json:"campaign,omitempty"`
+	// Job and Hash identify the job; Label is its display label.
+	Job   string `json:"job"`
+	Hash  string `json:"hash"`
+	Label string `json:"label,omitempty"`
+	// Status is the state entered: "queued", "running", "done", "cached",
+	// "failed", or "cancelled".
+	Status string `json:"status"`
+	// Error carries the failure of a failed or cancelled job.
+	Error string `json:"error,omitempty"`
+	// Objective is F(P^{U,A,P}) on completion ("done"/"cached").
+	Objective float64 `json:"objective,omitempty"`
+	// WaitSec is the queued → running wall time (on "running" and terminal
+	// events of executed jobs); ExecSec is the running → terminal wall time
+	// (terminal events only).
+	WaitSec float64 `json:"waitSec,omitempty"`
+	ExecSec float64 `json:"execSec,omitempty"`
+	// CacheHit marks jobs answered without execution.
+	CacheHit bool `json:"cacheHit,omitempty"`
+}
+
+// Terminal reports whether the event ends its job's lifecycle.
+func (e JobEvent) Terminal() bool {
+	switch e.Status {
+	case string(StatusDone), string(StatusFailed), string(StatusCancelled), EventCached:
+		return true
+	}
+	return false
+}
+
+// Broadcaster fans JobEvents out to subscribers with strictly bounded
+// memory and zero blocking on the publish path: each subscriber owns a
+// fixed-size buffered channel, and a subscriber whose buffer is full when
+// an event arrives is dropped (its channel closed) rather than stalling
+// the worker that published the event. A bounded history ring lets late
+// subscribers replay recent transitions — the SSE handler uses it to
+// close the race between POSTing a campaign and connecting its stream.
+type Broadcaster struct {
+	// OnDrop, if set, observes each subscriber dropped for falling behind.
+	OnDrop func()
+	// OnSubscribers, if set, observes the subscriber count after every
+	// subscribe/unsubscribe/drop.
+	OnSubscribers func(n int)
+
+	subBuf int
+
+	mu      sync.Mutex
+	seq     int64
+	ring    []JobEvent // capacity-bounded history, oldest first
+	start   int        // ring read index
+	count   int        // live entries in ring
+	subs    map[chan JobEvent]struct{}
+	dropped int64 // subscribers dropped for falling behind
+	evicted int64 // events evicted from history
+	closed  bool
+}
+
+// NewBroadcaster sizes the fan-out: histCap bounds the replay history
+// (<= 0 disables replay), subBuf is each subscriber's channel buffer
+// (minimum 1).
+func NewBroadcaster(histCap, subBuf int) *Broadcaster {
+	if subBuf < 1 {
+		subBuf = 1
+	}
+	b := &Broadcaster{subs: make(map[chan JobEvent]struct{}), subBuf: subBuf}
+	if histCap > 0 {
+		b.ring = make([]JobEvent, histCap)
+	}
+	return b
+}
+
+// Publish stamps ev with the next sequence number, appends it to the
+// history ring, and offers it to every subscriber without blocking.
+func (b *Broadcaster) Publish(ev JobEvent) {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.seq++
+	ev.Seq = b.seq
+	if len(b.ring) > 0 {
+		if b.count == len(b.ring) {
+			b.start = (b.start + 1) % len(b.ring)
+			b.count--
+			b.evicted++
+		}
+		b.ring[(b.start+b.count)%len(b.ring)] = ev
+		b.count++
+	}
+	var dropped int
+	for ch := range b.subs {
+		select {
+		case ch <- ev:
+		default:
+			// Slow consumer: dropping it is the bounded-memory contract.
+			delete(b.subs, ch)
+			close(ch)
+			b.dropped++
+			dropped++
+		}
+	}
+	n := len(b.subs)
+	b.mu.Unlock()
+	for i := 0; i < dropped; i++ {
+		if b.OnDrop != nil {
+			b.OnDrop()
+		}
+	}
+	if dropped > 0 && b.OnSubscribers != nil {
+		b.OnSubscribers(n)
+	}
+}
+
+// Subscribe registers a consumer: replay holds the retained history (in
+// order, already sequence-stamped) and ch delivers every event published
+// after the snapshot — the two never overlap and never gap. The channel
+// is closed when the subscriber is dropped for falling behind or the
+// broadcaster closes; cancel unsubscribes (idempotent, safe after drop).
+func (b *Broadcaster) Subscribe() (replay []JobEvent, ch <-chan JobEvent, cancel func()) {
+	c := make(chan JobEvent, b.subBuf)
+	b.mu.Lock()
+	replay = make([]JobEvent, 0, b.count)
+	for i := 0; i < b.count; i++ {
+		replay = append(replay, b.ring[(b.start+i)%len(b.ring)])
+	}
+	if b.closed {
+		close(c)
+		b.mu.Unlock()
+		return replay, c, func() {}
+	}
+	b.subs[c] = struct{}{}
+	n := len(b.subs)
+	b.mu.Unlock()
+	if b.OnSubscribers != nil {
+		b.OnSubscribers(n)
+	}
+	cancel = func() {
+		b.mu.Lock()
+		_, ok := b.subs[c]
+		if ok {
+			delete(b.subs, c)
+			close(c)
+		}
+		n := len(b.subs)
+		closed := b.closed
+		b.mu.Unlock()
+		if ok && !closed && b.OnSubscribers != nil {
+			b.OnSubscribers(n)
+		}
+	}
+	return replay, c, cancel
+}
+
+// Close ends the stream: every subscriber's channel is closed and later
+// Publish calls are dropped.
+func (b *Broadcaster) Close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.closed = true
+	for ch := range b.subs {
+		delete(b.subs, ch)
+		close(ch)
+	}
+	b.mu.Unlock()
+	if b.OnSubscribers != nil {
+		b.OnSubscribers(0)
+	}
+}
+
+// Stats reports the broadcaster's lifetime counters: current subscriber
+// count, subscribers dropped for falling behind, and history evictions.
+func (b *Broadcaster) Stats() (subscribers int, dropped, evicted int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.subs), b.dropped, b.evicted
+}

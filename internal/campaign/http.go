@@ -5,10 +5,13 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync"
+	"time"
 
 	"ensemblekit/internal/obs"
 	"ensemblekit/internal/placement"
+	"ensemblekit/internal/telemetry"
 )
 
 // CampaignRequest is the body of POST /v1/campaigns: a Sweep, with the
@@ -99,6 +102,12 @@ func (c *campaignRun) status() CampaignStatus {
 // Build one with NewServer and mount its Handler.
 type Server struct {
 	svc *Service
+	log *telemetry.Logger
+
+	// Per-route request counters and latency histograms, registered on
+	// the service's registry (no-ops when telemetry is off).
+	requests *telemetry.CounterVec
+	latency  *telemetry.HistogramVec
 
 	mu        sync.Mutex
 	seq       int64
@@ -106,28 +115,86 @@ type Server struct {
 }
 
 // NewServer wraps a service. The server does not own the service; closing
-// is the caller's job.
+// is the caller's job. It shares the service's metrics registry and
+// logger, so one scrape covers both tiers.
 func NewServer(svc *Service) *Server {
-	return &Server{svc: svc, campaigns: make(map[string]*campaignRun)}
+	reg := svc.Metrics()
+	return &Server{
+		svc: svc,
+		log: svc.Logger(),
+		requests: reg.CounterVec("http_requests_total",
+			"HTTP requests served, by route pattern and status code.",
+			"route", "code"),
+		latency: reg.HistogramVec("http_request_duration_seconds",
+			"HTTP request latency, by route pattern.", nil, "route"),
+		campaigns: make(map[string]*campaignRun),
+	}
 }
 
 // Handler returns the route table:
 //
-//	POST /v1/campaigns        submit a sweep, returns 202 + campaign status
-//	GET  /v1/campaigns        list campaigns
-//	GET  /v1/campaigns/{id}   poll one campaign (result once done)
-//	GET  /v1/jobs/{id}        one job's status
-//	GET  /v1/jobs/{id}/trace  Perfetto (Chrome JSON) trace of a done job
-//	GET  /v1/stats            service counters incl. cache hit rate
+//	POST /v1/campaigns             submit a sweep, returns 202 + campaign status
+//	GET  /v1/campaigns             list campaigns
+//	GET  /v1/campaigns/{id}        poll one campaign (result once done)
+//	GET  /v1/campaigns/{id}/events live SSE stream of job transitions
+//	GET  /v1/jobs/{id}             one job's status
+//	GET  /v1/jobs/{id}/trace       Perfetto (Chrome JSON) trace of a done job
+//	GET  /v1/stats                 service counters incl. cache hit rate
+//
+// Every route is instrumented with per-route request counts and latency
+// histograms on the service's metrics registry.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/campaigns", s.postCampaign)
-	mux.HandleFunc("GET /v1/campaigns", s.listCampaigns)
-	mux.HandleFunc("GET /v1/campaigns/{id}", s.getCampaign)
-	mux.HandleFunc("GET /v1/jobs/{id}", s.getJob)
-	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.getJobTrace)
-	mux.HandleFunc("GET /v1/stats", s.getStats)
+	handle := func(pattern string, h http.HandlerFunc) {
+		mux.HandleFunc(pattern, s.instrument(pattern, h))
+	}
+	handle("POST /v1/campaigns", s.postCampaign)
+	handle("GET /v1/campaigns", s.listCampaigns)
+	handle("GET /v1/campaigns/{id}", s.getCampaign)
+	handle("GET /v1/campaigns/{id}/events", s.streamCampaign)
+	handle("GET /v1/jobs/{id}", s.getJob)
+	handle("GET /v1/jobs/{id}/trace", s.getJobTrace)
+	handle("GET /v1/stats", s.getStats)
 	return mux
+}
+
+// instrument wraps a handler with per-route telemetry. The wrapper
+// preserves http.Flusher so the SSE route still streams.
+func (s *Server) instrument(pattern string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r)
+		s.requests.With(pattern, strconv.Itoa(sw.code)).Inc()
+		s.latency.With(pattern).Observe(time.Since(start).Seconds())
+	}
+}
+
+// statusWriter captures the response code for the request counter.
+type statusWriter struct {
+	http.ResponseWriter
+	code  int
+	wrote bool
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if !w.wrote {
+		w.code = code
+		w.wrote = true
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(b)
+}
+
+// Flush forwards to the underlying writer when it streams; SSE needs it.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // writeJSON writes v as a JSON response.
@@ -168,6 +235,17 @@ func (s *Server) postCampaign(w http.ResponseWriter, r *http.Request) {
 		total += len(c.Specs)
 	}
 
+	// Admission control: a saturated queue means the campaign would only
+	// sit in SubmitWait; shed the load instead so the client can back off
+	// and retry, and account the rejection.
+	if s.svc.queueSaturated() {
+		s.svc.rejectQueueFull()
+		s.log.Warn("campaign rejected: queue full", "jobs", total)
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusServiceUnavailable, ErrQueueFull)
+		return
+	}
+
 	s.mu.Lock()
 	s.seq++
 	run := &campaignRun{
@@ -179,20 +257,161 @@ func (s *Server) postCampaign(w http.ResponseWriter, r *http.Request) {
 	s.campaigns[run.id] = run
 	s.mu.Unlock()
 
+	sw.Campaign = run.id // tag every job's events for the SSE stream
 	sw.Progress = func(done, total int) {
 		run.mu.Lock()
 		run.nDone, run.nTotal = done, total
 		run.mu.Unlock()
 	}
+	s.log.Info("campaign accepted", "campaign", run.id, "name", sw.Name, "jobs", total)
 	go func() {
+		start := time.Now()
 		res, err := RunCampaign(context.Background(), s.svc, sw)
 		run.mu.Lock()
 		run.result, run.err = res, err
 		run.mu.Unlock()
 		close(run.done)
+		if err != nil {
+			s.log.Error("campaign failed", "campaign", run.id, "err", err.Error(),
+				"elapsedSec", time.Since(start).Seconds())
+		} else {
+			s.log.Info("campaign done", "campaign", run.id, "jobs", res.Jobs,
+				"cacheHits", res.CacheHits, "failedJobs", res.Failed,
+				"elapsedSec", time.Since(start).Seconds())
+		}
 	}()
 
 	writeJSON(w, http.StatusAccepted, run.status())
+}
+
+// CampaignSummary is the terminal event of an SSE stream: the campaign's
+// final state plus its headline result.
+type CampaignSummary struct {
+	// Campaign identifies the run ("c-1"); Name echoes the sweep name.
+	Campaign string `json:"campaign"`
+	Name     string `json:"name,omitempty"`
+	// Status is "done" or "failed".
+	Status string `json:"status"`
+	// Jobs counts submitted jobs; CacheHits and FailedJobs partition the
+	// interesting outcomes.
+	Jobs       int `json:"jobs"`
+	CacheHits  int `json:"cacheHits"`
+	FailedJobs int `json:"failedJobs"`
+	// Best is the top-ranked candidate label and Objective its
+	// F(P^{U,A,P}) — the paper's Eq. 9 winner — when any candidate
+	// survived.
+	Best      string  `json:"best,omitempty"`
+	Objective float64 `json:"objective,omitempty"`
+	// Error carries the failure of a failed campaign.
+	Error string `json:"error,omitempty"`
+}
+
+// summary builds the terminal SSE event from a finished run.
+func (c *campaignRun) summary() CampaignSummary {
+	st := c.status()
+	out := CampaignSummary{
+		Campaign: c.id,
+		Name:     c.name,
+		Status:   st.Status,
+		Error:    st.Error,
+	}
+	if st.Result != nil {
+		out.Jobs = st.Result.Jobs
+		out.CacheHits = st.Result.CacheHits
+		out.FailedJobs = st.Result.Failed
+		if len(st.Result.Ranking) > 0 {
+			out.Best = st.Result.Ranking[0].Name
+			out.Objective = st.Result.Ranking[0].Value
+		}
+	}
+	return out
+}
+
+// streamCampaign serves GET /v1/campaigns/{id}/events: a server-sent-
+// events stream pushing one `job` event per job state transition (queued,
+// running, done/cached/failed/cancelled) and a terminal `summary` event
+// once the campaign resolves. The stream replays the broadcaster's
+// retained history first, so connecting right after the POST loses
+// nothing; a subscriber that cannot keep up is dropped (`error` event)
+// rather than ever blocking the workers.
+func (s *Server) streamCampaign(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	run, ok := s.campaigns[id]
+	s.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("campaign: no campaign %q", id))
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, fmt.Errorf("campaign: streaming unsupported"))
+		return
+	}
+
+	replay, ch, cancel := s.svc.Events().Subscribe()
+	defer cancel()
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no") // defeat proxy buffering
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	send := func(event string, v any) bool {
+		b, err := json.Marshal(v)
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, b); err != nil {
+			return false
+		}
+		fl.Flush()
+		return true
+	}
+
+	for _, ev := range replay {
+		if ev.Campaign == id && !send("job", ev) {
+			return
+		}
+	}
+	for {
+		select {
+		case ev, open := <-ch:
+			if !open {
+				// Dropped for falling behind, or the service closed; the
+				// client reconnects and replays from history.
+				send("error", map[string]string{
+					"error": "event stream dropped (subscriber too slow or service closing)",
+				})
+				return
+			}
+			if ev.Campaign == id && !send("job", ev) {
+				return
+			}
+		case <-run.done:
+			// Every job event was published before the campaign resolved;
+			// drain whatever is still buffered, then summarize.
+		drain:
+			for {
+				select {
+				case ev, open := <-ch:
+					if !open {
+						break drain
+					}
+					if ev.Campaign == id && !send("job", ev) {
+						return
+					}
+				default:
+					break drain
+				}
+			}
+			send("summary", run.summary())
+			return
+		case <-r.Context().Done():
+			return
+		}
+	}
 }
 
 func (s *Server) listCampaigns(w http.ResponseWriter, _ *http.Request) {

@@ -1,12 +1,17 @@
 package campaign
 
 import (
+	"bufio"
+	"context"
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
 	"time"
+
+	"ensemblekit/internal/telemetry"
 )
 
 func newTestServer(t *testing.T) (*httptest.Server, *Service) {
@@ -196,6 +201,198 @@ func TestHTTPErrors(t *testing.T) {
 		resp.Body.Close()
 		if resp.StatusCode != c.want {
 			t.Errorf("%s %s: HTTP %d, want %d", c.method, c.path, resp.StatusCode, c.want)
+		}
+	}
+}
+
+// readSSE consumes a text/event-stream body until the summary event (or
+// EOF), returning the job events and the summary.
+func readSSE(t *testing.T, body io.Reader) ([]JobEvent, *CampaignSummary) {
+	t.Helper()
+	var (
+		events  []JobEvent
+		summary *CampaignSummary
+		event   string
+	)
+	sc := bufio.NewScanner(body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data := []byte(strings.TrimPrefix(line, "data: "))
+			switch event {
+			case "job":
+				var ev JobEvent
+				if err := json.Unmarshal(data, &ev); err != nil {
+					t.Fatalf("job event %s: %v", data, err)
+				}
+				events = append(events, ev)
+			case "summary":
+				summary = &CampaignSummary{}
+				if err := json.Unmarshal(data, summary); err != nil {
+					t.Fatalf("summary event %s: %v", data, err)
+				}
+				return events, summary
+			case "error":
+				t.Fatalf("stream error event: %s", data)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return events, summary
+}
+
+func TestHTTPSSEStreamsCampaign(t *testing.T) {
+	ts, _ := newTestServer(t)
+
+	st := postCampaign(t, ts, `{"name":"sse","configs":["table2"],"steps":4}`)
+	resp, err := http.Get(ts.URL + "/v1/campaigns/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+
+	events, summary := readSSE(t, resp.Body)
+	if summary == nil {
+		t.Fatal("stream ended without a summary event")
+	}
+	if summary.Status != "done" || summary.Jobs != 7 || summary.Campaign != st.ID {
+		t.Errorf("summary %+v", summary)
+	}
+	if summary.Best == "" || summary.Objective == 0 {
+		t.Errorf("summary missing ranking head: %+v", summary)
+	}
+
+	terminals := map[string]int{}
+	for _, ev := range events {
+		if ev.Campaign != st.ID {
+			t.Fatalf("event from foreign campaign: %+v", ev)
+		}
+		if ev.Terminal() {
+			terminals[ev.Job]++
+		}
+	}
+	if len(terminals) != 7 {
+		t.Fatalf("saw %d jobs, want 7 (events %+v)", len(terminals), events)
+	}
+	for job, n := range terminals {
+		if n != 1 {
+			t.Errorf("job %s: %d terminal events", job, n)
+		}
+	}
+}
+
+func TestHTTPSSEUnknownCampaign(t *testing.T) {
+	ts, _ := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/v1/campaigns/c-404/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("HTTP %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestHTTPQueueFullRejectsCampaign(t *testing.T) {
+	release := make(chan struct{})
+	svc, err := NewService(Config{
+		Workers:    1,
+		QueueDepth: 1,
+		Metrics:    telemetry.NewRegistry(),
+		runFn: func(_ context.Context, spec JobSpec) (*Result, error) {
+			<-release
+			return Execute(spec)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	defer close(release)
+	ts := httptest.NewServer(NewServer(svc).Handler())
+	defer ts.Close()
+
+	// Saturate: one job running, one filling the single queue slot.
+	if _, err := svc.Submit(context.Background(), jobFor(t, 101), SubmitOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for svc.Stats().Running == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("worker never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := svc.Submit(context.Background(), jobFor(t, 102), SubmitOptions{}); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Post(ts.URL+"/v1/campaigns", "application/json",
+		strings.NewReader(`{"configs":["C1.5"],"steps":4}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("HTTP %d, want 503", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Error("503 without Retry-After header")
+	}
+	if got := svc.metrics.rejected.Value(); got != 1 {
+		t.Errorf("campaign_queue_rejected_total = %v, want 1", got)
+	}
+	if got := svc.Stats().Rejected; got != 1 {
+		t.Errorf("stats.Rejected = %d, want 1", got)
+	}
+}
+
+func TestHTTPMetricsAfterTraffic(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	svc, err := NewService(Config{Workers: 2, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(svc.Close)
+	mux := http.NewServeMux()
+	mux.Handle("/v1/", NewServer(svc).Handler())
+	mux.Handle("GET /metrics", reg.Handler())
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+
+	final := pollCampaign(t, ts, postCampaign(t, ts, `{"configs":["C1.5"],"steps":4}`).ID)
+	if final.Status != "done" {
+		t.Fatalf("campaign %+v", final)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(body)
+	for _, want := range []string{
+		`campaign_jobs_finished_total{status="done"} 1`,
+		"campaign_submitted_total 1",
+		"campaign_execute_seconds_count 1",
+		`http_requests_total{route="POST /v1/campaigns",code="202"} 1`,
+		"http_request_duration_seconds_bucket",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("/metrics missing %q", want)
 		}
 	}
 }

@@ -49,6 +49,11 @@ type Sweep struct {
 	// Progress, when non-nil, observes completion: it is called after
 	// each job resolves with the number resolved so far and the total.
 	Progress func(done, total int) `json:"-"`
+
+	// Campaign tags every job's events with a campaign ID for the
+	// service's event stream; the HTTP server assigns the campaign's ID
+	// here so SSE subscribers can filter one campaign's transitions.
+	Campaign string `json:"-"`
 }
 
 // ReplicateMembers returns a placement with n members: the base members
@@ -253,7 +258,7 @@ func RunCampaign(ctx context.Context, svc *Service, sw Sweep) (*CampaignResult, 
 	for i, c := range cands {
 		jobs[i] = make([]*Job, len(c.Specs))
 		for k, spec := range c.Specs {
-			j, err := svc.SubmitWait(ctx, spec, SubmitOptions{Priority: sw.Priority, Label: c.Label})
+			j, err := svc.SubmitWait(ctx, spec, SubmitOptions{Priority: sw.Priority, Label: c.Label, Campaign: sw.Campaign})
 			if err != nil {
 				if ctx.Err() != nil {
 					return nil, ctx.Err()

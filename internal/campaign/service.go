@@ -7,8 +7,10 @@ import (
 	"fmt"
 	gort "runtime"
 	"sync"
+	"time"
 
 	"ensemblekit/internal/obs"
+	"ensemblekit/internal/telemetry"
 )
 
 // Service errors.
@@ -36,8 +38,25 @@ type Config struct {
 	CacheDir string
 	// Recorder optionally receives service telemetry as obs events
 	// (queue depth, counters for submissions/hits/misses/dedups). The
-	// service serializes its emissions under the service mutex.
+	// service snapshots the counters under its own lock but emits after
+	// releasing it, serialized on a dedicated recorder mutex, so a slow
+	// recorder (or sink) can never stall Submit or job completion.
 	Recorder *obs.Recorder
+	// Metrics optionally registers the service's Prometheus metrics
+	// (queue depth and capacity, worker busy-time, per-status job
+	// counts, queue-wait and execute-latency histograms, cache hit/miss/
+	// dedup counters, cached bytes). Nil disables instrumentation at the
+	// cost of one nil check per operation.
+	Metrics *telemetry.Registry
+	// Logger optionally receives structured service logs (job lifecycle
+	// at debug, drops and rejects at warn).
+	Logger *telemetry.Logger
+	// EventHistory bounds the job-event replay ring of the service's
+	// broadcaster (default 4096; negative disables replay).
+	EventHistory int
+	// EventBuffer is each event subscriber's channel buffer; a
+	// subscriber that falls this far behind is dropped (default 256).
+	EventBuffer int
 
 	// runFn overrides job execution (tests count real simulations with
 	// it). Nil runs Execute.
@@ -53,6 +72,12 @@ func (c Config) normalized() Config {
 	}
 	if c.CacheBytes == 0 {
 		c.CacheBytes = 256 << 20
+	}
+	if c.EventHistory == 0 {
+		c.EventHistory = 4096
+	}
+	if c.EventBuffer <= 0 {
+		c.EventBuffer = 256
 	}
 	if c.runFn == nil {
 		c.runFn = func(_ context.Context, spec JobSpec) (*Result, error) {
@@ -94,18 +119,21 @@ type Job struct {
 	// queueing.
 	CacheHit bool
 
-	spec   JobSpec
-	seq    int64
-	ctx    context.Context
-	cancel context.CancelFunc
-	done   chan struct{}
+	spec     JobSpec
+	campaign string // campaign tag for the event stream
+	seq      int64
+	ctx      context.Context
+	cancel   context.CancelFunc
+	done     chan struct{}
 
-	svc     *Service
-	mu      sync.Mutex
-	status  Status
-	started bool // a worker popped it (Running was incremented)
-	result  *Result
-	err     error
+	svc        *Service
+	mu         sync.Mutex
+	status     Status
+	started    bool // a worker popped it (Running was incremented)
+	enqueuedAt time.Time
+	startedAt  time.Time
+	result     *Result
+	err        error
 }
 
 // Status returns the job's current state.
@@ -166,10 +194,14 @@ type Stats struct {
 	// Dedups counts submissions attached to an identical in-flight job
 	// (singleflight).
 	Dedups int64 `json:"dedups"`
-	// QueueDepth and Running describe the pool right now.
-	QueueDepth int `json:"queueDepth"`
-	Running    int `json:"running"`
-	Workers    int `json:"workers"`
+	// Rejected counts Submit calls bounced with ErrQueueFull.
+	Rejected int64 `json:"rejected"`
+	// QueueDepth and Running describe the pool right now; QueueCapacity
+	// is the configured bound the depth saturates at.
+	QueueDepth    int `json:"queueDepth"`
+	QueueCapacity int `json:"queueCapacity"`
+	Running       int `json:"running"`
+	Workers       int `json:"workers"`
 	// CacheEntries and CacheBytes describe the in-memory cache tier.
 	CacheEntries int   `json:"cacheEntries"`
 	CacheBytes   int64 `json:"cacheBytes"`
@@ -190,7 +222,10 @@ func (s Stats) HitRate() float64 {
 // result cache with singleflight deduplication. All methods are safe for
 // concurrent use.
 type Service struct {
-	cfg Config
+	cfg     Config
+	metrics serviceMetrics
+	events  *Broadcaster
+	log     *telemetry.Logger
 
 	mu       sync.Mutex
 	space    *sync.Cond // signalled when queue slots free up
@@ -203,9 +238,89 @@ type Service struct {
 	closed   bool
 	seq      int64
 
+	// recMu serializes obs recorder emissions; it is never held together
+	// with s.mu, so a slow recorder cannot stall the hot paths.
+	recMu sync.Mutex
+
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 	wg         sync.WaitGroup
+}
+
+// serviceMetrics bundles the Prometheus handles the hot paths touch.
+// Every handle is nil (a no-op) when Config.Metrics is nil.
+type serviceMetrics struct {
+	submitted   *telemetry.Counter
+	rejected    *telemetry.Counter
+	dedups      *telemetry.Counter
+	cacheHits   *telemetry.Counter
+	diskHits    *telemetry.Counter
+	cacheMisses *telemetry.Counter
+	finished    *telemetry.CounterVec // by terminal status
+	queueDepth  *telemetry.Gauge
+	queueCap    *telemetry.Gauge
+	running     *telemetry.Gauge
+	workers     *telemetry.Gauge
+	cacheItems  *telemetry.Gauge
+	cacheBytes  *telemetry.Gauge
+	busySeconds *telemetry.Counter
+	queueWait   *telemetry.Histogram
+	execLatency *telemetry.Histogram
+	events      *telemetry.Counter
+	subscribers *telemetry.Gauge
+	subsDropped *telemetry.Counter
+}
+
+func newServiceMetrics(r *telemetry.Registry) serviceMetrics {
+	if r == nil {
+		return serviceMetrics{}
+	}
+	return serviceMetrics{
+		submitted: r.Counter("campaign_submitted_total",
+			"Admitted submissions, including cache hits and dedup attaches."),
+		rejected: r.Counter("campaign_queue_rejected_total",
+			"Submissions bounced with ErrQueueFull (non-blocking backpressure)."),
+		dedups: r.Counter("campaign_dedup_total",
+			"Submissions attached to an identical in-flight job (singleflight)."),
+		cacheHits: r.Counter("campaign_cache_hits_total",
+			"Submissions answered from the result cache."),
+		diskHits: r.Counter("campaign_cache_disk_hits_total",
+			"Cache hits served by the on-disk tier."),
+		cacheMisses: r.Counter("campaign_cache_misses_total",
+			"Submissions that enqueued a new execution."),
+		finished: r.CounterVec("campaign_jobs_finished_total",
+			"Executed jobs by terminal status.", "status"),
+		queueDepth: r.Gauge("campaign_queue_depth",
+			"Jobs waiting for a worker."),
+		queueCap: r.Gauge("campaign_queue_capacity",
+			"Configured queue bound (Submit rejects beyond it)."),
+		running: r.Gauge("campaign_running_jobs",
+			"Jobs occupying a worker right now."),
+		workers: r.Gauge("campaign_workers",
+			"Size of the worker pool."),
+		cacheItems: r.Gauge("campaign_cache_entries",
+			"Entries in the in-memory result-cache tier."),
+		cacheBytes: r.Gauge("campaign_cache_bytes",
+			"Bytes held by the in-memory result-cache tier."),
+		busySeconds: r.Counter("campaign_worker_busy_seconds_total",
+			"Cumulative wall time workers spent executing jobs."),
+		queueWait: r.Histogram("campaign_queue_wait_seconds",
+			"Wall time from enqueue to worker pickup.", nil),
+		execLatency: r.Histogram("campaign_execute_seconds",
+			"Wall time from worker pickup to job completion.", nil),
+		events: r.Counter("campaign_events_published_total",
+			"Job state-transition events published on the event stream."),
+		subscribers: r.Gauge("campaign_event_subscribers",
+			"Live event-stream subscribers."),
+		subsDropped: r.Counter("campaign_event_subscribers_dropped_total",
+			"Event subscribers dropped for falling behind their buffer."),
+	}
+}
+
+// setCacheLocked mirrors the memory tier's occupancy; called under s.mu.
+func (m *serviceMetrics) setCacheLocked(entries int, bytes int64) {
+	m.cacheItems.Set(float64(entries))
+	m.cacheBytes.Set(float64(bytes))
 }
 
 // NewService starts the worker pool. Callers must Close it.
@@ -227,12 +342,37 @@ func NewService(cfg Config) (*Service, error) {
 	s.space = sync.NewCond(&s.mu)
 	s.work = sync.NewCond(&s.mu)
 	s.stats.Workers = cfg.Workers
+	s.stats.QueueCapacity = cfg.QueueDepth
+	s.log = cfg.Logger
+	s.metrics = newServiceMetrics(cfg.Metrics)
+	s.metrics.workers.Set(float64(cfg.Workers))
+	s.metrics.queueCap.Set(float64(cfg.QueueDepth))
+	s.events = NewBroadcaster(cfg.EventHistory, cfg.EventBuffer)
+	s.events.OnDrop = func() {
+		s.metrics.subsDropped.Inc()
+		s.log.Warn("event subscriber dropped for falling behind",
+			"buffer", cfg.EventBuffer)
+	}
+	s.events.OnSubscribers = func(n int) { s.metrics.subscribers.Set(float64(n)) }
 	s.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go s.worker()
 	}
 	return s, nil
 }
+
+// Events returns the service's job-event broadcaster: every submission,
+// worker pickup, and completion publishes a JobEvent on it. The SSE
+// endpoint subscribes here.
+func (s *Service) Events() *Broadcaster { return s.events }
+
+// Metrics returns the registry the service instruments (nil when
+// telemetry is off); the HTTP server shares it for per-route metrics.
+func (s *Service) Metrics() *telemetry.Registry { return s.cfg.Metrics }
+
+// Logger returns the service's structured logger (nil when logging is
+// off).
+func (s *Service) Logger() *telemetry.Logger { return s.log }
 
 // Close stops accepting submissions, cancels queued and running jobs, and
 // waits for the workers to exit.
@@ -256,6 +396,13 @@ func (s *Service) Close() {
 	}
 	s.baseCancel()
 	s.wg.Wait()
+	s.events.Close()
+	if s.log.Enabled(telemetry.LevelInfo) {
+		st := s.Stats()
+		s.log.Info("campaign service closed",
+			"completed", st.Completed, "failed", st.Failed,
+			"cancelled", st.Cancelled)
+	}
 }
 
 // SubmitOptions label and order a submission.
@@ -265,6 +412,10 @@ type SubmitOptions struct {
 	Priority int
 	// Label names the job in listings (defaults to the placement name).
 	Label string
+	// Campaign tags the job's events with a campaign ID so event-stream
+	// subscribers can follow one campaign; RunCampaign sets it from
+	// Sweep.Campaign.
+	Campaign string
 }
 
 // Submit admits a job: served from the cache if its hash is known,
@@ -307,6 +458,11 @@ func (s *Service) submit(ctx context.Context, spec JobSpec, opts SubmitOptions, 
 		defer stop()
 	}
 
+	// The obs snapshot is captured under s.mu but emitted after it is
+	// released (this deferred emitter was registered before the unlock
+	// defer, so it runs after it): a slow recorder cannot stall submits.
+	var snap *obsSnapshot
+	defer func() { s.emitObs(snap) }()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for {
@@ -324,59 +480,73 @@ func (s *Service) submit(ctx context.Context, spec JobSpec, opts SubmitOptions, 
 		}
 		if res != nil {
 			s.stats.CacheHits++
+			s.metrics.submitted.Inc()
+			s.metrics.cacheHits.Inc()
 			if fromDisk {
 				s.stats.DiskHits++
+				s.metrics.diskHits.Inc()
+				// A disk hit admits into the memory tier.
+				s.metrics.setCacheLocked(s.cache.stats())
 			}
-			s.emitTelemetry()
-			return s.completedJobLocked(hash, label, res), nil
+			snap = s.obsSnapshotLocked()
+			return s.completedJobLocked(hash, label, opts.Campaign, res), nil
 		}
 		// Singleflight: identical concurrent submissions share one run.
 		if j, ok := s.inflight[hash]; ok {
 			s.stats.Dedups++
-			s.emitTelemetry()
+			s.metrics.submitted.Inc()
+			s.metrics.dedups.Inc()
+			snap = s.obsSnapshotLocked()
 			return j, nil
 		}
 		s.stats.CacheMisses++
 		if len(s.queue.items) < s.cfg.QueueDepth {
 			break
 		}
-		if !wait {
-			// Undo the optimistic miss accounting: nothing was admitted.
-			s.stats.Submitted--
-			s.stats.CacheMisses--
-			return nil, ErrQueueFull
-		}
 		s.stats.Submitted--
 		s.stats.CacheMisses--
+		if !wait {
+			// The undo above reverses the optimistic miss accounting:
+			// nothing was admitted.
+			s.stats.Rejected++
+			s.metrics.rejected.Inc()
+			return nil, ErrQueueFull
+		}
 		s.space.Wait()
 	}
 
 	s.seq++
+	s.metrics.submitted.Inc()
+	s.metrics.cacheMisses.Inc()
 	jctx, cancel := context.WithCancel(s.baseCtx)
 	j := &Job{
-		ID:       fmt.Sprintf("j-%d", s.seq),
-		Hash:     hash,
-		Label:    label,
-		Priority: opts.Priority,
-		spec:     spec,
-		seq:      s.seq,
-		ctx:      jctx,
-		cancel:   cancel,
-		done:     make(chan struct{}),
-		svc:      s,
-		status:   StatusQueued,
+		ID:         fmt.Sprintf("j-%d", s.seq),
+		Hash:       hash,
+		Label:      label,
+		Priority:   opts.Priority,
+		spec:       spec,
+		campaign:   opts.Campaign,
+		seq:        s.seq,
+		ctx:        jctx,
+		cancel:     cancel,
+		done:       make(chan struct{}),
+		svc:        s,
+		status:     StatusQueued,
+		enqueuedAt: time.Now(),
 	}
 	heap.Push(&s.queue, j)
 	s.inflight[hash] = j
 	s.jobs[j.ID] = j
-	s.emitTelemetry()
+	s.metrics.queueDepth.Set(float64(len(s.queue.items)))
+	snap = s.obsSnapshotLocked()
+	s.publish(j, string(StatusQueued), JobEvent{Time: j.enqueuedAt})
 	s.work.Signal()
 	return j, nil
 }
 
 // completedJobLocked wraps a cached result as an already-finished job so
 // cache hits and real runs share one call shape.
-func (s *Service) completedJobLocked(hash, label string, res *Result) *Job {
+func (s *Service) completedJobLocked(hash, label, campaign string, res *Result) *Job {
 	s.seq++
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
@@ -385,6 +555,7 @@ func (s *Service) completedJobLocked(hash, label string, res *Result) *Job {
 		Hash:     hash,
 		Label:    label,
 		CacheHit: true,
+		campaign: campaign,
 		ctx:      ctx,
 		cancel:   func() {},
 		done:     make(chan struct{}),
@@ -394,7 +565,23 @@ func (s *Service) completedJobLocked(hash, label string, res *Result) *Job {
 	}
 	close(j.done)
 	s.jobs[j.ID] = j
+	s.publish(j, EventCached, JobEvent{Objective: res.Objective, CacheHit: true})
 	return j
+}
+
+// publish fills the job identity fields into base and hands it to the
+// broadcaster. Callers may hold s.mu: Publish never blocks.
+func (s *Service) publish(j *Job, status string, base JobEvent) {
+	base.Job = j.ID
+	base.Hash = j.Hash
+	base.Label = j.Label
+	base.Campaign = j.campaign
+	base.Status = status
+	if base.Time.IsZero() {
+		base.Time = time.Now()
+	}
+	s.metrics.events.Inc()
+	s.events.Publish(base)
 }
 
 // Job looks up a job by ID.
@@ -415,6 +602,47 @@ func (s *Service) Stats() Stats {
 	return st
 }
 
+// obsSnapshot carries the counter values mirrored onto the obs recorder:
+// captured under s.mu, emitted after it is released.
+type obsSnapshot struct {
+	queueDepth                                         int
+	submitted, cacheHits, cacheMisses, dedups, running int64
+}
+
+// obsSnapshotLocked captures the recorder-bound counters; nil when no
+// recorder is configured. Called under s.mu.
+func (s *Service) obsSnapshotLocked() *obsSnapshot {
+	if s.cfg.Recorder == nil {
+		return nil
+	}
+	return &obsSnapshot{
+		queueDepth:  len(s.queue.items),
+		submitted:   s.stats.Submitted,
+		cacheHits:   s.stats.CacheHits,
+		cacheMisses: s.stats.CacheMisses,
+		dedups:      s.stats.Dedups,
+		running:     int64(s.stats.Running),
+	}
+}
+
+// emitObs mirrors a snapshot onto the obs recorder, serialized on recMu
+// (the recorder is not itself safe for concurrent use). Never called
+// with s.mu held, so a slow recorder or sink cannot stall the service.
+func (s *Service) emitObs(sn *obsSnapshot) {
+	if sn == nil {
+		return
+	}
+	s.recMu.Lock()
+	defer s.recMu.Unlock()
+	rec := s.cfg.Recorder
+	rec.QueueDepth("campaign.queue", sn.queueDepth)
+	rec.Count("campaign.submitted", float64(sn.submitted))
+	rec.Count("campaign.cache.hits", float64(sn.cacheHits))
+	rec.Count("campaign.cache.misses", float64(sn.cacheMisses))
+	rec.Count("campaign.dedups", float64(sn.dedups))
+	rec.Gauge("campaign", "running", obs.NoNode, float64(sn.running))
+}
+
 // worker runs queued jobs until the service closes.
 func (s *Service) worker() {
 	defer s.wg.Done()
@@ -429,13 +657,24 @@ func (s *Service) worker() {
 		}
 		j := heap.Pop(&s.queue).(*Job)
 		s.stats.Running++
+		now := time.Now()
 		j.mu.Lock()
 		j.status = StatusRunning
 		j.started = true
+		j.startedAt = now
+		enqueued := j.enqueuedAt
 		j.mu.Unlock()
-		s.emitTelemetry()
+		s.metrics.queueDepth.Set(float64(len(s.queue.items)))
+		s.metrics.running.Set(float64(s.stats.Running))
+		s.metrics.queueWait.Observe(now.Sub(enqueued).Seconds())
+		snap := s.obsSnapshotLocked()
+		s.publish(j, string(StatusRunning), JobEvent{
+			Time:    now,
+			WaitSec: now.Sub(enqueued).Seconds(),
+		})
 		s.space.Signal()
 		s.mu.Unlock()
+		s.emitObs(snap)
 
 		s.execute(j)
 	}
@@ -460,6 +699,7 @@ func (s *Service) execute(j *Job) {
 		// result itself is still good.
 		s.mu.Lock()
 		_ = s.cache.put(j.Hash, res)
+		s.metrics.setCacheLocked(s.cache.stats())
 		s.mu.Unlock()
 		s.finish(j, res, nil, StatusDone)
 	}
@@ -467,6 +707,7 @@ func (s *Service) execute(j *Job) {
 
 // finish publishes a job outcome exactly once.
 func (s *Service) finish(j *Job, res *Result, err error, status Status) {
+	now := time.Now()
 	j.mu.Lock()
 	if j.status == StatusDone || j.status == StatusFailed || j.status == StatusCancelled {
 		j.mu.Unlock()
@@ -476,7 +717,24 @@ func (s *Service) finish(j *Job, res *Result, err error, status Status) {
 	j.status = status
 	j.result = res
 	j.err = err
+	ev := JobEvent{Time: now}
+	if started {
+		ev.WaitSec = j.startedAt.Sub(j.enqueuedAt).Seconds()
+		ev.ExecSec = now.Sub(j.startedAt).Seconds()
+	}
 	j.mu.Unlock()
+
+	if err != nil {
+		ev.Error = err.Error()
+	}
+	if res != nil {
+		ev.Objective = res.Objective
+	}
+	if started {
+		s.metrics.execLatency.Observe(ev.ExecSec)
+		s.metrics.busySeconds.Add(ev.ExecSec)
+	}
+	s.metrics.finished.With(string(status)).Inc()
 
 	s.mu.Lock()
 	if s.inflight[j.Hash] == j {
@@ -484,6 +742,7 @@ func (s *Service) finish(j *Job, res *Result, err error, status Status) {
 	}
 	if started {
 		s.stats.Running--
+		s.metrics.running.Set(float64(s.stats.Running))
 	}
 	switch status {
 	case StatusDone:
@@ -493,9 +752,34 @@ func (s *Service) finish(j *Job, res *Result, err error, status Status) {
 	case StatusCancelled:
 		s.stats.Cancelled++
 	}
-	s.emitTelemetry()
+	snap := s.obsSnapshotLocked()
+	s.publish(j, string(status), ev)
 	s.mu.Unlock()
+	s.emitObs(snap)
+	if s.log.Enabled(telemetry.LevelDebug) {
+		s.log.Debug("job finished",
+			"job", j.ID, "label", j.Label, "status", string(status),
+			"execSec", ev.ExecSec, "err", ev.Error)
+	}
 	close(j.done)
+}
+
+// queueSaturated reports whether the queue is at capacity right now — the
+// HTTP layer's admission check for whole-campaign submissions.
+func (s *Service) queueSaturated() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.queue.items) >= s.cfg.QueueDepth
+}
+
+// rejectQueueFull records a queue-full rejection made on the service's
+// behalf by a front end (the HTTP server bounces whole campaigns with
+// 503 when the queue is saturated).
+func (s *Service) rejectQueueFull() {
+	s.mu.Lock()
+	s.stats.Rejected++
+	s.mu.Unlock()
+	s.metrics.rejected.Inc()
 }
 
 // dropQueued removes a cancelled job from the queue if it has not started.
@@ -510,27 +794,13 @@ func (s *Service) dropQueued(j *Job) {
 		}
 	}
 	if removed {
+		s.metrics.queueDepth.Set(float64(len(s.queue.items)))
 		s.space.Signal()
 	}
 	s.mu.Unlock()
 	if removed {
 		s.finish(j, nil, context.Canceled, StatusCancelled)
 	}
-}
-
-// emitTelemetry mirrors the counters onto the obs recorder (if any).
-// Called under s.mu, which also serializes the recorder.
-func (s *Service) emitTelemetry() {
-	rec := s.cfg.Recorder
-	if rec == nil {
-		return
-	}
-	rec.QueueDepth("campaign.queue", len(s.queue.items))
-	rec.Count("campaign.submitted", float64(s.stats.Submitted))
-	rec.Count("campaign.cache.hits", float64(s.stats.CacheHits))
-	rec.Count("campaign.cache.misses", float64(s.stats.CacheMisses))
-	rec.Count("campaign.dedups", float64(s.stats.Dedups))
-	rec.Gauge("campaign", "running", obs.NoNode, float64(s.stats.Running))
 }
 
 // jobQueue is a max-heap on (priority, -seq): higher priority first, FIFO

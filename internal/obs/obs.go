@@ -134,6 +134,32 @@ type Event struct {
 type Recorder struct {
 	clock  func() float64
 	events []Event
+	sink   Sink
+}
+
+// Sink receives a live mirror of the recorder's operational emissions —
+// monotonic counters, queue depths, and gauges — as they happen, in
+// addition to the event log. It exists to bridge obs telemetry into the
+// service-tier metrics registry (telemetry.ObsSink satisfies it), so one
+// Prometheus scrape covers both the simulated and the serving world.
+// Sink methods are called synchronously from the emission site and must
+// be safe under whatever serialization the recorder's callers provide.
+type Sink interface {
+	// Count mirrors Recorder.Count: a cumulative total for a named counter.
+	Count(name string, total float64)
+	// QueueDepth mirrors Recorder.QueueDepth.
+	QueueDepth(queue string, depth int)
+	// Gauge mirrors Recorder.Gauge.
+	Gauge(subject, name string, node int, value float64)
+}
+
+// SetSink installs (or, with nil, removes) the live mirror for counter,
+// queue-depth, and gauge emissions.
+func (r *Recorder) SetSink(s Sink) {
+	if r == nil {
+		return
+	}
+	r.sink = s
 }
 
 // NewRecorder returns a recorder reading timestamps from clock (typically
@@ -264,6 +290,9 @@ func (r *Recorder) QueueDepth(queue string, depth int) {
 		return
 	}
 	r.events = append(r.events, Event{T: r.now(), Kind: QueueDepth, Subject: queue, Node: NoNode, Node2: NoNode, Value: float64(depth)})
+	if r.sink != nil {
+		r.sink.QueueDepth(queue, depth)
+	}
 }
 
 // PutBegin records the start of a DTL write by the calling process.
@@ -322,6 +351,9 @@ func (r *Recorder) Gauge(subject, name string, node int, value float64) {
 		return
 	}
 	r.events = append(r.events, Event{T: r.now(), Kind: GaugeSet, Subject: subject, Detail: name, Node: node, Node2: NoNode, Value: value})
+	if r.sink != nil {
+		r.sink.Gauge(subject, name, node, value)
+	}
 }
 
 // Fault records an injected fault firing against subject; kind names the
@@ -362,6 +394,9 @@ func (r *Recorder) Count(name string, total float64) {
 		return
 	}
 	r.events = append(r.events, Event{T: r.now(), Kind: CounterSet, Subject: name, Node: NoNode, Node2: NoNode, Value: total})
+	if r.sink != nil {
+		r.sink.Count(name, total)
+	}
 }
 
 // MemberDropped records an ensemble member leaving the run under graceful

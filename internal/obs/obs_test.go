@@ -90,3 +90,51 @@ func TestKindString(t *testing.T) {
 		}
 	}
 }
+
+// fakeSink records forwarded telemetry calls.
+type fakeSink struct {
+	counts map[string]float64
+	queues map[string]int
+	gauges map[string]float64
+}
+
+func (s *fakeSink) Count(name string, total float64)   { s.counts[name] = total }
+func (s *fakeSink) QueueDepth(queue string, depth int) { s.queues[queue] = depth }
+func (s *fakeSink) Gauge(subject, name string, _ int, v float64) {
+	s.gauges[subject+"/"+name] = v
+}
+
+func TestRecorderForwardsToSink(t *testing.T) {
+	s := &fakeSink{
+		counts: map[string]float64{},
+		queues: map[string]int{},
+		gauges: map[string]float64{},
+	}
+	r := NewRecorder(nil)
+	r.SetSink(s)
+	r.Count("campaign.cache.hits", 3)
+	r.Count("campaign.cache.hits", 5) // latest total wins
+	r.QueueDepth("campaign.queue", 4)
+	r.Gauge("node0", "membw", 0, 0.75)
+
+	if s.counts["campaign.cache.hits"] != 5 {
+		t.Errorf("count forwarded %v, want 5", s.counts["campaign.cache.hits"])
+	}
+	if s.queues["campaign.queue"] != 4 {
+		t.Errorf("queue depth forwarded %v, want 4", s.queues["campaign.queue"])
+	}
+	if s.gauges["node0/membw"] != 0.75 {
+		t.Errorf("gauge forwarded %v, want 0.75", s.gauges["node0/membw"])
+	}
+	// The event log records everything the sink saw.
+	if r.Len() != 4 {
+		t.Errorf("recorder kept %d events, want 4", r.Len())
+	}
+
+	// A nil sink on a live recorder must be a no-op, not a panic.
+	r.SetSink(nil)
+	r.Count("campaign.cache.hits", 6)
+	if s.counts["campaign.cache.hits"] != 5 {
+		t.Error("cleared sink still received forwards")
+	}
+}

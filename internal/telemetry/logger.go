@@ -1,0 +1,167 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Level orders log severities.
+type Level int8
+
+const (
+	// LevelDebug logs everything, including per-job lifecycle chatter.
+	LevelDebug Level = iota
+	// LevelInfo logs operational milestones (startup, campaigns, shutdowns).
+	LevelInfo
+	// LevelWarn logs degraded-but-running conditions (rejects, drops).
+	LevelWarn
+	// LevelError logs failures.
+	LevelError
+)
+
+// String returns the level's wire name.
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	}
+	return "level(" + strconv.Itoa(int(l)) + ")"
+}
+
+// ParseLevel maps a level name ("debug", "info", "warn", "error",
+// case-insensitive) to its Level; unknown names default to LevelInfo with
+// ok=false.
+func ParseLevel(s string) (Level, bool) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return LevelDebug, true
+	case "info":
+		return LevelInfo, true
+	case "warn", "warning":
+		return LevelWarn, true
+	case "error":
+		return LevelError, true
+	}
+	return LevelInfo, false
+}
+
+// Logger writes leveled, structured JSON lines: one object per record
+// with "ts" (RFC 3339, wall clock), "level", "msg", then bound fields and
+// per-call key/value pairs in argument order. A nil *Logger discards
+// everything. Loggers derived with With share one writer mutex, so
+// records from concurrent goroutines never interleave mid-line.
+type Logger struct {
+	mu     *sync.Mutex
+	w      io.Writer
+	min    Level
+	now    func() time.Time
+	fields []byte // pre-encoded `,"key":value` pairs bound by With
+}
+
+// NewLogger returns a logger writing records at or above min to w.
+func NewLogger(w io.Writer, min Level) *Logger {
+	return &Logger{mu: &sync.Mutex{}, w: w, min: min, now: time.Now}
+}
+
+// SetClock rebinds the timestamp source (tests pin it).
+func (l *Logger) SetClock(now func() time.Time) {
+	if l == nil {
+		return
+	}
+	l.now = now
+}
+
+// Enabled reports whether records at lv would be written.
+func (l *Logger) Enabled(lv Level) bool {
+	return l != nil && lv >= l.min
+}
+
+// With returns a logger that appends the key/value pairs to every record.
+// kv alternates string keys and arbitrary JSON-encodable values.
+func (l *Logger) With(kv ...any) *Logger {
+	if l == nil {
+		return nil
+	}
+	out := *l
+	out.fields = append(append([]byte(nil), l.fields...), encodeFields(kv)...)
+	return &out
+}
+
+// Debug logs at LevelDebug.
+func (l *Logger) Debug(msg string, kv ...any) { l.log(LevelDebug, msg, kv) }
+
+// Info logs at LevelInfo.
+func (l *Logger) Info(msg string, kv ...any) { l.log(LevelInfo, msg, kv) }
+
+// Warn logs at LevelWarn.
+func (l *Logger) Warn(msg string, kv ...any) { l.log(LevelWarn, msg, kv) }
+
+// Error logs at LevelError.
+func (l *Logger) Error(msg string, kv ...any) { l.log(LevelError, msg, kv) }
+
+func (l *Logger) log(lv Level, msg string, kv []any) {
+	if !l.Enabled(lv) {
+		return
+	}
+	buf := make([]byte, 0, 128+len(l.fields))
+	buf = append(buf, `{"ts":`...)
+	buf = strconv.AppendQuote(buf, l.now().Format(time.RFC3339Nano))
+	buf = append(buf, `,"level":"`...)
+	buf = append(buf, lv.String()...)
+	buf = append(buf, `","msg":`...)
+	buf = appendJSON(buf, msg)
+	buf = append(buf, l.fields...)
+	buf = append(buf, encodeFields(kv)...)
+	buf = append(buf, '}', '\n')
+
+	l.mu.Lock()
+	_, _ = l.w.Write(buf)
+	l.mu.Unlock()
+}
+
+// encodeFields renders alternating key/value pairs as `,"key":value`
+// JSON fragments. A trailing key without a value logs as null; non-string
+// keys are stringified rather than dropped, so a malformed call site
+// still leaves evidence.
+func encodeFields(kv []any) []byte {
+	if len(kv) == 0 {
+		return nil
+	}
+	var buf []byte
+	for i := 0; i < len(kv); i += 2 {
+		key, ok := kv[i].(string)
+		if !ok {
+			key = fmt.Sprint(kv[i])
+		}
+		buf = append(buf, ',')
+		buf = strconv.AppendQuote(buf, key)
+		buf = append(buf, ':')
+		if i+1 < len(kv) {
+			buf = appendJSON(buf, kv[i+1])
+		} else {
+			buf = append(buf, "null"...)
+		}
+	}
+	return buf
+}
+
+// appendJSON marshals v, degrading to a quoted Sprint for values JSON
+// cannot represent (NaN, channels, cycles).
+func appendJSON(buf []byte, v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return strconv.AppendQuote(buf, fmt.Sprint(v))
+	}
+	return append(buf, b...)
+}

@@ -1,0 +1,110 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func decodeLines(t *testing.T, buf *bytes.Buffer) []map[string]any {
+	t.Helper()
+	var out []map[string]any
+	for _, line := range strings.Split(strings.TrimRight(buf.String(), "\n"), "\n") {
+		if line == "" {
+			continue
+		}
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("log line %q is not JSON: %v", line, err)
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+func TestLoggerJSONLines(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, LevelDebug)
+	l.SetClock(func() time.Time { return time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC) })
+	l.Info("hello", "jobs", 7, "rate", 0.5, "name", `a"b`)
+	l.Error("boom", "err", "queue full")
+
+	lines := decodeLines(t, &buf)
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2", len(lines))
+	}
+	first := lines[0]
+	if first["level"] != "info" || first["msg"] != "hello" {
+		t.Errorf("first line %v", first)
+	}
+	if first["ts"] != "2026-08-06T12:00:00Z" {
+		t.Errorf("ts = %v", first["ts"])
+	}
+	if first["jobs"] != 7.0 || first["rate"] != 0.5 || first["name"] != `a"b` {
+		t.Errorf("fields %v", first)
+	}
+	if lines[1]["level"] != "error" || lines[1]["err"] != "queue full" {
+		t.Errorf("second line %v", lines[1])
+	}
+}
+
+func TestLoggerLevelFilter(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, LevelWarn)
+	l.Debug("nope")
+	l.Info("nope")
+	l.Warn("yes")
+	l.Error("also")
+	lines := decodeLines(t, &buf)
+	if len(lines) != 2 || lines[0]["msg"] != "yes" || lines[1]["msg"] != "also" {
+		t.Fatalf("filtered output %v", lines)
+	}
+	if l.Enabled(LevelInfo) || !l.Enabled(LevelError) {
+		t.Error("Enabled disagrees with filter")
+	}
+}
+
+func TestLoggerWithFields(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, LevelInfo).With("svc", "campaign", "worker", 3)
+	l.Info("start", "job", "j-1")
+	lines := decodeLines(t, &buf)
+	if len(lines) != 1 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	m := lines[0]
+	if m["svc"] != "campaign" || m["worker"] != 3.0 || m["job"] != "j-1" {
+		t.Errorf("bound fields %v", m)
+	}
+}
+
+func TestNilLoggerIsSafe(t *testing.T) {
+	var l *Logger
+	l.Debug("x")
+	l.Info("x", "k", 1)
+	l.Warn("x")
+	l.Error("x")
+	if l.Enabled(LevelError) {
+		t.Error("nil logger should report disabled")
+	}
+	if l.With("k", "v") != nil {
+		t.Error("nil logger With should stay nil")
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for s, want := range map[string]Level{
+		"debug": LevelDebug, "info": LevelInfo, "INFO": LevelInfo,
+		"warn": LevelWarn, "warning": LevelWarn, "error": LevelError,
+	} {
+		got, ok := ParseLevel(s)
+		if !ok || got != want {
+			t.Errorf("ParseLevel(%q) = %v/%v", s, got, ok)
+		}
+	}
+	if _, ok := ParseLevel("loud"); ok {
+		t.Error("ParseLevel accepted garbage")
+	}
+}

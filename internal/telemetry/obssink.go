@@ -1,0 +1,56 @@
+package telemetry
+
+// ObsSink mirrors an obs.Recorder's operational emissions into a
+// registry, so the simulation-tier counters the campaign service already
+// publishes (via obs CounterSet/QueueDepth/GaugeSet events) appear in the
+// same Prometheus scrape as the service-tier metrics. It satisfies
+// obs.Sink structurally; install it with Recorder.SetSink.
+//
+// obs counters carry cumulative totals, not deltas, so Count maps onto
+// Counter.SetTotal (monotonic, regressions ignored).
+type ObsSink struct {
+	counters *CounterVec
+	queues   *GaugeVec
+	gauges   *GaugeVec
+}
+
+// NewObsSink registers the bridge families on r and returns the sink.
+// A nil registry yields a nil sink, which obs treats as "no bridge".
+func NewObsSink(r *Registry) *ObsSink {
+	if r == nil {
+		return nil
+	}
+	return &ObsSink{
+		counters: r.CounterVec("obs_counter_total",
+			"Cumulative obs recorder counters (CounterSet events), by counter name.", "counter"),
+		queues: r.GaugeVec("obs_queue_depth",
+			"Latest obs queue-depth samples, by queue name.", "queue"),
+		gauges: r.GaugeVec("obs_gauge",
+			"Latest obs gauge samples, by subject and gauge name.", "subject", "name"),
+	}
+}
+
+// Count bridges a cumulative counter sample.
+func (s *ObsSink) Count(name string, total float64) {
+	if s == nil {
+		return
+	}
+	s.counters.With(name).SetTotal(total)
+}
+
+// QueueDepth bridges a queue-depth sample.
+func (s *ObsSink) QueueDepth(queue string, depth int) {
+	if s == nil {
+		return
+	}
+	s.queues.With(queue).Set(float64(depth))
+}
+
+// Gauge bridges a gauge sample. The node index is dropped: operational
+// gauges emitted by the service tier are node-less (obs.NoNode).
+func (s *ObsSink) Gauge(subject, name string, _ int, value float64) {
+	if s == nil {
+		return
+	}
+	s.gauges.With(subject, name).Set(value)
+}

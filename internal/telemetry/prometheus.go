@@ -1,0 +1,158 @@
+package telemetry
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus writes every family in Prometheus text exposition
+// format (version 0.0.4): `# HELP` / `# TYPE` headers followed by one
+// sample line per cell, families in name order and cells in label order,
+// so consecutive scrapes of a quiet registry are byte-identical. A nil
+// registry writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range r.sortedFamilies() {
+		f.write(bw)
+	}
+	return bw.Flush()
+}
+
+// Handler returns an http.Handler serving the registry as a Prometheus
+// scrape target — mount it at GET /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// write emits one family.
+func (f *family) write(w *bufio.Writer) {
+	f.mu.Lock()
+	keys := make([]string, 0, len(f.cells))
+	for k := range f.cells {
+		keys = append(keys, k)
+	}
+	cells := make([]any, 0, len(keys))
+	sort.Strings(keys)
+	for _, k := range keys {
+		cells = append(cells, f.cells[k])
+	}
+	f.mu.Unlock()
+	if len(cells) == 0 {
+		return
+	}
+
+	if f.help != "" {
+		w.WriteString("# HELP ")
+		w.WriteString(f.name)
+		w.WriteByte(' ')
+		w.WriteString(escapeHelp(f.help))
+		w.WriteByte('\n')
+	}
+	w.WriteString("# TYPE ")
+	w.WriteString(f.name)
+	w.WriteByte(' ')
+	w.WriteString(f.typ.String())
+	w.WriteByte('\n')
+
+	for i, key := range keys {
+		values := splitLabelKey(key, len(f.labels))
+		switch c := cells[i].(type) {
+		case *Counter:
+			writeSample(w, f.name, "", f.labels, values, "", "", formatFloat(c.Value()))
+		case *Gauge:
+			writeSample(w, f.name, "", f.labels, values, "", "", formatFloat(c.Value()))
+		case *Histogram:
+			counts := c.snapshot()
+			var cum uint64
+			for bi, bound := range c.bounds {
+				cum += counts[bi]
+				writeSample(w, f.name, "_bucket", f.labels, values, "le", formatFloat(bound),
+					strconv.FormatUint(cum, 10))
+			}
+			cum += counts[len(counts)-1]
+			writeSample(w, f.name, "_bucket", f.labels, values, "le", "+Inf",
+				strconv.FormatUint(cum, 10))
+			writeSample(w, f.name, "_sum", f.labels, values, "", "", formatFloat(c.Sum()))
+			writeSample(w, f.name, "_count", f.labels, values, "", "", strconv.FormatUint(c.Count(), 10))
+		}
+	}
+}
+
+// writeSample emits one `name{labels} value` line; extraName/extraValue
+// append a synthetic label (the histogram `le`).
+func writeSample(w *bufio.Writer, name, suffix string, labels, values []string, extraName, extraValue, sample string) {
+	w.WriteString(name)
+	w.WriteString(suffix)
+	if len(labels) > 0 || extraName != "" {
+		w.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				w.WriteByte(',')
+			}
+			w.WriteString(l)
+			w.WriteString(`="`)
+			w.WriteString(escapeLabel(values[i]))
+			w.WriteByte('"')
+		}
+		if extraName != "" {
+			if len(labels) > 0 {
+				w.WriteByte(',')
+			}
+			w.WriteString(extraName)
+			w.WriteString(`="`)
+			w.WriteString(extraValue)
+			w.WriteByte('"')
+		}
+		w.WriteByte('}')
+	}
+	w.WriteByte(' ')
+	w.WriteString(sample)
+	w.WriteByte('\n')
+}
+
+// splitLabelKey reverses labelKey for exposition.
+func splitLabelKey(key string, n int) []string {
+	switch n {
+	case 0:
+		return nil
+	case 1:
+		return []string{key}
+	}
+	return strings.SplitN(key, "\xff", n)
+}
+
+// formatFloat renders a sample value: integers without a decimal point
+// (bucket counts and counter totals read naturally), shortest round-trip
+// form otherwise.
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+// escapeHelp escapes a HELP string per the exposition format.
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(s)
+}

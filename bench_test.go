@@ -30,6 +30,7 @@ import (
 	"ensemblekit/internal/scheduler"
 	"ensemblekit/internal/sim"
 	"ensemblekit/internal/telemetry"
+	"ensemblekit/internal/telemetry/tracing"
 )
 
 func benchConfig() experiments.Config { return experiments.Quick() }
@@ -601,5 +602,43 @@ func BenchmarkTelemetryOverhead(b *testing.B) {
 	})
 	b.Run("instrumented", func(b *testing.B) {
 		run(b, ServiceConfig{Workers: 4, Metrics: telemetry.NewRegistry()})
+	})
+}
+
+// BenchmarkTracingOverhead is BenchmarkTelemetryOverhead for the span
+// layer: the same warm-cache sweep with no tracer (every span call is
+// the nil no-op) and with a live tracer recording job spans into a
+// bounded store. The delta is the per-job price of span allocation,
+// attribute stamping, and store insertion on the service's hot path —
+// the number DESIGN.md's "tracing is free when off" claim rests on.
+func BenchmarkTracingOverhead(b *testing.B) {
+	sweep := Sweep{
+		Placements: ConfigsTable2(),
+		Seeds:      []int64{1, 2, 3},
+		Steps:      8,
+	}
+	run := func(b *testing.B, cfg ServiceConfig) {
+		b.ReportAllocs()
+		svc, err := NewService(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer svc.Close()
+		if _, err := RunCampaign(context.Background(), svc, sweep); err != nil {
+			b.Fatal(err) // prime the cache outside the timed region
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := RunCampaign(context.Background(), svc, sweep); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("noop", func(b *testing.B) {
+		run(b, ServiceConfig{Workers: 4})
+	})
+	b.Run("traced", func(b *testing.B) {
+		run(b, ServiceConfig{Workers: 4,
+			Tracer: tracing.NewTracer(tracing.NewStore(256, 4096))})
 	})
 }

@@ -8,25 +8,38 @@
 //
 //	ensembled [-addr :8080] [-workers N] [-queue N]
 //	          [-cache-bytes N] [-cache-dir DIR]
-//	          [-log-level info] [-pprof] [-smoke]
+//	          [-log-level info] [-pprof] [-no-trace]
+//	          [-trace-traces N] [-trace-spans N]
+//	          [-smoke] [-artifacts-dir DIR]
 //
 // Endpoints:
 //
-//	POST /v1/campaigns             submit a sweep ({"configs":["table2"]})
-//	GET  /v1/campaigns             list campaigns
-//	GET  /v1/campaigns/{id}        poll a campaign (F(P) ranking once done)
-//	GET  /v1/campaigns/{id}/events live SSE stream: one event per job state
-//	                               transition plus a terminal summary
-//	GET  /v1/jobs/{id}             one job's status
-//	GET  /v1/jobs/{id}/trace       Perfetto (Chrome JSON) trace of a done job
-//	GET  /v1/stats                 cache hit rate, queue depth, worker counters
-//	GET  /metrics                  Prometheus text exposition (service + obs)
-//	GET  /debug/pprof/*            runtime profiles (only with -pprof)
+//	POST /v1/campaigns               submit a sweep ({"configs":["table2"]})
+//	GET  /v1/campaigns               list campaigns
+//	GET  /v1/campaigns/{id}          poll a campaign (F(P) ranking once done)
+//	GET  /v1/campaigns/{id}/events   live SSE stream: one event per job state
+//	                                 transition plus a terminal summary
+//	GET  /v1/jobs/{id}               one job's status (incl. trace ID, reason)
+//	GET  /v1/jobs/{id}/trace         Perfetto (Chrome JSON) trace of a done job
+//	GET  /v1/jobs/{id}/spans         distributed-trace spans (OTLP JSON)
+//	GET  /v1/jobs/{id}/critical-path per-job critical path with stage breakdown
+//	GET  /v1/stats                   cache hit rate, queue depth, worker counters
+//	GET  /metrics                    Prometheus text exposition (service + obs)
+//	GET  /debug/pprof/*              runtime profiles (only with -pprof)
+//
+// Distributed tracing is on by default (-no-trace disables it): every
+// request gets a server span, campaigns and jobs become child spans, and
+// each job's DES run is bridged in as stage-level spans, queryable via
+// the /spans and /critical-path endpoints or correlated with logs via
+// trace_id.
 //
 // -smoke starts the server on a loopback listener, POSTs the paper's
 // Table 2 campaign to it twice (cold then warm cache), scrapes /metrics,
-// consumes one SSE stream end to end, prints the ranking and the cache
-// stats, and exits — the self-test behind `make serve`.
+// consumes one SSE stream end to end, verifies the distributed trace of
+// a job (span depth and critical-path accounting), prints the ranking
+// and the cache stats, and exits — the self-test behind `make serve`.
+// With -artifacts-dir the smoke test writes the fetched spans and
+// critical path there as JSON files (CI uploads them as artifacts).
 package main
 
 import (
@@ -43,6 +56,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -50,30 +64,55 @@ import (
 	"ensemblekit/internal/campaign"
 	"ensemblekit/internal/obs"
 	"ensemblekit/internal/telemetry"
+	"ensemblekit/internal/telemetry/tracing"
 )
 
 func main() {
 	var (
-		addr       = flag.String("addr", ":8080", "listen address")
-		workers    = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
-		queue      = flag.Int("queue", 0, "job queue depth (0 = default 256)")
-		cacheBytes = flag.Int64("cache-bytes", 0, "in-memory result-cache budget (0 = default 256 MiB)")
-		cacheDir   = flag.String("cache-dir", "", "optional on-disk result cache directory")
-		logLevel   = flag.String("log-level", "info", "log level: debug, info, warn, error")
-		pprofOn    = flag.Bool("pprof", false, "expose GET /debug/pprof/* runtime profiles")
-		smoke      = flag.Bool("smoke", false, "run the Table 2 self-test against a loopback server and exit")
+		addr        = flag.String("addr", ":8080", "listen address")
+		workers     = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		queue       = flag.Int("queue", 0, "job queue depth (0 = default 256)")
+		cacheBytes  = flag.Int64("cache-bytes", 0, "in-memory result-cache budget (0 = default 256 MiB)")
+		cacheDir    = flag.String("cache-dir", "", "optional on-disk result cache directory")
+		logLevel    = flag.String("log-level", "info", "log level: debug, info, warn, error")
+		pprofOn     = flag.Bool("pprof", false, "expose GET /debug/pprof/* runtime profiles")
+		noTrace     = flag.Bool("no-trace", false, "disable distributed tracing")
+		traceTraces = flag.Int("trace-traces", 0, "max retained traces (0 = default 1024)")
+		traceSpans  = flag.Int("trace-spans", 0, "max retained spans per trace (0 = default 8192)")
+		smoke       = flag.Bool("smoke", false, "run the Table 2 self-test against a loopback server and exit")
+		artifacts   = flag.String("artifacts-dir", "", "smoke only: write fetched spans and critical path here")
 	)
 	flag.Parse()
-	if err := run(*addr, *workers, *queue, *cacheBytes, *cacheDir, *logLevel, *pprofOn, *smoke); err != nil {
+	cfg := serverConfig{
+		addr: *addr, workers: *workers, queue: *queue,
+		cacheBytes: *cacheBytes, cacheDir: *cacheDir, logLevel: *logLevel,
+		pprofOn: *pprofOn, noTrace: *noTrace,
+		traceTraces: *traceTraces, traceSpans: *traceSpans,
+		smoke: *smoke, artifactsDir: *artifacts,
+	}
+	if err := run(cfg); err != nil {
 		fmt.Fprintf(os.Stderr, "ensembled: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, workers, queue int, cacheBytes int64, cacheDir, logLevel string, pprofOn, smoke bool) error {
-	level, ok := telemetry.ParseLevel(logLevel)
+// serverConfig carries the parsed flags.
+type serverConfig struct {
+	addr               string
+	workers, queue     int
+	cacheBytes         int64
+	cacheDir, logLevel string
+	pprofOn, noTrace   bool
+	traceTraces        int
+	traceSpans         int
+	smoke              bool
+	artifactsDir       string
+}
+
+func run(cfg serverConfig) error {
+	level, ok := telemetry.ParseLevel(cfg.logLevel)
 	if !ok {
-		return fmt.Errorf("unknown -log-level %q (want debug, info, warn, or error)", logLevel)
+		return fmt.Errorf("unknown -log-level %q (want debug, info, warn, or error)", cfg.logLevel)
 	}
 	log := telemetry.NewLogger(os.Stderr, level)
 	reg := telemetry.NewRegistry()
@@ -85,14 +124,20 @@ func run(addr string, workers, queue int, cacheBytes int64, cacheDir, logLevel s
 	rec := obs.NewRecorder(func() float64 { return time.Since(start).Seconds() })
 	rec.SetSink(telemetry.NewObsSink(reg))
 
+	var tracer *tracing.Tracer
+	if !cfg.noTrace {
+		tracer = tracing.NewTracer(tracing.NewStore(cfg.traceTraces, cfg.traceSpans))
+	}
+
 	svc, err := campaign.NewService(campaign.Config{
-		Workers:    workers,
-		QueueDepth: queue,
-		CacheBytes: cacheBytes,
-		CacheDir:   cacheDir,
+		Workers:    cfg.workers,
+		QueueDepth: cfg.queue,
+		CacheBytes: cfg.cacheBytes,
+		CacheDir:   cfg.cacheDir,
 		Recorder:   rec,
 		Metrics:    reg,
 		Logger:     log,
+		Tracer:     tracer,
 	})
 	if err != nil {
 		return err
@@ -102,7 +147,7 @@ func run(addr string, workers, queue int, cacheBytes int64, cacheDir, logLevel s
 	mux := http.NewServeMux()
 	mux.Handle("/v1/", campaign.NewServer(svc).Handler())
 	mux.Handle("GET /metrics", reg.Handler())
-	if pprofOn {
+	if cfg.pprofOn {
 		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
 		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
@@ -111,7 +156,8 @@ func run(addr string, workers, queue int, cacheBytes int64, cacheDir, logLevel s
 	}
 
 	srv := &http.Server{Handler: mux}
-	if smoke {
+	addr := cfg.addr
+	if cfg.smoke {
 		addr = "127.0.0.1:0" // the self-test picks its own port
 	}
 	ln, err := net.Listen("tcp", addr)
@@ -119,15 +165,16 @@ func run(addr string, workers, queue int, cacheBytes int64, cacheDir, logLevel s
 		return err
 	}
 
-	if smoke {
+	if cfg.smoke {
 		go func() { _ = srv.Serve(ln) }()
 		defer srv.Close()
-		return smokeTest("http://" + ln.Addr().String())
+		return smokeTest("http://"+ln.Addr().String(), tracer != nil, cfg.artifactsDir)
 	}
 
 	log.Info("ensembled listening",
 		"addr", ln.Addr().String(), "workers", svc.Stats().Workers,
-		"queue", svc.Stats().QueueCapacity, "pprof", pprofOn)
+		"queue", svc.Stats().QueueCapacity, "pprof", cfg.pprofOn,
+		"tracing", tracer != nil)
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	go func() {
@@ -145,9 +192,11 @@ func run(addr string, workers, queue int, cacheBytes int64, cacheDir, logLevel s
 
 // smokeTest drives the HTTP API end to end: it submits the paper's
 // Table 2 campaign twice (verifying the second run is answered entirely
-// from the cache), scrapes /metrics, and consumes one SSE event stream
-// through its terminal summary.
-func smokeTest(base string) error {
+// from the cache), scrapes /metrics, consumes one SSE event stream
+// through its terminal summary, and — when tracing is on — verifies a
+// job's distributed trace (span-tree depth, critical-path accounting),
+// writing the fetched payloads to artifactsDir when set.
+func smokeTest(base string, traced bool, artifactsDir string) error {
 	ranking, err := runTable2(base)
 	if err != nil {
 		return err
@@ -180,7 +229,135 @@ func smokeTest(base string) error {
 	if err := smokeSSE(base); err != nil {
 		return err
 	}
+	if traced {
+		if err := smokeTrace(base, artifactsDir); err != nil {
+			return err
+		}
+	}
 	fmt.Println("smoke test passed")
+	return nil
+}
+
+// smokeTrace runs one fresh (uncached, so actually executed) job and
+// verifies its distributed trace end to end: the span tree must reach
+// at least 4 levels (request → campaign → job → execute → stage chain)
+// and the critical-path segments must sum to the job's measured latency
+// within 1%. With artifactsDir set, the OTLP spans and the critical
+// path are written there for CI to upload.
+func smokeTrace(base, artifactsDir string) error {
+	// steps:6 differs from the Table 2 runs above, so the job misses the
+	// cache and produces execute + DES spans.
+	body, _ := json.Marshal(map[string]any{
+		"name":    "trace-smoke",
+		"configs": []string{"C1.5"},
+		"steps":   6,
+	})
+	resp, err := http.Post(base+"/v1/campaigns", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	var st campaign.CampaignStatus
+	if err := decodeJSON(resp, &st); err != nil {
+		return err
+	}
+	deadline := time.Now().Add(2 * time.Minute)
+	for st.Status == "running" {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("smoke: trace campaign %s timed out", st.ID)
+		}
+		time.Sleep(25 * time.Millisecond)
+		if err := getJSON(base+"/v1/campaigns/"+st.ID, &st); err != nil {
+			return err
+		}
+	}
+	if st.Status != "done" {
+		return fmt.Errorf("smoke: trace campaign %s: %s", st.ID, st.Error)
+	}
+	if len(st.Result.Candidates) == 0 || len(st.Result.Candidates[0].JobIDs) == 0 {
+		return errors.New("smoke: trace campaign produced no jobs")
+	}
+	jobID := st.Result.Candidates[0].JobIDs[0]
+
+	// The campaign span lands in the store asynchronously right after the
+	// poll flips to done; retry briefly until the full chain is present.
+	var spans []tracing.SpanData
+	var rawSpans []byte
+	depth := 0
+	for {
+		sr, err := http.Get(base + "/v1/jobs/" + jobID + "/spans")
+		if err != nil {
+			return err
+		}
+		rawSpans, err = io.ReadAll(sr.Body)
+		sr.Body.Close()
+		if err != nil {
+			return err
+		}
+		if sr.StatusCode != http.StatusOK {
+			return fmt.Errorf("smoke: GET /spans: HTTP %d: %s", sr.StatusCode, rawSpans)
+		}
+		spans, err = tracing.ReadOTLP(bytes.NewReader(rawSpans))
+		if err != nil {
+			return fmt.Errorf("smoke: decoding OTLP spans: %w", err)
+		}
+		depth = tracing.Depth(spans)
+		if depth >= 4 {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("smoke: span tree depth %d, want >= 4 (%d spans)", depth, len(spans))
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+
+	var cp tracing.CriticalPath
+	cr, err := http.Get(base + "/v1/jobs/" + jobID + "/critical-path")
+	if err != nil {
+		return err
+	}
+	rawCP, err := io.ReadAll(cr.Body)
+	cr.Body.Close()
+	if err != nil {
+		return err
+	}
+	if cr.StatusCode != http.StatusOK {
+		return fmt.Errorf("smoke: GET /critical-path: HTTP %d: %s", cr.StatusCode, rawCP)
+	}
+	if err := json.Unmarshal(rawCP, &cp); err != nil {
+		return fmt.Errorf("smoke: decoding critical path: %w", err)
+	}
+	sum := 0.0
+	for _, seg := range cp.Segments {
+		sum += seg.Sec
+	}
+	if cp.TotalSec <= 0 {
+		return fmt.Errorf("smoke: degenerate critical path: total %.9fs", cp.TotalSec)
+	}
+	if diff := sum - cp.TotalSec; diff > 0.01*cp.TotalSec || diff < -0.01*cp.TotalSec {
+		return fmt.Errorf("smoke: critical-path segments sum %.9fs vs job latency %.9fs (>1%% off)", sum, cp.TotalSec)
+	}
+
+	if artifactsDir != "" {
+		if err := os.MkdirAll(artifactsDir, 0o755); err != nil {
+			return err
+		}
+		for name, data := range map[string][]byte{
+			jobID + "-spans.json":         rawSpans,
+			jobID + "-critical-path.json": rawCP,
+		} {
+			if err := os.WriteFile(filepath.Join(artifactsDir, name), data, 0o644); err != nil {
+				return err
+			}
+		}
+		fmt.Printf("trace artifacts written to %s\n", artifactsDir)
+	}
+
+	kinds := map[string]bool{}
+	for _, d := range spans {
+		kinds[d.Kind] = true
+	}
+	fmt.Printf("trace: job %s, %d spans, depth %d, critical path %.3fs across %d segments (top kind %s)\n",
+		jobID, len(spans), depth, cp.TotalSec, len(cp.Segments), cp.ByKind[0].Kind)
 	return nil
 }
 

@@ -1,23 +1,27 @@
 // Command traceview inspects an execution trace produced by ensemblectl
 // -trace (or the library's WriteJSON): per-component stage statistics, the
 // efficiency model's verdict per member, and an ASCII timeline of the
-// first steps.
+// first steps. With -spans it also consumes an OTLP span file (the
+// payload of GET /v1/jobs/{id}/spans), prints the job's critical-path
+// breakdown, and folds the service-level spans into the -obs export.
 //
 // Usage:
 //
-//	traceview [-steps N] [-width N] [-csv FILE] [-obs FILE] [-utilization] FILE.json
+//	traceview [-steps N] [-width N] [-csv FILE] [-obs FILE] [-spans FILE] [-utilization] FILE.json
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"ensemblekit/internal/core"
 	"ensemblekit/internal/metrics"
 	"ensemblekit/internal/obs"
 	"ensemblekit/internal/report"
 	"ensemblekit/internal/stats"
+	"ensemblekit/internal/telemetry/tracing"
 	"ensemblekit/internal/trace"
 )
 
@@ -27,20 +31,21 @@ func main() {
 		width       = flag.Int("width", 100, "timeline width in characters")
 		csvOut      = flag.String("csv", "", "also export every stage as CSV to this file")
 		obsOut      = flag.String("obs", "", "export a Chrome/Perfetto trace of the run to this file")
+		spansIn     = flag.String("spans", "", "OTLP span file (GET /v1/jobs/{id}/spans): print the critical path; with -obs, merge service spans into the export")
 		utilization = flag.Bool("utilization", false, "print the per-node core-occupancy table")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: traceview [-steps N] [-width N] [-csv FILE] [-obs FILE] [-utilization] FILE.json")
+		fmt.Fprintln(os.Stderr, "usage: traceview [-steps N] [-width N] [-csv FILE] [-obs FILE] [-spans FILE] [-utilization] FILE.json")
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *steps, *width, *csvOut, *obsOut, *utilization); err != nil {
+	if err := run(flag.Arg(0), *steps, *width, *csvOut, *obsOut, *spansIn, *utilization); err != nil {
 		fmt.Fprintf(os.Stderr, "traceview: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(path string, steps, width int, csvOut, obsOut string, utilization bool) error {
+func run(path string, steps, width int, csvOut, obsOut, spansIn string, utilization bool) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -131,6 +136,22 @@ func run(path string, steps, width int, csvOut, obsOut string, utilization bool)
 		fmt.Println()
 	}
 
+	var spans []tracing.SpanData
+	if spansIn != "" {
+		sf, err := os.Open(spansIn)
+		if err != nil {
+			return err
+		}
+		spans, err = tracing.ReadOTLP(sf)
+		sf.Close()
+		if err != nil {
+			return err
+		}
+		if err := printCriticalPath(spans); err != nil {
+			return err
+		}
+	}
+
 	if csvOut != "" {
 		f, err := os.Create(csvOut)
 		if err != nil {
@@ -149,10 +170,93 @@ func run(path string, steps, width int, csvOut, obsOut string, utilization bool)
 			return err
 		}
 		defer f.Close()
-		if err := obs.WriteChromeTrace(f, obs.FromTrace(tr)); err != nil {
+		events := obs.FromTrace(tr)
+		if toVirtual := desInverse(spans); toVirtual != nil {
+			err = obs.WriteChromeTraceWithSpans(f, events, spans, toVirtual)
+		} else {
+			err = obs.WriteChromeTrace(f, events)
+		}
+		if err != nil {
 			return err
 		}
 		fmt.Printf("chrome trace written to %s (open in ui.perfetto.dev)\n", obsOut)
+	}
+	return nil
+}
+
+// printCriticalPath renders the critical-path report of the job span in
+// spans — or of the trace root when no job span is present (a foreign
+// OTLP file) — in the same table style as the trace statistics.
+func printCriticalPath(spans []tracing.SpanData) error {
+	root, ok := jobRoot(spans)
+	if !ok {
+		return fmt.Errorf("span file holds no spans")
+	}
+	cp, err := tracing.ComputeCriticalPath(spans, root.SpanID)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("spans: trace=%s root=%q depth=%d spans=%d critical-path segments=%d total=%.3fs\n\n",
+		cp.TraceID, cp.RootName, tracing.Depth(spans), len(spans), len(cp.Segments), cp.TotalSec)
+	bt := report.NewTable("Critical path by span kind", "kind", "seconds", "share")
+	for _, k := range cp.ByKind {
+		bt.AddRow(k.Kind, k.Sec, k.Frac)
+	}
+	fmt.Println(bt.String())
+	return nil
+}
+
+// jobRoot picks the critical-path root: the earliest span of kind "job"
+// (the /v1/jobs/{id}/spans payload holds the whole trace, and the job —
+// not the HTTP request — is what the latency question is about), falling
+// back to the trace root for span files from other producers.
+func jobRoot(spans []tracing.SpanData) (tracing.SpanData, bool) {
+	var job tracing.SpanData
+	found := false
+	for _, d := range spans {
+		if d.Kind != "job" {
+			continue
+		}
+		if !found || d.Start.Before(job.Start) {
+			job, found = d, true
+		}
+	}
+	if found {
+		return job, true
+	}
+	return tracing.FindRoot(spans)
+}
+
+// desInverse rebuilds the wall → virtual mapping from the execute span's
+// des.anchorUnixNano and des.scale attributes (the bridge's affine map,
+// inverted), so the service spans can be placed on the obs export's
+// virtual timeline. Returns nil when spans holds no execute span with
+// the attributes — the export then degrades to the events-only trace.
+func desInverse(spans []tracing.SpanData) func(time.Time) float64 {
+	for _, d := range spans {
+		if d.Kind != "execute" {
+			continue
+		}
+		var anchorNano int64
+		scale := 0.0
+		for _, a := range d.Attrs {
+			switch a.Key {
+			case "des.anchorUnixNano":
+				if v, ok := a.Value.(int64); ok {
+					anchorNano = v
+				}
+			case "des.scale":
+				if v, ok := a.Value.(float64); ok {
+					scale = v
+				}
+			}
+		}
+		if anchorNano != 0 && scale > 0 {
+			anchor := time.Unix(0, anchorNano)
+			return func(wt time.Time) float64 {
+				return wt.Sub(anchor).Seconds() / scale
+			}
+		}
 	}
 	return nil
 }

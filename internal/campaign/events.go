@@ -32,8 +32,11 @@ type JobEvent struct {
 	// Status is the state entered: "queued", "running", "done", "cached",
 	// "failed", or "cancelled".
 	Status string `json:"status"`
-	// Error carries the failure of a failed or cancelled job.
-	Error string `json:"error,omitempty"`
+	// Error carries the failure of a failed or cancelled job; Reason is
+	// its human-readable cause ("cancelled by submitter", "service
+	// shutdown", "job deadline exceeded", or the worker error).
+	Error  string `json:"error,omitempty"`
+	Reason string `json:"reason,omitempty"`
 	// Objective is F(P^{U,A,P}) on completion ("done"/"cached").
 	Objective float64 `json:"objective,omitempty"`
 	// WaitSec is the queued → running wall time (on "running" and terminal

@@ -12,6 +12,7 @@ import (
 	"ensemblekit/internal/obs"
 	"ensemblekit/internal/placement"
 	"ensemblekit/internal/telemetry"
+	"ensemblekit/internal/telemetry/tracing"
 )
 
 // CampaignRequest is the body of POST /v1/campaigns: a Sweep, with the
@@ -137,12 +138,16 @@ func NewServer(svc *Service) *Server {
 //	GET  /v1/campaigns             list campaigns
 //	GET  /v1/campaigns/{id}        poll one campaign (result once done)
 //	GET  /v1/campaigns/{id}/events live SSE stream of job transitions
-//	GET  /v1/jobs/{id}             one job's status
-//	GET  /v1/jobs/{id}/trace       Perfetto (Chrome JSON) trace of a done job
-//	GET  /v1/stats                 service counters incl. cache hit rate
+//	GET  /v1/jobs/{id}               one job's status
+//	GET  /v1/jobs/{id}/trace         Perfetto (Chrome JSON) trace of a done job
+//	GET  /v1/jobs/{id}/spans         the job's distributed-trace spans (OTLP JSON)
+//	GET  /v1/jobs/{id}/critical-path the job's trace critical path
+//	GET  /v1/stats                   service counters incl. cache hit rate
 //
 // Every route is instrumented with per-route request counts and latency
-// histograms on the service's metrics registry.
+// histograms on the service's metrics registry, and — when the service
+// has a tracer — a server span per request, continuing an incoming W3C
+// traceparent when the client sends one.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	handle := func(pattern string, h http.HandlerFunc) {
@@ -154,16 +159,40 @@ func (s *Server) Handler() http.Handler {
 	handle("GET /v1/campaigns/{id}/events", s.streamCampaign)
 	handle("GET /v1/jobs/{id}", s.getJob)
 	handle("GET /v1/jobs/{id}/trace", s.getJobTrace)
+	handle("GET /v1/jobs/{id}/spans", s.getJobSpans)
+	handle("GET /v1/jobs/{id}/critical-path", s.getJobCriticalPath)
 	handle("GET /v1/stats", s.getStats)
 	return mux
 }
 
-// instrument wraps a handler with per-route telemetry. The wrapper
-// preserves http.Flusher so the SSE route still streams.
+// instrument wraps a handler with per-route telemetry and a server span.
+// The wrapper preserves http.Flusher so the SSE route still streams. An
+// incoming `traceparent` header joins the request to the caller's trace;
+// the response carries the server span's own traceparent so clients can
+// fetch the spans they just caused.
 func (s *Server) instrument(pattern string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		if tr := s.svc.Tracer(); tr != nil {
+			ctx := r.Context()
+			if remote, err := tracing.ParseTraceparent(r.Header.Get("traceparent")); err == nil {
+				ctx = tracing.ContextWithRemote(ctx, remote)
+			}
+			ctx, span := tr.StartSpan(ctx, r.Method+" "+r.URL.Path, "server",
+				tracing.String("http.method", r.Method),
+				tracing.String("http.route", pattern),
+				tracing.String("http.target", r.URL.Path))
+			w.Header().Set("traceparent", span.Context().Traceparent())
+			r = r.WithContext(ctx)
+			defer func() {
+				span.SetAttr(tracing.Int("http.status_code", sw.code))
+				if sw.code >= 500 {
+					span.SetStatus(true, http.StatusText(sw.code))
+				}
+				span.End()
+			}()
+		}
 		h(sw, r)
 		s.requests.With(pattern, strconv.Itoa(sw.code)).Inc()
 		s.latency.With(pattern).Observe(time.Since(start).Seconds())
@@ -263,19 +292,32 @@ func (s *Server) postCampaign(w http.ResponseWriter, r *http.Request) {
 		run.nDone, run.nTotal = done, total
 		run.mu.Unlock()
 	}
-	s.log.Info("campaign accepted", "campaign", run.id, "name", sw.Name, "jobs", total)
+	// The campaign span is a child of the POST's server span but outlives
+	// the request: it rides a detached context into the runner goroutine
+	// and closes when the campaign resolves, parenting every job span the
+	// sweep submits.
+	_, campSpan := s.svc.Tracer().StartSpan(r.Context(),
+		"campaign "+run.id, "campaign",
+		tracing.String("campaign.id", run.id),
+		tracing.String("campaign.name", sw.Name),
+		tracing.Int("campaign.jobs", total))
+	runCtx := tracing.ContextWithSpan(context.Background(), campSpan)
+	clog := s.log.WithTrace(campSpan.TraceID(), campSpan.SpanID())
+	clog.Info("campaign accepted", "campaign", run.id, "name", sw.Name, "jobs", total)
 	go func() {
 		start := time.Now()
-		res, err := RunCampaign(context.Background(), s.svc, sw)
+		res, err := RunCampaign(runCtx, s.svc, sw)
 		run.mu.Lock()
 		run.result, run.err = res, err
 		run.mu.Unlock()
 		close(run.done)
+		campSpan.SetError(err)
+		campSpan.End()
 		if err != nil {
-			s.log.Error("campaign failed", "campaign", run.id, "err", err.Error(),
+			clog.Error("campaign failed", "campaign", run.id, "err", err.Error(),
 				"elapsedSec", time.Since(start).Seconds())
 		} else {
-			s.log.Info("campaign done", "campaign", run.id, "jobs", res.Jobs,
+			clog.Info("campaign done", "campaign", run.id, "jobs", res.Jobs,
 				"cacheHits", res.CacheHits, "failedJobs", res.Failed,
 				"elapsedSec", time.Since(start).Seconds())
 		}
@@ -302,12 +344,24 @@ type CampaignSummary struct {
 	// survived.
 	Best      string  `json:"best,omitempty"`
 	Objective float64 `json:"objective,omitempty"`
+	// Failures lists the campaign's failed or cancelled jobs with their
+	// human-readable reasons.
+	Failures []JobFailure `json:"failures,omitempty"`
 	// Error carries the failure of a failed campaign.
 	Error string `json:"error,omitempty"`
 }
 
-// summary builds the terminal SSE event from a finished run.
-func (c *campaignRun) summary() CampaignSummary {
+// JobFailure names one failed or cancelled job in a campaign summary.
+type JobFailure struct {
+	Job    string `json:"job"`
+	Label  string `json:"label,omitempty"`
+	Status string `json:"status"`
+	Reason string `json:"reason,omitempty"`
+}
+
+// summary builds the terminal SSE event from a finished run; svc
+// resolves the failed jobs' reasons (nil skips them).
+func (c *campaignRun) summary(svc *Service) CampaignSummary {
 	st := c.status()
 	out := CampaignSummary{
 		Campaign: c.id,
@@ -323,6 +377,22 @@ func (c *campaignRun) summary() CampaignSummary {
 			out.Best = st.Result.Ranking[0].Name
 			out.Objective = st.Result.Ranking[0].Value
 		}
+		if svc != nil {
+			for _, cand := range st.Result.Candidates {
+				for _, id := range cand.JobIDs {
+					j, ok := svc.Job(id)
+					if !ok {
+						continue
+					}
+					switch status := j.Status(); status {
+					case StatusFailed, StatusCancelled:
+						out.Failures = append(out.Failures, JobFailure{
+							Job: id, Label: j.Label, Status: string(status), Reason: j.Reason(),
+						})
+					}
+				}
+			}
+		}
 	}
 	return out
 }
@@ -333,7 +403,12 @@ func (c *campaignRun) summary() CampaignSummary {
 // once the campaign resolves. The stream replays the broadcaster's
 // retained history first, so connecting right after the POST loses
 // nothing; a subscriber that cannot keep up is dropped (`error` event)
-// rather than ever blocking the workers.
+// rather than ever blocking the workers. Every job event carries its
+// broadcaster sequence number as the SSE `id:`, and a reconnecting
+// client's `Last-Event-ID` header filters the replay to events it has
+// not yet seen — the standard SSE resume handshake, bounded by the
+// broadcaster's history ring (events evicted before the reconnect are
+// gone; the client detects the gap from the sequence numbers).
 func (s *Server) streamCampaign(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	s.mu.Lock()
@@ -347,6 +422,12 @@ func (s *Server) streamCampaign(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		httpError(w, http.StatusInternalServerError, fmt.Errorf("campaign: streaming unsupported"))
 		return
+	}
+	var lastID int64
+	if v := r.Header.Get("Last-Event-ID"); v != "" {
+		if n, err := strconv.ParseInt(v, 10, 64); err == nil {
+			lastID = n
+		}
 	}
 
 	replay, ch, cancel := s.svc.Events().Subscribe()
@@ -369,9 +450,25 @@ func (s *Server) streamCampaign(w http.ResponseWriter, r *http.Request) {
 		fl.Flush()
 		return true
 	}
+	// sendJob forwards one job event (skipping other campaigns' events and
+	// events the client already saw); false means the client went away.
+	sendJob := func(ev JobEvent) bool {
+		if ev.Campaign != id || ev.Seq <= lastID {
+			return true
+		}
+		b, err := json.Marshal(ev)
+		if err != nil {
+			return true
+		}
+		if _, err := fmt.Fprintf(w, "id: %d\nevent: job\ndata: %s\n\n", ev.Seq, b); err != nil {
+			return false
+		}
+		fl.Flush()
+		return true
+	}
 
 	for _, ev := range replay {
-		if ev.Campaign == id && !send("job", ev) {
+		if !sendJob(ev) {
 			return
 		}
 	}
@@ -386,7 +483,7 @@ func (s *Server) streamCampaign(w http.ResponseWriter, r *http.Request) {
 				})
 				return
 			}
-			if ev.Campaign == id && !send("job", ev) {
+			if !sendJob(ev) {
 				return
 			}
 		case <-run.done:
@@ -399,14 +496,14 @@ func (s *Server) streamCampaign(w http.ResponseWriter, r *http.Request) {
 					if !open {
 						break drain
 					}
-					if ev.Campaign == id && !send("job", ev) {
+					if !sendJob(ev) {
 						return
 					}
 				default:
 					break drain
 				}
 			}
-			send("summary", run.summary())
+			send("summary", run.summary(s.svc))
 			return
 		case <-r.Context().Done():
 			return
@@ -458,13 +555,18 @@ func (s *Server) getCampaign(w http.ResponseWriter, r *http.Request) {
 
 // jobStatus is the wire form of a job.
 type jobStatus struct {
-	ID       string  `json:"id"`
-	Hash     string  `json:"hash"`
-	Label    string  `json:"label,omitempty"`
-	Status   Status  `json:"status"`
-	CacheHit bool    `json:"cacheHit,omitempty"`
-	Error    string  `json:"error,omitempty"`
-	Result   *Result `json:"result,omitempty"`
+	ID       string `json:"id"`
+	Hash     string `json:"hash"`
+	Label    string `json:"label,omitempty"`
+	Status   Status `json:"status"`
+	CacheHit bool   `json:"cacheHit,omitempty"`
+	Error    string `json:"error,omitempty"`
+	// Reason is the human-readable cause of a failed or cancelled job.
+	Reason string `json:"reason,omitempty"`
+	// TraceID is the job's distributed-trace ID (hex); clients feed it to
+	// the /spans and /critical-path endpoints or an external trace UI.
+	TraceID string  `json:"traceId,omitempty"`
+	Result  *Result `json:"result,omitempty"`
 }
 
 func (s *Server) getJob(w http.ResponseWriter, r *http.Request) {
@@ -473,7 +575,8 @@ func (s *Server) getJob(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, fmt.Errorf("campaign: no job %q", r.PathValue("id")))
 		return
 	}
-	st := jobStatus{ID: j.ID, Hash: j.Hash, Label: j.Label, Status: j.Status(), CacheHit: j.CacheHit}
+	st := jobStatus{ID: j.ID, Hash: j.Hash, Label: j.Label, Status: j.Status(),
+		CacheHit: j.CacheHit, Reason: j.Reason(), TraceID: j.TraceID()}
 	if res, err := j.Result(); err != nil {
 		st.Error = err.Error()
 	} else if res != nil {
@@ -501,11 +604,117 @@ func (s *Server) getJobTrace(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Disposition",
 		fmt.Sprintf("attachment; filename=%q", j.ID+"-trace.json"))
 	// The stored trace replays into obs events post hoc, so traces cost
-	// nothing unless somebody downloads one.
-	if err := obs.WriteChromeTrace(w, obs.FromTrace(res.Trace)); err != nil {
+	// nothing unless somebody downloads one. When the job was traced, the
+	// service-level spans (request, campaign, job, queue, execute) merge
+	// into the export as their own process, mapped back onto the virtual
+	// clock via the affine parameters the execute span recorded.
+	events := obs.FromTrace(res.Trace)
+	if tr := s.svc.Tracer(); tr != nil && j.span != nil {
+		spans := tr.Store().Spans(j.span.Context().TraceID)
+		if toVirtual := desInverseMap(spans, j.span.Context().SpanID); toVirtual != nil {
+			_ = obs.WriteChromeTraceWithSpans(w, events, spans, toVirtual)
+			return
+		}
+	}
+	if err := obs.WriteChromeTrace(w, events); err != nil {
 		// Headers are gone; all we can do is drop the connection.
 		return
 	}
+}
+
+// desInverseMap builds the wall→virtual mapping recorded on the job's
+// execute span (the inverse of the obs bridge's wall = anchor + scale·t
+// map), or nil when the job has no completed traced execution — cached
+// jobs and still-running jobs degrade to the plain event export.
+func desInverseMap(spans []tracing.SpanData, jobSpan tracing.SpanID) func(time.Time) float64 {
+	for _, d := range spans {
+		if d.Kind != "execute" || d.Parent != jobSpan {
+			continue
+		}
+		var anchorNano int64
+		scale := 0.0
+		for _, a := range d.Attrs {
+			switch a.Key {
+			case "des.anchorUnixNano":
+				if v, ok := a.Value.(int64); ok {
+					anchorNano = v
+				}
+			case "des.scale":
+				if v, ok := a.Value.(float64); ok {
+					scale = v
+				}
+			}
+		}
+		if anchorNano == 0 || scale <= 0 {
+			continue
+		}
+		anchor := time.Unix(0, anchorNano)
+		return func(wt time.Time) float64 { return wt.Sub(anchor).Seconds() / scale }
+	}
+	return nil
+}
+
+// jobTraceSpans resolves a job and its trace's recorded spans, writing
+// the error response when either is missing; ok reports success. The
+// returned spans cover the whole trace — for a campaign-submitted job
+// that includes the originating request and campaign spans and any
+// sibling jobs sharing the trace.
+func (s *Server) jobTraceSpans(w http.ResponseWriter, r *http.Request) (*Job, []tracing.SpanData, bool) {
+	j, ok := s.svc.Job(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("campaign: no job %q", r.PathValue("id")))
+		return nil, nil, false
+	}
+	tr := s.svc.Tracer()
+	if tr == nil || j.span == nil {
+		httpError(w, http.StatusNotFound,
+			fmt.Errorf("campaign: job %s has no trace (tracing disabled)", j.ID))
+		return nil, nil, false
+	}
+	spans := tr.Store().Spans(j.span.Context().TraceID)
+	if len(spans) == 0 {
+		httpError(w, http.StatusConflict,
+			fmt.Errorf("campaign: job %s has no completed spans yet", j.ID))
+		return nil, nil, false
+	}
+	return j, spans, true
+}
+
+// getJobSpans serves GET /v1/jobs/{id}/spans: every completed span of
+// the job's trace as OTLP-shaped JSON (resourceSpans → scopeSpans →
+// spans), importable by any OTLP-aware trace viewer.
+func (s *Server) getJobSpans(w http.ResponseWriter, r *http.Request) {
+	_, spans, ok := s.jobTraceSpans(w, r)
+	if !ok {
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = tracing.WriteOTLP(w, "ensemblekit", spans)
+}
+
+// getJobCriticalPath serves GET /v1/jobs/{id}/critical-path: the
+// longest causal chain through the job's span subtree, with per-kind
+// totals — the runtime analogue of the paper's per-stage time
+// decomposition. The segment durations sum exactly to the job's
+// end-to-end latency (gaps are attributed to the span they occur in).
+func (s *Server) getJobCriticalPath(w http.ResponseWriter, r *http.Request) {
+	j, spans, ok := s.jobTraceSpans(w, r)
+	if !ok {
+		return
+	}
+	switch j.Status() {
+	case StatusDone, StatusFailed, StatusCancelled:
+	default:
+		httpError(w, http.StatusConflict,
+			fmt.Errorf("campaign: job %s is %s; critical path needs a finished job", j.ID, j.Status()))
+		return
+	}
+	cp, err := tracing.ComputeCriticalPath(spans, j.span.Context().SpanID)
+	if err != nil {
+		httpError(w, http.StatusConflict, fmt.Errorf("campaign: job %s: %w", j.ID, err))
+		return
+	}
+	writeJSON(w, http.StatusOK, cp)
 }
 
 // statsResponse decorates Stats with the derived hit rate.

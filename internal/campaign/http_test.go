@@ -4,10 +4,12 @@ import (
 	"bufio"
 	"context"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -394,5 +396,70 @@ func TestHTTPMetricsAfterTraffic(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("/metrics missing %q", want)
 		}
+	}
+}
+
+// TestHTTPMetricsConcurrentScrape hammers /metrics from many goroutines
+// while campaigns mutate every metric family underneath — the scrape
+// path must stay race-free (run with -race) and each exposition must be
+// well-formed.
+func TestHTTPMetricsConcurrentScrape(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	svc, err := NewService(Config{Workers: 4, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(svc.Close)
+	mux := http.NewServeMux()
+	mux.Handle("/v1/", NewServer(svc).Handler())
+	mux.Handle("GET /metrics", reg.Handler())
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+
+	// Scrapers run in goroutines; the campaigns (and t.Fatal-bearing
+	// helpers) stay on the test goroutine.
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				resp, err := http.Get(ts.URL + "/metrics")
+				if err != nil {
+					errs <- err
+					return
+				}
+				body, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					errs <- err
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("/metrics HTTP %d", resp.StatusCode)
+					return
+				}
+				if len(body) > 0 && !strings.HasPrefix(string(body), "#") {
+					errs <- fmt.Errorf("exposition does not start with a comment: %.40s", body)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 3; i++ {
+		pollCampaign(t, ts, postCampaign(t, ts, `{"configs":["C1.5","C2.1"],"steps":4}`).ID)
+	}
+	close(done)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
 	}
 }

@@ -1,12 +1,16 @@
 package campaign
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"ensemblekit/internal/core"
 	"ensemblekit/internal/indicators"
+	"ensemblekit/internal/obs"
 	"ensemblekit/internal/placement"
 	"ensemblekit/internal/runtime"
+	"ensemblekit/internal/telemetry/tracing"
 	"ensemblekit/internal/trace"
 )
 
@@ -25,6 +29,51 @@ func Execute(spec JobSpec) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	return derive(hash, spec.Placement, tr)
+}
+
+// executeTraced is Execute with the DES run observed: when ctx carries a
+// recording span (the worker's execute span), the run attaches a live
+// obs recorder and replays its event stream as child spans — component,
+// stage, DTL, flow, and fault — under that span. The affine map
+// wall = anchor + scale·virtual with scale = wallDuration/makespan
+// tiles the simulated timeline onto the measured execution window, so
+// the critical path's stage durations sum to the job's real latency.
+// The map's parameters are recorded on the execute span
+// (des.anchorUnixNano, des.scale, des.makespanSec) so exporters can
+// invert it. Untraced calls (nil tracer, no span) fall through to
+// Execute; the recorder never alters the simulation itself — the trace
+// stays byte-identical (see TestSimulatedRecorderBitIdentical).
+func executeTraced(ctx context.Context, tracer *tracing.Tracer, spec JobSpec) (*Result, error) {
+	span := tracing.SpanFromContext(ctx)
+	if tracer == nil || !span.Recording() {
+		return Execute(spec)
+	}
+	hash, err := spec.Hash()
+	if err != nil {
+		return nil, err
+	}
+	opts := spec.Sim.Options()
+	opts.Faults = spec.Faults
+	rec := obs.NewRecorder(nil)
+	opts.Recorder = rec
+	anchor := time.Now()
+	tr, err := runtime.RunSimulated(spec.Cluster, spec.Placement, spec.Ensemble, opts)
+	wallSec := time.Since(anchor).Seconds()
+	if err != nil {
+		span.SetAttr(tracing.Float("des.makespanSec", 0))
+		return nil, err
+	}
+	makespan := tr.Makespan()
+	scale := 1.0
+	if makespan > 0 && wallSec > 0 {
+		scale = wallSec / makespan
+	}
+	span.SetAttr(
+		tracing.Int64("des.anchorUnixNano", anchor.UnixNano()),
+		tracing.Float("des.scale", scale),
+		tracing.Float("des.makespanSec", makespan))
+	obs.BridgeSpans(tracer, span.Context(), rec.Events(), anchor, scale)
 	return derive(hash, spec.Placement, tr)
 }
 

@@ -11,6 +11,7 @@ import (
 
 	"ensemblekit/internal/obs"
 	"ensemblekit/internal/telemetry"
+	"ensemblekit/internal/telemetry/tracing"
 )
 
 // Service errors.
@@ -51,6 +52,13 @@ type Config struct {
 	// Logger optionally receives structured service logs (job lifecycle
 	// at debug, drops and rejects at warn).
 	Logger *telemetry.Logger
+	// Tracer optionally propagates distributed-trace spans through the
+	// job lifecycle: every submission opens a job span (parented from the
+	// submit context, so an HTTP request or campaign span becomes its
+	// ancestor), with queue and execute child spans, and the DES run's
+	// obs events bridged in as stage-level grandchildren. Nil disables
+	// tracing at the cost of one nil check per site.
+	Tracer *tracing.Tracer
 	// EventHistory bounds the job-event replay ring of the service's
 	// broadcaster (default 4096; negative disables replay).
 	EventHistory int
@@ -80,8 +88,9 @@ func (c Config) normalized() Config {
 		c.EventBuffer = 256
 	}
 	if c.runFn == nil {
-		c.runFn = func(_ context.Context, spec JobSpec) (*Result, error) {
-			return Execute(spec)
+		tracer := c.Tracer
+		c.runFn = func(ctx context.Context, spec JobSpec) (*Result, error) {
+			return executeTraced(ctx, tracer, spec)
 		}
 	}
 	return c
@@ -134,6 +143,15 @@ type Job struct {
 	startedAt  time.Time
 	result     *Result
 	err        error
+	reason     string // human cause for failed/cancelled jobs
+
+	// Trace spans (nil when the service has no tracer). span is the root
+	// of the job's subtree; queueSpan covers enqueue → pickup, execSpan
+	// pickup → completion. span and queueSpan are set before the job is
+	// published; execSpan is set by the worker under j.mu.
+	span      *tracing.Span
+	queueSpan *tracing.Span
+	execSpan  *tracing.Span
 }
 
 // Status returns the job's current state.
@@ -175,6 +193,22 @@ func (j *Job) Cancel() {
 
 // Spec returns the job's spec.
 func (j *Job) Spec() JobSpec { return j.spec }
+
+// TraceID returns the hex trace ID of the trace the job belongs to, or
+// "" when the service runs untraced.
+func (j *Job) TraceID() string { return j.span.TraceID() }
+
+// SpanID returns the hex span ID of the job's root span, or "".
+func (j *Job) SpanID() string { return j.span.SpanID() }
+
+// Reason returns the human-readable cause of a failed or cancelled
+// job ("cancelled by submitter", "service shutdown", the worker error,
+// ...); empty while pending and on success.
+func (j *Job) Reason() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.reason
+}
 
 // Stats is a snapshot of the service's counters.
 type Stats struct {
@@ -374,6 +408,10 @@ func (s *Service) Metrics() *telemetry.Registry { return s.cfg.Metrics }
 // off).
 func (s *Service) Logger() *telemetry.Logger { return s.log }
 
+// Tracer returns the service's tracer (nil when tracing is off); the
+// HTTP server shares it for request spans and the span endpoints.
+func (s *Service) Tracer() *tracing.Tracer { return s.cfg.Tracer }
+
 // Close stops accepting submissions, cancels queued and running jobs, and
 // waits for the workers to exit.
 func (s *Service) Close() {
@@ -489,7 +527,7 @@ func (s *Service) submit(ctx context.Context, spec JobSpec, opts SubmitOptions, 
 				s.metrics.setCacheLocked(s.cache.stats())
 			}
 			snap = s.obsSnapshotLocked()
-			return s.completedJobLocked(hash, label, opts.Campaign, res), nil
+			return s.completedJobLocked(ctx, hash, label, opts.Campaign, res), nil
 		}
 		// Singleflight: identical concurrent submissions share one run.
 		if j, ok := s.inflight[hash]; ok {
@@ -534,6 +572,17 @@ func (s *Service) submit(ctx context.Context, spec JobSpec, opts SubmitOptions, 
 		status:     StatusQueued,
 		enqueuedAt: time.Now(),
 	}
+	// The job span parents from the submit context (an HTTP request or
+	// campaign span, in-process or remote via traceparent); the queue
+	// span opens immediately and is ended by the worker at pickup. Both
+	// are nil no-ops on an untraced service.
+	_, j.span = s.cfg.Tracer.StartSpan(ctx, "job "+j.ID, "job",
+		tracing.String("job.id", j.ID),
+		tracing.String("job.hash", hash),
+		tracing.String("job.label", label),
+		tracing.Int("job.priority", opts.Priority))
+	_, j.queueSpan = s.cfg.Tracer.StartSpan(
+		tracing.ContextWithSpan(context.Background(), j.span), "queue", "queue")
 	heap.Push(&s.queue, j)
 	s.inflight[hash] = j
 	s.jobs[j.ID] = j
@@ -545,8 +594,11 @@ func (s *Service) submit(ctx context.Context, spec JobSpec, opts SubmitOptions, 
 }
 
 // completedJobLocked wraps a cached result as an already-finished job so
-// cache hits and real runs share one call shape.
-func (s *Service) completedJobLocked(hash, label, campaign string, res *Result) *Job {
+// cache hits and real runs share one call shape. submitCtx carries the
+// submitter's trace parent; a cache hit still leaves a (zero-queue,
+// zero-execute) job span in the trace so campaigns with warm caches
+// remain fully accounted for.
+func (s *Service) completedJobLocked(submitCtx context.Context, hash, label, campaign string, res *Result) *Job {
 	s.seq++
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
@@ -563,6 +615,13 @@ func (s *Service) completedJobLocked(hash, label, campaign string, res *Result) 
 		status:   StatusDone,
 		result:   res,
 	}
+	_, j.span = s.cfg.Tracer.StartSpan(submitCtx, "job "+j.ID, "job",
+		tracing.String("job.id", j.ID),
+		tracing.String("job.hash", hash),
+		tracing.String("job.label", label),
+		tracing.Bool("job.cacheHit", true),
+		tracing.Float("job.objective", res.Objective))
+	j.span.End()
 	close(j.done)
 	s.jobs[j.ID] = j
 	s.publish(j, EventCached, JobEvent{Objective: res.Objective, CacheHit: true})
@@ -663,6 +722,10 @@ func (s *Service) worker() {
 		j.started = true
 		j.startedAt = now
 		enqueued := j.enqueuedAt
+		j.queueSpan.SetAttr(tracing.Float("waitSec", now.Sub(enqueued).Seconds()))
+		j.queueSpan.EndAt(now)
+		_, j.execSpan = s.cfg.Tracer.StartSpan(
+			tracing.ContextWithSpan(context.Background(), j.span), "execute", "execute")
 		j.mu.Unlock()
 		s.metrics.queueDepth.Set(float64(len(s.queue.items)))
 		s.metrics.running.Set(float64(s.stats.Running))
@@ -686,7 +749,13 @@ func (s *Service) execute(j *Job) {
 		s.finish(j, nil, err, StatusCancelled)
 		return
 	}
-	res, err := s.cfg.runFn(j.ctx, j.spec)
+	// The run context carries the execute span so the runner (and its DES
+	// obs bridge) parents under it; j.execSpan is stable once the worker
+	// sets it, and execute is only ever entered afterwards.
+	j.mu.Lock()
+	runCtx := tracing.ContextWithSpan(j.ctx, j.execSpan)
+	j.mu.Unlock()
+	res, err := s.cfg.runFn(runCtx, j.spec)
 	switch {
 	case j.ctx.Err() != nil:
 		// Cancelled mid-run: discard whatever the worker produced so a
@@ -708,6 +777,7 @@ func (s *Service) execute(j *Job) {
 // finish publishes a job outcome exactly once.
 func (s *Service) finish(j *Job, res *Result, err error, status Status) {
 	now := time.Now()
+	reason := s.reasonFor(err, status)
 	j.mu.Lock()
 	if j.status == StatusDone || j.status == StatusFailed || j.status == StatusCancelled {
 		j.mu.Unlock()
@@ -717,15 +787,31 @@ func (s *Service) finish(j *Job, res *Result, err error, status Status) {
 	j.status = status
 	j.result = res
 	j.err = err
+	j.reason = reason
 	ev := JobEvent{Time: now}
 	if started {
 		ev.WaitSec = j.startedAt.Sub(j.enqueuedAt).Seconds()
 		ev.ExecSec = now.Sub(j.startedAt).Seconds()
 	}
+	// Close the job's span subtree. A never-picked-up job still holds an
+	// open queue span; an abandoned run holds an open execute span. The
+	// root job span absorbs the terminal status and objective.
+	if err != nil {
+		j.execSpan.SetError(err)
+		j.span.SetStatus(true, reason)
+	}
+	j.execSpan.EndAt(now)
+	j.queueSpan.EndAt(now)
+	j.span.SetAttr(tracing.String("job.status", string(status)))
+	if res != nil {
+		j.span.SetAttr(tracing.Float("job.objective", res.Objective))
+	}
+	j.span.EndAt(now)
 	j.mu.Unlock()
 
 	if err != nil {
 		ev.Error = err.Error()
+		ev.Reason = reason
 	}
 	if res != nil {
 		ev.Objective = res.Objective
@@ -757,11 +843,50 @@ func (s *Service) finish(j *Job, res *Result, err error, status Status) {
 	s.mu.Unlock()
 	s.emitObs(snap)
 	if s.log.Enabled(telemetry.LevelDebug) {
-		s.log.Debug("job finished",
+		s.log.WithTrace(j.span.TraceID(), j.span.SpanID()).Debug("job finished",
 			"job", j.ID, "label", j.Label, "status", string(status),
-			"execSec", ev.ExecSec, "err", ev.Error)
+			"execSec", ev.ExecSec, "err", ev.Error, "reason", reason)
 	}
 	close(j.done)
+}
+
+// reasonFor maps a terminal (status, error) pair to the human-readable
+// cause surfaced on job status JSON, the SSE terminal event, and the
+// job span. Successful jobs have no reason.
+func (s *Service) reasonFor(err error, status Status) string {
+	switch status {
+	case StatusFailed:
+		if err != nil {
+			return err.Error()
+		}
+		return "execution failed"
+	case StatusCancelled:
+		switch {
+		case errors.Is(err, ErrClosed):
+			return "service shutdown"
+		case errors.Is(err, context.DeadlineExceeded):
+			return "job deadline exceeded"
+		case errors.Is(err, context.Canceled):
+			// A submitter's Cancel and a service Close both surface
+			// context.Canceled on the job context; disambiguate on the
+			// service's own state.
+			if s.isClosed() {
+				return "service shutdown"
+			}
+			return "cancelled by submitter"
+		case err != nil:
+			return err.Error()
+		}
+		return "cancelled"
+	}
+	return ""
+}
+
+// isClosed reports whether Close has begun.
+func (s *Service) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
 }
 
 // queueSaturated reports whether the queue is at capacity right now — the

@@ -305,7 +305,12 @@ func buildChrome(events []Event) chromeTrace {
 // component stage, and counter tracks for occupancy and queue depths.
 // Field ordering is stable and timestamps are emitted sorted.
 func WriteChromeTrace(w io.Writer, events []Event) error {
-	doc := buildChrome(events)
+	return encodeChrome(w, buildChrome(events))
+}
+
+// encodeChrome serializes a trace document with the stable indentation
+// the golden files pin.
+func encodeChrome(w io.Writer, doc chromeTrace) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
 	return enc.Encode(doc)
@@ -356,7 +361,7 @@ func ValidateChromeTrace(data []byte) error {
 				}
 				procNames[ev.Pid] = ev.Args.Name
 			}
-		case "B", "E", "C":
+		case "B", "E", "C", "i":
 			if sawEvent && ev.TS < lastTS {
 				return fmt.Errorf("obs: event %d: timestamp %v before %v (unsorted)", i, ev.TS, lastTS)
 			}

@@ -1,0 +1,180 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"ensemblekit/internal/telemetry/tracing"
+)
+
+// recordedStream builds a small synthetic run: one component with two
+// stages, a DTL put, a network flow, and a fault.
+func recordedStream() []Event {
+	clock := 0.0
+	r := NewRecorder(func() float64 { return clock })
+	r.ProcStart("sim[0]", 0)
+	r.StageBegin("sim[0]", "S", 0)
+	clock = 4
+	r.StageEnd("sim[0]", "S", 0, 0)
+	r.StageBegin("sim[0]", "W", 0)
+	r.PutBegin("burst-buffer", 0, 1<<20)
+	clock = 6
+	r.PutEnd("burst-buffer", 0, 1<<20)
+	r.StageEnd("sim[0]", "W", 0, 1<<20)
+	r.FlowStart("n0->n1", 0, 1, 1<<20)
+	clock = 8
+	r.FlowEnd("n0->n1", 0, 1, 1<<20)
+	r.Fault("sim[0]", "staging", 0, 1)
+	clock = 10
+	r.ProcEnd("sim[0]", 0)
+	return r.Events()
+}
+
+func TestBridgeSpans(t *testing.T) {
+	tr := tracing.NewTracer(tracing.NewStore(0, 0))
+	_, exec := tr.StartSpan(context.Background(), "execute", "execute")
+	anchor := time.Unix(1000, 0)
+	// 10 virtual seconds mapped onto 2 wall seconds.
+	n := BridgeSpans(tr, exec.Context(), recordedStream(), anchor, 0.2)
+	exec.EndAt(anchor.Add(2 * time.Second))
+
+	// component + 2 stages + put + flow + fault = 6 bridged spans.
+	if n != 6 {
+		t.Fatalf("bridged %d spans, want 6", n)
+	}
+	spans := tr.Store().Spans(exec.Context().TraceID)
+	if len(spans) != 7 {
+		t.Fatalf("stored %d spans, want 7", len(spans))
+	}
+	byName := map[string]tracing.SpanData{}
+	for _, d := range spans {
+		byName[d.Name] = d
+	}
+	comp := byName["sim[0]"]
+	if comp.Kind != "component" || comp.Parent != exec.Context().SpanID {
+		t.Fatalf("component span wrong: %+v", comp)
+	}
+	// Virtual [0,10] maps to wall [anchor, anchor+2s].
+	if !comp.Start.Equal(anchor) || !comp.End.Equal(anchor.Add(2*time.Second)) {
+		t.Fatalf("component window not scaled: %v..%v", comp.Start, comp.End)
+	}
+	s := byName["S"]
+	if s.Kind != "stage:S" || s.Parent != comp.SpanID {
+		t.Fatalf("stage span not under component: %+v", s)
+	}
+	if got := s.End.Sub(s.Start); got != 800*time.Millisecond {
+		t.Fatalf("stage S wall duration = %v, want 800ms", got)
+	}
+	if byName["put:burst-buffer"].Kind != "dtl:put" {
+		t.Fatalf("dtl span missing: %+v", byName)
+	}
+	if byName["n0->n1"].Kind != "net:flow" {
+		t.Fatalf("flow span missing: %+v", byName)
+	}
+	f := byName["fault:staging"]
+	if f.Kind != "fault" || !f.Start.Equal(f.End) {
+		t.Fatalf("fault span wrong: %+v", f)
+	}
+	// Depth: execute -> component -> stage = 3 levels inside this trace.
+	if got := tracing.Depth(spans); got != 3 {
+		t.Fatalf("Depth = %d, want 3", got)
+	}
+}
+
+func TestBridgeSpansClosesUnfinishedAtHorizon(t *testing.T) {
+	clock := 0.0
+	r := NewRecorder(func() float64 { return clock })
+	r.ProcStart("anl[0]", 1)
+	r.StageBegin("anl[0]", "A", 1)
+	clock = 5
+	r.Gauge("anl[0]", "mem", 1, 1) // horizon advances; stage never ends
+
+	tr := tracing.NewTracer(tracing.NewStore(0, 0))
+	_, exec := tr.StartSpan(context.Background(), "execute", "execute")
+	anchor := time.Unix(0, 0)
+	BridgeSpans(tr, exec.Context(), r.Events(), anchor, 1)
+	exec.End()
+	spans := tr.Store().Spans(exec.Context().TraceID)
+	for _, d := range spans {
+		if d.End.Before(d.Start) {
+			t.Fatalf("span %q ends before it starts: %+v", d.Name, d)
+		}
+		if d.Name == "A" && !d.End.Equal(anchor.Add(5*time.Second)) {
+			t.Fatalf("unclosed stage not clipped to horizon: %+v", d)
+		}
+	}
+}
+
+func TestBridgeSpansNilTracer(t *testing.T) {
+	if n := BridgeSpans(nil, tracing.SpanContext{}, recordedStream(), time.Time{}, 1); n != 0 {
+		t.Fatalf("nil tracer bridged %d spans", n)
+	}
+}
+
+func TestWriteChromeTraceWithSpans(t *testing.T) {
+	events := recordedStream()
+	tr := tracing.NewTracer(tracing.NewStore(0, 0))
+	ctx, req := tr.StartSpan(context.Background(), "POST /v1/campaigns", "server")
+	ctx, job := tr.StartSpan(ctx, "job abc", "job")
+	_, exec := tr.StartSpan(ctx, "execute", "execute")
+	anchor := time.Unix(1000, 0)
+	BridgeSpans(tr, exec.Context(), events, anchor, 0.2)
+	exec.EndAt(anchor.Add(2 * time.Second))
+	job.EndAt(anchor.Add(2 * time.Second))
+	req.EndAt(anchor.Add(2 * time.Second))
+	spans := tr.Store().Spans(req.Context().TraceID)
+
+	toVirtual := func(wt time.Time) float64 { return wt.Sub(anchor).Seconds() / 0.2 }
+	var buf bytes.Buffer
+	if err := WriteChromeTraceWithSpans(&buf, events, spans, toVirtual); err != nil {
+		t.Fatalf("WriteChromeTraceWithSpans: %v", err)
+	}
+	if err := ValidateChromeTrace(buf.Bytes()); err != nil {
+		t.Fatalf("merged trace invalid: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{`"service"`, `"job abc"`, `"POST /v1/campaigns"`, `"sim[0]"`} {
+		if !bytes.Contains(buf.Bytes(), []byte(want)) {
+			t.Fatalf("merged trace missing %s:\n%s", want, out)
+		}
+	}
+
+	// Without service spans (or mapping) the output degrades to the
+	// plain export byte-for-byte.
+	var plain, degraded bytes.Buffer
+	if err := WriteChromeTrace(&plain, events); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteChromeTraceWithSpans(&degraded, events, nil, toVirtual); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(plain.Bytes(), degraded.Bytes()) {
+		t.Fatal("no-span merge diverges from WriteChromeTrace")
+	}
+}
+
+func TestBridgeScaleMapsMakespanOntoWallWindow(t *testing.T) {
+	// The invariant the critical path depends on: with
+	// scale = wallDuration/makespan the bridged spans tile the parent.
+	events := recordedStream()
+	makespan := 10.0
+	wallDur := 3.5
+	tr := tracing.NewTracer(tracing.NewStore(0, 0))
+	_, exec := tr.StartSpan(context.Background(), "execute", "execute")
+	anchor := time.Unix(500, 0)
+	BridgeSpans(tr, exec.Context(), events, anchor, wallDur/makespan)
+	exec.EndAt(anchor.Add(time.Duration(wallDur * float64(time.Second))))
+	spans := tr.Store().Spans(exec.Context().TraceID)
+	var comp tracing.SpanData
+	for _, d := range spans {
+		if d.Kind == "component" {
+			comp = d
+		}
+	}
+	if got := comp.End.Sub(comp.Start).Seconds(); math.Abs(got-wallDur) > 1e-9 {
+		t.Fatalf("component wall duration = %v, want %v", got, wallDur)
+	}
+}

@@ -98,6 +98,21 @@ func (l *Logger) With(kv ...any) *Logger {
 	return &out
 }
 
+// WithTrace returns a logger that stamps every record with the given
+// trace correlation IDs as "trace_id" and "span_id" (hex strings from
+// the tracing package). Empty IDs bind nothing, so call sites can pass
+// span accessors unconditionally — an untraced job logs without the
+// fields rather than with empty ones.
+func (l *Logger) WithTrace(traceID, spanID string) *Logger {
+	if l == nil || traceID == "" {
+		return l
+	}
+	if spanID == "" {
+		return l.With("trace_id", traceID)
+	}
+	return l.With("trace_id", traceID, "span_id", spanID)
+}
+
 // Debug logs at LevelDebug.
 func (l *Logger) Debug(msg string, kv ...any) { l.log(LevelDebug, msg, kv) }
 

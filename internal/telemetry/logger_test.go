@@ -80,6 +80,34 @@ func TestLoggerWithFields(t *testing.T) {
 	}
 }
 
+func TestLoggerWithTrace(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, LevelInfo)
+	l.WithTrace("0af7651916cd43dd8448eb211c80319c", "b7ad6b7169203331").Info("traced")
+	l.WithTrace("0af7651916cd43dd8448eb211c80319c", "").Info("trace only")
+	lines := decodeLines(t, &buf)
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	if lines[0]["trace_id"] != "0af7651916cd43dd8448eb211c80319c" || lines[0]["span_id"] != "b7ad6b7169203331" {
+		t.Errorf("traced line %v", lines[0])
+	}
+	if lines[1]["trace_id"] != "0af7651916cd43dd8448eb211c80319c" {
+		t.Errorf("trace-only line %v", lines[1])
+	}
+	if _, ok := lines[1]["span_id"]; ok {
+		t.Errorf("empty span_id should be omitted: %v", lines[1])
+	}
+}
+
+func TestLoggerWithTraceEmptyIsIdentity(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, LevelInfo)
+	if l.WithTrace("", "b7ad6b7169203331") != l {
+		t.Error("empty trace ID should return the receiver unchanged")
+	}
+}
+
 func TestNilLoggerIsSafe(t *testing.T) {
 	var l *Logger
 	l.Debug("x")
@@ -91,6 +119,9 @@ func TestNilLoggerIsSafe(t *testing.T) {
 	}
 	if l.With("k", "v") != nil {
 		t.Error("nil logger With should stay nil")
+	}
+	if l.WithTrace("0af7651916cd43dd8448eb211c80319c", "b7ad6b7169203331") != nil {
+		t.Error("nil logger WithTrace should stay nil")
 	}
 }
 

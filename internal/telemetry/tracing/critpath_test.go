@@ -1,0 +1,197 @@
+package tracing
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// mkSpan builds a SpanData with second-granularity times for readable
+// test fixtures.
+func mkSpan(id, parent byte, name, kind string, start, end float64) SpanData {
+	d := SpanData{Name: name, Kind: kind,
+		Start: time.Unix(0, int64(start*float64(time.Second))),
+		End:   time.Unix(0, int64(end*float64(time.Second)))}
+	d.TraceID = TraceID{1}
+	d.SpanID = SpanID{id}
+	if parent != 0 {
+		d.Parent = SpanID{parent}
+	}
+	return d
+}
+
+func totalSec(cp *CriticalPath) float64 {
+	var sum float64
+	for _, s := range cp.Segments {
+		sum += s.Sec
+	}
+	return sum
+}
+
+func TestCriticalPathLeafOnly(t *testing.T) {
+	spans := []SpanData{mkSpan(1, 0, "root", "job", 0, 10)}
+	cp, err := ComputeCriticalPath(spans, SpanID{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cp.Segments) != 1 || cp.Segments[0].Kind != "job" {
+		t.Fatalf("segments = %+v", cp.Segments)
+	}
+	if math.Abs(totalSec(cp)-10) > 1e-9 || math.Abs(cp.TotalSec-10) > 1e-9 {
+		t.Fatalf("total = %v, want 10", totalSec(cp))
+	}
+}
+
+func TestCriticalPathSequentialChildren(t *testing.T) {
+	// root [0,10]; queue [0,3]; execute [3,9]; gap [9,10] is root's own.
+	spans := []SpanData{
+		mkSpan(1, 0, "job", "job", 0, 10),
+		mkSpan(2, 1, "queue", "queue", 0, 3),
+		mkSpan(3, 1, "execute", "execute", 3, 9),
+	}
+	cp, err := ComputeCriticalPath(spans, SpanID{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(totalSec(cp)-10) > 1e-9 {
+		t.Fatalf("segments sum to %v, want exactly 10: %+v", totalSec(cp), cp.Segments)
+	}
+	want := map[string]float64{"queue": 3, "execute": 6, "job": 1}
+	got := map[string]float64{}
+	for _, kt := range cp.ByKind {
+		got[kt.Kind] = kt.Sec
+	}
+	for k, v := range want {
+		if math.Abs(got[k]-v) > 1e-9 {
+			t.Fatalf("kind %s = %v, want %v (all: %+v)", k, got[k], v, cp.ByKind)
+		}
+	}
+	// ByKind is sorted descending by time.
+	if cp.ByKind[0].Kind != "execute" {
+		t.Fatalf("ByKind not sorted: %+v", cp.ByKind)
+	}
+	if math.Abs(cp.ByKind[0].Frac-0.6) > 1e-9 {
+		t.Fatalf("execute frac = %v, want 0.6", cp.ByKind[0].Frac)
+	}
+}
+
+func TestCriticalPathPicksLastFinishingChild(t *testing.T) {
+	// Two parallel children; the later-finishing one is on the path for
+	// its window, the earlier one only for the uncovered prefix.
+	spans := []SpanData{
+		mkSpan(1, 0, "root", "job", 0, 10),
+		mkSpan(2, 1, "a", "stage:S", 0, 4),
+		mkSpan(3, 1, "b", "stage:A", 2, 10),
+	}
+	cp, err := ComputeCriticalPath(spans, SpanID{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(totalSec(cp)-10) > 1e-9 {
+		t.Fatalf("segments sum to %v, want 10", totalSec(cp))
+	}
+	got := map[string]float64{}
+	for _, kt := range cp.ByKind {
+		got[kt.Kind] = kt.Sec
+	}
+	// b covers [2,10] (8s), a covers the remaining [0,2] (2s).
+	if math.Abs(got["stage:A"]-8) > 1e-9 || math.Abs(got["stage:S"]-2) > 1e-9 {
+		t.Fatalf("breakdown wrong: %+v", cp.ByKind)
+	}
+}
+
+func TestCriticalPathDeepNesting(t *testing.T) {
+	// job → execute → component → stage; stage dominates.
+	spans := []SpanData{
+		mkSpan(1, 0, "job", "job", 0, 12),
+		mkSpan(2, 1, "queue", "queue", 0, 2),
+		mkSpan(3, 1, "execute", "execute", 2, 12),
+		mkSpan(4, 3, "sim[0]", "component", 2, 11),
+		mkSpan(5, 4, "S", "stage:S", 2, 7),
+		mkSpan(6, 4, "A", "stage:A", 7, 11),
+	}
+	cp, err := ComputeCriticalPath(spans, SpanID{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(totalSec(cp)-12) > 1e-9 {
+		t.Fatalf("segments sum to %v, want 12", totalSec(cp))
+	}
+	got := map[string]float64{}
+	for _, kt := range cp.ByKind {
+		got[kt.Kind] = kt.Sec
+	}
+	want := map[string]float64{"queue": 2, "stage:S": 5, "stage:A": 4, "execute": 1}
+	for k, v := range want {
+		if math.Abs(got[k]-v) > 1e-9 {
+			t.Fatalf("kind %s = %v, want %v (all: %+v)", k, got[k], v, cp.ByKind)
+		}
+	}
+	if got["component"] != 0 {
+		t.Fatalf("component fully covered by stages but got %v", got["component"])
+	}
+}
+
+func TestCriticalPathClampsRunawayChild(t *testing.T) {
+	// Child timestamps escape the parent window; clamping keeps the sum
+	// exactly equal to the root duration.
+	spans := []SpanData{
+		mkSpan(1, 0, "root", "job", 5, 10),
+		mkSpan(2, 1, "wild", "stage:W", 0, 20),
+	}
+	cp, err := ComputeCriticalPath(spans, SpanID{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(totalSec(cp)-5) > 1e-9 {
+		t.Fatalf("segments sum to %v, want 5", totalSec(cp))
+	}
+}
+
+func TestCriticalPathMissingRoot(t *testing.T) {
+	if _, err := ComputeCriticalPath(nil, SpanID{9}); err == nil {
+		t.Fatal("missing root accepted")
+	}
+}
+
+func TestCriticalPathZeroDurationRoot(t *testing.T) {
+	// Cache-hit jobs complete instantly; the report must not divide by
+	// zero or invent segments.
+	spans := []SpanData{mkSpan(1, 0, "job", "job", 3, 3)}
+	cp, err := ComputeCriticalPath(spans, SpanID{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.TotalSec != 0 || len(cp.Segments) != 0 {
+		t.Fatalf("zero-duration root produced %+v", cp)
+	}
+}
+
+func TestFindRoot(t *testing.T) {
+	spans := []SpanData{
+		mkSpan(2, 1, "child", "job", 1, 2),
+		mkSpan(1, 0, "root", "server", 0, 3),
+		mkSpan(3, 9, "orphan", "job", 0.5, 1), // parent not in trace
+	}
+	root, ok := FindRoot(spans)
+	if !ok || root.Name != "root" {
+		t.Fatalf("FindRoot = %+v, %v", root, ok)
+	}
+	if _, ok := FindRoot(nil); ok {
+		t.Fatal("FindRoot on empty slice reported a root")
+	}
+}
+
+func TestCriticalPathCycleGuard(t *testing.T) {
+	// Corrupt input: two spans claiming each other as parent must not
+	// hang the walker.
+	a := mkSpan(1, 2, "a", "job", 0, 10)
+	b := mkSpan(2, 1, "b", "queue", 0, 10)
+	cp, err := ComputeCriticalPath([]SpanData{a, b}, SpanID{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(totalSec(cp)-10) > 1e-9 {
+		t.Fatalf("segments sum to %v, want 10", totalSec(cp))
+	}
+}

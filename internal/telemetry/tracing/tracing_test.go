@@ -1,0 +1,311 @@
+package tracing
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func newTestTracer() *Tracer { return NewTracer(NewStore(0, 0)) }
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	tr := newTestTracer()
+	_, s := tr.StartSpan(context.Background(), "root", "server")
+	h := s.Context().Traceparent()
+	sc, err := ParseTraceparent(h)
+	if err != nil {
+		t.Fatalf("ParseTraceparent(%q): %v", h, err)
+	}
+	if sc != s.Context() {
+		t.Fatalf("round trip: got %+v want %+v", sc, s.Context())
+	}
+}
+
+func TestParseTraceparentRejects(t *testing.T) {
+	bad := []string{
+		"",
+		"00-abc",
+		"00-00000000000000000000000000000000-0000000000000000-01", // all-zero IDs
+		"ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", // version ff
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7x01", // bad separator
+		"00-ZZf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", // non-hex
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01extra",
+	}
+	for _, h := range bad {
+		if _, err := ParseTraceparent(h); err == nil {
+			t.Errorf("ParseTraceparent(%q) accepted malformed input", h)
+		}
+	}
+	// A longer header with a valid continuation separator parses.
+	ok := "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-anything"
+	if _, err := ParseTraceparent(ok); err != nil {
+		t.Errorf("ParseTraceparent(%q): %v", ok, err)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var tr *Tracer
+	ctx, s := tr.StartSpan(context.Background(), "x", "server")
+	if s != nil {
+		t.Fatal("nil tracer returned non-nil span")
+	}
+	if SpanFromContext(ctx) != nil {
+		t.Fatal("nil tracer polluted the context")
+	}
+	// All span methods are no-ops on nil.
+	s.SetAttr(String("k", "v"))
+	s.SetError(context.Canceled)
+	s.End()
+	if s.TraceID() != "" || s.SpanID() != "" {
+		t.Fatal("nil span has non-empty IDs")
+	}
+	if s.Recording() {
+		t.Fatal("nil span claims to record")
+	}
+	if tr.SpanAt(SpanContext{}, "x", "k", time.Now(), time.Now()).IsValid() {
+		t.Fatal("nil tracer SpanAt returned a valid context")
+	}
+	var st *Store
+	if st.Spans(TraceID{1}) != nil || st.Len() != 0 || st.Dropped() != 0 {
+		t.Fatal("nil store not inert")
+	}
+}
+
+func TestSpanParenting(t *testing.T) {
+	tr := newTestTracer()
+	ctx, root := tr.StartSpan(context.Background(), "root", "server")
+	ctx2, child := tr.StartSpan(ctx, "child", "campaign")
+	_, grand := tr.StartSpan(ctx2, "grand", "job")
+
+	if child.Context().TraceID != root.Context().TraceID {
+		t.Fatal("child switched traces")
+	}
+	if grand.Context().TraceID != root.Context().TraceID {
+		t.Fatal("grandchild switched traces")
+	}
+	grand.End()
+	child.End()
+	root.End()
+
+	spans := tr.Store().Spans(root.Context().TraceID)
+	if len(spans) != 3 {
+		t.Fatalf("stored %d spans, want 3", len(spans))
+	}
+	byName := map[string]SpanData{}
+	for _, d := range spans {
+		byName[d.Name] = d
+	}
+	if byName["child"].Parent != root.Context().SpanID {
+		t.Fatal("child not parented to root")
+	}
+	if byName["grand"].Parent != child.Context().SpanID {
+		t.Fatal("grandchild not parented to child")
+	}
+	if byName["root"].Parent.IsValid() {
+		t.Fatal("root has a parent")
+	}
+	if got := Depth(spans); got != 3 {
+		t.Fatalf("Depth = %d, want 3", got)
+	}
+}
+
+func TestRemoteParent(t *testing.T) {
+	tr := newTestTracer()
+	remote, err := ParseTraceparent("00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := ContextWithRemote(context.Background(), remote)
+	_, s := tr.StartSpan(ctx, "server", "server")
+	if s.Context().TraceID != remote.TraceID {
+		t.Fatal("remote trace ID not adopted")
+	}
+	s.End()
+	spans := tr.Store().Spans(remote.TraceID)
+	if len(spans) != 1 || spans[0].Parent != remote.SpanID {
+		t.Fatalf("span not parented to remote context: %+v", spans)
+	}
+}
+
+func TestEndIdempotentAndOrdering(t *testing.T) {
+	tr := newTestTracer()
+	_, s := tr.StartSpan(context.Background(), "x", "job")
+	s.SetError(context.DeadlineExceeded)
+	s.End()
+	s.End() // second End must not double-store
+	spans := tr.Store().Spans(s.Context().TraceID)
+	if len(spans) != 1 {
+		t.Fatalf("stored %d spans, want 1", len(spans))
+	}
+	if !spans[0].IsError || spans[0].Status != context.DeadlineExceeded.Error() {
+		t.Fatalf("error status lost: %+v", spans[0])
+	}
+	if spans[0].End.Before(spans[0].Start) {
+		t.Fatal("end before start")
+	}
+}
+
+func TestSpanAtBridgesUnderParent(t *testing.T) {
+	tr := newTestTracer()
+	_, root := tr.StartSpan(context.Background(), "exec", "execute")
+	t0 := root.Context()
+	base := time.Unix(100, 0)
+	comp := tr.SpanAt(t0, "sim[0]", "component", base, base.Add(2*time.Second))
+	tr.SpanAt(comp, "S", "stage:S", base, base.Add(time.Second))
+	root.End()
+	spans := tr.Store().Spans(t0.TraceID)
+	if len(spans) != 3 {
+		t.Fatalf("stored %d spans, want 3", len(spans))
+	}
+	if got := Depth(spans); got != 3 {
+		t.Fatalf("Depth = %d, want 3", got)
+	}
+}
+
+func TestStoreBounds(t *testing.T) {
+	st := NewStore(2, 3)
+	tr := NewTracer(st)
+	var traces []TraceID
+	for i := 0; i < 3; i++ {
+		_, s := tr.StartSpan(context.Background(), "root", "server")
+		traces = append(traces, s.Context().TraceID)
+		for k := 0; k < 5; k++ {
+			tr.SpanAt(s.Context(), "c", "job", time.Unix(0, 0), time.Unix(1, 0))
+		}
+		s.End()
+	}
+	if st.Len() != 2 {
+		t.Fatalf("store retained %d traces, want 2 (FIFO bound)", st.Len())
+	}
+	if st.Spans(traces[0]) != nil {
+		t.Fatal("oldest trace not evicted")
+	}
+	for _, id := range traces[1:] {
+		if n := len(st.Spans(id)); n != 3 {
+			t.Fatalf("trace retained %d spans, want 3 (per-trace cap)", n)
+		}
+	}
+	if st.Dropped() == 0 {
+		t.Fatal("dropped counter not advanced")
+	}
+}
+
+func TestStoreConcurrent(t *testing.T) {
+	tr := newTestTracer()
+	_, root := tr.StartSpan(context.Background(), "root", "server")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				_, s := tr.StartSpan(ContextWithSpan(context.Background(), root), "w", "job")
+				s.SetAttr(Int("i", i))
+				s.End()
+			}
+		}()
+	}
+	wg.Wait()
+	root.End()
+	if n := len(tr.Store().Spans(root.Context().TraceID)); n != 8*200+1 {
+		t.Fatalf("stored %d spans, want %d", n, 8*200+1)
+	}
+}
+
+func TestIDUniqueness(t *testing.T) {
+	tr := newTestTracer()
+	seen := make(map[SpanID]bool)
+	for i := 0; i < 10000; i++ {
+		id := tr.newSpanID()
+		if !id.IsValid() {
+			t.Fatal("generated zero span ID")
+		}
+		if seen[id] {
+			t.Fatalf("duplicate span ID after %d draws", i)
+		}
+		seen[id] = true
+	}
+}
+
+func TestOTLPRoundTrip(t *testing.T) {
+	tr := newTestTracer()
+	ctx, root := tr.StartSpan(context.Background(), "req", "server", String("http.route", "/v1/campaigns"))
+	_, child := tr.StartSpan(ctx, "job", "job", Int("priority", 5), Float("objective", 1.25), Bool("cacheHit", false))
+	child.SetError(context.Canceled)
+	child.End()
+	root.End()
+
+	spans := tr.Store().Spans(root.Context().TraceID)
+	var buf bytes.Buffer
+	if err := WriteOTLP(&buf, "ensembled", spans); err != nil {
+		t.Fatalf("WriteOTLP: %v", err)
+	}
+	if !strings.Contains(buf.String(), `"resourceSpans"`) || !strings.Contains(buf.String(), `"ensembled"`) {
+		t.Fatalf("OTLP document missing envelope:\n%s", buf.String())
+	}
+
+	got, err := ReadOTLP(&buf)
+	if err != nil {
+		t.Fatalf("ReadOTLP: %v", err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("round trip returned %d spans, want 2", len(got))
+	}
+	byName := map[string]SpanData{}
+	for _, d := range got {
+		byName[d.Name] = d
+	}
+	j := byName["job"]
+	if j.Kind != "job" || j.Parent != root.Context().SpanID || !j.IsError {
+		t.Fatalf("job span mangled: %+v", j)
+	}
+	if j.Status != context.Canceled.Error() {
+		t.Fatalf("status message lost: %q", j.Status)
+	}
+	var prio, obj, hit bool
+	for _, a := range j.Attrs {
+		switch a.Key {
+		case "priority":
+			prio = a.Value == int64(5)
+		case "objective":
+			obj = a.Value == 1.25
+		case "cacheHit":
+			hit = a.Value == false
+		}
+	}
+	if !prio || !obj || !hit {
+		t.Fatalf("attribute values mangled: %+v", j.Attrs)
+	}
+	r := byName["req"]
+	if r.Kind != "server" || r.Parent.IsValid() {
+		t.Fatalf("root span mangled: %+v", r)
+	}
+	// Times survive at nanosecond resolution.
+	if !r.Start.Equal(byName["req"].Start) || r.End.Sub(r.Start) < 0 {
+		t.Fatal("timestamps mangled")
+	}
+}
+
+func TestWriteOTLPDeterministic(t *testing.T) {
+	tr := newTestTracer()
+	_, root := tr.StartSpan(context.Background(), "root", "server")
+	base := time.Unix(50, 0)
+	for i := 0; i < 5; i++ {
+		tr.SpanAt(root.Context(), "c", "job", base.Add(time.Duration(i)*time.Second), base.Add(time.Duration(i+1)*time.Second))
+	}
+	root.End()
+	spans := tr.Store().Spans(root.Context().TraceID)
+	var a, b bytes.Buffer
+	if err := WriteOTLP(&a, "svc", spans); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteOTLP(&b, "svc", spans); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("WriteOTLP not deterministic for fixed input")
+	}
+}

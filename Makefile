@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check race bench bench-json cover serve clean
+.PHONY: all build test check race bench bench-json cover serve chaos clean
 
 all: build test
 
@@ -37,6 +37,12 @@ bench-json:
 serve:
 	$(GO) build ./cmd/ensembled
 	$(GO) run ./cmd/ensembled -smoke
+
+# chaos is the crash-recovery smoke: start a server, SIGKILL it
+# mid-campaign, restart it on the same state dir, and require the resumed
+# campaign to complete with results identical to an uninterrupted run.
+chaos:
+	$(GO) run ./cmd/ensembled -smoke-chaos
 
 cover:
 	$(GO) test -cover ./...

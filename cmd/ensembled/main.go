@@ -8,9 +8,20 @@
 //
 //	ensembled [-addr :8080] [-workers N] [-queue N]
 //	          [-cache-bytes N] [-cache-dir DIR]
+//	          [-state-dir DIR] [-retry N] [-exec-delay DUR]
 //	          [-log-level info] [-pprof] [-no-trace]
 //	          [-trace-traces N] [-trace-spans N]
-//	          [-smoke] [-artifacts-dir DIR]
+//	          [-smoke] [-smoke-chaos] [-artifacts-dir DIR]
+//
+// With -state-dir the service is crash-safe: every campaign, job
+// enqueue, and terminal job state is fsync'd to an append-only journal
+// (DIR/journal.wal) before it is acknowledged, and results persist in a
+// checksummed disk cache (DIR/cache unless -cache-dir overrides it). On
+// startup the journal is replayed: finished jobs resolve from the cache,
+// unfinished ones re-enter the queue, and open campaigns relaunch under
+// their original IDs — a SIGKILL'd service resumes exactly where it
+// stopped. -retry bounds executions per job (transient failures back off
+// and re-enqueue; default 3; 1 disables retries).
 //
 // Endpoints:
 //
@@ -24,6 +35,8 @@
 //	GET  /v1/jobs/{id}/spans         distributed-trace spans (OTLP JSON)
 //	GET  /v1/jobs/{id}/critical-path per-job critical path with stage breakdown
 //	GET  /v1/stats                   cache hit rate, queue depth, worker counters
+//	GET  /healthz                    liveness (200 while the process serves)
+//	GET  /readyz                     readiness (503 when draining/saturated/journal unwritable)
 //	GET  /metrics                    Prometheus text exposition (service + obs)
 //	GET  /debug/pprof/*              runtime profiles (only with -pprof)
 //
@@ -35,11 +48,19 @@
 //
 // -smoke starts the server on a loopback listener, POSTs the paper's
 // Table 2 campaign to it twice (cold then warm cache), scrapes /metrics,
-// consumes one SSE stream end to end, verifies the distributed trace of
-// a job (span depth and critical-path accounting), prints the ranking
-// and the cache stats, and exits — the self-test behind `make serve`.
-// With -artifacts-dir the smoke test writes the fetched spans and
-// critical path there as JSON files (CI uploads them as artifacts).
+// checks /healthz and /readyz, consumes one SSE stream end to end,
+// verifies the distributed trace of a job (span depth and critical-path
+// accounting), prints the ranking and the cache stats, and exits — the
+// self-test behind `make serve`. With -artifacts-dir the smoke test
+// writes the fetched spans and critical path there as JSON files (CI
+// uploads them as artifacts).
+//
+// -smoke-chaos is the crash-recovery self-test: it re-executes this
+// binary as a server with a state dir and slowed executions, POSTs a
+// Table 2 campaign, kills the server with SIGKILL mid-flight, restarts
+// it against the same state dir, waits for the resumed campaign to
+// finish, and asserts its result fingerprint is identical to an
+// uninterrupted in-process run of the same sweep.
 package main
 
 import (
@@ -55,6 +76,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"os/exec"
 	"os/signal"
 	"path/filepath"
 	"strings"
@@ -63,6 +85,7 @@ import (
 
 	"ensemblekit/internal/campaign"
 	"ensemblekit/internal/obs"
+	"ensemblekit/internal/placement"
 	"ensemblekit/internal/telemetry"
 	"ensemblekit/internal/telemetry/tracing"
 )
@@ -74,21 +97,28 @@ func main() {
 		queue       = flag.Int("queue", 0, "job queue depth (0 = default 256)")
 		cacheBytes  = flag.Int64("cache-bytes", 0, "in-memory result-cache budget (0 = default 256 MiB)")
 		cacheDir    = flag.String("cache-dir", "", "optional on-disk result cache directory")
+		stateDir    = flag.String("state-dir", "", "durable state directory: journal (DIR/journal.wal) + default disk cache (DIR/cache)")
+		retry       = flag.Int("retry", 3, "max executions per job; transient failures back off and re-enqueue (1 disables retries)")
+		execDelay   = flag.Duration("exec-delay", 0, "artificially stretch each execution (chaos/load testing only)")
 		logLevel    = flag.String("log-level", "info", "log level: debug, info, warn, error")
 		pprofOn     = flag.Bool("pprof", false, "expose GET /debug/pprof/* runtime profiles")
 		noTrace     = flag.Bool("no-trace", false, "disable distributed tracing")
 		traceTraces = flag.Int("trace-traces", 0, "max retained traces (0 = default 1024)")
 		traceSpans  = flag.Int("trace-spans", 0, "max retained spans per trace (0 = default 8192)")
 		smoke       = flag.Bool("smoke", false, "run the Table 2 self-test against a loopback server and exit")
+		smokeChaos  = flag.Bool("smoke-chaos", false, "run the kill -9 / resume self-test and exit")
 		artifacts   = flag.String("artifacts-dir", "", "smoke only: write fetched spans and critical path here")
+		addrFile    = flag.String("addr-file", "", "write the bound listen address to this file (used by the chaos harness)")
 	)
 	flag.Parse()
 	cfg := serverConfig{
 		addr: *addr, workers: *workers, queue: *queue,
 		cacheBytes: *cacheBytes, cacheDir: *cacheDir, logLevel: *logLevel,
+		stateDir: *stateDir, retry: *retry, execDelay: *execDelay,
 		pprofOn: *pprofOn, noTrace: *noTrace,
 		traceTraces: *traceTraces, traceSpans: *traceSpans,
-		smoke: *smoke, artifactsDir: *artifacts,
+		smoke: *smoke, smokeChaos: *smokeChaos, artifactsDir: *artifacts,
+		addrFile: *addrFile,
 	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintf(os.Stderr, "ensembled: %v\n", err)
@@ -102,20 +132,40 @@ type serverConfig struct {
 	workers, queue     int
 	cacheBytes         int64
 	cacheDir, logLevel string
+	stateDir           string
+	retry              int
+	execDelay          time.Duration
 	pprofOn, noTrace   bool
 	traceTraces        int
 	traceSpans         int
-	smoke              bool
+	smoke, smokeChaos  bool
 	artifactsDir       string
+	addrFile           string
 }
 
 func run(cfg serverConfig) error {
+	if cfg.smokeChaos {
+		return smokeChaos(cfg.stateDir)
+	}
 	level, ok := telemetry.ParseLevel(cfg.logLevel)
 	if !ok {
 		return fmt.Errorf("unknown -log-level %q (want debug, info, warn, or error)", cfg.logLevel)
 	}
 	log := telemetry.NewLogger(os.Stderr, level)
 	reg := telemetry.NewRegistry()
+
+	// -state-dir bundles durability: the journal plus (unless overridden)
+	// a disk cache, so replayed jobs resolve without re-executing.
+	journalPath := ""
+	if cfg.stateDir != "" {
+		if err := os.MkdirAll(cfg.stateDir, 0o755); err != nil {
+			return fmt.Errorf("state dir: %w", err)
+		}
+		journalPath = filepath.Join(cfg.stateDir, "journal.wal")
+		if cfg.cacheDir == "" {
+			cfg.cacheDir = filepath.Join(cfg.stateDir, "cache")
+		}
+	}
 
 	// The obs recorder keeps the service's counters as a virtual-time
 	// event log; the sink bridges the same emissions into the Prometheus
@@ -130,22 +180,30 @@ func run(cfg serverConfig) error {
 	}
 
 	svc, err := campaign.NewService(campaign.Config{
-		Workers:    cfg.workers,
-		QueueDepth: cfg.queue,
-		CacheBytes: cfg.cacheBytes,
-		CacheDir:   cfg.cacheDir,
-		Recorder:   rec,
-		Metrics:    reg,
-		Logger:     log,
-		Tracer:     tracer,
+		Workers:     cfg.workers,
+		QueueDepth:  cfg.queue,
+		CacheBytes:  cfg.cacheBytes,
+		CacheDir:    cfg.cacheDir,
+		JournalPath: journalPath,
+		Retry:       campaign.RetryPolicy{MaxAttempts: cfg.retry},
+		ExecDelay:   cfg.execDelay,
+		Recorder:    rec,
+		Metrics:     reg,
+		Logger:      log,
+		Tracer:      tracer,
 	})
 	if err != nil {
 		return err
 	}
 	defer svc.Close()
 
+	api := campaign.NewServer(svc)
+	api.Resume() // relaunch campaigns left open in the journal
+
 	mux := http.NewServeMux()
-	mux.Handle("/v1/", campaign.NewServer(svc).Handler())
+	mux.Handle("/v1/", api.Handler())
+	mux.Handle("GET /healthz", api.Handler())
+	mux.Handle("GET /readyz", api.Handler())
 	mux.Handle("GET /metrics", reg.Handler())
 	if cfg.pprofOn {
 		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
@@ -164,6 +222,16 @@ func run(cfg serverConfig) error {
 	if err != nil {
 		return err
 	}
+	if cfg.addrFile != "" {
+		// Tmp-then-rename so a watcher never reads a half-written address.
+		tmp := cfg.addrFile + ".tmp"
+		if err := os.WriteFile(tmp, []byte(ln.Addr().String()), 0o644); err != nil {
+			return err
+		}
+		if err := os.Rename(tmp, cfg.addrFile); err != nil {
+			return err
+		}
+	}
 
 	if cfg.smoke {
 		go func() { _ = srv.Serve(ln) }()
@@ -180,6 +248,7 @@ func run(cfg serverConfig) error {
 	go func() {
 		<-ctx.Done()
 		log.Info("shutting down")
+		api.SetDraining(true) // readiness fails first, so LBs stop routing
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		_ = srv.Shutdown(shutdownCtx)
@@ -223,6 +292,9 @@ func smokeTest(base string, traced bool, artifactsDir string) error {
 		return errors.New("smoke: warm re-run produced no cache hits")
 	}
 
+	if err := smokeHealth(base); err != nil {
+		return err
+	}
 	if err := smokeMetrics(base); err != nil {
 		return err
 	}
@@ -358,6 +430,30 @@ func smokeTrace(base, artifactsDir string) error {
 	}
 	fmt.Printf("trace: job %s, %d spans, depth %d, critical path %.3fs across %d segments (top kind %s)\n",
 		jobID, len(spans), depth, cp.TotalSec, len(cp.Segments), cp.ByKind[0].Kind)
+	return nil
+}
+
+// smokeHealth checks liveness and readiness: both endpoints must answer
+// 200 on a healthy, non-draining server.
+func smokeHealth(base string) error {
+	var health struct {
+		Status  string   `json:"status"`
+		Reasons []string `json:"reasons,omitempty"`
+	}
+	if err := getJSON(base+"/healthz", &health); err != nil {
+		return fmt.Errorf("smoke: GET /healthz: %w", err)
+	}
+	if health.Status != "ok" {
+		return fmt.Errorf("smoke: /healthz status %q, want ok", health.Status)
+	}
+	if err := getJSON(base+"/readyz", &health); err != nil {
+		return fmt.Errorf("smoke: GET /readyz: %w", err)
+	}
+	if health.Status != "ready" {
+		return fmt.Errorf("smoke: /readyz status %q (reasons %v), want ready",
+			health.Status, health.Reasons)
+	}
+	fmt.Println("health: live and ready")
 	return nil
 }
 
@@ -515,6 +611,201 @@ func runTable2(base string) ([]indicatorRanked, error) {
 type indicatorRanked struct {
 	Name  string  `json:"Name"`
 	Value float64 `json:"Value"`
+}
+
+// smokeChaos is the crash-recovery self-test behind -smoke-chaos: it
+// proves a SIGKILL'd server resumes its campaign from the journal and
+// produces results identical to a run that was never interrupted.
+//
+//  1. Run the chaos sweep uninterrupted, in process, and fingerprint it.
+//  2. Re-exec this binary as a server with -state-dir and slowed
+//     executions, POST the same sweep, and SIGKILL the server once the
+//     campaign is mid-flight (some jobs done, some not).
+//  3. Restart the server on the same state dir; the journal replay
+//     re-enqueues the unfinished jobs, the disk cache answers the
+//     finished ones, and Resume relaunches campaign c-1.
+//  4. Wait for c-1 to finish and compare its result fingerprint (labels,
+//     hashes, objectives, efficiencies, makespans, ranking) against the
+//     uninterrupted run's.
+func smokeChaos(stateDir string) error {
+	if stateDir == "" {
+		dir, err := os.MkdirTemp("", "ensembled-chaos-")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		stateDir = dir
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		return err
+	}
+
+	refFP, refJobs, err := chaosReference()
+	if err != nil {
+		return fmt.Errorf("chaos: uninterrupted reference run: %w", err)
+	}
+	fmt.Printf("chaos: reference fingerprint %s (%d jobs)\n", refFP[:16], refJobs)
+
+	// First server: accept the campaign, then die hard mid-flight.
+	base, child, err := startChaosChild(exe, stateDir)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if child.Process != nil {
+			_ = child.Process.Kill()
+			_ = child.Wait()
+		}
+	}()
+	body, _ := json.Marshal(chaosSweepRequest())
+	resp, err := http.Post(base+"/v1/campaigns", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	var st campaign.CampaignStatus
+	if err := decodeJSON(resp, &st); err != nil {
+		return err
+	}
+	if st.ID != "c-1" {
+		return fmt.Errorf("chaos: campaign id %q, want c-1", st.ID)
+	}
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		if err := getJSON(base+"/v1/campaigns/"+st.ID, &st); err != nil {
+			return err
+		}
+		if st.Done >= 1 && st.Done < st.Total {
+			break
+		}
+		if st.Status != "running" || time.Now().After(deadline) {
+			return fmt.Errorf("chaos: never caught campaign mid-flight (status %s, %d/%d jobs)",
+				st.Status, st.Done, st.Total)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	fmt.Printf("chaos: killing server at %d/%d jobs\n", st.Done, st.Total)
+	if err := child.Process.Kill(); err != nil { // SIGKILL: no cleanup, no goodbye
+		return err
+	}
+	_ = child.Wait()
+
+	// Second server, same state dir: replay + resume.
+	base2, child2, err := startChaosChild(exe, stateDir)
+	if err != nil {
+		return fmt.Errorf("chaos: restart: %w", err)
+	}
+	defer func() {
+		_ = child2.Process.Kill()
+		_ = child2.Wait()
+	}()
+	for {
+		if err := getJSON(base2+"/v1/campaigns/c-1", &st); err != nil {
+			return fmt.Errorf("chaos: polling resumed campaign: %w", err)
+		}
+		if st.Status != "running" {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("chaos: resumed campaign timed out (%d/%d jobs)", st.Done, st.Total)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if st.Status != "done" {
+		return fmt.Errorf("chaos: resumed campaign %s: %s", st.Status, st.Error)
+	}
+	gotFP, err := st.Result.Fingerprint()
+	if err != nil {
+		return err
+	}
+	if gotFP != refFP {
+		return fmt.Errorf("chaos: resumed fingerprint %s != uninterrupted %s", gotFP, refFP)
+	}
+	var stats struct {
+		campaign.Stats
+		HitRate float64 `json:"hitRate"`
+	}
+	if err := getJSON(base2+"/v1/stats", &stats); err != nil {
+		return err
+	}
+	if stats.JournalReplayed == 0 {
+		return errors.New("chaos: restart replayed no jobs from the journal")
+	}
+	fmt.Printf("chaos: resumed campaign done, fingerprint matches (%d jobs replayed, %d cache hits)\n",
+		stats.JournalReplayed, stats.CacheHits)
+	fmt.Println("chaos smoke passed")
+	return nil
+}
+
+// chaosSweepRequest is the sweep both the reference run and the chaos
+// servers evaluate: the Table 2 configurations at a reduced step count.
+func chaosSweepRequest() map[string]any {
+	return map[string]any{
+		"name":    "chaos",
+		"configs": []string{"table2"},
+		"steps":   8,
+	}
+}
+
+// chaosReference evaluates the chaos sweep in process, uninterrupted,
+// and returns its fingerprint — the ground truth the resumed campaign
+// must reproduce.
+func chaosReference() (string, int, error) {
+	svc, err := campaign.NewService(campaign.Config{Workers: 2})
+	if err != nil {
+		return "", 0, err
+	}
+	defer svc.Close()
+	res, err := campaign.RunCampaign(context.Background(), svc, campaign.Sweep{
+		Name:       "chaos",
+		Placements: placement.ConfigsTable2(),
+		Steps:      8,
+	})
+	if err != nil {
+		return "", 0, err
+	}
+	fp, err := res.Fingerprint()
+	return fp, res.Jobs, err
+}
+
+// startChaosChild launches this binary as a chaos-harness server: two
+// workers and slowed executions keep the campaign in flight long enough
+// to kill it mid-run, and -addr-file publishes the ephemeral port. It
+// returns once the child answers /healthz.
+func startChaosChild(exe, stateDir string) (string, *exec.Cmd, error) {
+	addrFile := filepath.Join(stateDir, fmt.Sprintf("addr-%d.txt", time.Now().UnixNano()))
+	cmd := exec.Command(exe,
+		"-addr", "127.0.0.1:0",
+		"-addr-file", addrFile,
+		"-state-dir", stateDir,
+		"-workers", "2",
+		"-exec-delay", "30ms",
+		"-retry", "3",
+		"-log-level", "warn",
+	)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return "", nil, err
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if b, err := os.ReadFile(addrFile); err == nil && len(b) > 0 {
+			base := "http://" + strings.TrimSpace(string(b))
+			if r, err := http.Get(base + "/healthz"); err == nil {
+				r.Body.Close()
+				if r.StatusCode == http.StatusOK {
+					return base, cmd, nil
+				}
+			}
+		}
+		if time.Now().After(deadline) {
+			_ = cmd.Process.Kill()
+			_ = cmd.Wait()
+			return "", nil, errors.New("chaos: server never became healthy")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
 }
 
 func getJSON(url string, v any) error {

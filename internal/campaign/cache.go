@@ -2,7 +2,10 @@ package campaign
 
 import (
 	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -44,6 +47,43 @@ type resultCache struct {
 	order   *list.List // front = most recent; values are *cacheEntry
 	entries map[string]*list.Element
 	bytes   int64
+
+	// onCorrupt, if set, observes each disk entry evicted for failing its
+	// integrity check. Called under the same lock as get/put (the
+	// service's mutex), so it must not retake it.
+	onCorrupt func(hash string, err error)
+}
+
+// diskEnvelope wraps each on-disk entry with a SHA-256 of its payload so
+// bit rot, torn writes that survived rename, or hand-edited files are
+// detected on read instead of silently poisoning campaign results. An
+// entry that fails verification is evicted and treated as a miss — the
+// job simply re-executes.
+type diskEnvelope struct {
+	Sum    string          `json:"sha256"`
+	Result json.RawMessage `json:"result"`
+}
+
+// decodeDiskEntry verifies and unwraps one on-disk entry, returning the
+// result and its payload size. Entries from before the envelope format
+// (or with a missing checksum) fail verification and re-execute once.
+func decodeDiskEntry(b []byte) (*Result, int64, error) {
+	var env diskEnvelope
+	if err := json.Unmarshal(b, &env); err != nil {
+		return nil, 0, fmt.Errorf("undecodable envelope: %w", err)
+	}
+	if env.Sum == "" || len(env.Result) == 0 {
+		return nil, 0, errors.New("missing checksum envelope")
+	}
+	sum := sha256.Sum256(env.Result)
+	if got := hex.EncodeToString(sum[:]); got != env.Sum {
+		return nil, 0, fmt.Errorf("checksum mismatch: entry says %s, payload is %s", env.Sum, got)
+	}
+	var res Result
+	if err := json.Unmarshal(env.Result, &res); err != nil {
+		return nil, 0, fmt.Errorf("undecodable payload: %w", err)
+	}
+	return &res, int64(len(env.Result)), nil
 }
 
 type cacheEntry struct {
@@ -88,12 +128,18 @@ func (c *resultCache) get(hash string) (*Result, bool, error) {
 		}
 		return nil, false, fmt.Errorf("campaign: cache read: %w", err)
 	}
-	var res Result
-	if err := json.Unmarshal(b, &res); err != nil {
-		return nil, false, fmt.Errorf("campaign: cache entry %s corrupt: %w", hash, err)
+	res, size, err := decodeDiskEntry(b)
+	if err != nil {
+		// Integrity failure: evict and miss rather than serve (or error
+		// on) a corrupt result — a re-execution is always correct.
+		_ = os.Remove(c.path(hash))
+		if c.onCorrupt != nil {
+			c.onCorrupt(hash, err)
+		}
+		return nil, false, nil
 	}
-	c.admit(hash, &res, int64(len(b)))
-	return &res, true, nil
+	c.admit(hash, res, size)
+	return res, true, nil
 }
 
 // put stores a result under its hash in both tiers.
@@ -106,10 +152,18 @@ func (c *resultCache) put(hash string, res *Result) error {
 		return fmt.Errorf("campaign: encoding result: %w", err)
 	}
 	if c.dir != "" {
+		sum := sha256.Sum256(b)
+		env, err := json.Marshal(diskEnvelope{
+			Sum:    hex.EncodeToString(sum[:]),
+			Result: b,
+		})
+		if err != nil {
+			return fmt.Errorf("campaign: encoding cache entry: %w", err)
+		}
 		// Write-then-rename so a crashed writer never leaves a torn entry
 		// that a later get would reject as corrupt.
 		tmp := c.path(hash) + ".tmp"
-		if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		if err := os.WriteFile(tmp, env, 0o644); err != nil {
 			return fmt.Errorf("campaign: cache write: %w", err)
 		}
 		if err := os.Rename(tmp, c.path(hash)); err != nil {

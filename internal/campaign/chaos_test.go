@@ -1,0 +1,241 @@
+package campaign
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ensemblekit/internal/placement"
+)
+
+// This file is the in-process chaos suite for the durability layer: a
+// service is interrupted mid-campaign (its unfinished jobs still pending
+// in the write-ahead log), a second service is opened on the same state
+// directory, and the resumed work must complete with results identical
+// to a run that was never interrupted. The subprocess variant — a real
+// SIGKILL against a live ensembled server — lives behind
+// `ensembled -smoke-chaos` and runs in CI.
+
+func chaosSweep() Sweep {
+	return Sweep{Name: "chaos", Placements: placement.ConfigsTable2(), Steps: 8}
+}
+
+// chaosFingerprint runs the chaos sweep uninterrupted on a throwaway
+// service and fingerprints the result.
+func chaosFingerprint(t *testing.T) string {
+	t.Helper()
+	svc, err := NewService(Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	res, err := RunCampaign(context.Background(), svc, chaosSweep())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := res.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fp
+}
+
+func TestServiceResumesJournaledJobsAfterShutdown(t *testing.T) {
+	dir := t.TempDir()
+	journalPath := filepath.Join(dir, "journal.wal")
+	cacheDir := filepath.Join(dir, "cache")
+
+	// First life: one worker, and only the seed-1 job is allowed to
+	// finish — the others park until shutdown cancels them.
+	svc1, err := NewService(Config{
+		Workers:     1,
+		JournalPath: journalPath,
+		CacheDir:    cacheDir,
+		runFn: func(ctx context.Context, spec JobSpec) (*Result, error) {
+			if spec.Sim.Seed != 1 {
+				<-ctx.Done()
+				return nil, ctx.Err()
+			}
+			return Execute(spec)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := []JobSpec{jobFor(t, 1), jobFor(t, 2), jobFor(t, 3)}
+	j1, err := svc1.Submit(context.Background(), specs[0], SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j1.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	for _, spec := range specs[1:] {
+		if _, err := svc1.Submit(context.Background(), spec, SubmitOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	svc1.Close() // the two unfinished jobs stay pending in the journal
+
+	// Second life: a plain service on the same state dir must replay the
+	// two unfinished jobs and execute them without being asked.
+	svc2, err := NewService(Config{Workers: 2, JournalPath: journalPath, CacheDir: cacheDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc2.Close()
+	if got := svc2.Stats().JournalReplayed; got != 2 {
+		t.Fatalf("replayed %d jobs, want 2", got)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for svc2.Stats().Completed < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("replayed jobs never completed: %+v", svc2.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Every spec is now answered from the cache: seed 1 from the first
+	// life's disk entry, seeds 2 and 3 from the replayed executions.
+	for i, spec := range specs {
+		j, err := svc2.Submit(context.Background(), spec, SubmitOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !j.CacheHit {
+			t.Errorf("spec %d not cached after resume", i)
+		}
+	}
+
+	// The terminal records drained the journal: nothing is pending, so a
+	// third life would replay nothing.
+	if st := svc2.Journal().Stats(); st.PendingJobs != 0 {
+		t.Errorf("journal still holds %d pending jobs", st.PendingJobs)
+	}
+}
+
+func TestCampaignResumeMatchesUninterruptedRun(t *testing.T) {
+	refFP := chaosFingerprint(t)
+	dir := t.TempDir()
+	journalPath := filepath.Join(dir, "journal.wal")
+	cacheDir := filepath.Join(dir, "cache")
+
+	// First life: accept the campaign over HTTP, let exactly two jobs
+	// finish, then shut down with the rest queued or parked.
+	var ran atomic.Int64
+	svc1, err := NewService(Config{
+		Workers:     1,
+		JournalPath: journalPath,
+		CacheDir:    cacheDir,
+		runFn: func(ctx context.Context, spec JobSpec) (*Result, error) {
+			if ran.Add(1) > 2 {
+				<-ctx.Done()
+				return nil, ctx.Err()
+			}
+			return Execute(spec)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(NewServer(svc1).Handler())
+	st := postCampaign(t, ts1, `{"name":"chaos","configs":["table2"],"steps":8}`)
+	if st.ID != "c-1" {
+		t.Fatalf("campaign id %q, want c-1", st.ID)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp := pollCampaignOnce(t, ts1, st.ID)
+		if resp.Done >= 2 && resp.Done < resp.Total {
+			break
+		}
+		if resp.Status != "running" || time.Now().After(deadline) {
+			t.Fatalf("never caught the campaign mid-flight: %+v", resp)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	ts1.Close()
+	svc1.Close() // interrupt: no campaign-done record is written
+
+	// Second life: Resume must find the interrupted campaign in the
+	// journal, relaunch it under its original ID, and finish it with a
+	// result indistinguishable from the uninterrupted run.
+	svc2, err := NewService(Config{Workers: 2, JournalPath: journalPath, CacheDir: cacheDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc2.Close()
+	if got := svc2.Stats().JournalReplayed; got == 0 {
+		t.Fatal("restart replayed no jobs from the journal")
+	}
+	srv2 := NewServer(svc2)
+	if n := srv2.Resume(); n != 1 {
+		t.Fatalf("Resume relaunched %d campaigns, want 1", n)
+	}
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+	final := pollCampaign(t, ts2, "c-1")
+	if final.Status != "done" || final.Result == nil {
+		t.Fatalf("resumed campaign: %+v", final)
+	}
+	gotFP, err := final.Result.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotFP != refFP {
+		t.Errorf("resumed campaign fingerprint %s != uninterrupted %s", gotFP, refFP)
+	}
+
+	// A fresh campaign after the resumed one must not collide with the
+	// preserved ID sequence.
+	st2 := postCampaign(t, ts2, `{"configs":["C1.5"],"steps":4}`)
+	if st2.ID == "c-1" {
+		t.Errorf("new campaign reused the resumed campaign's ID")
+	}
+}
+
+// pollCampaignOnce reads a campaign's status once (pollCampaign loops
+// until terminal, which would wait out the whole run).
+func pollCampaignOnce(t *testing.T, ts *httptest.Server, id string) CampaignStatus {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/campaigns/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st CampaignStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestJournaledCampaignMatchesUnjournaled(t *testing.T) {
+	refFP := chaosFingerprint(t)
+	dir := t.TempDir()
+	svc, err := NewService(Config{
+		Workers:     2,
+		JournalPath: filepath.Join(dir, "journal.wal"),
+		CacheDir:    filepath.Join(dir, "cache"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	res, err := RunCampaign(context.Background(), svc, chaosSweep())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := res.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp != refFP {
+		t.Errorf("journaled campaign fingerprint %s != unjournaled %s", fp, refFP)
+	}
+}

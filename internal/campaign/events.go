@@ -10,6 +10,10 @@ const (
 	// EventCached marks a submission answered from the result cache: the
 	// job is born terminal, so "cached" is both its first and last event.
 	EventCached = "cached"
+	// EventRetrying marks a transiently-failed job re-entering the queue
+	// under the retry policy: non-terminal, carries the failure, the
+	// attempt number, and the backoff it is waiting out.
+	EventRetrying = "retrying"
 )
 
 // JobEvent is one job state transition, as published on the service's
@@ -30,7 +34,7 @@ type JobEvent struct {
 	Hash  string `json:"hash"`
 	Label string `json:"label,omitempty"`
 	// Status is the state entered: "queued", "running", "done", "cached",
-	// "failed", or "cancelled".
+	// "retrying", "failed", or "cancelled".
 	Status string `json:"status"`
 	// Error carries the failure of a failed or cancelled job; Reason is
 	// its human-readable cause ("cancelled by submitter", "service
@@ -46,6 +50,12 @@ type JobEvent struct {
 	ExecSec float64 `json:"execSec,omitempty"`
 	// CacheHit marks jobs answered without execution.
 	CacheHit bool `json:"cacheHit,omitempty"`
+	// Attempt counts completed retries of the job so far (0 on a first
+	// run); on a "retrying" event it numbers the retry being scheduled.
+	Attempt int `json:"attempt,omitempty"`
+	// BackoffSec is the delay before the retry re-enters the queue
+	// ("retrying" events only).
+	BackoffSec float64 `json:"backoffSec,omitempty"`
 }
 
 // Terminal reports whether the event ends its job's lifecycle.

@@ -3,12 +3,15 @@ package campaign
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"ensemblekit/internal/campaign/journal"
 	"ensemblekit/internal/obs"
 	"ensemblekit/internal/placement"
 	"ensemblekit/internal/telemetry"
@@ -110,6 +113,10 @@ type Server struct {
 	requests *telemetry.CounterVec
 	latency  *telemetry.HistogramVec
 
+	// draining fails readiness (and new campaign POSTs) while in-flight
+	// work finishes — set on SIGTERM for graceful rollouts.
+	draining atomic.Bool
+
 	mu        sync.Mutex
 	seq       int64
 	campaigns map[string]*campaignRun
@@ -162,8 +169,38 @@ func (s *Server) Handler() http.Handler {
 	handle("GET /v1/jobs/{id}/spans", s.getJobSpans)
 	handle("GET /v1/jobs/{id}/critical-path", s.getJobCriticalPath)
 	handle("GET /v1/stats", s.getStats)
+	handle("GET /healthz", s.getHealthz)
+	handle("GET /readyz", s.getReadyz)
 	return mux
 }
+
+// getHealthz serves liveness: 200 whenever the process is up and able to
+// answer HTTP at all.
+func (s *Server) getHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// getReadyz serves readiness: 200 when the service can accept new
+// campaigns, 503 with the blocking reasons otherwise (draining for
+// shutdown, saturated queue, closed service, unwritable journal).
+func (s *Server) getReadyz(w http.ResponseWriter, _ *http.Request) {
+	var blocked []string
+	if s.draining.Load() {
+		blocked = append(blocked, "draining")
+	}
+	blocked = append(blocked, s.svc.Ready()...)
+	if len(blocked) > 0 {
+		writeJSON(w, http.StatusServiceUnavailable,
+			map[string]any{"status": "unavailable", "reasons": blocked})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
+
+// SetDraining marks the server as draining (or not): readiness fails so
+// load balancers stop routing new work, and campaign POSTs are rejected,
+// while everything already admitted keeps running to completion.
+func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
 
 // instrument wraps a handler with per-route telemetry and a server span.
 // The wrapper preserves http.Flusher so the SSE route still streams. An
@@ -241,6 +278,12 @@ func httpError(w http.ResponseWriter, code int, err error) {
 }
 
 func (s *Server) postCampaign(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusServiceUnavailable,
+			errors.New("campaign: server draining for shutdown"))
+		return
+	}
 	var req CampaignRequest
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
@@ -286,17 +329,41 @@ func (s *Server) postCampaign(w http.ResponseWriter, r *http.Request) {
 	s.campaigns[run.id] = run
 	s.mu.Unlock()
 
+	// Journal the campaign (with its original request, so a restart can
+	// re-expand it) before acknowledging the POST.
+	if jnl := s.svc.Journal(); jnl != nil {
+		reqJSON, jerr := json.Marshal(req)
+		if jerr == nil {
+			jerr = jnl.Append(journal.Record{
+				Type: journal.TypeCampaign, ID: run.id,
+				Name: sw.Name, Request: reqJSON,
+			})
+		}
+		if jerr != nil {
+			s.log.Warn("journal: campaign append failed",
+				"campaign", run.id, "err", jerr.Error())
+		}
+	}
+
+	s.launch(run, sw, total, r.Context())
+	writeJSON(w, http.StatusAccepted, run.status())
+}
+
+// launch starts the campaign runner goroutine shared by postCampaign and
+// Resume. The campaign span is a child of parent (the POST's server span,
+// or a root span on resume) but outlives it: it rides a detached context
+// into the runner and closes when the campaign resolves, parenting every
+// job span the sweep submits. When the campaign resolves it is retired
+// from the journal — unless the service is shutting down, in which case
+// it stays open in the log so the next process resumes it.
+func (s *Server) launch(run *campaignRun, sw Sweep, total int, parent context.Context) {
 	sw.Campaign = run.id // tag every job's events for the SSE stream
 	sw.Progress = func(done, total int) {
 		run.mu.Lock()
 		run.nDone, run.nTotal = done, total
 		run.mu.Unlock()
 	}
-	// The campaign span is a child of the POST's server span but outlives
-	// the request: it rides a detached context into the runner goroutine
-	// and closes when the campaign resolves, parenting every job span the
-	// sweep submits.
-	_, campSpan := s.svc.Tracer().StartSpan(r.Context(),
+	_, campSpan := s.svc.Tracer().StartSpan(parent,
 		"campaign "+run.id, "campaign",
 		tracing.String("campaign.id", run.id),
 		tracing.String("campaign.name", sw.Name),
@@ -313,6 +380,18 @@ func (s *Server) postCampaign(w http.ResponseWriter, r *http.Request) {
 		close(run.done)
 		campSpan.SetError(err)
 		campSpan.End()
+		if jnl := s.svc.Journal(); jnl != nil && !s.svc.isClosed() {
+			status := "done"
+			if err != nil {
+				status = "failed"
+			}
+			if jerr := jnl.Append(journal.Record{
+				Type: journal.TypeCampaignDone, ID: run.id, Status: status,
+			}); jerr != nil {
+				s.log.Warn("journal: campaign-done append failed",
+					"campaign", run.id, "err", jerr.Error())
+			}
+		}
 		if err != nil {
 			clog.Error("campaign failed", "campaign", run.id, "err", err.Error(),
 				"elapsedSec", time.Since(start).Seconds())
@@ -322,8 +401,80 @@ func (s *Server) postCampaign(w http.ResponseWriter, r *http.Request) {
 				"elapsedSec", time.Since(start).Seconds())
 		}
 	}()
+}
 
-	writeJSON(w, http.StatusAccepted, run.status())
+// Resume relaunches every campaign that was open in the service's
+// journal at startup, returning how many it restarted. Job-level resume
+// already happened inside NewService — pending jobs are back in the
+// queue, finished ones are disk-cache hits — so a resumed campaign's
+// re-submitted sweep coalesces onto that work through the cache and
+// singleflight instead of re-executing it. Campaign IDs are preserved
+// across the restart (clients polling /v1/campaigns/{id} keep working),
+// and the server's ID sequence advances past them so new campaigns never
+// collide. A recorded campaign that no longer expands (renamed config,
+// undecodable request) is retired from the journal as failed rather than
+// replayed forever.
+func (s *Server) Resume() int {
+	resumed := 0
+	for _, rec := range s.svc.ReplayedCampaigns() {
+		var req CampaignRequest
+		err := json.Unmarshal(rec.Request, &req)
+		var sw Sweep
+		if err == nil {
+			sw, err = req.resolve()
+		}
+		var cands []Candidate
+		if err == nil {
+			cands, err = sw.Jobs()
+		}
+		if err != nil {
+			s.log.Warn("journal: dropping unreplayable campaign",
+				"campaign", rec.ID, "err", err.Error())
+			if jerr := s.svc.Journal().Append(journal.Record{
+				Type: journal.TypeCampaignDone, ID: rec.ID, Status: "failed",
+			}); jerr != nil {
+				s.log.Warn("journal: campaign-done append failed",
+					"campaign", rec.ID, "err", jerr.Error())
+			}
+			continue
+		}
+		total := 0
+		for _, c := range cands {
+			total += len(c.Specs)
+		}
+		s.mu.Lock()
+		if _, exists := s.campaigns[rec.ID]; exists {
+			s.mu.Unlock()
+			continue
+		}
+		if n := campaignIDNum(rec.ID); n > s.seq {
+			s.seq = n
+		}
+		run := &campaignRun{
+			id:     rec.ID,
+			name:   sw.Name,
+			done:   make(chan struct{}),
+			nTotal: total,
+		}
+		s.campaigns[rec.ID] = run
+		s.mu.Unlock()
+		s.launch(run, sw, total, context.Background())
+		resumed++
+	}
+	if resumed > 0 {
+		s.log.Info("campaigns resumed from journal", "campaigns", resumed)
+	}
+	return resumed
+}
+
+// campaignIDNum extracts the numeric suffix of a "c-N" campaign ID
+// (0 when the ID has another shape).
+func campaignIDNum(id string) int64 {
+	var n int64
+	if _, err := fmt.Sscanf(id, "c-%d", &n); err != nil {
+		return 0
+	}
+	return n
 }
 
 // CampaignSummary is the terminal event of an SSE stream: the campaign's

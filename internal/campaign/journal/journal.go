@@ -1,0 +1,487 @@
+// Package journal is the campaign service's write-ahead log: an
+// append-only, fsync'd, checksummed record of every durable state
+// transition — job enqueues, terminal job states, campaign submissions
+// and resolutions — that lets a SIGKILL'd service resume its campaigns
+// exactly where it stopped.
+//
+// The format is deliberately primitive: one JSON record per line,
+// prefixed with the CRC-32C of the record bytes ("crc32hex payload\n").
+// Primitive buys two properties a binary log would have to earn:
+// torn-tail tolerance (a crash mid-write leaves a line that fails its
+// checksum; Open truncates the file back to the last intact record and
+// replay continues from there) and operability (the log is greppable,
+// and a human can reconstruct what the service was doing when it died).
+//
+// The journal also maintains its own reduced state — the set of pending
+// (enqueued, not yet terminal) jobs and open (submitted, not yet
+// resolved) campaigns — by applying every record as it is appended or
+// replayed. Periodic compaction rewrites the log as a single snapshot
+// record of that state (write-temp, fsync, rename), so the log stays
+// bounded by the live working set rather than the campaign history.
+package journal
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Record types. A record carries only the fields its type needs; the
+// rest stay at their zero values and are omitted from the encoding.
+const (
+	// TypeEnqueue records a job admitted to the queue: its content hash,
+	// full spec, and submission options. A pending enqueue with no
+	// matching terminal record is re-enqueued on replay.
+	TypeEnqueue = "enqueue"
+	// TypeTerminal records a job reaching a terminal state (done,
+	// failed, cancelled). Shutdown cancellations are deliberately NOT
+	// journaled — an interrupted job must stay pending so a restart
+	// resumes it.
+	TypeTerminal = "terminal"
+	// TypeCampaign records a campaign submission: its server ID and the
+	// resolved request, enough to re-run it against the cache on resume.
+	TypeCampaign = "campaign"
+	// TypeCampaignDone records a campaign resolving (done or failed).
+	TypeCampaignDone = "campaign-done"
+	// TypeSnapshot is the compaction record: the complete pending state
+	// at compaction time. It is always the first record of a compacted
+	// log and resets the reducer when replayed.
+	TypeSnapshot = "snapshot"
+)
+
+// Record is one journal entry. Exactly one Type-dependent field subset
+// is populated; see the Type constants.
+type Record struct {
+	// Type discriminates the record (Type* constants).
+	Type string `json:"type"`
+	// Seq is the journal-assigned monotonic sequence number.
+	Seq uint64 `json:"seq,omitempty"`
+	// TS is the wall-clock append time (operational; replay ignores it).
+	TS time.Time `json:"ts,omitempty"`
+
+	// Job fields (enqueue, terminal).
+	Hash     string          `json:"hash,omitempty"`
+	Label    string          `json:"label,omitempty"`
+	Campaign string          `json:"campaign,omitempty"`
+	Priority int             `json:"priority,omitempty"`
+	Spec     json.RawMessage `json:"spec,omitempty"`
+	Status   string          `json:"status,omitempty"`
+	Reason   string          `json:"reason,omitempty"`
+
+	// Campaign fields (campaign, campaign-done).
+	ID      string          `json:"id,omitempty"`
+	Name    string          `json:"name,omitempty"`
+	Request json.RawMessage `json:"request,omitempty"`
+
+	// Snapshot payload: the pending records at compaction time.
+	Pending []Record `json:"pending,omitempty"`
+}
+
+// State is the journal's reduced view: what a restarted service must
+// pick back up. Slices are ordered by original sequence number, so
+// replayed work re-enters the queue in its original admission order.
+type State struct {
+	// Jobs holds one pending enqueue record per non-terminal job hash.
+	Jobs []Record
+	// Campaigns holds one record per submitted-but-unresolved campaign.
+	Campaigns []Record
+}
+
+// Stats counts the journal's lifetime activity.
+type Stats struct {
+	// Appended counts records appended this process lifetime.
+	Appended int64
+	// Replayed counts records recovered from disk at Open.
+	Replayed int64
+	// Compactions counts snapshot rewrites.
+	Compactions int64
+	// TruncatedBytes is the torn tail dropped at Open (0 = clean log).
+	TruncatedBytes int64
+	// PendingJobs and OpenCampaigns describe the live reduced state.
+	PendingJobs   int
+	OpenCampaigns int
+}
+
+// Journal is an open write-ahead log. All methods are safe for
+// concurrent use and nil-safe: a nil *Journal is a no-op log, so
+// callers thread an optional journal without nil checks.
+type Journal struct {
+	// OnAppend, if set, observes every durable append (telemetry).
+	OnAppend func()
+	// OnCompact, if set, observes every compaction.
+	OnCompact func()
+
+	mu           sync.Mutex
+	path         string
+	f            *os.File
+	seq          uint64
+	compactEvery int
+	sinceCompact int
+	writeErr     error // sticky: first append/sync failure (readiness check)
+	stats        Stats
+
+	// Reduced state, maintained incrementally.
+	jobs  map[string]Record
+	camps map[string]Record
+}
+
+// defaultCompactEvery bounds the log to roughly this many records past
+// the live working set before an automatic snapshot rewrite.
+const defaultCompactEvery = 4096
+
+// Open opens (creating if absent) the journal at path, replays every
+// intact record into the reduced state, and truncates any torn tail so
+// subsequent appends extend a clean log. The returned State is the
+// work a restarted service must resume. compactEvery bounds appends
+// between automatic compactions (0 = default 4096, negative disables
+// automatic compaction).
+func Open(path string, compactEvery int) (*Journal, State, error) {
+	if compactEvery == 0 {
+		compactEvery = defaultCompactEvery
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, State{}, fmt.Errorf("journal: open: %w", err)
+	}
+	j := &Journal{
+		path:         path,
+		f:            f,
+		compactEvery: compactEvery,
+		jobs:         make(map[string]Record),
+		camps:        make(map[string]Record),
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		f.Close()
+		return nil, State{}, fmt.Errorf("journal: read: %w", err)
+	}
+	recs, validOff := decodeAll(b)
+	if int64(validOff) < int64(len(b)) {
+		// Torn or corrupt tail: everything at and past the first bad
+		// line is suspect; drop it so appends never interleave with
+		// garbage. This is the crash-mid-write recovery path.
+		j.stats.TruncatedBytes = int64(len(b) - validOff)
+		if err := f.Truncate(int64(validOff)); err != nil {
+			f.Close()
+			return nil, State{}, fmt.Errorf("journal: truncating torn tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(0, 2); err != nil {
+		f.Close()
+		return nil, State{}, fmt.Errorf("journal: seek: %w", err)
+	}
+	for _, r := range recs {
+		j.apply(r)
+		if r.Seq > j.seq {
+			j.seq = r.Seq
+		}
+	}
+	j.stats.Replayed = int64(len(recs))
+	return j, j.stateLocked(), nil
+}
+
+// crcTable is the Castagnoli polynomial, the checksum used by most
+// storage systems (iSCSI, ext4, Btrfs) for its hardware support.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// decodeAll parses records until the first bad line, returning the
+// intact records and the byte offset they end at.
+func decodeAll(b []byte) ([]Record, int) {
+	var recs []Record
+	off := 0
+	for off < len(b) {
+		nl := -1
+		for i := off; i < len(b); i++ {
+			if b[i] == '\n' {
+				nl = i
+				break
+			}
+		}
+		if nl < 0 {
+			break // torn final line (no terminator)
+		}
+		line := b[off:nl]
+		rec, ok := decodeLine(line)
+		if !ok {
+			break // checksum or encoding failure: stop, truncate here
+		}
+		recs = append(recs, rec)
+		off = nl + 1
+	}
+	return recs, off
+}
+
+// decodeLine parses "crc32hex payload" and verifies the checksum.
+func decodeLine(line []byte) (Record, bool) {
+	if len(line) < 10 || line[8] != ' ' {
+		return Record{}, false
+	}
+	var want uint32
+	if _, err := fmt.Sscanf(string(line[:8]), "%08x", &want); err != nil {
+		return Record{}, false
+	}
+	payload := line[9:]
+	if crc32.Checksum(payload, crcTable) != want {
+		return Record{}, false
+	}
+	var rec Record
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return Record{}, false
+	}
+	return rec, true
+}
+
+// encodeLine renders a record as its checksummed journal line.
+func encodeLine(rec Record) ([]byte, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return nil, fmt.Errorf("journal: encoding record: %w", err)
+	}
+	line := make([]byte, 0, len(payload)+10)
+	line = append(line, fmt.Sprintf("%08x ", crc32.Checksum(payload, crcTable))...)
+	line = append(line, payload...)
+	line = append(line, '\n')
+	return line, nil
+}
+
+// apply folds one record into the reduced state. Idempotent under the
+// duplicates replay re-submission produces: a second enqueue for a
+// pending hash overwrites it, a terminal for an unknown hash is a no-op.
+func (j *Journal) apply(rec Record) {
+	switch rec.Type {
+	case TypeEnqueue:
+		if rec.Hash != "" {
+			if old, ok := j.jobs[rec.Hash]; ok && old.Seq < rec.Seq {
+				rec.Seq = old.Seq // keep original admission order
+			}
+			j.jobs[rec.Hash] = rec
+		}
+	case TypeTerminal:
+		delete(j.jobs, rec.Hash)
+	case TypeCampaign:
+		if rec.ID != "" {
+			j.camps[rec.ID] = rec
+		}
+	case TypeCampaignDone:
+		delete(j.camps, rec.ID)
+	case TypeSnapshot:
+		j.jobs = make(map[string]Record)
+		j.camps = make(map[string]Record)
+		for _, p := range rec.Pending {
+			j.apply(p)
+		}
+	}
+}
+
+// stateLocked snapshots the reduced state, ordered by sequence number.
+func (j *Journal) stateLocked() State {
+	st := State{
+		Jobs:      make([]Record, 0, len(j.jobs)),
+		Campaigns: make([]Record, 0, len(j.camps)),
+	}
+	for _, r := range j.jobs {
+		st.Jobs = append(st.Jobs, r)
+	}
+	for _, r := range j.camps {
+		st.Campaigns = append(st.Campaigns, r)
+	}
+	sort.Slice(st.Jobs, func(a, b int) bool { return st.Jobs[a].Seq < st.Jobs[b].Seq })
+	sort.Slice(st.Campaigns, func(a, b int) bool { return st.Campaigns[a].Seq < st.Campaigns[b].Seq })
+	return st
+}
+
+// State returns the current reduced state (pending jobs, open
+// campaigns) in admission order.
+func (j *Journal) State() State {
+	if j == nil {
+		return State{}
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.stateLocked()
+}
+
+// Append stamps rec with the next sequence number and wall time, writes
+// it, and fsyncs before returning: once Append returns nil the record
+// survives a crash. A failed append poisons Healthy (readiness) but the
+// journal keeps accepting writes — availability over durability.
+func (j *Journal) Append(rec Record) error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	if j.f == nil {
+		j.mu.Unlock()
+		return fmt.Errorf("journal: closed")
+	}
+	j.seq++
+	rec.Seq = j.seq
+	rec.TS = time.Now().UTC()
+	line, err := encodeLine(rec)
+	if err != nil {
+		j.mu.Unlock()
+		return err
+	}
+	if _, err := j.f.Write(line); err != nil {
+		j.writeErr = fmt.Errorf("journal: append: %w", err)
+		j.mu.Unlock()
+		return j.writeErr
+	}
+	if err := j.f.Sync(); err != nil {
+		j.writeErr = fmt.Errorf("journal: fsync: %w", err)
+		j.mu.Unlock()
+		return j.writeErr
+	}
+	j.apply(rec)
+	j.stats.Appended++
+	j.sinceCompact++
+	onAppend := j.OnAppend
+	var compactErr error
+	if j.compactEvery > 0 && j.sinceCompact >= j.compactEvery {
+		compactErr = j.compactLocked()
+	}
+	j.mu.Unlock()
+	if onAppend != nil {
+		onAppend()
+	}
+	return compactErr
+}
+
+// Pending reports whether hash has an enqueue record with no terminal
+// record — i.e. the journal would re-enqueue it on replay. The service
+// uses it to journal terminal records for cache-answered replays
+// without paying an fsync on every ordinary cache hit.
+func (j *Journal) Pending(hash string) bool {
+	if j == nil {
+		return false
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	_, ok := j.jobs[hash]
+	return ok
+}
+
+// OpenCampaign reports whether campaign id is submitted but unresolved.
+func (j *Journal) OpenCampaign(id string) bool {
+	if j == nil {
+		return false
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	_, ok := j.camps[id]
+	return ok
+}
+
+// Compact rewrites the log as a single snapshot of the reduced state:
+// write to a temp file, fsync, atomically rename over the log, fsync
+// the directory. A crash at any point leaves either the old log or the
+// new one, never a mix.
+func (j *Journal) Compact() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.compactLocked()
+}
+
+func (j *Journal) compactLocked() error {
+	if j.f == nil {
+		return fmt.Errorf("journal: closed")
+	}
+	st := j.stateLocked()
+	snap := Record{Type: TypeSnapshot, TS: time.Now().UTC()}
+	snap.Pending = append(snap.Pending, st.Jobs...)
+	snap.Pending = append(snap.Pending, st.Campaigns...)
+	j.seq++
+	snap.Seq = j.seq
+	line, err := encodeLine(snap)
+	if err != nil {
+		return err
+	}
+	tmp := j.path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: compact: %w", err)
+	}
+	if _, err := f.Write(line); err != nil {
+		f.Close()
+		return fmt.Errorf("journal: compact write: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("journal: compact fsync: %w", err)
+	}
+	if err := os.Rename(tmp, j.path); err != nil {
+		f.Close()
+		return fmt.Errorf("journal: compact rename: %w", err)
+	}
+	syncDir(filepath.Dir(j.path))
+	j.f.Close()
+	j.f = f
+	j.sinceCompact = 0
+	j.stats.Compactions++
+	j.writeErr = nil // a successful rewrite proves the disk is healthy again
+	if j.OnCompact != nil {
+		// Callback without the lock would race Close; compaction is rare
+		// enough that holding it is fine (the callback is a counter bump).
+		j.OnCompact()
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory so a rename within it is durable; best
+// effort (some filesystems refuse directory fsync).
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	_ = d.Sync()
+	_ = d.Close()
+}
+
+// Healthy returns the sticky error of the first failed append since the
+// last successful compaction, or nil. The readiness probe surfaces it.
+func (j *Journal) Healthy() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.writeErr
+}
+
+// Stats snapshots the journal's counters.
+func (j *Journal) Stats() Stats {
+	if j == nil {
+		return Stats{}
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := j.stats
+	st.PendingJobs = len(j.jobs)
+	st.OpenCampaigns = len(j.camps)
+	return st
+}
+
+// Close closes the underlying file. Records appended before Close are
+// durable; Append after Close fails.
+func (j *Journal) Close() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}

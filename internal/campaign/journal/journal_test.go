@@ -1,0 +1,266 @@
+package journal
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func open(t *testing.T, path string, compactEvery int) (*Journal, State) {
+	t.Helper()
+	j, st, err := Open(path, compactEvery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { j.Close() })
+	return j, st
+}
+
+func enq(hash string) Record {
+	return Record{Type: TypeEnqueue, Hash: hash, Label: "l-" + hash, Spec: json.RawMessage(`{"k":1}`)}
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.wal")
+	j, st := open(t, path, -1)
+	if len(st.Jobs) != 0 || len(st.Campaigns) != 0 {
+		t.Fatalf("fresh journal replayed state %+v", st)
+	}
+	for _, rec := range []Record{
+		enq("aaa"),
+		enq("bbb"),
+		{Type: TypeCampaign, ID: "c-1", Name: "t2", Request: json.RawMessage(`{"configs":["table2"]}`)},
+		{Type: TypeTerminal, Hash: "aaa", Status: "done"},
+		{Type: TypeCampaign, ID: "c-2", Name: "x"},
+		{Type: TypeCampaignDone, ID: "c-2", Status: "done"},
+	} {
+		if err := j.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+
+	j2, st2 := open(t, path, -1)
+	if len(st2.Jobs) != 1 || st2.Jobs[0].Hash != "bbb" {
+		t.Fatalf("pending jobs after replay: %+v", st2.Jobs)
+	}
+	if st2.Jobs[0].Label != "l-bbb" || string(st2.Jobs[0].Spec) != `{"k":1}` {
+		t.Errorf("replayed record lost fields: %+v", st2.Jobs[0])
+	}
+	if len(st2.Campaigns) != 1 || st2.Campaigns[0].ID != "c-1" {
+		t.Fatalf("open campaigns after replay: %+v", st2.Campaigns)
+	}
+	if !j2.Pending("bbb") || j2.Pending("aaa") {
+		t.Error("Pending disagrees with replayed state")
+	}
+	if !j2.OpenCampaign("c-1") || j2.OpenCampaign("c-2") {
+		t.Error("OpenCampaign disagrees with replayed state")
+	}
+	if got := j2.Stats().Replayed; got != 6 {
+		t.Errorf("replayed %d records, want 6", got)
+	}
+}
+
+func TestTornTailTruncatedAndTolerated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.wal")
+	j, _ := open(t, path, -1)
+	if err := j.Append(enq("aaa")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(enq("bbb")); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	// Simulate a crash mid-write: append half a record (no newline, bad
+	// checksum — both torn-tail shapes in one).
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`deadbeef {"type":"termi`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	before, _ := os.Stat(path)
+
+	j2, st := open(t, path, -1)
+	if len(st.Jobs) != 2 {
+		t.Fatalf("torn tail lost intact records: %+v", st.Jobs)
+	}
+	if j2.Stats().TruncatedBytes == 0 {
+		t.Error("torn tail not reported as truncated")
+	}
+	after, _ := os.Stat(path)
+	if after.Size() >= before.Size() {
+		t.Errorf("torn tail not truncated: %d -> %d bytes", before.Size(), after.Size())
+	}
+	// Appends after recovery extend a clean log.
+	if err := j2.Append(Record{Type: TypeTerminal, Hash: "aaa", Status: "done"}); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+	_, st3 := open(t, path, -1)
+	if len(st3.Jobs) != 1 || st3.Jobs[0].Hash != "bbb" {
+		t.Fatalf("post-recovery append lost: %+v", st3.Jobs)
+	}
+}
+
+func TestCorruptLineStopsReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.wal")
+	j, _ := open(t, path, -1)
+	for _, h := range []string{"aaa", "bbb", "ccc"} {
+		if err := j.Append(enq(h)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+
+	// Flip one byte in the middle record's payload: its CRC fails, and
+	// everything from there on is dropped (suffix records are suspect
+	// once the log's integrity breaks).
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(string(b), "\n")
+	mid := []byte(lines[1])
+	mid[len(mid)/2] ^= 0x40
+	if err := os.WriteFile(path, []byte(lines[0]+string(mid)+lines[2]), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, st := open(t, path, -1)
+	if len(st.Jobs) != 1 || st.Jobs[0].Hash != "aaa" {
+		t.Fatalf("replay past corrupt record: %+v", st.Jobs)
+	}
+}
+
+func TestCompactionBoundsLogAndPreservesState(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.wal")
+	j, _ := open(t, path, -1)
+	// Churn: many jobs enqueue and resolve; two stay pending.
+	for i := 0; i < 200; i++ {
+		h := string(rune('a'+i%26)) + "-churn"
+		if err := j.Append(enq(h)); err != nil {
+			t.Fatal(err)
+		}
+		if err := j.Append(Record{Type: TypeTerminal, Hash: h, Status: "done"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Append(enq("keep-1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(Record{Type: TypeCampaign, ID: "c-9", Name: "open"}); err != nil {
+		t.Fatal(err)
+	}
+	big, _ := os.Stat(path)
+	if err := j.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	small, _ := os.Stat(path)
+	if small.Size() >= big.Size() {
+		t.Errorf("compaction did not shrink the log: %d -> %d", big.Size(), small.Size())
+	}
+	if j.Stats().Compactions != 1 {
+		t.Errorf("compactions = %d, want 1", j.Stats().Compactions)
+	}
+	// Appends continue on the compacted log.
+	if err := j.Append(enq("keep-2")); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	_, st := open(t, path, -1)
+	if len(st.Jobs) != 2 || st.Jobs[0].Hash != "keep-1" || st.Jobs[1].Hash != "keep-2" {
+		t.Fatalf("state after compaction+replay: %+v", st.Jobs)
+	}
+	if len(st.Campaigns) != 1 || st.Campaigns[0].ID != "c-9" {
+		t.Fatalf("campaigns after compaction+replay: %+v", st.Campaigns)
+	}
+}
+
+func TestAutoCompaction(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.wal")
+	j, _ := open(t, path, 8)
+	var compactions int
+	j.OnCompact = func() { compactions++ }
+	for i := 0; i < 20; i++ {
+		h := enq("h")
+		h.Hash = string(rune('a' + i))
+		if err := j.Append(h); err != nil {
+			t.Fatal(err)
+		}
+		if err := j.Append(Record{Type: TypeTerminal, Hash: h.Hash, Status: "done"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if compactions < 4 {
+		t.Errorf("auto-compactions = %d, want >= 4 over 40 appends at compactEvery=8", compactions)
+	}
+}
+
+func TestDuplicateEnqueueKeepsAdmissionOrder(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.wal")
+	j, _ := open(t, path, -1)
+	for _, h := range []string{"first", "second"} {
+		if err := j.Append(enq(h)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Replay re-submission re-appends "first" after "second"; its
+	// original admission order must survive.
+	if err := j.Append(enq("first")); err != nil {
+		t.Fatal(err)
+	}
+	st := j.State()
+	if len(st.Jobs) != 2 || st.Jobs[0].Hash != "first" || st.Jobs[1].Hash != "second" {
+		t.Fatalf("duplicate enqueue reordered pending jobs: %+v", st.Jobs)
+	}
+}
+
+func TestNilJournalIsNoop(t *testing.T) {
+	var j *Journal
+	if err := j.Append(enq("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if j.Pending("x") || j.OpenCampaign("c") || j.Healthy() != nil {
+		t.Error("nil journal not inert")
+	}
+	if st := j.State(); len(st.Jobs) != 0 {
+		t.Error("nil journal has state")
+	}
+}
+
+func TestSnapshotIsSingleIntactRecord(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.wal")
+	j, _ := open(t, path, -1)
+	if err := j.Append(enq("aaa")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(b), "\n"), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("compacted log has %d lines, want 1", len(lines))
+	}
+	rec, ok := decodeLine([]byte(lines[0]))
+	if !ok || rec.Type != TypeSnapshot || len(rec.Pending) != 1 {
+		t.Fatalf("compacted record: ok=%v %+v", ok, rec)
+	}
+}

@@ -2,6 +2,9 @@ package campaign
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
 	"errors"
 	"fmt"
 
@@ -215,6 +218,50 @@ type CampaignResult struct {
 	Jobs      int `json:"jobs"`
 	CacheHits int `json:"cacheHits"`
 	Failed    int `json:"failed"`
+}
+
+// Fingerprint hashes the campaign's science — per-candidate labels, job
+// hashes, objectives, efficiencies, makespans, failure states, and the
+// ranking — into a hex SHA-256. Two runs of the same sweep produce the
+// same fingerprint regardless of how they executed: job IDs, cache hits,
+// and interleavings differ between a cold run, a warm run, and a
+// crash-resumed run, but the results must not. The chaos harness pins a
+// resumed campaign against an uninterrupted one with it.
+func (r *CampaignResult) Fingerprint() (string, error) {
+	type candKey struct {
+		Label        string            `json:"label"`
+		Hashes       []string          `json:"hashes"`
+		Objective    float64           `json:"objective"`
+		Efficiencies []float64         `json:"efficiencies"`
+		Makespan     float64           `json:"makespan"`
+		Report       indicators.Report `json:"report"`
+		Err          string            `json:"err,omitempty"`
+	}
+	key := struct {
+		Name       string              `json:"name"`
+		Stage      string              `json:"stage"`
+		Jobs       int                 `json:"jobs"`
+		Failed     int                 `json:"failed"`
+		Candidates []candKey           `json:"candidates"`
+		Ranking    []indicators.Ranked `json:"ranking"`
+	}{Name: r.Name, Stage: r.Stage, Jobs: r.Jobs, Failed: r.Failed, Ranking: r.Ranking}
+	for _, c := range r.Candidates {
+		key.Candidates = append(key.Candidates, candKey{
+			Label:        c.Label,
+			Hashes:       c.Hashes,
+			Objective:    c.Objective,
+			Efficiencies: c.Efficiencies,
+			Makespan:     c.Makespan,
+			Report:       c.Report,
+			Err:          c.Err,
+		})
+	}
+	b, err := json.Marshal(key)
+	if err != nil {
+		return "", fmt.Errorf("campaign: fingerprinting result: %w", err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
 }
 
 // Best returns the top-ranked candidate.

@@ -1,0 +1,144 @@
+package campaign
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"hash/fnv"
+	"time"
+)
+
+// RetryPolicy is the service's per-job retry behaviour for transient
+// failures: a job that fails with a transient error (worker panic,
+// deadline, injected infrastructure fault) is re-enqueued after an
+// exponential backoff until it succeeds or exhausts MaxAttempts, at
+// which point it is quarantined — failed terminally with an explicit
+// reason — so a poison job can never occupy the pool forever.
+//
+// The backoff jitter is deterministic: it is seeded from the job's spec
+// hash, so the same job retries on the same schedule in every run. That
+// keeps the service's end-to-end behaviour reproducible (the golden
+// determinism pins extend through the retry path) while still
+// de-synchronizing distinct jobs that fail together.
+type RetryPolicy struct {
+	// MaxAttempts bounds total executions per job (first run included).
+	// 0 or 1 disables retries.
+	MaxAttempts int `json:"maxAttempts,omitempty"`
+	// BaseBackoff is the delay before the first retry; each subsequent
+	// retry doubles it (default 100ms).
+	BaseBackoff time.Duration `json:"baseBackoff,omitempty"`
+	// MaxBackoff caps the exponential growth (default 5s).
+	MaxBackoff time.Duration `json:"maxBackoff,omitempty"`
+	// Jitter spreads each delay multiplicatively over
+	// [1-Jitter, 1+Jitter), deterministically per (spec hash, attempt).
+	// Clamped to [0, 1].
+	Jitter float64 `json:"jitter,omitempty"`
+}
+
+// normalized fills defaults and clamps the jitter fraction.
+func (p RetryPolicy) normalized() RetryPolicy {
+	if p.MaxAttempts < 1 {
+		p.MaxAttempts = 1
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = 100 * time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 5 * time.Second
+	}
+	if p.MaxBackoff < p.BaseBackoff {
+		p.MaxBackoff = p.BaseBackoff
+	}
+	if p.Jitter < 0 {
+		p.Jitter = 0
+	}
+	if p.Jitter > 1 {
+		p.Jitter = 1
+	}
+	return p
+}
+
+// Backoff returns the delay before retry number attempt (1 = the first
+// retry) of the job addressed by hash: BaseBackoff doubled per attempt,
+// capped at MaxBackoff, then jittered deterministically from
+// (hash, attempt). Same hash, same attempt, same policy — same delay,
+// in every process, forever.
+func (p RetryPolicy) Backoff(hash string, attempt int) time.Duration {
+	p = p.normalized()
+	if attempt < 1 {
+		attempt = 1
+	}
+	d := p.BaseBackoff
+	for i := 1; i < attempt && d < p.MaxBackoff; i++ {
+		d *= 2
+	}
+	if d > p.MaxBackoff {
+		d = p.MaxBackoff
+	}
+	if p.Jitter > 0 {
+		f := 1 - p.Jitter + 2*p.Jitter*jitterUnit(hash, attempt)
+		d = time.Duration(float64(d) * f)
+		if d > p.MaxBackoff {
+			d = p.MaxBackoff
+		}
+	}
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// jitterUnit maps (hash, attempt) to a uniform value in [0, 1) via
+// FNV-1a — cheap, stateless, and identical across processes.
+func jitterUnit(hash string, attempt int) float64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(hash))
+	var a [8]byte
+	binary.LittleEndian.PutUint64(a[:], uint64(attempt))
+	_, _ = h.Write(a[:])
+	// 53 high bits give a full-precision float in [0, 1).
+	return float64(h.Sum64()>>11) / (1 << 53)
+}
+
+// permanentError marks an error as non-retryable without changing its
+// message; Unwrap keeps errors.Is/As working through it.
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }
+
+// Permanent marks err as permanent: the retry policy will never re-run
+// a job that fails with it. The service wraps simulation errors this
+// way — a DES run is a pure function of its spec, so an identical
+// re-run fails identically and a retry only burns a worker.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &permanentError{err: err}
+}
+
+// IsPermanent reports whether err (or anything it wraps) was marked
+// with Permanent.
+func IsPermanent(err error) bool {
+	var pe *permanentError
+	return errors.As(err, &pe)
+}
+
+// isTransient decides retryability: permanent errors, submitter
+// cancellations, and service shutdown never retry; everything else —
+// worker panics, deadlines, injected faults, infrastructure errors —
+// is assumed transient and retried under the policy.
+func isTransient(err error) bool {
+	switch {
+	case err == nil:
+		return false
+	case IsPermanent(err):
+		return false
+	case errors.Is(err, context.Canceled):
+		return false
+	case errors.Is(err, ErrClosed):
+		return false
+	}
+	return true
+}

@@ -3,12 +3,15 @@ package campaign
 import (
 	"container/heap"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	gort "runtime"
+	"runtime/debug"
 	"sync"
 	"time"
 
+	"ensemblekit/internal/campaign/journal"
 	"ensemblekit/internal/obs"
 	"ensemblekit/internal/telemetry"
 	"ensemblekit/internal/telemetry/tracing"
@@ -66,6 +69,26 @@ type Config struct {
 	// subscriber that falls this far behind is dropped (default 256).
 	EventBuffer int
 
+	// JournalPath enables the write-ahead log: every job enqueue and
+	// terminal state (and, via the HTTP server, every campaign) is
+	// fsync'd there before the service acknowledges it, and NewService
+	// replays the log — re-enqueueing every non-terminal job — so a
+	// killed process resumes exactly where it stopped. Empty disables
+	// journaling. Pair it with CacheDir so finished work replays as
+	// cache hits instead of re-executing.
+	JournalPath string
+	// JournalCompactEvery bounds appends between automatic snapshot
+	// compactions (0 = default 4096, negative disables).
+	JournalCompactEvery int
+	// Retry is the transient-failure retry policy applied to every job
+	// (zero value = no retries).
+	Retry RetryPolicy
+	// ExecDelay artificially stretches every execution by this duration
+	// (cancellable). It exists for the chaos harness and load tests —
+	// real jobs finish too fast to kill a process "mid-flight"
+	// reliably — and is a no-op in production configurations.
+	ExecDelay time.Duration
+
 	// runFn overrides job execution (tests count real simulations with
 	// it). Nil runs Execute.
 	runFn func(context.Context, JobSpec) (*Result, error)
@@ -87,10 +110,28 @@ func (c Config) normalized() Config {
 	if c.EventBuffer <= 0 {
 		c.EventBuffer = 256
 	}
+	c.Retry = c.Retry.normalized()
 	if c.runFn == nil {
 		tracer := c.Tracer
+		delay := c.ExecDelay
 		c.runFn = func(ctx context.Context, spec JobSpec) (*Result, error) {
-			return executeTraced(ctx, tracer, spec)
+			if delay > 0 {
+				t := time.NewTimer(delay)
+				select {
+				case <-t.C:
+				case <-ctx.Done():
+					t.Stop()
+					return nil, ctx.Err()
+				}
+			}
+			res, err := executeTraced(ctx, tracer, spec)
+			if err != nil && ctx.Err() == nil {
+				// A simulated run is a pure function of its spec: an
+				// identical re-run fails identically, so simulation
+				// errors never retry.
+				err = Permanent(err)
+			}
+			return res, err
 		}
 	}
 	return c
@@ -138,7 +179,9 @@ type Job struct {
 	svc        *Service
 	mu         sync.Mutex
 	status     Status
-	started    bool // a worker popped it (Running was incremented)
+	started    bool // a worker ever popped it (latency fields are valid)
+	running    bool // currently occupying a worker (Running gauge owed a decrement)
+	attempts   int  // completed retries under the retry policy
 	enqueuedAt time.Time
 	startedAt  time.Time
 	result     *Result
@@ -230,6 +273,16 @@ type Stats struct {
 	Dedups int64 `json:"dedups"`
 	// Rejected counts Submit calls bounced with ErrQueueFull.
 	Rejected int64 `json:"rejected"`
+	// Retries counts re-enqueues of transiently-failed jobs; Quarantined
+	// counts jobs failed terminally after exhausting retry attempts.
+	Retries     int64 `json:"retries"`
+	Quarantined int64 `json:"quarantined"`
+	// WorkerPanics counts job panics recovered by the worker pool.
+	WorkerPanics int64 `json:"workerPanics"`
+	// CacheCorrupt counts disk-cache entries evicted on checksum mismatch.
+	CacheCorrupt int64 `json:"cacheCorrupt"`
+	// JournalReplayed counts jobs re-enqueued from the journal at startup.
+	JournalReplayed int64 `json:"journalReplayed"`
 	// QueueDepth and Running describe the pool right now; QueueCapacity
 	// is the configured bound the depth saturates at.
 	QueueDepth    int `json:"queueDepth"`
@@ -261,16 +314,23 @@ type Service struct {
 	events  *Broadcaster
 	log     *telemetry.Logger
 
-	mu       sync.Mutex
-	space    *sync.Cond // signalled when queue slots free up
-	work     *sync.Cond // signalled when work arrives
-	queue    jobQueue
-	inflight map[string]*Job // hash -> queued or running job
-	jobs     map[string]*Job // id -> every job ever returned
-	cache    *resultCache
-	stats    Stats
-	closed   bool
-	seq      int64
+	// journal is the write-ahead log (nil when Config.JournalPath is
+	// empty); replayedCamps holds the campaigns that were open in it at
+	// startup, for the HTTP server to resume.
+	journal       *journal.Journal
+	replayedCamps []journal.Record
+
+	mu          sync.Mutex
+	space       *sync.Cond // signalled when queue slots free up
+	work        *sync.Cond // signalled when work arrives
+	queue       jobQueue
+	inflight    map[string]*Job      // hash -> queued or running job
+	jobs        map[string]*Job      // id -> every job ever returned
+	retryTimers map[*Job]*time.Timer // jobs waiting out a retry backoff
+	cache       *resultCache
+	stats       Stats
+	closed      bool
+	seq         int64
 
 	// recMu serializes obs recorder emissions; it is never held together
 	// with s.mu, so a slow recorder cannot stall the hot paths.
@@ -284,25 +344,32 @@ type Service struct {
 // serviceMetrics bundles the Prometheus handles the hot paths touch.
 // Every handle is nil (a no-op) when Config.Metrics is nil.
 type serviceMetrics struct {
-	submitted   *telemetry.Counter
-	rejected    *telemetry.Counter
-	dedups      *telemetry.Counter
-	cacheHits   *telemetry.Counter
-	diskHits    *telemetry.Counter
-	cacheMisses *telemetry.Counter
-	finished    *telemetry.CounterVec // by terminal status
-	queueDepth  *telemetry.Gauge
-	queueCap    *telemetry.Gauge
-	running     *telemetry.Gauge
-	workers     *telemetry.Gauge
-	cacheItems  *telemetry.Gauge
-	cacheBytes  *telemetry.Gauge
-	busySeconds *telemetry.Counter
-	queueWait   *telemetry.Histogram
-	execLatency *telemetry.Histogram
-	events      *telemetry.Counter
-	subscribers *telemetry.Gauge
-	subsDropped *telemetry.Counter
+	submitted      *telemetry.Counter
+	rejected       *telemetry.Counter
+	dedups         *telemetry.Counter
+	cacheHits      *telemetry.Counter
+	diskHits       *telemetry.Counter
+	cacheMisses    *telemetry.Counter
+	finished       *telemetry.CounterVec // by terminal status
+	queueDepth     *telemetry.Gauge
+	queueCap       *telemetry.Gauge
+	running        *telemetry.Gauge
+	workers        *telemetry.Gauge
+	cacheItems     *telemetry.Gauge
+	cacheBytes     *telemetry.Gauge
+	busySeconds    *telemetry.Counter
+	queueWait      *telemetry.Histogram
+	execLatency    *telemetry.Histogram
+	events         *telemetry.Counter
+	subscribers    *telemetry.Gauge
+	subsDropped    *telemetry.Counter
+	retries        *telemetry.Counter
+	quarantined    *telemetry.Counter
+	workerPanics   *telemetry.Counter
+	cacheCorrupt   *telemetry.Counter
+	journalAppends *telemetry.Counter
+	journalReplays *telemetry.Counter
+	journalCompact *telemetry.Counter
 }
 
 func newServiceMetrics(r *telemetry.Registry) serviceMetrics {
@@ -348,6 +415,20 @@ func newServiceMetrics(r *telemetry.Registry) serviceMetrics {
 			"Live event-stream subscribers."),
 		subsDropped: r.Counter("campaign_event_subscribers_dropped_total",
 			"Event subscribers dropped for falling behind their buffer."),
+		retries: r.Counter("campaign_job_retries_total",
+			"Transiently-failed jobs re-enqueued under the retry policy."),
+		quarantined: r.Counter("campaign_jobs_quarantined_total",
+			"Jobs failed terminally after exhausting retry attempts."),
+		workerPanics: r.Counter("campaign_worker_panics_total",
+			"Job panics recovered by the worker pool."),
+		cacheCorrupt: r.Counter("campaign_cache_corrupt_total",
+			"Disk-cache entries evicted on checksum mismatch."),
+		journalAppends: r.Counter("campaign_journal_appends_total",
+			"Records fsync'd to the write-ahead log."),
+		journalReplays: r.Counter("campaign_journal_replayed_total",
+			"Jobs re-enqueued from the journal at startup."),
+		journalCompact: r.Counter("campaign_journal_compactions_total",
+			"Snapshot compactions of the write-ahead log."),
 	}
 }
 
@@ -357,21 +438,35 @@ func (m *serviceMetrics) setCacheLocked(entries int, bytes int64) {
 	m.cacheBytes.Set(float64(bytes))
 }
 
-// NewService starts the worker pool. Callers must Close it.
+// NewService starts the worker pool. When Config.JournalPath is set it
+// also opens (or recovers) the write-ahead log and synchronously replays
+// it: every non-terminal job re-enters the queue — as a disk-cache hit
+// when its result survived, as a fresh execution otherwise — before
+// NewService returns. Callers must Close it.
 func NewService(cfg Config) (*Service, error) {
 	cfg = cfg.normalized()
 	cache, err := newResultCache(cfg.CacheBytes, cfg.CacheDir)
 	if err != nil {
 		return nil, err
 	}
+	var jnl *journal.Journal
+	var replay journal.State
+	if cfg.JournalPath != "" {
+		jnl, replay, err = journal.Open(cfg.JournalPath, cfg.JournalCompactEvery)
+		if err != nil {
+			return nil, err
+		}
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Service{
-		cfg:        cfg,
-		inflight:   make(map[string]*Job),
-		jobs:       make(map[string]*Job),
-		cache:      cache,
-		baseCtx:    ctx,
-		baseCancel: cancel,
+		cfg:         cfg,
+		journal:     jnl,
+		inflight:    make(map[string]*Job),
+		jobs:        make(map[string]*Job),
+		retryTimers: make(map[*Job]*time.Timer),
+		cache:       cache,
+		baseCtx:     ctx,
+		baseCancel:  cancel,
 	}
 	s.space = sync.NewCond(&s.mu)
 	s.work = sync.NewCond(&s.mu)
@@ -381,6 +476,18 @@ func NewService(cfg Config) (*Service, error) {
 	s.metrics = newServiceMetrics(cfg.Metrics)
 	s.metrics.workers.Set(float64(cfg.Workers))
 	s.metrics.queueCap.Set(float64(cfg.QueueDepth))
+	if jnl != nil {
+		jnl.OnAppend = func() { s.metrics.journalAppends.Inc() }
+		jnl.OnCompact = func() { s.metrics.journalCompact.Inc() }
+	}
+	// The cache calls this under s.mu (its methods are guarded by it), so
+	// it must not retake the service lock.
+	cache.onCorrupt = func(hash string, err error) {
+		s.stats.CacheCorrupt++
+		s.metrics.cacheCorrupt.Inc()
+		s.log.Warn("evicted corrupt disk-cache entry",
+			"hash", hash, "err", err.Error())
+	}
 	s.events = NewBroadcaster(cfg.EventHistory, cfg.EventBuffer)
 	s.events.OnDrop = func() {
 		s.metrics.subsDropped.Inc()
@@ -392,7 +499,60 @@ func NewService(cfg Config) (*Service, error) {
 	for i := 0; i < cfg.Workers; i++ {
 		go s.worker()
 	}
+	if jnl != nil {
+		s.replayedCamps = replay.Campaigns
+		s.replayJournal(replay.Jobs)
+		// Replay re-appended an enqueue record per pending job; fold the
+		// log back to one snapshot so it never grows across restarts.
+		if err := jnl.Compact(); err != nil {
+			s.log.Warn("journal: post-replay compaction failed", "err", err.Error())
+		}
+		if st := jnl.Stats(); s.log.Enabled(telemetry.LevelInfo) &&
+			(st.Replayed > 0 || st.TruncatedBytes > 0) {
+			s.log.Info("journal replayed",
+				"records", st.Replayed,
+				"pendingJobs", len(replay.Jobs),
+				"openCampaigns", len(replay.Campaigns),
+				"truncatedBytes", st.TruncatedBytes)
+		}
+	}
 	return s, nil
+}
+
+// replayJournal re-submits every non-terminal job recorded in the
+// journal, in original admission order. Jobs whose results survived in
+// the disk cache resolve instantly as cache hits (and get their terminal
+// record); the rest re-execute. A job whose recorded spec no longer
+// decodes or validates is failed in the journal rather than replayed
+// forever.
+func (s *Service) replayJournal(pending []journal.Record) {
+	for _, rec := range pending {
+		var spec JobSpec
+		err := json.Unmarshal(rec.Spec, &spec)
+		if err == nil {
+			_, err = s.submit(context.Background(), spec, SubmitOptions{
+				Priority: rec.Priority,
+				Label:    rec.Label,
+				Campaign: rec.Campaign,
+			}, true)
+		}
+		if err != nil {
+			s.log.Warn("journal: dropping unreplayable job",
+				"hash", rec.Hash, "err", err.Error())
+			if jerr := s.journal.Append(journal.Record{
+				Type: journal.TypeTerminal, Hash: rec.Hash,
+				Status: string(StatusFailed), Reason: "replay: " + err.Error(),
+			}); jerr != nil {
+				s.log.Warn("journal: terminal append failed",
+					"hash", rec.Hash, "err", jerr.Error())
+			}
+			continue
+		}
+		s.mu.Lock()
+		s.stats.JournalReplayed++
+		s.mu.Unlock()
+		s.metrics.journalReplays.Inc()
+	}
 }
 
 // Events returns the service's job-event broadcaster: every submission,
@@ -412,6 +572,38 @@ func (s *Service) Logger() *telemetry.Logger { return s.log }
 // HTTP server shares it for request spans and the span endpoints.
 func (s *Service) Tracer() *tracing.Tracer { return s.cfg.Tracer }
 
+// Journal returns the service's write-ahead log (nil when journaling is
+// off); the HTTP server appends campaign records to it.
+func (s *Service) Journal() *journal.Journal { return s.journal }
+
+// ReplayedCampaigns returns the campaigns that were open in the journal
+// when the service started, in admission order; the HTTP server resumes
+// them. Empty without a journal or after a clean shutdown with no open
+// campaigns.
+func (s *Service) ReplayedCampaigns() []journal.Record {
+	return append([]journal.Record(nil), s.replayedCamps...)
+}
+
+// Ready reports the conditions currently blocking readiness — empty when
+// the service can accept new campaigns. GET /readyz surfaces it.
+func (s *Service) Ready() []string {
+	s.mu.Lock()
+	closed := s.closed
+	saturated := len(s.queue.items) >= s.cfg.QueueDepth
+	s.mu.Unlock()
+	var blocked []string
+	if closed {
+		blocked = append(blocked, "service closed")
+	}
+	if saturated {
+		blocked = append(blocked, "job queue saturated")
+	}
+	if err := s.journal.Healthy(); err != nil {
+		blocked = append(blocked, "journal unwritable: "+err.Error())
+	}
+	return blocked
+}
+
 // Close stops accepting submissions, cancels queued and running jobs, and
 // waits for the workers to exit.
 func (s *Service) Close() {
@@ -423,8 +615,17 @@ func (s *Service) Close() {
 	}
 	s.closed = true
 	// Fail the queue: every queued job reports ErrClosed to its waiters.
+	// Jobs waiting out a retry backoff are queued jobs too — stop their
+	// timers so they fail now instead of resurrecting mid-shutdown. (A
+	// timer that already fired loses the s.mu race here and finds its
+	// map entry gone; enqueueRetry then does nothing.)
 	queued := append([]*Job(nil), s.queue.items...)
 	s.queue.items = nil
+	for j, t := range s.retryTimers {
+		t.Stop()
+		queued = append(queued, j)
+	}
+	s.retryTimers = make(map[*Job]*time.Timer)
 	s.work.Broadcast()
 	s.space.Broadcast()
 	s.mu.Unlock()
@@ -435,6 +636,12 @@ func (s *Service) Close() {
 	s.baseCancel()
 	s.wg.Wait()
 	s.events.Close()
+	// Shutdown cancellations deliberately skipped their terminal journal
+	// records (see finish), so everything unfinished stays pending in the
+	// log and the next process resumes it.
+	if err := s.journal.Close(); err != nil {
+		s.log.Warn("journal: close failed", "err", err.Error())
+	}
 	if s.log.Enabled(telemetry.LevelInfo) {
 		st := s.Stats()
 		s.log.Info("campaign service closed",
@@ -586,6 +793,27 @@ func (s *Service) submit(ctx context.Context, spec JobSpec, opts SubmitOptions, 
 	heap.Push(&s.queue, j)
 	s.inflight[hash] = j
 	s.jobs[j.ID] = j
+	// Journal the admission before acknowledging it (the fsync happens
+	// here, under s.mu, which serializes cold-path submits — cache hits
+	// never pay it). A failed append degrades to non-durable operation
+	// rather than rejecting the job.
+	if s.journal != nil {
+		specJSON, jerr := spec.CanonicalJSON()
+		if jerr == nil {
+			jerr = s.journal.Append(journal.Record{
+				Type:     journal.TypeEnqueue,
+				Hash:     hash,
+				Label:    label,
+				Campaign: opts.Campaign,
+				Priority: opts.Priority,
+				Spec:     specJSON,
+			})
+		}
+		if jerr != nil {
+			s.log.Warn("journal: enqueue append failed",
+				"hash", hash, "err", jerr.Error())
+		}
+	}
 	s.metrics.queueDepth.Set(float64(len(s.queue.items)))
 	snap = s.obsSnapshotLocked()
 	s.publish(j, string(StatusQueued), JobEvent{Time: j.enqueuedAt})
@@ -624,6 +852,19 @@ func (s *Service) completedJobLocked(submitCtx context.Context, hash, label, cam
 	j.span.End()
 	close(j.done)
 	s.jobs[j.ID] = j
+	// A journal-pending job resolving from the cache (the replay path,
+	// or a hit racing a restart) is terminal work: record it so the next
+	// replay skips it. Ordinary cache hits were never pending and pay no
+	// fsync here.
+	if s.journal != nil && s.journal.Pending(hash) {
+		if err := s.journal.Append(journal.Record{
+			Type: journal.TypeTerminal, Hash: hash,
+			Status: string(StatusDone), Reason: "cache",
+		}); err != nil {
+			s.log.Warn("journal: terminal append failed",
+				"hash", hash, "err", err.Error())
+		}
+	}
 	s.publish(j, EventCached, JobEvent{Objective: res.Objective, CacheHit: true})
 	return j
 }
@@ -720,12 +961,17 @@ func (s *Service) worker() {
 		j.mu.Lock()
 		j.status = StatusRunning
 		j.started = true
+		j.running = true
 		j.startedAt = now
 		enqueued := j.enqueuedAt
+		attempt := j.attempts
 		j.queueSpan.SetAttr(tracing.Float("waitSec", now.Sub(enqueued).Seconds()))
 		j.queueSpan.EndAt(now)
 		_, j.execSpan = s.cfg.Tracer.StartSpan(
 			tracing.ContextWithSpan(context.Background(), j.span), "execute", "execute")
+		if attempt > 0 {
+			j.execSpan.SetAttr(tracing.Int("retry.attempt", attempt))
+		}
 		j.mu.Unlock()
 		s.metrics.queueDepth.Set(float64(len(s.queue.items)))
 		s.metrics.running.Set(float64(s.stats.Running))
@@ -734,6 +980,7 @@ func (s *Service) worker() {
 		s.publish(j, string(StatusRunning), JobEvent{
 			Time:    now,
 			WaitSec: now.Sub(enqueued).Seconds(),
+			Attempt: attempt,
 		})
 		s.space.Signal()
 		s.mu.Unlock()
@@ -743,7 +990,8 @@ func (s *Service) worker() {
 	}
 }
 
-// execute runs one job and publishes its outcome.
+// execute runs one job and publishes its outcome — terminal, or back to
+// the queue when the retry policy covers the failure.
 func (s *Service) execute(j *Job) {
 	if err := j.ctx.Err(); err != nil {
 		s.finish(j, nil, err, StatusCancelled)
@@ -754,15 +1002,16 @@ func (s *Service) execute(j *Job) {
 	// sets it, and execute is only ever entered afterwards.
 	j.mu.Lock()
 	runCtx := tracing.ContextWithSpan(j.ctx, j.execSpan)
+	attempt := j.attempts + 1
 	j.mu.Unlock()
-	res, err := s.cfg.runFn(runCtx, j.spec)
+	res, err := s.runShielded(runCtx, j)
 	switch {
 	case j.ctx.Err() != nil:
 		// Cancelled mid-run: discard whatever the worker produced so a
 		// torn or unwanted result never poisons the cache.
 		s.finish(j, nil, j.ctx.Err(), StatusCancelled)
 	case err != nil:
-		s.finish(j, nil, err, StatusFailed)
+		s.resolveFailure(j, err, attempt)
 	default:
 		// A cache-store failure degrades to uncached operation; the
 		// result itself is still good.
@@ -772,6 +1021,130 @@ func (s *Service) execute(j *Job) {
 		s.mu.Unlock()
 		s.finish(j, res, nil, StatusDone)
 	}
+}
+
+// runShielded invokes the runner behind a recover() shield: a panicking
+// job becomes a transient "worker panic" failure (retryable under the
+// policy) instead of killing the process, and the worker stays alive.
+func (s *Service) runShielded(ctx context.Context, j *Job) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, fmt.Errorf("worker panic: %v", r)
+			s.mu.Lock()
+			s.stats.WorkerPanics++
+			s.mu.Unlock()
+			s.metrics.workerPanics.Inc()
+			s.log.Error("worker recovered from job panic",
+				"job", j.ID, "hash", j.Hash, "panic", fmt.Sprint(r),
+				"stack", string(debug.Stack()))
+		}
+	}()
+	return s.cfg.runFn(ctx, j.spec)
+}
+
+// resolveFailure decides a failed execution's fate under the retry
+// policy: permanent errors fail immediately, transient ones re-enqueue
+// after a deterministic backoff, and a job that exhausts MaxAttempts is
+// quarantined — failed terminally with an explicit reason — so a poison
+// job can never occupy the pool forever.
+func (s *Service) resolveFailure(j *Job, err error, attempt int) {
+	if !isTransient(err) || s.cfg.Retry.MaxAttempts <= 1 {
+		s.finish(j, nil, err, StatusFailed)
+		return
+	}
+	if attempt >= s.cfg.Retry.MaxAttempts {
+		s.mu.Lock()
+		s.stats.Quarantined++
+		s.mu.Unlock()
+		s.metrics.quarantined.Inc()
+		s.finish(j, nil,
+			fmt.Errorf("quarantined after %d attempts: %w", attempt, err),
+			StatusFailed)
+		return
+	}
+	s.requeueAfter(j, err, attempt)
+}
+
+// requeueAfter schedules retry number attempt of a transiently-failed
+// job. The backoff runs on a timer rather than a sleeping worker, so a
+// waiting retry never occupies pool capacity; the delay is deterministic
+// per (spec hash, attempt), keeping end-to-end behaviour reproducible.
+func (s *Service) requeueAfter(j *Job, cause error, attempt int) {
+	delay := s.cfg.Retry.Backoff(j.Hash, attempt)
+	now := time.Now()
+	j.mu.Lock()
+	j.attempts = attempt
+	j.status = StatusQueued
+	j.running = false
+	j.enqueuedAt = now
+	j.execSpan.SetError(cause)
+	j.execSpan.EndAt(now)
+	// The backoff wait gets its own queue-kind span so retries read as
+	// attempt → backoff → attempt chains in the trace.
+	_, j.queueSpan = s.cfg.Tracer.StartSpan(
+		tracing.ContextWithSpan(context.Background(), j.span),
+		fmt.Sprintf("retry-backoff %d", attempt), "queue",
+		tracing.Int("retry.attempt", attempt),
+		tracing.Float("backoffSec", delay.Seconds()))
+	j.mu.Unlock()
+
+	s.mu.Lock()
+	s.stats.Running--
+	s.metrics.running.Set(float64(s.stats.Running))
+	if s.closed {
+		s.mu.Unlock()
+		s.finish(j, nil, ErrClosed, StatusCancelled)
+		return
+	}
+	s.stats.Retries++
+	s.metrics.retries.Inc()
+	s.retryTimers[j] = time.AfterFunc(delay, func() { s.enqueueRetry(j) })
+	snap := s.obsSnapshotLocked()
+	s.publish(j, EventRetrying, JobEvent{
+		Time:       now,
+		Error:      cause.Error(),
+		Reason:     fmt.Sprintf("retry %d/%d", attempt, s.cfg.Retry.MaxAttempts-1),
+		Attempt:    attempt,
+		BackoffSec: delay.Seconds(),
+	})
+	s.mu.Unlock()
+	s.emitObs(snap)
+	if s.log.Enabled(telemetry.LevelDebug) {
+		s.log.Debug("job retrying",
+			"job", j.ID, "attempt", attempt,
+			"backoff", delay.String(), "err", cause.Error())
+	}
+}
+
+// enqueueRetry returns a backed-off job to the queue when its timer
+// fires. Retries bypass queue-capacity admission — the job was admitted
+// once and never left the service.
+func (s *Service) enqueueRetry(j *Job) {
+	s.mu.Lock()
+	if _, ok := s.retryTimers[j]; !ok {
+		// Cancelled or shut down while the firing timer raced for s.mu;
+		// whoever removed the entry owns the job's fate.
+		s.mu.Unlock()
+		return
+	}
+	delete(s.retryTimers, j)
+	if s.closed {
+		s.mu.Unlock()
+		s.finish(j, nil, ErrClosed, StatusCancelled)
+		return
+	}
+	now := time.Now()
+	j.mu.Lock()
+	j.enqueuedAt = now // waitSec measures queue time, not the backoff
+	attempt := j.attempts
+	j.mu.Unlock()
+	heap.Push(&s.queue, j)
+	s.metrics.queueDepth.Set(float64(len(s.queue.items)))
+	snap := s.obsSnapshotLocked()
+	s.publish(j, string(StatusQueued), JobEvent{Time: now, Attempt: attempt})
+	s.work.Signal()
+	s.mu.Unlock()
+	s.emitObs(snap)
 }
 
 // finish publishes a job outcome exactly once.
@@ -784,11 +1157,13 @@ func (s *Service) finish(j *Job, res *Result, err error, status Status) {
 		return
 	}
 	started := j.started
+	wasRunning := j.running
+	j.running = false
 	j.status = status
 	j.result = res
 	j.err = err
 	j.reason = reason
-	ev := JobEvent{Time: now}
+	ev := JobEvent{Time: now, Attempt: j.attempts}
 	if started {
 		ev.WaitSec = j.startedAt.Sub(j.enqueuedAt).Seconds()
 		ev.ExecSec = now.Sub(j.startedAt).Seconds()
@@ -822,11 +1197,24 @@ func (s *Service) finish(j *Job, res *Result, err error, status Status) {
 	}
 	s.metrics.finished.With(string(status)).Inc()
 
+	// Journal the terminal state — except shutdown cancellations: those
+	// jobs are not abandoned, they are exactly what the next process must
+	// resume, so they stay pending in the log.
+	if s.journal != nil && reason != reasonShutdown {
+		if jerr := s.journal.Append(journal.Record{
+			Type: journal.TypeTerminal, Hash: j.Hash,
+			Status: string(status), Reason: reason,
+		}); jerr != nil {
+			s.log.Warn("journal: terminal append failed",
+				"job", j.ID, "err", jerr.Error())
+		}
+	}
+
 	s.mu.Lock()
 	if s.inflight[j.Hash] == j {
 		delete(s.inflight, j.Hash)
 	}
-	if started {
+	if wasRunning {
 		s.stats.Running--
 		s.metrics.running.Set(float64(s.stats.Running))
 	}
@@ -850,6 +1238,11 @@ func (s *Service) finish(j *Job, res *Result, err error, status Status) {
 	close(j.done)
 }
 
+// reasonShutdown marks jobs cancelled because the process is stopping.
+// finish treats it specially: such jobs keep their pending journal
+// records so the next process resumes them.
+const reasonShutdown = "service shutdown"
+
 // reasonFor maps a terminal (status, error) pair to the human-readable
 // cause surfaced on job status JSON, the SSE terminal event, and the
 // job span. Successful jobs have no reason.
@@ -863,7 +1256,7 @@ func (s *Service) reasonFor(err error, status Status) string {
 	case StatusCancelled:
 		switch {
 		case errors.Is(err, ErrClosed):
-			return "service shutdown"
+			return reasonShutdown
 		case errors.Is(err, context.DeadlineExceeded):
 			return "job deadline exceeded"
 		case errors.Is(err, context.Canceled):
@@ -871,7 +1264,7 @@ func (s *Service) reasonFor(err error, status Status) string {
 			// context.Canceled on the job context; disambiguate on the
 			// service's own state.
 			if s.isClosed() {
-				return "service shutdown"
+				return reasonShutdown
 			}
 			return "cancelled by submitter"
 		case err != nil:
@@ -907,7 +1300,8 @@ func (s *Service) rejectQueueFull() {
 	s.metrics.rejected.Inc()
 }
 
-// dropQueued removes a cancelled job from the queue if it has not started.
+// dropQueued removes a cancelled job from the queue — or from its retry
+// backoff — if it has not started.
 func (s *Service) dropQueued(j *Job) {
 	s.mu.Lock()
 	removed := false
@@ -921,6 +1315,12 @@ func (s *Service) dropQueued(j *Job) {
 	if removed {
 		s.metrics.queueDepth.Set(float64(len(s.queue.items)))
 		s.space.Signal()
+	} else if t, ok := s.retryTimers[j]; ok {
+		// Waiting out a backoff: claim the map entry so a concurrently
+		// firing timer backs off (enqueueRetry finds it gone and yields).
+		t.Stop()
+		delete(s.retryTimers, j)
+		removed = true
 	}
 	s.mu.Unlock()
 	if removed {

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check race bench bench-json cover serve chaos clean
+.PHONY: all build test check race bench bench-json cover serve chaos pool-smoke clean
 
 all: build test
 
@@ -43,6 +43,13 @@ serve:
 # campaign to complete with results identical to an uninterrupted run.
 chaos:
 	$(GO) run ./cmd/ensembled -smoke-chaos
+
+# pool-smoke is the distributed-fabric smoke: three ensembled processes
+# form a localhost pool, a campaign sharded across them must fingerprint
+# identically to a single-node run (even with one peer SIGKILLed
+# mid-campaign), and the pool metrics must show cross-node cache hits.
+pool-smoke:
+	$(GO) run ./cmd/ensembled -smoke-pool
 
 cover:
 	$(GO) test -cover ./...

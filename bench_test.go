@@ -14,10 +14,15 @@ package ensemblekit
 
 import (
 	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"context"
 
+	"ensemblekit/internal/campaign/pool"
 	"ensemblekit/internal/chunk"
 	"ensemblekit/internal/cluster"
 	"ensemblekit/internal/experiments"
@@ -640,5 +645,125 @@ func BenchmarkTracingOverhead(b *testing.B) {
 	b.Run("traced", func(b *testing.B) {
 		run(b, ServiceConfig{Workers: 4,
 			Tracer: tracing.NewTracer(tracing.NewStore(256, 4096))})
+	})
+}
+
+// BenchmarkRingRoute measures the fabric's per-job routing decision:
+// one consistent-hash Owner lookup per submission. The ring is immutable
+// and rebuilt only on membership change, so routing must stay a pure
+// hash + binary search with zero allocations — this is on the submit
+// path of every pooled job.
+func BenchmarkRingRoute(b *testing.B) {
+	for _, n := range []int{3, 16} {
+		b.Run(fmt.Sprintf("%dnodes", n), func(b *testing.B) {
+			ids := make([]string, n)
+			for i := range ids {
+				ids[i] = fmt.Sprintf("node-%d", i+1)
+			}
+			ring := pool.NewRing(ids, 0)
+			keys := make([]string, 1024)
+			for i := range keys {
+				keys[i] = fmt.Sprintf("%064x", uint64(i)*2654435761)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if ring.Owner(keys[i%len(keys)]) == "" {
+					b.Fatal("empty owner")
+				}
+			}
+		})
+	}
+}
+
+// benchPoolLocal is a canned Local for the forwarding benchmark: the
+// peer protocol cost is what is being measured, not an execution.
+type benchPoolLocal struct {
+	cached []byte
+	result []byte
+}
+
+func (l *benchPoolLocal) CachedResultJSON(hash string) ([]byte, bool) {
+	return l.cached, l.cached != nil
+}
+
+func (l *benchPoolLocal) ExecuteForwardedJSON(ctx context.Context, specJSON []byte, label string) ([]byte, error) {
+	return l.result, nil
+}
+
+func (l *benchPoolLocal) SubmitJSON(specJSON []byte, label string, priority int) error {
+	return nil
+}
+
+// BenchmarkPoolForward prices the fabric's two wire operations between
+// a real two-node loopback pool: a forwarded execution round-trip
+// (spec JSON out, result JSON back) and a fleet-cache lookup hit. Both
+// ride one HTTP request, so this is the floor a peer-owned job pays
+// over running locally.
+func BenchmarkPoolForward(b *testing.B) {
+	newNode := func(id string, seeds []string, local pool.Local) (*pool.Pool, *httptest.Server) {
+		var h atomic.Pointer[http.Handler]
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if hp := h.Load(); hp != nil {
+				(*hp).ServeHTTP(w, r)
+				return
+			}
+			http.NotFound(w, r)
+		}))
+		p, err := pool.New(pool.Config{
+			SelfID:    id,
+			Advertise: ts.URL,
+			Join:      seeds,
+			Heartbeat: 10 * time.Millisecond,
+			Local:     local,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		handler := p.Handler()
+		h.Store(&handler)
+		p.Start()
+		return p, ts
+	}
+	res := []byte(`{"objective":1.25,"hash":"bench"}`)
+	p1, ts1 := newNode("n1", nil, &benchPoolLocal{result: res})
+	defer p1.Close()
+	defer ts1.Close()
+	p2, ts2 := newNode("n2", []string{ts1.URL}, &benchPoolLocal{cached: res, result: res})
+	defer p2.Close()
+	defer ts2.Close()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		alive := 0
+		for _, pi := range p1.Peers() {
+			if pi.State == pool.StateAlive {
+				alive++
+			}
+		}
+		if alive == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			b.Fatal("pool never converged")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	spec := []byte(`{"bench":true}`)
+	b.Run("execute", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := p1.Execute(context.Background(), "n2", "h", spec, "bench"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cache-lookup", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, ok, err := p1.Lookup(context.Background(), "n2", "h"); err != nil || !ok {
+				b.Fatalf("lookup ok=%v err=%v", ok, err)
+			}
+		}
 	})
 }

@@ -9,9 +9,10 @@
 //	ensembled [-addr :8080] [-workers N] [-queue N]
 //	          [-cache-bytes N] [-cache-dir DIR]
 //	          [-state-dir DIR] [-retry N] [-exec-delay DUR]
+//	          [-node-id ID] [-advertise URL] [-join URL,URL] [-heartbeat DUR]
 //	          [-log-level info] [-pprof] [-no-trace]
 //	          [-trace-traces N] [-trace-spans N]
-//	          [-smoke] [-smoke-chaos] [-artifacts-dir DIR]
+//	          [-smoke] [-smoke-chaos] [-smoke-pool] [-artifacts-dir DIR]
 //
 // With -state-dir the service is crash-safe: every campaign, job
 // enqueue, and terminal job state is fsync'd to an append-only journal
@@ -61,6 +62,25 @@
 // it against the same state dir, waits for the resumed campaign to
 // finish, and asserts its result fingerprint is identical to an
 // uninterrupted in-process run of the same sweep.
+//
+// Any of -node-id, -advertise, or -join enables the distributed
+// campaign fabric: the process joins (or seeds) a peer pool that routes
+// every job by its content hash to a deterministic owner, consults the
+// owner's cache before executing, and forwards execution when the hash
+// belongs elsewhere, so N ensembled processes serve one logical
+// campaign service with one fleet-wide cache. -node-id and -advertise
+// default to the bound listen address; -join lists seed peer base URLs.
+// The pool mounts under /v1/pool/ and exports pool_* metrics; /readyz
+// stays 503 until a joining node reaches a seed. On SIGTERM a pool
+// member forwards its still-queued jobs to ring successors before
+// exiting instead of journaling them for a local restart.
+//
+// -smoke-pool is the fabric self-test: it launches three ensembled
+// processes as one localhost pool, runs a campaign against node 1 while
+// SIGKILLing node 3 mid-flight, asserts the fingerprint still matches
+// an uninterrupted in-process run, then re-submits the sweep on node 2
+// and asserts the fleet cache tier answered across nodes (pool metric
+// pool_cache_hits_total > 0, pool_forwards_total > 0).
 package main
 
 import (
@@ -79,11 +99,13 @@ import (
 	"os/exec"
 	"os/signal"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
 	"ensemblekit/internal/campaign"
+	"ensemblekit/internal/campaign/pool"
 	"ensemblekit/internal/obs"
 	"ensemblekit/internal/placement"
 	"ensemblekit/internal/telemetry"
@@ -105,8 +127,13 @@ func main() {
 		noTrace     = flag.Bool("no-trace", false, "disable distributed tracing")
 		traceTraces = flag.Int("trace-traces", 0, "max retained traces (0 = default 1024)")
 		traceSpans  = flag.Int("trace-spans", 0, "max retained spans per trace (0 = default 8192)")
+		nodeID      = flag.String("node-id", "", "pool identity of this node (enables the fabric; default: the bound listen address)")
+		advertise   = flag.String("advertise", "", "base URL peers reach this node at (enables the fabric; default: http://<bound address>)")
+		join        = flag.String("join", "", "comma-separated seed peer base URLs to join (enables the fabric)")
+		heartbeat   = flag.Duration("heartbeat", 0, "pool heartbeat interval (0 = default 1s)")
 		smoke       = flag.Bool("smoke", false, "run the Table 2 self-test against a loopback server and exit")
 		smokeChaos  = flag.Bool("smoke-chaos", false, "run the kill -9 / resume self-test and exit")
+		smokePool   = flag.Bool("smoke-pool", false, "run the 3-node pool self-test and exit")
 		artifacts   = flag.String("artifacts-dir", "", "smoke only: write fetched spans and critical path here")
 		addrFile    = flag.String("addr-file", "", "write the bound listen address to this file (used by the chaos harness)")
 	)
@@ -115,10 +142,12 @@ func main() {
 		addr: *addr, workers: *workers, queue: *queue,
 		cacheBytes: *cacheBytes, cacheDir: *cacheDir, logLevel: *logLevel,
 		stateDir: *stateDir, retry: *retry, execDelay: *execDelay,
+		nodeID: *nodeID, advertise: *advertise, join: *join, heartbeat: *heartbeat,
 		pprofOn: *pprofOn, noTrace: *noTrace,
 		traceTraces: *traceTraces, traceSpans: *traceSpans,
-		smoke: *smoke, smokeChaos: *smokeChaos, artifactsDir: *artifacts,
-		addrFile: *addrFile,
+		smoke: *smoke, smokeChaos: *smokeChaos, smokePool: *smokePool,
+		artifactsDir: *artifacts,
+		addrFile:     *addrFile,
 	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintf(os.Stderr, "ensembled: %v\n", err)
@@ -135,17 +164,30 @@ type serverConfig struct {
 	stateDir           string
 	retry              int
 	execDelay          time.Duration
+	nodeID             string
+	advertise          string
+	join               string
+	heartbeat          time.Duration
 	pprofOn, noTrace   bool
 	traceTraces        int
 	traceSpans         int
 	smoke, smokeChaos  bool
+	smokePool          bool
 	artifactsDir       string
 	addrFile           string
+}
+
+// poolEnabled reports whether any fabric flag was given.
+func (c serverConfig) poolEnabled() bool {
+	return c.nodeID != "" || c.advertise != "" || c.join != ""
 }
 
 func run(cfg serverConfig) error {
 	if cfg.smokeChaos {
 		return smokeChaos(cfg.stateDir)
+	}
+	if cfg.smokePool {
+		return smokePool(cfg.stateDir)
 	}
 	level, ok := telemetry.ParseLevel(cfg.logLevel)
 	if !ok {
@@ -198,6 +240,56 @@ func run(cfg serverConfig) error {
 	defer svc.Close()
 
 	api := campaign.NewServer(svc)
+
+	addr := cfg.addr
+	if cfg.smoke {
+		addr = "127.0.0.1:0" // the self-test picks its own port
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+
+	// The fabric is wired before Resume so journal-replayed jobs route
+	// through the ring from their first execution. -node-id and
+	// -advertise default to the bound address, so a bare -join suffices
+	// on localhost.
+	var pl *pool.Pool
+	if cfg.poolEnabled() {
+		selfID := cfg.nodeID
+		if selfID == "" {
+			selfID = ln.Addr().String()
+		}
+		adv := cfg.advertise
+		if adv == "" {
+			adv = "http://" + ln.Addr().String()
+		}
+		var seeds []string
+		for _, s := range strings.Split(cfg.join, ",") {
+			if s = strings.TrimSpace(s); s != "" {
+				seeds = append(seeds, s)
+			}
+		}
+		pl, err = pool.New(pool.Config{
+			SelfID:    selfID,
+			Advertise: adv,
+			Join:      seeds,
+			Heartbeat: cfg.heartbeat,
+			Local:     svc,
+			Permanent: campaign.IsPermanent,
+			Metrics:   reg,
+			Logger:    log,
+			Tracer:    tracer,
+		})
+		if err != nil {
+			return err
+		}
+		defer pl.Close()
+		svc.SetFabric(pl)
+		api.AddReadyCheck(pl.Ready)
+		log.Info("pool fabric enabled", "node", selfID, "advertise", adv, "seeds", len(seeds))
+	}
+
 	api.Resume() // relaunch campaigns left open in the journal
 
 	mux := http.NewServeMux()
@@ -205,6 +297,10 @@ func run(cfg serverConfig) error {
 	mux.Handle("GET /healthz", api.Handler())
 	mux.Handle("GET /readyz", api.Handler())
 	mux.Handle("GET /metrics", reg.Handler())
+	if pl != nil {
+		mux.Handle("/v1/pool/", pl.Handler())
+		pl.Start() // heartbeats + seed joins (retried until first contact)
+	}
 	if cfg.pprofOn {
 		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
@@ -214,14 +310,6 @@ func run(cfg serverConfig) error {
 	}
 
 	srv := &http.Server{Handler: mux}
-	addr := cfg.addr
-	if cfg.smoke {
-		addr = "127.0.0.1:0" // the self-test picks its own port
-	}
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return err
-	}
 	if cfg.addrFile != "" {
 		// Tmp-then-rename so a watcher never reads a half-written address.
 		tmp := cfg.addrFile + ".tmp"
@@ -242,13 +330,23 @@ func run(cfg serverConfig) error {
 	log.Info("ensembled listening",
 		"addr", ln.Addr().String(), "workers", svc.Stats().Workers,
 		"queue", svc.Stats().QueueCapacity, "pprof", cfg.pprofOn,
-		"tracing", tracer != nil)
+		"tracing", tracer != nil, "pool", pl != nil)
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	go func() {
 		<-ctx.Done()
 		log.Info("shutting down")
 		api.SetDraining(true) // readiness fails first, so LBs stop routing
+		if pl != nil {
+			// Graceful drain: still-queued jobs move to ring successors
+			// now instead of waiting in the journal for a local restart.
+			drainCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			handed := svc.DrainQueuedToPeers(drainCtx)
+			cancel()
+			if handed > 0 {
+				log.Info("drained queued jobs to peers", "jobs", handed)
+			}
+		}
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		_ = srv.Shutdown(shutdownCtx)
@@ -773,8 +871,16 @@ func chaosReference() (string, int, error) {
 // to kill it mid-run, and -addr-file publishes the ephemeral port. It
 // returns once the child answers /healthz.
 func startChaosChild(exe, stateDir string) (string, *exec.Cmd, error) {
+	return startChild(exe, stateDir)
+}
+
+// startChild launches this binary as a harness server with the shared
+// baseline flags (ephemeral loopback port, the given state dir, two
+// workers, slowed executions) plus any extra flags, and returns the
+// base URL once the child answers /healthz.
+func startChild(exe, stateDir string, extra ...string) (string, *exec.Cmd, error) {
 	addrFile := filepath.Join(stateDir, fmt.Sprintf("addr-%d.txt", time.Now().UnixNano()))
-	cmd := exec.Command(exe,
+	args := []string{
 		"-addr", "127.0.0.1:0",
 		"-addr-file", addrFile,
 		"-state-dir", stateDir,
@@ -782,7 +888,9 @@ func startChaosChild(exe, stateDir string) (string, *exec.Cmd, error) {
 		"-exec-delay", "30ms",
 		"-retry", "3",
 		"-log-level", "warn",
-	)
+	}
+	args = append(args, extra...)
+	cmd := exec.Command(exe, args...)
 	cmd.Stdout = os.Stdout
 	cmd.Stderr = os.Stderr
 	if err := cmd.Start(); err != nil {
@@ -806,6 +914,281 @@ func startChaosChild(exe, stateDir string) (string, *exec.Cmd, error) {
 		}
 		time.Sleep(10 * time.Millisecond)
 	}
+}
+
+// smokePool is the distributed-fabric self-test behind -smoke-pool: it
+// proves three real processes serve one logical campaign service.
+//
+//  1. Run the chaos sweep uninterrupted, in process, and fingerprint it.
+//  2. Launch three ensembled processes as a localhost pool (n2 and n3
+//     join n1) and wait until every node sees three alive peers.
+//  3. POST the sweep to n1 and SIGKILL n3 once the campaign is
+//     mid-flight: its jobs re-route to the survivors and the finished
+//     campaign's fingerprint must equal the uninterrupted reference.
+//  4. Re-submit the same sweep on n2: results cached across the
+//     survivors answer through the fleet cache tier, and the pool
+//     metrics must show cross-node cache hits and forwards.
+func smokePool(stateDir string) error {
+	if stateDir == "" {
+		dir, err := os.MkdirTemp("", "ensembled-pool-")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		stateDir = dir
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		return err
+	}
+
+	refFP, refJobs, err := chaosReference()
+	if err != nil {
+		return fmt.Errorf("pool: uninterrupted reference run: %w", err)
+	}
+	fmt.Printf("pool: reference fingerprint %s (%d jobs)\n", refFP[:16], refJobs)
+
+	type poolNode struct {
+		id   string
+		base string
+		cmd  *exec.Cmd
+	}
+	var nodes []*poolNode
+	defer func() {
+		for _, n := range nodes {
+			if n.cmd.Process != nil {
+				_ = n.cmd.Process.Kill()
+				_ = n.cmd.Wait()
+			}
+		}
+	}()
+	for i := 1; i <= 3; i++ {
+		id := fmt.Sprintf("n%d", i)
+		dir := filepath.Join(stateDir, id)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+		extra := []string{"-node-id", id, "-heartbeat", "100ms"}
+		if len(nodes) > 0 {
+			extra = append(extra, "-join", nodes[0].base)
+		}
+		base, cmd, err := startChild(exe, dir, extra...)
+		if err != nil {
+			return fmt.Errorf("pool: starting %s: %w", id, err)
+		}
+		nodes = append(nodes, &poolNode{id: id, base: base, cmd: cmd})
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	for _, n := range nodes {
+		for {
+			if poolAlivePeers(n.base) == len(nodes) && isReady(n.base) {
+				break
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("pool: %s never converged on %d alive peers", n.id, len(nodes))
+			}
+			time.Sleep(25 * time.Millisecond)
+		}
+	}
+	fmt.Println("pool: 3 nodes converged, all ready")
+
+	// Cold campaign on n1, with n3 SIGKILLed mid-flight.
+	body, _ := json.Marshal(chaosSweepRequest())
+	resp, err := http.Post(nodes[0].base+"/v1/campaigns", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	var st campaign.CampaignStatus
+	if err := decodeJSON(resp, &st); err != nil {
+		return err
+	}
+	for {
+		if err := getJSON(nodes[0].base+"/v1/campaigns/"+st.ID, &st); err != nil {
+			return err
+		}
+		if st.Done >= 1 && st.Done < st.Total {
+			break
+		}
+		if st.Status != "running" || time.Now().After(deadline) {
+			return fmt.Errorf("pool: never caught campaign mid-flight (status %s, %d/%d jobs)",
+				st.Status, st.Done, st.Total)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	fmt.Printf("pool: SIGKILLing n3 at %d/%d jobs\n", st.Done, st.Total)
+	if err := nodes[2].cmd.Process.Kill(); err != nil {
+		return err
+	}
+	_ = nodes[2].cmd.Wait()
+
+	deadline = time.Now().Add(2 * time.Minute)
+	for st.Status == "running" {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("pool: campaign timed out after peer loss (%d/%d jobs)", st.Done, st.Total)
+		}
+		time.Sleep(25 * time.Millisecond)
+		if err := getJSON(nodes[0].base+"/v1/campaigns/"+st.ID, &st); err != nil {
+			return err
+		}
+	}
+	if st.Status != "done" {
+		return fmt.Errorf("pool: campaign %s after peer loss: %s", st.Status, st.Error)
+	}
+	fp, err := st.Result.Fingerprint()
+	if err != nil {
+		return err
+	}
+	if fp != refFP {
+		return fmt.Errorf("pool: fingerprint after peer loss %s != reference %s", fp, refFP)
+	}
+	fmt.Println("pool: campaign survived peer SIGKILL, fingerprint matches")
+
+	// Warm re-submission on n2: jobs owned by n1 answer from its cache
+	// through the fleet tier.
+	resp, err = http.Post(nodes[1].base+"/v1/campaigns", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	var st2 campaign.CampaignStatus
+	if err := decodeJSON(resp, &st2); err != nil {
+		return err
+	}
+	for st2.Status == "running" {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("pool: warm campaign timed out (%d/%d jobs)", st2.Done, st2.Total)
+		}
+		time.Sleep(25 * time.Millisecond)
+		if err := getJSON(nodes[1].base+"/v1/campaigns/"+st2.ID, &st2); err != nil {
+			return err
+		}
+	}
+	if st2.Status != "done" {
+		return fmt.Errorf("pool: warm campaign %s: %s", st2.Status, st2.Error)
+	}
+	fp2, err := st2.Result.Fingerprint()
+	if err != nil {
+		return err
+	}
+	if fp2 != refFP {
+		return fmt.Errorf("pool: warm fingerprint %s != reference %s", fp2, refFP)
+	}
+
+	// Job statuses expose the executing node.
+	withNode := 0
+	for _, c := range st2.Result.Candidates {
+		for _, id := range c.JobIDs {
+			var js struct {
+				Node string `json:"node"`
+			}
+			if err := getJSON(nodes[1].base+"/v1/jobs/"+id, &js); err != nil {
+				return err
+			}
+			if js.Node != "" {
+				withNode++
+			}
+		}
+	}
+	if withNode == 0 {
+		return errors.New("pool: no job status reported an executing node")
+	}
+
+	// The pool metrics on the survivors must show the fabric actually
+	// carried work: forwarded executions and cross-node cache hits.
+	var hits, forwards float64
+	for _, n := range nodes[:2] {
+		b, err := httpGetBody(n.base + "/metrics")
+		if err != nil {
+			return err
+		}
+		hits += metricSum(b, "pool_cache_hits_total")
+		forwards += metricSum(b, "pool_forwards_total")
+	}
+	if forwards == 0 {
+		return errors.New("pool: pool_forwards_total is 0; no execution was forwarded")
+	}
+	if hits == 0 {
+		return errors.New("pool: pool_cache_hits_total is 0; no cross-node cache hit")
+	}
+	fmt.Printf("pool: %d cross-node cache hits, %d forwarded executions, %d jobs report their node\n",
+		int(hits), int(forwards), withNode)
+	fmt.Println("pool smoke passed")
+	return nil
+}
+
+// poolAlivePeers returns how many peers base reports alive (0 on any
+// error, so callers can poll it).
+func poolAlivePeers(base string) int {
+	var view struct {
+		Members []struct {
+			State string `json:"state"`
+		} `json:"members"`
+	}
+	if err := getJSON(base+"/v1/pool/peers", &view); err != nil {
+		return 0
+	}
+	alive := 0
+	for _, m := range view.Members {
+		if m.State == "alive" {
+			alive++
+		}
+	}
+	return alive
+}
+
+// isReady reports whether /readyz answers 200.
+func isReady(base string) bool {
+	resp, err := http.Get(base + "/readyz")
+	if err != nil {
+		return false
+	}
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// httpGetBody fetches a URL and returns its body as a string.
+func httpGetBody(url string) (string, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("GET %s: HTTP %d", url, resp.StatusCode)
+	}
+	return string(b), nil
+}
+
+// metricSum sums every sample of a Prometheus family in a text
+// exposition (labels collapse into one total).
+func metricSum(body, name string) float64 {
+	total := 0.0
+	for _, line := range strings.Split(body, "\n") {
+		if !strings.HasPrefix(line, name) {
+			continue
+		}
+		rest := line[len(name):]
+		switch {
+		case strings.HasPrefix(rest, "{"):
+			i := strings.LastIndex(rest, "} ")
+			if i < 0 {
+				continue
+			}
+			rest = rest[i+2:]
+		case strings.HasPrefix(rest, " "):
+			rest = rest[1:]
+		default:
+			continue // longer family name sharing the prefix
+		}
+		if v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64); err == nil {
+			total += v
+		}
+	}
+	return total
 }
 
 func getJSON(url string, v any) error {

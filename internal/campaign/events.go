@@ -56,6 +56,9 @@ type JobEvent struct {
 	// BackoffSec is the delay before the retry re-enters the queue
 	// ("retrying" events only).
 	BackoffSec float64 `json:"backoffSec,omitempty"`
+	// Node is the advertised ID of the pool node executing the job;
+	// empty on a fabric-less (single-node) service.
+	Node string `json:"node,omitempty"`
 }
 
 // Terminal reports whether the event ends its job's lifecycle.

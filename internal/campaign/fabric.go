@@ -1,0 +1,336 @@
+package campaign
+
+import (
+	"container/heap"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Fabric is the service's view of the distributed pool (implemented by
+// *pool.Pool; the interfaces mirror each other so neither package
+// imports the other — cmd/ensembled wires them together). All payloads
+// are opaque JSON: the pool routes and transports, the service decides
+// what the bytes mean.
+type Fabric interface {
+	// NodeID is this node's advertised identity in the pool.
+	NodeID() string
+	// Owner resolves the consistent-hash ring owner of a job hash; self
+	// reports whether this node owns it.
+	Owner(hash string) (peer string, self bool)
+	// Lookup consults a peer's result cache (the fleet cache tier).
+	// found=false with nil error is a clean miss.
+	Lookup(ctx context.Context, peer, hash string) (res []byte, found bool, err error)
+	// Execute forwards a job to its owner and blocks for the result.
+	Execute(ctx context.Context, peer, hash string, specJSON []byte, label string) ([]byte, error)
+	// Handoff offers a queued job to the hash's ring successors for
+	// asynchronous execution (the drain path), returning the acceptor.
+	Handoff(ctx context.Context, hash string, specJSON []byte, label string, priority int) (string, error)
+}
+
+// SetFabric attaches the node to a pool: job executions route by ring
+// ownership (local when this node owns the hash, peer cache lookup then
+// forwarded execution otherwise), and job events carry the executing
+// node's ID. Call it before serving traffic; a nil fabric (the default)
+// keeps every execution local.
+func (s *Service) SetFabric(f Fabric) {
+	s.mu.Lock()
+	s.fabric = f
+	if f != nil {
+		s.nodeID = f.NodeID()
+	}
+	s.mu.Unlock()
+}
+
+// fabricSnapshot reads the fabric under the service lock.
+func (s *Service) fabricSnapshot() Fabric {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fabric
+}
+
+// runRouted executes one job according to ring ownership. Self-owned
+// hashes (and the solo, fabric-less configuration) run locally through
+// the shielded runner. Peer-owned hashes first consult the owner's
+// cache — the fleet tier, making every node's results reachable from
+// every other — then forward the execution to the owner, which dedups
+// them against its own in-flight work. Failure handling leans on the
+// existing retry machinery: a transport failure marks the peer dead
+// (the pool rebalances the ring) and surfaces as a transient error, so
+// the retry re-routes to the new owner; with retries disabled the job
+// falls back to local execution instead, so a peer loss can never fail
+// a job outright.
+func (s *Service) runRouted(ctx context.Context, j *Job) (*Result, error) {
+	fab := s.fabricSnapshot()
+	if fab == nil {
+		return s.runShielded(ctx, j)
+	}
+	owner, self := fab.Owner(j.Hash)
+	if self {
+		j.setNode(fab.NodeID())
+		return s.runShielded(ctx, j)
+	}
+	j.setNode(owner)
+	// Fleet cache tier: the owner may already hold this result. Lookup
+	// errors are not fatal — the forward (or its retry) decides the
+	// job's fate.
+	if b, found, err := fab.Lookup(ctx, owner, j.Hash); err == nil && found {
+		res, derr := decodeResult(b)
+		if derr == nil {
+			s.notePeerCacheHit()
+			return res, nil
+		}
+		s.log.Warn("pool: undecodable peer cache entry; forwarding",
+			"peer", owner, "hash", j.Hash, "err", derr.Error())
+	}
+	specJSON, err := j.spec.CanonicalJSON()
+	if err != nil {
+		return nil, Permanent(err)
+	}
+	b, err := fab.Execute(ctx, owner, j.Hash, specJSON, j.Label)
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		// The peer executed the job and failed deterministically: that
+		// verdict is as permanent here as it would be locally.
+		var pe interface{ IsPermanentRemote() bool }
+		if errors.As(err, &pe) && pe.IsPermanentRemote() {
+			return nil, Permanent(err)
+		}
+		if s.cfg.Retry.MaxAttempts > 1 {
+			// Transient (peer died or refused): let the retry policy
+			// re-enqueue; by then the ring has rebalanced and the retry
+			// routes to the hash's new owner.
+			return nil, err
+		}
+		// No retry budget: a lost peer must not lose the job.
+		s.log.Warn("pool: forward failed; executing locally",
+			"peer", owner, "hash", j.Hash, "err", err.Error())
+		j.setNode(fab.NodeID())
+		return s.runShielded(ctx, j)
+	}
+	res, err := decodeResult(b)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: undecodable result from peer %s: %w", owner, err)
+	}
+	return res, nil
+}
+
+// notePeerCacheHit accounts a submission-side fleet-cache hit in the
+// service counters (the pool's pool_cache_hits_total counts the wire
+// side).
+func (s *Service) notePeerCacheHit() {
+	s.mu.Lock()
+	s.stats.CacheHits++
+	s.mu.Unlock()
+	s.metrics.cacheHits.Inc()
+}
+
+// decodeResult parses a result payload received from a peer.
+func decodeResult(b []byte) (*Result, error) {
+	var res Result
+	if err := json.Unmarshal(b, &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// CachedResultJSON serves this node's tier of the fleet cache: the
+// cached result for hash as JSON, without ever triggering execution.
+// It satisfies the pool's Local interface.
+func (s *Service) CachedResultJSON(hash string) ([]byte, bool) {
+	s.mu.Lock()
+	res, fromDisk, err := s.cache.get(hash)
+	if fromDisk && err == nil {
+		s.metrics.setCacheLocked(s.cache.stats())
+	}
+	s.mu.Unlock()
+	if err != nil || res == nil {
+		return nil, false
+	}
+	b, err := json.Marshal(res)
+	if err != nil {
+		return nil, false
+	}
+	return b, true
+}
+
+// remoteFlight is the owner-side singleflight for forwarded executions:
+// concurrent forwards of one hash (from different requesters) share one
+// run. Waiters read res/err only after done closes.
+type remoteFlight struct {
+	done chan struct{}
+	res  []byte
+	err  error
+}
+
+// ExecuteForwardedJSON runs a forwarded spec to completion on this node
+// — the owner side of the pool's Execute. It satisfies the pool's Local
+// interface.
+//
+// Forwarded work deliberately bypasses the local job queue: it runs in
+// the calling (handler) goroutine, bounded by the pool's forward
+// semaphore. Routing it through the queue would let two nodes that
+// forward to each other fill both worker pools with jobs waiting on
+// each other — a distributed deadlock. Dedup still holds fleet-wide:
+// the cache answers known hashes, a hash the local queue already owns
+// attaches to that job, and concurrent forwards of one hash share a
+// single run via the remote-flight table.
+func (s *Service) ExecuteForwardedJSON(ctx context.Context, specJSON []byte, label string) ([]byte, error) {
+	var spec JobSpec
+	if err := json.Unmarshal(specJSON, &spec); err != nil {
+		return nil, Permanent(fmt.Errorf("campaign: undecodable forwarded spec: %w", err))
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, Permanent(err)
+	}
+	hash, err := spec.Hash()
+	if err != nil {
+		return nil, Permanent(err)
+	}
+
+	for {
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			return nil, ErrClosed
+		}
+		res, fromDisk, cerr := s.cache.get(hash)
+		if cerr != nil {
+			s.mu.Unlock()
+			return nil, cerr
+		}
+		if res != nil {
+			if fromDisk {
+				s.metrics.setCacheLocked(s.cache.stats())
+			}
+			s.mu.Unlock()
+			return json.Marshal(res)
+		}
+		if j, ok := s.inflight[hash]; ok {
+			// The local queue already owns this hash; attach to it.
+			s.stats.Dedups++
+			s.metrics.dedups.Inc()
+			s.mu.Unlock()
+			jres, jerr := j.Wait(ctx)
+			if jerr != nil {
+				return nil, jerr
+			}
+			return json.Marshal(jres)
+		}
+		if fl, ok := s.remoteFlights[hash]; ok {
+			s.mu.Unlock()
+			select {
+			case <-fl.done:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			if fl.err != nil {
+				return nil, fl.err
+			}
+			return fl.res, nil
+		}
+		fl := &remoteFlight{done: make(chan struct{})}
+		s.remoteFlights[hash] = fl
+		s.mu.Unlock()
+
+		res2, rerr := s.cfg.runFn(ctx, spec)
+		var b []byte
+		if rerr == nil {
+			s.mu.Lock()
+			// A cache-store failure degrades to uncached operation.
+			_ = s.cache.put(hash, res2)
+			s.metrics.setCacheLocked(s.cache.stats())
+			s.mu.Unlock()
+			b, rerr = json.Marshal(res2)
+		}
+		fl.res, fl.err = b, rerr
+		s.mu.Lock()
+		delete(s.remoteFlights, hash)
+		s.mu.Unlock()
+		close(fl.done)
+		_ = label // labels are requester-side display metadata; the owner keys on the hash
+		return b, rerr
+	}
+}
+
+// SubmitJSON admits a drained spec from a departing peer for
+// asynchronous local execution (non-blocking: a full queue bounces the
+// handoff so the drainer tries the next ring successor). It satisfies
+// the pool's Local interface.
+func (s *Service) SubmitJSON(specJSON []byte, label string, priority int) error {
+	var spec JobSpec
+	if err := json.Unmarshal(specJSON, &spec); err != nil {
+		return fmt.Errorf("campaign: undecodable drained spec: %w", err)
+	}
+	_, err := s.Submit(context.Background(), spec, SubmitOptions{
+		Label:    label,
+		Priority: priority,
+	})
+	return err
+}
+
+// DrainQueuedToPeers forwards this node's pending (queued and
+// retry-parked, not executing) jobs to their ring successors — the
+// SIGTERM drain path when peers are available. A handed-off job
+// finishes locally as cancelled with a journaled "drained to peer"
+// terminal record, so the next local process does NOT also resume it:
+// exactly one node owns the work afterwards. Jobs no peer accepts go
+// back to the queue and take the journal-resume path on the next start.
+// Returns how many jobs were handed off.
+func (s *Service) DrainQueuedToPeers(ctx context.Context) int {
+	fab := s.fabricSnapshot()
+	if fab == nil {
+		return 0
+	}
+	s.mu.Lock()
+	jobs := append([]*Job(nil), s.queue.items...)
+	s.queue.items = nil
+	for j, t := range s.retryTimers {
+		t.Stop()
+		delete(s.retryTimers, j)
+		jobs = append(jobs, j)
+	}
+	s.metrics.queueDepth.Set(float64(len(s.queue.items)))
+	s.mu.Unlock()
+	// Admission order keeps the handoff deterministic and fair.
+	sort.Slice(jobs, func(i, k int) bool { return jobs[i].seq < jobs[k].seq })
+
+	handed := 0
+	for _, j := range jobs {
+		specJSON, err := j.spec.CanonicalJSON()
+		var peer string
+		if err == nil {
+			peer, err = fab.Handoff(ctx, j.Hash, specJSON, j.Label, j.Priority)
+		}
+		if err != nil {
+			// Back to the queue: Close will cancel it with the shutdown
+			// reason, leaving it pending in the journal for local resume.
+			s.mu.Lock()
+			if !s.closed {
+				heap.Push(&s.queue, j)
+				s.metrics.queueDepth.Set(float64(len(s.queue.items)))
+				s.work.Signal()
+			}
+			closed := s.closed
+			s.mu.Unlock()
+			s.log.Warn("pool: drain handoff failed; keeping job for resume",
+				"job", j.ID, "hash", j.Hash, "err", err.Error())
+			if closed {
+				s.finish(j, nil, ErrClosed, StatusCancelled)
+			}
+			continue
+		}
+		handed++
+		j.setNode(peer)
+		s.finish(j, nil, fmt.Errorf("drained to peer %s", peer), StatusCancelled)
+	}
+	if handed > 0 {
+		s.log.Info("pool: drained queued jobs to peers",
+			"handed", handed, "kept", len(jobs)-handed)
+	}
+	return handed
+}

@@ -1,0 +1,110 @@
+package campaign
+
+import (
+	"testing"
+
+	"ensemblekit/internal/cluster"
+	"ensemblekit/internal/kernels"
+	"ensemblekit/internal/placement"
+	"ensemblekit/internal/runtime"
+)
+
+// These constants pin the canonical hash of one simulated and one real
+// reference spec. They guard the content-address across refactors: a
+// hash change silently invalidates every disk cache and journal in the
+// field and breaks cross-version pools (peers route by hash), so it must
+// always be a deliberate, reviewed decision. If this test fails, either
+// revert the encoding change or update the pins in the same change that
+// documents the cache-format break.
+const (
+	pinnedSimHash  = "70de0aae8492db02ff64a6713806c8f0f21dbe321dbdad4a2b289522222b61b3"
+	pinnedRealHash = "bdaf16a50ec6007e5c08e2ad6ac01f3c5b8931970a492898211483d4e6c7b057"
+)
+
+func pinnedSimSpec(t *testing.T) JobSpec {
+	t.Helper()
+	p := placement.C15()
+	es := runtime.SpecForPlacement(p, 4)
+	spec, err := NewJob(cluster.Cori(2), p, es, runtime.SimOptions{Seed: 42, Jitter: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+func pinnedRealSpec(t *testing.T) JobSpec {
+	t.Helper()
+	lj := kernels.DefaultLJConfig()
+	eigen := kernels.DefaultEigenConfig()
+	spec := NewRealJob(cluster.Cori(2), placement.C15(), RealConfig{
+		Steps:          2,
+		Stride:         4,
+		FramesPerChunk: 2,
+		LJ:             &lj,
+		Eigen:          &eigen,
+		MaxCores:       2,
+		TimeoutSec:     30,
+	})
+	return spec
+}
+
+func TestJobSpecHashStabilityPins(t *testing.T) {
+	sim := pinnedSimSpec(t)
+	if got, err := sim.Hash(); err != nil || got != pinnedSimHash {
+		t.Errorf("simulated spec hash %s (err %v), pinned %s", got, err, pinnedSimHash)
+	}
+	real := pinnedRealSpec(t)
+	if err := real.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := real.Hash(); err != nil || got != pinnedRealHash {
+		t.Errorf("real spec hash %s (err %v), pinned %s", got, err, pinnedRealHash)
+	}
+}
+
+// Every RealConfig field participates in the content address, and the
+// Real section cleanly separates real from simulated specs.
+func TestRealConfigCoveredByHash(t *testing.T) {
+	base := pinnedRealSpec(t)
+	baseHash, err := base.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mutations := map[string]func(*RealConfig){
+		"steps":          func(c *RealConfig) { c.Steps++ },
+		"stride":         func(c *RealConfig) { c.Stride++ },
+		"framesPerChunk": func(c *RealConfig) { c.FramesPerChunk++ },
+		"lj":             func(c *RealConfig) { c.LJ.Atoms += 10 },
+		"eigen":          func(c *RealConfig) { c.Eigen.Iterations += 10 },
+		"maxCores":       func(c *RealConfig) { c.MaxCores++ },
+		"timeoutSec":     func(c *RealConfig) { c.TimeoutSec++ },
+	}
+	for name, mutate := range mutations {
+		spec := pinnedRealSpec(t)
+		rc := *spec.Real
+		lj, eigen := *rc.LJ, *rc.Eigen
+		rc.LJ, rc.Eigen = &lj, &eigen
+		mutate(&rc)
+		spec.Real = &rc
+		got, err := spec.Hash()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got == baseHash {
+			t.Errorf("mutating %s did not change the hash", name)
+		}
+	}
+
+	// A real spec never collides with its simulated sibling.
+	simLike := pinnedRealSpec(t)
+	simLike.Real = nil
+	simLike.Ensemble = runtime.SpecForPlacement(simLike.Placement, 4)
+	simHash, err := simLike.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if simHash == baseHash {
+		t.Error("real and simulated specs collide")
+	}
+}

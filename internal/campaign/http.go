@@ -120,6 +120,10 @@ type Server struct {
 	mu        sync.Mutex
 	seq       int64
 	campaigns map[string]*campaignRun
+
+	// readyChecks are extra readiness gates (e.g. the pool's join state)
+	// consulted by /readyz; each returns the reasons it is blocking.
+	readyChecks []func() []string
 }
 
 // NewServer wraps a service. The server does not own the service; closing
@@ -189,6 +193,12 @@ func (s *Server) getReadyz(w http.ResponseWriter, _ *http.Request) {
 		blocked = append(blocked, "draining")
 	}
 	blocked = append(blocked, s.svc.Ready()...)
+	s.mu.Lock()
+	checks := append([]func() []string(nil), s.readyChecks...)
+	s.mu.Unlock()
+	for _, check := range checks {
+		blocked = append(blocked, check()...)
+	}
 	if len(blocked) > 0 {
 		writeJSON(w, http.StatusServiceUnavailable,
 			map[string]any{"status": "unavailable", "reasons": blocked})
@@ -201,6 +211,15 @@ func (s *Server) getReadyz(w http.ResponseWriter, _ *http.Request) {
 // load balancers stop routing new work, and campaign POSTs are rejected,
 // while everything already admitted keeps running to completion.
 func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
+
+// AddReadyCheck registers an extra readiness gate consulted by /readyz
+// (e.g. "pool: join pending" while a node has not reached its seeds).
+// The check returns the reasons it is blocking, or nil when ready.
+func (s *Server) AddReadyCheck(check func() []string) {
+	s.mu.Lock()
+	s.readyChecks = append(s.readyChecks, check)
+	s.mu.Unlock()
+}
 
 // instrument wraps a handler with per-route telemetry and a server span.
 // The wrapper preserves http.Flusher so the SSE route still streams. An
@@ -716,8 +735,11 @@ type jobStatus struct {
 	Reason string `json:"reason,omitempty"`
 	// TraceID is the job's distributed-trace ID (hex); clients feed it to
 	// the /spans and /critical-path endpoints or an external trace UI.
-	TraceID string  `json:"traceId,omitempty"`
-	Result  *Result `json:"result,omitempty"`
+	TraceID string `json:"traceId,omitempty"`
+	// Node is the pool node that executed (or is executing) the job;
+	// empty on a single-node service.
+	Node   string  `json:"node,omitempty"`
+	Result *Result `json:"result,omitempty"`
 }
 
 func (s *Server) getJob(w http.ResponseWriter, r *http.Request) {
@@ -727,7 +749,7 @@ func (s *Server) getJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	st := jobStatus{ID: j.ID, Hash: j.Hash, Label: j.Label, Status: j.Status(),
-		CacheHit: j.CacheHit, Reason: j.Reason(), TraceID: j.TraceID()}
+		CacheHit: j.CacheHit, Reason: j.Reason(), TraceID: j.TraceID(), Node: j.Node()}
 	if res, err := j.Result(); err != nil {
 		st.Error = err.Error()
 	} else if res != nil {

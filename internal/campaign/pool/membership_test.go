@@ -1,0 +1,169 @@
+package pool
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// fakeClock steps membership through liveness transitions without
+// sleeping.
+type fakeClock struct{ t time.Time }
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+// A silent peer must walk alive → suspect → dead on the configured
+// thresholds, staying routable as a suspect (transient stalls must not
+// reshuffle the ring) and leaving the ring only when dead.
+func TestMembershipSuspectThenDeadUnderFakeClock(t *testing.T) {
+	clk := newFakeClock()
+	m := NewMembership("n1", "http://n1", 2*time.Second, 6*time.Second, clk.now)
+	changes := 0
+	m.SetOnChange(func() { changes++ })
+
+	m.Upsert("n2", "http://n2")
+	if changes != 1 {
+		t.Fatalf("%d changes after first upsert, want 1", changes)
+	}
+	if got := m.State("n2"); got != StateAlive {
+		t.Fatalf("state %s, want alive", got)
+	}
+
+	clk.advance(3 * time.Second) // past suspectAfter, before deadAfter
+	if m.Sweep() {
+		t.Fatal("suspect transition reported a routable-set change")
+	}
+	if got := m.State("n2"); got != StateSuspect {
+		t.Fatalf("state %s, want suspect", got)
+	}
+	if got := m.Routable(); !reflect.DeepEqual(got, []string{"n1", "n2"}) {
+		t.Fatalf("suspect peer left the routable set: %v", got)
+	}
+
+	clk.advance(4 * time.Second) // now 7s of silence, past deadAfter
+	if !m.Sweep() {
+		t.Fatal("dead transition did not report a routable-set change")
+	}
+	if got := m.State("n2"); got != StateDead {
+		t.Fatalf("state %s, want dead", got)
+	}
+	if got := m.Routable(); !reflect.DeepEqual(got, []string{"n1"}) {
+		t.Fatalf("dead peer still routable: %v", got)
+	}
+
+	// A direct beat resurrects it.
+	if !m.Upsert("n2", "http://n2") {
+		t.Fatal("resurrection did not report a change")
+	}
+	if got := m.State("n2"); got != StateAlive {
+		t.Fatalf("state %s after resurrection, want alive", got)
+	}
+}
+
+func TestMembershipMarkDeadIsImmediate(t *testing.T) {
+	clk := newFakeClock()
+	m := NewMembership("n1", "http://n1", 2*time.Second, 6*time.Second, clk.now)
+	m.Upsert("n2", "http://n2")
+	if !m.MarkDead("n2") {
+		t.Fatal("MarkDead on a live peer reported no change")
+	}
+	if m.MarkDead("n2") {
+		t.Fatal("MarkDead twice reported a second change")
+	}
+	if got := m.Routable(); !reflect.DeepEqual(got, []string{"n1"}) {
+		t.Fatalf("routable after MarkDead: %v", got)
+	}
+}
+
+// Dead is sticky: a sweep must never resurrect a MarkDead'd peer just
+// because its last beat is still fresh — otherwise the peer flaps back
+// into the ring on every sweep until deadAfter, re-routing retries at a
+// corpse. Only direct contact resurrects.
+func TestMembershipSweepDoesNotResurrectDead(t *testing.T) {
+	clk := newFakeClock()
+	m := NewMembership("n1", "http://n1", 2*time.Second, 6*time.Second, clk.now)
+	m.Upsert("n2", "http://n2")
+	m.MarkDead("n2") // fail-fast kill while the last beat is 0s old
+
+	clk.advance(100 * time.Millisecond)
+	if m.Sweep() {
+		t.Fatal("sweep over a fresh-beat corpse reported a change")
+	}
+	if got := m.State("n2"); got != StateDead {
+		t.Fatalf("state %s after sweep, want dead (sticky)", got)
+	}
+
+	// Direct contact still resurrects.
+	if !m.Upsert("n2", "http://n2") {
+		t.Fatal("direct beat did not resurrect the peer")
+	}
+	if got := m.State("n2"); got != StateAlive {
+		t.Fatalf("state %s after direct beat, want alive", got)
+	}
+}
+
+// Gossip must only discover new peers, never refresh known ones: two
+// nodes trading stale member lists must not keep a dead peer alive.
+func TestMembershipGossipDoesNotRefreshBeats(t *testing.T) {
+	clk := newFakeClock()
+	m := NewMembership("n1", "http://n1", 2*time.Second, 6*time.Second, clk.now)
+	m.Upsert("n2", "http://n2")
+
+	clk.advance(7 * time.Second)
+	// Gossip about n2 arrives just before the sweep; it must not count
+	// as a beat.
+	if m.UpsertIfUnknown("n2", "http://n2") {
+		t.Fatal("gossip refreshed a known peer")
+	}
+	m.Sweep()
+	if got := m.State("n2"); got != StateDead {
+		t.Fatalf("state %s after stale gossip, want dead", got)
+	}
+
+	// But gossip does discover genuinely new peers.
+	if !m.UpsertIfUnknown("n3", "http://n3") {
+		t.Fatal("gossip failed to add an unknown peer")
+	}
+	if got := m.State("n3"); got != StateAlive {
+		t.Fatalf("state %s for discovered peer, want alive", got)
+	}
+}
+
+func TestMembershipIgnoresSelf(t *testing.T) {
+	m := NewMembership("n1", "http://n1", 0, 0, nil)
+	if m.Upsert("n1", "http://elsewhere") {
+		t.Fatal("self upsert reported a change")
+	}
+	if m.UpsertIfUnknown("n1", "http://elsewhere") {
+		t.Fatal("self gossip reported a change")
+	}
+	if got := m.Addr("n1"); got != "http://n1" {
+		t.Fatalf("self addr %q", got)
+	}
+	if got := m.State("n1"); got != StateAlive {
+		t.Fatalf("self state %s", got)
+	}
+}
+
+// Peers reports self first, then peers sorted by ID, with beat ages.
+func TestMembershipPeersSnapshot(t *testing.T) {
+	clk := newFakeClock()
+	m := NewMembership("n2", "http://n2", 2*time.Second, 6*time.Second, clk.now)
+	m.Upsert("n3", "http://n3")
+	m.Upsert("n1", "http://n1")
+	clk.advance(time.Second)
+	ps := m.Peers()
+	if len(ps) != 3 || !ps[0].Self || ps[0].ID != "n2" {
+		t.Fatalf("snapshot %+v", ps)
+	}
+	if ps[1].ID != "n1" || ps[2].ID != "n3" {
+		t.Fatalf("peer order %s, %s", ps[1].ID, ps[2].ID)
+	}
+	if ps[1].SinceBeatSec != 1 {
+		t.Fatalf("beat age %v, want 1s", ps[1].SinceBeatSec)
+	}
+}

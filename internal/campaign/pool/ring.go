@@ -1,0 +1,170 @@
+// Package pool is the distributed campaign fabric: it lets N ensembled
+// processes serve one logical campaign service. Three layers compose it:
+//
+//   - a membership view (join over HTTP, periodic heartbeats with state
+//     gossip, suspect→dead transitions on missed beats),
+//   - a consistent-hash ring (seeded, deterministic virtual nodes) that
+//     assigns every content-addressed job hash to exactly one owner peer,
+//   - a peer protocol (cache lookup, forwarded execution, drain handoff)
+//     over plain JSON HTTP with W3C traceparent propagation on every hop.
+//
+// The package deliberately knows nothing about the campaign service: it
+// moves opaque spec/result JSON between peers and delegates local cache
+// reads and executions to a Local interface. internal/campaign defines
+// the mirror-image Fabric interface that *Pool satisfies, so neither
+// package imports the other and cmd/ensembled wires the two together.
+//
+// The keystone invariant the fabric preserves: a campaign sharded across
+// the pool produces a result Fingerprint byte-identical to a single-node
+// run, because a job's result is a pure function of its spec no matter
+// which peer executes it — routing only decides where the work (and its
+// cache entry) lands, never what it computes.
+package pool
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// Ring is a consistent-hash ring over peer IDs: each peer contributes a
+// fixed number of virtual nodes (points on a 64-bit circle, derived
+// deterministically from the peer ID alone), and a key is owned by the
+// peer whose point follows the key's hash clockwise. Determinism is the
+// contract: every peer that knows the same member set builds the same
+// ring and routes every hash identically, with no coordination.
+//
+// A Ring is immutable after construction; membership changes build a new
+// one (they are rare — peer joins and deaths — while routing is per-job).
+type Ring struct {
+	points []ringPoint // sorted by position
+	ids    []string    // distinct member IDs, sorted
+}
+
+type ringPoint struct {
+	pos uint64
+	id  string
+}
+
+// DefaultVirtualNodes is the per-peer virtual-node count used when a
+// caller passes vnodes <= 0: enough to keep the per-peer load share
+// within a few percent of uniform for small pools, cheap to rebuild.
+const DefaultVirtualNodes = 64
+
+// NewRing builds a ring over ids with vnodes virtual nodes per peer
+// (vnodes <= 0 uses DefaultVirtualNodes). Duplicate IDs are collapsed.
+// An empty id set yields a ring that owns nothing.
+func NewRing(ids []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	seen := make(map[string]bool, len(ids))
+	r := &Ring{}
+	for _, id := range ids {
+		if id == "" || seen[id] {
+			continue
+		}
+		seen[id] = true
+		r.ids = append(r.ids, id)
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{
+				pos: ringHash(id + "#" + strconv.Itoa(v)),
+				id:  id,
+			})
+		}
+	}
+	sort.Strings(r.ids)
+	sort.Slice(r.points, func(i, k int) bool {
+		if r.points[i].pos != r.points[k].pos {
+			return r.points[i].pos < r.points[k].pos
+		}
+		// Position collisions (astronomically rare) break ties on ID so
+		// every peer still agrees on the ordering.
+		return r.points[i].id < r.points[k].id
+	})
+	return r
+}
+
+// ringHash maps a string to a point on the circle: FNV-1a folded through
+// a 64-bit avalanche finalizer (the murmur3 fmix). Plain FNV-1a is not
+// enough here — short, similar vnode labels ("n1#0", "n2#0") land badly
+// clustered and one peer ends up owning most of the circle; the
+// finalizer spreads them uniformly.
+func ringHash(s string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// Members returns the ring's member IDs, sorted.
+func (r *Ring) Members() []string {
+	return append([]string(nil), r.ids...)
+}
+
+// Len returns the member count.
+func (r *Ring) Len() int { return len(r.ids) }
+
+// Owner returns the peer that owns key ("" when the ring is empty).
+func (r *Ring) Owner(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	return r.points[r.search(key)].id
+}
+
+// Owners returns up to n distinct peers in preference order for key: the
+// owner first, then the successors walking clockwise. It is the
+// fail-over order — when the owner is unreachable, the next entry is
+// the deterministic second choice everyone agrees on.
+func (r *Ring) Owners(key string, n int) []string {
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.ids) {
+		n = len(r.ids)
+	}
+	out := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	start := r.search(key)
+	for i := 0; len(out) < n && i < len(r.points); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if seen[p.id] {
+			continue
+		}
+		seen[p.id] = true
+		out = append(out, p.id)
+	}
+	return out
+}
+
+// search returns the index of the first point at or after key's position
+// (wrapping to 0 past the last point).
+func (r *Ring) search(key string) int {
+	pos := ringHash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].pos >= pos })
+	if i == len(r.points) {
+		i = 0
+	}
+	return i
+}
+
+// Distribution counts, for each member, how many of the given keys it
+// owns — the load-share diagnostic the ring tests pin.
+func (r *Ring) Distribution(keys []string) map[string]int {
+	out := make(map[string]int, len(r.ids))
+	for _, id := range r.ids {
+		out[id] = 0
+	}
+	for _, k := range keys {
+		if id := r.Owner(k); id != "" {
+			out[id]++
+		}
+	}
+	return out
+}

@@ -1,0 +1,120 @@
+package pool
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("%064x", i) // hex, like job hashes
+	}
+	return keys
+}
+
+// Every peer that knows the same member set must route every key
+// identically — the ring is deterministic in the member set, regardless
+// of the order members were learned in.
+func TestRingDeterministicAcrossMemberOrder(t *testing.T) {
+	a := NewRing([]string{"n1", "n2", "n3"}, 0)
+	b := NewRing([]string{"n3", "n1", "n2"}, 0)
+	for _, k := range ringKeys(1000) {
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatalf("key %s: owner %s vs %s under different member order",
+				k, a.Owner(k), b.Owner(k))
+		}
+	}
+	if !reflect.DeepEqual(a.Members(), b.Members()) {
+		t.Fatalf("members %v vs %v", a.Members(), b.Members())
+	}
+}
+
+// Duplicate and empty IDs must not add ring points.
+func TestRingCollapsesDuplicates(t *testing.T) {
+	r := NewRing([]string{"n1", "n1", "", "n2"}, 8)
+	if got := r.Members(); !reflect.DeepEqual(got, []string{"n1", "n2"}) {
+		t.Fatalf("members %v", got)
+	}
+	if len(r.points) != 16 {
+		t.Fatalf("%d points, want 16", len(r.points))
+	}
+}
+
+// With the default virtual-node count, a 3-peer ring should spread a
+// large uniform key population within a reasonable band of the 1/3
+// ideal — the property that makes ring routing a load balancer.
+func TestRingDistributionBalanced(t *testing.T) {
+	r := NewRing([]string{"n1", "n2", "n3"}, DefaultVirtualNodes)
+	keys := ringKeys(30000)
+	dist := r.Distribution(keys)
+	for id, n := range dist {
+		share := float64(n) / float64(len(keys))
+		if share < 0.15 || share > 0.55 {
+			t.Errorf("peer %s owns %.1f%% of keys; want a rough third (%v)",
+				id, 100*share, dist)
+		}
+	}
+}
+
+// Removing one member must only move the keys that member owned:
+// every key owned by a survivor keeps its owner. This is the property
+// that makes peer loss cheap — only the dead peer's range reshuffles.
+func TestRingRebalanceMovesOnlyLostRange(t *testing.T) {
+	before := NewRing([]string{"n1", "n2", "n3"}, 0)
+	after := NewRing([]string{"n1", "n2"}, 0)
+	moved := 0
+	for _, k := range ringKeys(5000) {
+		was, is := before.Owner(k), after.Owner(k)
+		if was != "n3" {
+			if is != was {
+				t.Fatalf("key %s moved %s -> %s though %s survived", k, was, is, was)
+			}
+			continue
+		}
+		moved++
+		if is == "n3" {
+			t.Fatalf("key %s still owned by removed peer", k)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no keys were owned by n3; distribution is broken")
+	}
+}
+
+// Owners returns the deterministic fail-over order: distinct peers,
+// the owner first, never more than the member count.
+func TestRingOwnersPreferenceOrder(t *testing.T) {
+	r := NewRing([]string{"n1", "n2", "n3"}, 0)
+	for _, k := range ringKeys(200) {
+		order := r.Owners(k, 5)
+		if len(order) != 3 {
+			t.Fatalf("key %s: %d owners, want 3", k, len(order))
+		}
+		if order[0] != r.Owner(k) {
+			t.Fatalf("key %s: preference order %v does not start at owner %s",
+				k, order, r.Owner(k))
+		}
+		seen := map[string]bool{}
+		for _, id := range order {
+			if seen[id] {
+				t.Fatalf("key %s: duplicate peer in %v", k, order)
+			}
+			seen[id] = true
+		}
+	}
+}
+
+func TestRingEmpty(t *testing.T) {
+	r := NewRing(nil, 0)
+	if got := r.Owner("abc"); got != "" {
+		t.Fatalf("empty ring owner %q", got)
+	}
+	if got := r.Owners("abc", 2); got != nil {
+		t.Fatalf("empty ring owners %v", got)
+	}
+	if r.Len() != 0 {
+		t.Fatalf("empty ring len %d", r.Len())
+	}
+}

@@ -23,13 +23,29 @@ func Execute(spec JobSpec) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	opts := spec.Sim.Options()
-	opts.Faults = spec.Faults
-	tr, err := runtime.RunSimulated(spec.Cluster, spec.Placement, spec.Ensemble, opts)
+	tr, err := runSpec(spec, nil)
 	if err != nil {
 		return nil, err
 	}
 	return derive(hash, spec.Placement, tr)
+}
+
+// runSpec dispatches the spec to its backend: runtime.RunReal when the
+// spec carries a RealConfig, runtime.RunSimulated otherwise. The fault
+// plan and resilience policy are shared between backends; rec, when
+// non-nil, attaches the live obs recorder.
+func runSpec(spec JobSpec, rec *obs.Recorder) (*trace.EnsembleTrace, error) {
+	if spec.Real != nil {
+		ro := spec.Real.Options()
+		ro.Faults = spec.Faults
+		ro.Resilience = spec.Sim.Resilience
+		ro.Recorder = rec
+		return runtime.RunReal(spec.Placement, ro)
+	}
+	opts := spec.Sim.Options()
+	opts.Faults = spec.Faults
+	opts.Recorder = rec
+	return runtime.RunSimulated(spec.Cluster, spec.Placement, spec.Ensemble, opts)
 }
 
 // executeTraced is Execute with the DES run observed: when ctx carries a
@@ -53,12 +69,9 @@ func executeTraced(ctx context.Context, tracer *tracing.Tracer, spec JobSpec) (*
 	if err != nil {
 		return nil, err
 	}
-	opts := spec.Sim.Options()
-	opts.Faults = spec.Faults
 	rec := obs.NewRecorder(nil)
-	opts.Recorder = rec
 	anchor := time.Now()
-	tr, err := runtime.RunSimulated(spec.Cluster, spec.Placement, spec.Ensemble, opts)
+	tr, err := runSpec(spec, rec)
 	wallSec := time.Since(anchor).Seconds()
 	if err != nil {
 		span.SetAttr(tracing.Float("des.makespanSec", 0))

@@ -187,6 +187,7 @@ type Job struct {
 	result     *Result
 	err        error
 	reason     string // human cause for failed/cancelled jobs
+	node       string // pool node that executed the job ("" before routing)
 
 	// Trace spans (nil when the service has no tracer). span is the root
 	// of the job's subtree; queueSpan covers enqueue → pickup, execSpan
@@ -251,6 +252,20 @@ func (j *Job) Reason() string {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.reason
+}
+
+// Node returns the ID of the pool node the job ran on (or is running
+// on); "" on a fabric-less service or before routing resolved.
+func (j *Job) Node() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.node
+}
+
+func (j *Job) setNode(id string) {
+	j.mu.Lock()
+	j.node = id
+	j.mu.Unlock()
 }
 
 // Stats is a snapshot of the service's counters.
@@ -331,6 +346,14 @@ type Service struct {
 	stats       Stats
 	closed      bool
 	seq         int64
+
+	// fabric routes executions across the pool when set (see SetFabric);
+	// nodeID is this node's advertised pool identity. remoteFlights is
+	// the owner-side singleflight for forwarded executions, keyed by
+	// spec hash.
+	fabric        Fabric
+	nodeID        string
+	remoteFlights map[string]*remoteFlight
 
 	// recMu serializes obs recorder emissions; it is never held together
 	// with s.mu, so a slow recorder cannot stall the hot paths.
@@ -459,14 +482,15 @@ func NewService(cfg Config) (*Service, error) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Service{
-		cfg:         cfg,
-		journal:     jnl,
-		inflight:    make(map[string]*Job),
-		jobs:        make(map[string]*Job),
-		retryTimers: make(map[*Job]*time.Timer),
-		cache:       cache,
-		baseCtx:     ctx,
-		baseCancel:  cancel,
+		cfg:           cfg,
+		journal:       jnl,
+		inflight:      make(map[string]*Job),
+		jobs:          make(map[string]*Job),
+		retryTimers:   make(map[*Job]*time.Timer),
+		remoteFlights: make(map[string]*remoteFlight),
+		cache:         cache,
+		baseCtx:       ctx,
+		baseCancel:    cancel,
 	}
 	s.space = sync.NewCond(&s.mu)
 	s.work = sync.NewCond(&s.mu)
@@ -877,6 +901,9 @@ func (s *Service) publish(j *Job, status string, base JobEvent) {
 	base.Label = j.Label
 	base.Campaign = j.campaign
 	base.Status = status
+	if base.Node == "" {
+		base.Node = j.Node()
+	}
 	if base.Time.IsZero() {
 		base.Time = time.Now()
 	}
@@ -1004,7 +1031,7 @@ func (s *Service) execute(j *Job) {
 	runCtx := tracing.ContextWithSpan(j.ctx, j.execSpan)
 	attempt := j.attempts + 1
 	j.mu.Unlock()
-	res, err := s.runShielded(runCtx, j)
+	res, err := s.runRouted(runCtx, j)
 	switch {
 	case j.ctx.Err() != nil:
 		// Cancelled mid-run: discard whatever the worker produced so a

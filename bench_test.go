@@ -571,6 +571,126 @@ func BenchmarkCampaignSweep(b *testing.B) {
 		b.StopTimer()
 		b.ReportMetric(float64(last.CacheHits)/float64(last.Jobs)*100, "hit-%")
 	})
+
+	// coldSweep is one timed cold-cache campaign per iteration under the
+	// given service configuration.
+	coldSweep := func(b *testing.B, sw Sweep, cfg ServiceConfig) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			svc, err := NewService(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			if _, err := RunCampaign(context.Background(), svc, sw); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			svc.Close()
+			b.StartTimer()
+		}
+	}
+
+	// The fast path on the stock 8-step sweep: at this scale service
+	// machinery (hashing, queueing, events) dominates, so the gain is
+	// bounded; the -deep pair below isolates the execution-dominated
+	// regime.
+	b.Run("pooled-4w-cold-fastpath", func(b *testing.B) {
+		coldSweep(b, sweep, ServiceConfig{Workers: 4, FastPath: true})
+	})
+
+	// The deep sweep stretches every job to 256 in situ steps so DES
+	// execution, not service overhead, dominates the cold wall clock —
+	// the regime long campaigns actually run in. The fast path answers
+	// each job in closed form, flattening the per-step cost.
+	deep := sweep
+	deep.Steps = 256
+	b.Run("pooled-4w-cold-deep", func(b *testing.B) {
+		coldSweep(b, deep, ServiceConfig{Workers: 4})
+	})
+	b.Run("pooled-4w-cold-deep-fastpath", func(b *testing.B) {
+		coldSweep(b, deep, ServiceConfig{Workers: 4, FastPath: true})
+	})
+}
+
+// BenchmarkCampaignSweepParallelMembers measures member parallelism on a
+// sweep of wide ensembles (16 node-disjoint members at paper-scale step
+// counts): the joint path simulates all members on one event loop per
+// job; the split path fans eligible members across cores and merges
+// deterministically, composing with the service's job-level workers.
+func BenchmarkCampaignSweepParallelMembers(b *testing.B) {
+	b.ReportAllocs()
+	const members = 16
+	p := Placement{Name: "wide"}
+	for i := 0; i < members; i++ {
+		p.Members = append(p.Members, Member{
+			Simulation: Component{Nodes: []int{i}, Cores: 16},
+			Analyses:   []Component{{Nodes: []int{i}, Cores: 8}},
+		})
+	}
+	sweep := Sweep{
+		Placements: []Placement{p},
+		Seeds:      []int64{1, 2, 3},
+		Steps:      PaperSteps,
+	}
+	for _, degree := range []int{0, 4, members} {
+		name := "joint"
+		if degree > 0 {
+			name = fmt.Sprintf("split-%d", degree)
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				svc, err := NewService(ServiceConfig{Workers: 2, MemberParallelism: degree})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				if _, err := RunCampaign(context.Background(), svc, sweep); err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				svc.Close()
+				b.StartTimer()
+			}
+		})
+	}
+}
+
+// BenchmarkSteadyStateFastPath is the per-job comparison behind the
+// campaign numbers: one fault-free paper-scale ensemble evaluated by the
+// DES engine versus the closed-form steady-state evaluator. The fast
+// path dispatches zero DES events; both produce bit-identical traces
+// (TestFastPathBitIdentical).
+func BenchmarkSteadyStateFastPath(b *testing.B) {
+	p := ConfigC15()
+	spec := Cori(3)
+	es := SpecForPlacement(p, PaperSteps)
+
+	b.Run("des", func(b *testing.B) {
+		b.ReportAllocs()
+		world := NewWorld()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := RunSimulatedInfo(spec, p, es, SimOptions{World: world}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("fastpath", func(b *testing.B) {
+		b.ReportAllocs()
+		world := NewWorld()
+		for i := 0; i < b.N; i++ {
+			_, info, err := RunSimulatedInfo(spec, p, es, SimOptions{World: world, FastPath: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !info.FastPath || info.DESEvents != 0 {
+				b.Fatalf("fast path not taken (fastpath=%v, events=%d)", info.FastPath, info.DESEvents)
+			}
+		}
+	})
 }
 
 // BenchmarkTelemetryOverhead measures the cost the metrics registry adds

@@ -122,6 +122,9 @@ func main() {
 		stateDir    = flag.String("state-dir", "", "durable state directory: journal (DIR/journal.wal) + default disk cache (DIR/cache)")
 		retry       = flag.Int("retry", 3, "max executions per job; transient failures back off and re-enqueue (1 disables retries)")
 		execDelay   = flag.Duration("exec-delay", 0, "artificially stretch each execution (chaos/load testing only)")
+		memberPar   = flag.Int("member-parallelism", 0, "simulate eligible jobs' independent members on up to this many cores each (0 = joint path; results are bit-identical)")
+		fastPath    = flag.Bool("fastpath", false, "answer fault-free steady-state-eligible jobs from the Eq. 1-9 closed forms instead of the DES (bit-identical)")
+		verifyFP    = flag.Bool("verify-fastpath", false, "cross-check every fast-path hit against a DES re-run (implies -fastpath; validation mode)")
 		logLevel    = flag.String("log-level", "info", "log level: debug, info, warn, error")
 		pprofOn     = flag.Bool("pprof", false, "expose GET /debug/pprof/* runtime profiles")
 		noTrace     = flag.Bool("no-trace", false, "disable distributed tracing")
@@ -142,6 +145,7 @@ func main() {
 		addr: *addr, workers: *workers, queue: *queue,
 		cacheBytes: *cacheBytes, cacheDir: *cacheDir, logLevel: *logLevel,
 		stateDir: *stateDir, retry: *retry, execDelay: *execDelay,
+		memberPar: *memberPar, fastPath: *fastPath, verifyFP: *verifyFP,
 		nodeID: *nodeID, advertise: *advertise, join: *join, heartbeat: *heartbeat,
 		pprofOn: *pprofOn, noTrace: *noTrace,
 		traceTraces: *traceTraces, traceSpans: *traceSpans,
@@ -164,6 +168,8 @@ type serverConfig struct {
 	stateDir           string
 	retry              int
 	execDelay          time.Duration
+	memberPar          int
+	fastPath, verifyFP bool
 	nodeID             string
 	advertise          string
 	join               string
@@ -229,10 +235,15 @@ func run(cfg serverConfig) error {
 		JournalPath: journalPath,
 		Retry:       campaign.RetryPolicy{MaxAttempts: cfg.retry},
 		ExecDelay:   cfg.execDelay,
-		Recorder:    rec,
-		Metrics:     reg,
-		Logger:      log,
-		Tracer:      tracer,
+
+		MemberParallelism: cfg.memberPar,
+		FastPath:          cfg.fastPath,
+		VerifyFastPath:    cfg.verifyFP,
+
+		Recorder: rec,
+		Metrics:  reg,
+		Logger:   log,
+		Tracer:   tracer,
 	})
 	if err != nil {
 		return err

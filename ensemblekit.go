@@ -179,6 +179,22 @@ func RunSimulated(spec ClusterSpec, p Placement, es EnsembleSpec, opts SimOption
 	return runtime.RunSimulated(spec, p, es, opts)
 }
 
+// RunInfo reports how a simulated run was executed (fast path, member
+// parallelism, plan reuse, DES event count).
+type RunInfo = runtime.RunInfo
+
+// World is the shared immutable state of a campaign: frozen plans plus a
+// recycled-environment arena (see SimOptions.World).
+type World = runtime.World
+
+// NewWorld returns an empty World.
+func NewWorld() *World { return runtime.NewWorld() }
+
+// RunSimulatedInfo is RunSimulated plus execution metadata.
+func RunSimulatedInfo(spec ClusterSpec, p Placement, es EnsembleSpec, opts SimOptions) (*EnsembleTrace, RunInfo, error) {
+	return runtime.RunSimulatedInfo(spec, p, es, opts)
+}
+
 // RunReal executes an ensemble for real on the local machine.
 func RunReal(p Placement, opts RealOptions) (*EnsembleTrace, error) {
 	return runtime.RunReal(p, opts)

@@ -142,16 +142,25 @@ func (c *resultCache) get(hash string) (*Result, bool, error) {
 	return res, true, nil
 }
 
-// put stores a result under its hash in both tiers.
+// put stores a result under its hash in both tiers. The memory tier is
+// budgeted on a structural size estimate: serializing every result just
+// to measure it dominated the cold path at paper-scale step counts
+// (json.Marshal was 80%+ of a deep sweep's CPU profile). Only the disk
+// tier — which must produce the bytes anyway — still marshals, and it
+// keeps the exact size.
 func (c *resultCache) put(hash string, res *Result) error {
 	if c == nil {
+		return nil
+	}
+	if c.dir == "" {
+		c.admit(hash, res, estimateResultSize(res))
 		return nil
 	}
 	b, err := json.Marshal(res)
 	if err != nil {
 		return fmt.Errorf("campaign: encoding result: %w", err)
 	}
-	if c.dir != "" {
+	{
 		sum := sha256.Sum256(b)
 		env, err := json.Marshal(diskEnvelope{
 			Sum:    hex.EncodeToString(sum[:]),
@@ -172,6 +181,52 @@ func (c *resultCache) put(hash string, res *Result) error {
 	}
 	c.admit(hash, res, int64(len(b)))
 	return nil
+}
+
+// estimateResultSize approximates a result's JSON-encoded size without
+// serializing it: a structural walk counting stage records at their
+// average encoded width. The LRU budget only needs a consistent
+// approximation (each entry is debited with the same number it was
+// credited with), not exact bytes; the estimate tracks the real encoding
+// within a few tens of percent across step counts.
+func estimateResultSize(res *Result) int64 {
+	const (
+		resultOverhead = 256 // fixed keys + scalar fields
+		perEfficiency  = 24
+		perReportStage = 48
+		perMember      = 64
+		perComponent   = 176 // keys + scalars outside the step array
+		perStep        = 24
+		perStageRecord = 220 // stage/start/duration/counters object
+		perNode        = 8
+		perOutput      = 24
+	)
+	n := int64(resultOverhead + len(res.Hash))
+	n += int64(perEfficiency * len(res.Efficiencies))
+	n += int64(perReportStage * len(res.Report.PerStage))
+	tr := res.Trace
+	if tr == nil {
+		return n
+	}
+	n += int64(len(tr.Backend) + len(tr.Config))
+	comp := func(c *trace.ComponentTrace) {
+		if c == nil {
+			return
+		}
+		n += int64(perComponent + len(c.Name) + len(c.Err))
+		n += int64(perNode*len(c.Nodes) + perOutput*len(c.Outputs))
+		for _, st := range c.Steps {
+			n += int64(perStep + perStageRecord*len(st.Stages))
+		}
+	}
+	for _, m := range tr.Members {
+		n += perMember
+		comp(m.Simulation)
+		for _, a := range m.Analyses {
+			comp(a)
+		}
+	}
+	return n
 }
 
 // admit inserts into the memory tier and evicts LRU entries past budget.

@@ -3,6 +3,7 @@ package campaign
 import (
 	"context"
 	"fmt"
+	"math"
 	"time"
 
 	"ensemblekit/internal/core"
@@ -14,38 +15,65 @@ import (
 	"ensemblekit/internal/trace"
 )
 
+// execHints carries the service's execution tuning into a single run:
+// the campaign-shared World, the member-parallelism degree, and the
+// steady-state fast path with its optional cross-check. Hints never
+// change results — they are deliberately excluded from JobSpec and its
+// hash (see runtime.SimOptions) — so hinted and unhinted executions of
+// the same spec are interchangeable, cache-compatible, and produce the
+// same campaign fingerprint.
+type execHints struct {
+	world    *runtime.World
+	members  int
+	fastPath bool
+	verify   bool
+}
+
 // Execute runs one job to completion in the calling goroutine — the serial
 // path the service parallelizes. The returned result is exactly what a
 // direct runtime.RunSimulated of the same inputs produces (the trace is
 // byte-identical), plus the derived indicator quantities.
 func Execute(spec JobSpec) (*Result, error) {
+	res, _, err := executeHinted(spec, execHints{})
+	return res, err
+}
+
+// executeHinted is Execute with execution hints applied, reporting how
+// the run was served.
+func executeHinted(spec JobSpec, h execHints) (*Result, runtime.RunInfo, error) {
 	hash, err := spec.Hash()
 	if err != nil {
-		return nil, err
+		return nil, runtime.RunInfo{}, err
 	}
-	tr, err := runSpec(spec, nil)
+	tr, info, err := runSpec(spec, nil, h)
 	if err != nil {
-		return nil, err
+		return nil, info, err
 	}
-	return derive(hash, spec.Placement, tr)
+	res, err := derive(hash, spec.Placement, tr)
+	return res, info, err
 }
 
 // runSpec dispatches the spec to its backend: runtime.RunReal when the
 // spec carries a RealConfig, runtime.RunSimulated otherwise. The fault
 // plan and resilience policy are shared between backends; rec, when
-// non-nil, attaches the live obs recorder.
-func runSpec(spec JobSpec, rec *obs.Recorder) (*trace.EnsembleTrace, error) {
+// non-nil, attaches the live obs recorder. Hints apply only to the
+// simulated backend.
+func runSpec(spec JobSpec, rec *obs.Recorder, h execHints) (*trace.EnsembleTrace, runtime.RunInfo, error) {
 	if spec.Real != nil {
 		ro := spec.Real.Options()
 		ro.Faults = spec.Faults
 		ro.Resilience = spec.Sim.Resilience
 		ro.Recorder = rec
-		return runtime.RunReal(spec.Placement, ro)
+		tr, err := runtime.RunReal(spec.Placement, ro)
+		return tr, runtime.RunInfo{}, err
 	}
 	opts := spec.Sim.Options()
 	opts.Faults = spec.Faults
 	opts.Recorder = rec
-	return runtime.RunSimulated(spec.Cluster, spec.Placement, spec.Ensemble, opts)
+	opts.World = h.world
+	opts.MemberParallelism = h.members
+	opts.FastPath = h.fastPath
+	return runtime.RunSimulatedInfo(spec.Cluster, spec.Placement, spec.Ensemble, opts)
 }
 
 // executeTraced is Execute with the DES run observed: when ctx carries a
@@ -61,21 +89,30 @@ func runSpec(spec JobSpec, rec *obs.Recorder) (*trace.EnsembleTrace, error) {
 // Execute; the recorder never alters the simulation itself — the trace
 // stays byte-identical (see TestSimulatedRecorderBitIdentical).
 func executeTraced(ctx context.Context, tracer *tracing.Tracer, spec JobSpec) (*Result, error) {
+	res, _, err := executeTracedHinted(ctx, tracer, spec, execHints{})
+	return res, err
+}
+
+// executeTracedHinted is executeTraced with execution hints applied. The
+// execute span additionally records members.parallelism (the effective
+// degree, 0 = joint path) and des.fastpath; fast-path runs dispatch no
+// DES events, so there is no obs stream to bridge into child spans.
+func executeTracedHinted(ctx context.Context, tracer *tracing.Tracer, spec JobSpec, h execHints) (*Result, runtime.RunInfo, error) {
 	span := tracing.SpanFromContext(ctx)
 	if tracer == nil || !span.Recording() {
-		return Execute(spec)
+		return executeHinted(spec, h)
 	}
 	hash, err := spec.Hash()
 	if err != nil {
-		return nil, err
+		return nil, runtime.RunInfo{}, err
 	}
 	rec := obs.NewRecorder(nil)
 	anchor := time.Now()
-	tr, err := runSpec(spec, rec)
+	tr, info, err := runSpec(spec, rec, h)
 	wallSec := time.Since(anchor).Seconds()
 	if err != nil {
 		span.SetAttr(tracing.Float("des.makespanSec", 0))
-		return nil, err
+		return nil, info, err
 	}
 	makespan := tr.Makespan()
 	scale := 1.0
@@ -85,9 +122,81 @@ func executeTraced(ctx context.Context, tracer *tracing.Tracer, spec JobSpec) (*
 	span.SetAttr(
 		tracing.Int64("des.anchorUnixNano", anchor.UnixNano()),
 		tracing.Float("des.scale", scale),
-		tracing.Float("des.makespanSec", makespan))
-	obs.BridgeSpans(tracer, span.Context(), rec.Events(), anchor, scale)
-	return derive(hash, spec.Placement, tr)
+		tracing.Float("des.makespanSec", makespan),
+		tracing.Int("members.parallelism", info.MemberParallelism),
+		tracing.Bool("des.fastpath", info.FastPath))
+	if !info.FastPath {
+		obs.BridgeSpans(tracer, span.Context(), rec.Events(), anchor, scale)
+	}
+	res, err := derive(hash, spec.Placement, tr)
+	return res, info, err
+}
+
+// fpVerifyTol is the relative tolerance of the fast-path cross-check.
+// The closed form replicates the engine's float arithmetic, so agreement
+// is in practice bit-exact; the tolerance absorbs only the derived
+// quantities' reduction order.
+const fpVerifyTol = 1e-9
+
+// verifyFastPath cross-checks a fast-path result against the DES: it
+// re-runs the spec with the fast path disabled (same hints otherwise)
+// and asserts that the derived Eq. 5-9 quantities — makespan, member
+// efficiencies, the full indicator report, the objective — and every
+// member's extracted steady state (Eq. 1-3 inputs) agree within
+// fpVerifyTol. A disagreement is a model bug, never a transient.
+func verifyFastPath(spec JobSpec, fast *Result, h execHints) error {
+	h.fastPath = false
+	h.verify = false
+	ref, _, err := executeHinted(spec, h)
+	if err != nil {
+		return fmt.Errorf("campaign: fast-path verify: DES re-run: %w", err)
+	}
+	if !relEq(fast.Makespan, ref.Makespan) {
+		return fmt.Errorf("campaign: fast-path verify: makespan %v != DES %v", fast.Makespan, ref.Makespan)
+	}
+	if !relEq(fast.Objective, ref.Objective) {
+		return fmt.Errorf("campaign: fast-path verify: objective %v != DES %v", fast.Objective, ref.Objective)
+	}
+	if len(fast.Efficiencies) != len(ref.Efficiencies) {
+		return fmt.Errorf("campaign: fast-path verify: %d efficiencies != DES %d",
+			len(fast.Efficiencies), len(ref.Efficiencies))
+	}
+	for i, e := range fast.Efficiencies {
+		if !relEq(e, ref.Efficiencies[i]) {
+			return fmt.Errorf("campaign: fast-path verify: member %d efficiency %v != DES %v",
+				i, e, ref.Efficiencies[i])
+		}
+	}
+	if len(fast.Report.PerStage) != len(ref.Report.PerStage) {
+		return fmt.Errorf("campaign: fast-path verify: report has %d stages, DES %d",
+			len(fast.Report.PerStage), len(ref.Report.PerStage))
+	}
+	for stage, v := range fast.Report.PerStage {
+		rv, ok := ref.Report.PerStage[stage]
+		if !ok || !relEq(v, rv) {
+			return fmt.Errorf("campaign: fast-path verify: indicator %s %v != DES %v", stage, v, rv)
+		}
+	}
+	for i := range fast.Trace.Members {
+		fss, err := core.FromMemberTrace(fast.Trace.Members[i], core.ExtractOptions{})
+		if err != nil {
+			return fmt.Errorf("campaign: fast-path verify: member %d: %w", i, err)
+		}
+		rss, err := core.FromMemberTrace(ref.Trace.Members[i], core.ExtractOptions{})
+		if err != nil {
+			return fmt.Errorf("campaign: fast-path verify: member %d (DES): %w", i, err)
+		}
+		if !fss.ApproxEqual(rss, fpVerifyTol) {
+			return fmt.Errorf("campaign: fast-path verify: member %d steady state %+v != DES %+v", i, fss, rss)
+		}
+	}
+	return nil
+}
+
+// relEq compares two derived quantities at fpVerifyTol relative
+// tolerance.
+func relEq(a, b float64) bool {
+	return math.Abs(a-b) <= fpVerifyTol*math.Max(math.Abs(a), math.Abs(b))
 }
 
 // derive computes the paper's quantities from a finished trace: surviving

@@ -13,6 +13,7 @@ import (
 
 	"ensemblekit/internal/campaign/journal"
 	"ensemblekit/internal/obs"
+	"ensemblekit/internal/runtime"
 	"ensemblekit/internal/telemetry"
 	"ensemblekit/internal/telemetry/tracing"
 )
@@ -89,6 +90,24 @@ type Config struct {
 	// reliably — and is a no-op in production configurations.
 	ExecDelay time.Duration
 
+	// MemberParallelism simulates eligible jobs' independent ensemble
+	// members on separate cores, up to this degree per job (composes
+	// with Workers). 0 keeps the joint single-environment path. The
+	// trace — and the campaign fingerprint — is bit-identical at every
+	// degree (see TestMemberParallelDeterminism).
+	MemberParallelism int
+	// FastPath answers fault-free steady-state-eligible jobs from the
+	// Eq. 1-9 closed forms instead of the DES, bit-identically (see
+	// TestFastPathBitIdentical). Ineligible jobs fall through to the
+	// DES untouched. Counted by campaign_fastpath_hits_total.
+	FastPath bool
+	// VerifyFastPath additionally re-runs every fast-path hit through
+	// the DES and fails the job if the derived quantities disagree
+	// beyond float tolerance (implies FastPath; the cross-check mode
+	// for validating the closed forms, not a production setting).
+	// Counted by campaign_fastpath_verified_total.
+	VerifyFastPath bool
+
 	// runFn overrides job execution (tests count real simulations with
 	// it). Nil runs Execute.
 	runFn func(context.Context, JobSpec) (*Result, error)
@@ -111,29 +130,11 @@ func (c Config) normalized() Config {
 		c.EventBuffer = 256
 	}
 	c.Retry = c.Retry.normalized()
-	if c.runFn == nil {
-		tracer := c.Tracer
-		delay := c.ExecDelay
-		c.runFn = func(ctx context.Context, spec JobSpec) (*Result, error) {
-			if delay > 0 {
-				t := time.NewTimer(delay)
-				select {
-				case <-t.C:
-				case <-ctx.Done():
-					t.Stop()
-					return nil, ctx.Err()
-				}
-			}
-			res, err := executeTraced(ctx, tracer, spec)
-			if err != nil && ctx.Err() == nil {
-				// A simulated run is a pure function of its spec: an
-				// identical re-run fails identically, so simulation
-				// errors never retry.
-				err = Permanent(err)
-			}
-			return res, err
-		}
+	if c.VerifyFastPath {
+		c.FastPath = true
 	}
+	// runFn's default is installed by NewService (Service.defaultRun): it
+	// needs the service's World and metrics, which don't exist yet here.
 	return c
 }
 
@@ -298,6 +299,11 @@ type Stats struct {
 	CacheCorrupt int64 `json:"cacheCorrupt"`
 	// JournalReplayed counts jobs re-enqueued from the journal at startup.
 	JournalReplayed int64 `json:"journalReplayed"`
+	// FastPathHits counts jobs answered by the closed-form steady-state
+	// fast path; FastPathVerified is the subset that additionally passed
+	// the DES cross-check (Config.VerifyFastPath).
+	FastPathHits     int64 `json:"fastPathHits"`
+	FastPathVerified int64 `json:"fastPathVerified"`
 	// QueueDepth and Running describe the pool right now; QueueCapacity
 	// is the configured bound the depth saturates at.
 	QueueDepth    int `json:"queueDepth"`
@@ -328,6 +334,11 @@ type Service struct {
 	metrics serviceMetrics
 	events  *Broadcaster
 	log     *telemetry.Logger
+
+	// world is the campaign's shared immutable simulation state: frozen
+	// plans plus the recycled-environment arena. Every worker borrows
+	// from it; it is created once in NewService and never replaced.
+	world *runtime.World
 
 	// journal is the write-ahead log (nil when Config.JournalPath is
 	// empty); replayedCamps holds the campaigns that were open in it at
@@ -393,6 +404,8 @@ type serviceMetrics struct {
 	journalAppends *telemetry.Counter
 	journalReplays *telemetry.Counter
 	journalCompact *telemetry.Counter
+	fastpathHits   *telemetry.Counter
+	fastpathVerify *telemetry.Counter
 }
 
 func newServiceMetrics(r *telemetry.Registry) serviceMetrics {
@@ -452,6 +465,10 @@ func newServiceMetrics(r *telemetry.Registry) serviceMetrics {
 			"Jobs re-enqueued from the journal at startup."),
 		journalCompact: r.Counter("campaign_journal_compactions_total",
 			"Snapshot compactions of the write-ahead log."),
+		fastpathHits: r.Counter("campaign_fastpath_hits_total",
+			"Jobs answered by the closed-form steady-state fast path."),
+		fastpathVerify: r.Counter("campaign_fastpath_verified_total",
+			"Fast-path hits that passed the DES cross-check."),
 	}
 }
 
@@ -498,6 +515,10 @@ func NewService(cfg Config) (*Service, error) {
 	s.stats.QueueCapacity = cfg.QueueDepth
 	s.log = cfg.Logger
 	s.metrics = newServiceMetrics(cfg.Metrics)
+	s.world = runtime.NewWorld()
+	if s.cfg.runFn == nil {
+		s.cfg.runFn = s.defaultRun
+	}
 	s.metrics.workers.Set(float64(cfg.Workers))
 	s.metrics.queueCap.Set(float64(cfg.QueueDepth))
 	if jnl != nil {
@@ -541,6 +562,53 @@ func NewService(cfg Config) (*Service, error) {
 		}
 	}
 	return s, nil
+}
+
+// defaultRun is the production runFn: the hinted serial execution — the
+// shared World, the configured member parallelism, and the steady-state
+// fast path with its optional DES cross-check — traced when the worker's
+// execute span is recording.
+func (s *Service) defaultRun(ctx context.Context, spec JobSpec) (*Result, error) {
+	if d := s.cfg.ExecDelay; d > 0 {
+		t := time.NewTimer(d)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return nil, ctx.Err()
+		}
+	}
+	h := execHints{
+		world:    s.world,
+		members:  s.cfg.MemberParallelism,
+		fastPath: s.cfg.FastPath,
+		verify:   s.cfg.VerifyFastPath,
+	}
+	res, info, err := executeTracedHinted(ctx, s.cfg.Tracer, spec, h)
+	if err != nil && ctx.Err() == nil {
+		// A simulated run is a pure function of its spec: an identical
+		// re-run fails identically, so simulation errors never retry.
+		return res, Permanent(err)
+	}
+	if err != nil || !info.FastPath {
+		return res, err
+	}
+	s.metrics.fastpathHits.Inc()
+	s.mu.Lock()
+	s.stats.FastPathHits++
+	s.mu.Unlock()
+	if h.verify {
+		if verr := verifyFastPath(spec, res, h); verr != nil {
+			// A cross-check failure is a model bug: deterministic, never
+			// retryable.
+			return nil, Permanent(verr)
+		}
+		s.metrics.fastpathVerify.Inc()
+		s.mu.Lock()
+		s.stats.FastPathVerified++
+		s.mu.Unlock()
+	}
+	return res, nil
 }
 
 // replayJournal re-submits every non-terminal job recorded in the

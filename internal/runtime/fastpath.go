@@ -1,0 +1,369 @@
+package runtime
+
+import (
+	"math"
+
+	"ensemblekit/internal/trace"
+)
+
+// The steady-state fast path answers fault-free runs without dispatching a
+// single DES event: for the DIMES tier with the paper's synchronous
+// no-buffering protocol, the event loop's timeline is a closed-form
+// recurrence over per-step stage end times (the same structure as the
+// core.SteadyState Eq.5–9 extraction, carried at full bit precision). The
+// evaluator mirrors the engine's float arithmetic operation by operation —
+// same groupings, same subtractions, same water-fill — so its trace is
+// byte-identical to the DES trace. Whenever an assumption does not hold
+// (fabric flows that would be rescheduled mid-flight, staggered remote
+// readers) it bails and the caller falls back to the event loop.
+
+// fastEligible is the static half of the eligibility test: configuration
+// properties that rule the closed form out before looking at the dynamics.
+func fastEligible(pl *simPlan, opts SimOptions) bool {
+	if opts.tier() != TierDimes || opts.Topology != nil {
+		return false
+	}
+	if opts.Jitter > 0 {
+		return false
+	}
+	// A stage-timeout guard can interrupt a stage mid-wait; the closed
+	// form assumes every stage runs clean.
+	if opts.Resilience.StageTimeout > 0 {
+		return false
+	}
+	// The recurrence encodes the synchronous protocol (one staging slot).
+	if normSlots(opts.StagingSlots) != 1 {
+		return false
+	}
+	return pl.es.Steps >= 1
+}
+
+// fpFlow mirrors one remote-read fabric flow for the water-fill.
+type fpFlow struct {
+	src, dst int
+	bytes    int64
+	rStart   float64
+	rate     float64
+	done     float64
+}
+
+// fastAssignRates mirrors Fabric.assignRates for a flat DIMES fabric (no
+// topology, no degradation windows: capacity factor 1): max-min fair
+// water-filling over per-node egress/ingress capacities with a per-flow
+// cap, fixing bottlenecked flows in stable flow order. Operand order and
+// groupings match the fabric bit for bit.
+func fastAssignRates(n int, flows []*fpFlow, nic, cap float64, rem []float64, count []int) {
+	nLinks := 2 * n
+	factor := 1.0
+	for i := 0; i < n; i++ {
+		rem[i] = nic * factor
+		rem[n+i] = nic * factor
+	}
+	for i := 0; i < nLinks; i++ {
+		count[i] = 0
+	}
+	perFlowCap := cap * factor
+	unfixed := append(make([]*fpFlow, 0, len(flows)), flows...)
+	for _, fl := range unfixed {
+		count[fl.src]++
+		count[n+fl.dst]++
+	}
+	for len(unfixed) > 0 {
+		share := math.Inf(1)
+		for l := 0; l < nLinks; l++ {
+			if count[l] > 0 {
+				if s := rem[l] / float64(count[l]); s < share {
+					share = s
+				}
+			}
+		}
+		if perFlowCap > 0 && perFlowCap <= share {
+			for _, fl := range unfixed {
+				fl.rate = perFlowCap
+			}
+			break
+		}
+		fixedAny := false
+		w := 0
+		for _, fl := range unfixed {
+			bottlenecked := rem[fl.src]/float64(count[fl.src]) <= share+1e-9 ||
+				rem[n+fl.dst]/float64(count[n+fl.dst]) <= share+1e-9
+			if bottlenecked {
+				fl.rate = share
+				rem[fl.src] -= share
+				count[fl.src]--
+				rem[n+fl.dst] -= share
+				count[n+fl.dst]--
+				fixedAny = true
+			} else {
+				unfixed[w] = fl
+				w++
+			}
+		}
+		unfixed = unfixed[:w]
+		if !fixedAny {
+			for _, fl := range unfixed {
+				fl.rate = share
+			}
+			break
+		}
+	}
+}
+
+// fastRun evaluates the plan's fault-free timeline in closed form. ok is
+// false when any eligibility condition — static or dynamic — fails, in
+// which case the caller must run the DES instead. A returned trace is
+// byte-identical to what the event loop would have produced, with zero
+// events dispatched. No obs events are emitted (there is no engine to
+// emit them); attaching a recorder therefore still never changes results.
+func fastRun(pl *simPlan, opts SimOptions) (*trace.EnsembleTrace, bool) {
+	if !fastEligible(pl, opts) {
+		return nil, false
+	}
+	m := len(pl.p.Members)
+	n := pl.es.Steps
+	model := pl.model
+	clock := pl.spec.ClockHz
+	latency := pl.spec.NICLatency
+
+	totalRemote := 0
+	for i := 0; i < m; i++ {
+		totalRemote += pl.remoteAnas[i]
+	}
+
+	// Per-member constants, mirroring the DES stage arithmetic: with
+	// jitter off, a compute stage's duration is ComputeTime*1*1 == the
+	// assessed ComputeTime exactly; a DIMES write is one coalesced wait of
+	// serialize+copy; a co-located read is one coalesced wait of
+	// copy+deserialize; a remote read is a fabric transfer plus a
+	// deserialize wait.
+	bytesOf := make([]int64, m)
+	wBase := make([]float64, m)
+	coRead := make([]float64, m)
+	deser := make([]float64, m)
+	for i := 0; i < m; i++ {
+		b := pl.es.Members[i].Sim.BytesPerStep
+		bytesOf[i] = b
+		wBase[i] = model.SerializeTime(b) + model.LocalCopyTime(b)
+		coRead[i] = model.LocalCopyTime(b) + model.DeserializeTime(b)
+		deser[i] = model.DeserializeTime(b)
+	}
+
+	// Timeline state. All stage end times are stored per step so the
+	// record pass below can replicate the engine's exact subtractions.
+	simSStart := make([][]float64, m) // S start (== previous wEnd)
+	simISEnd := make([][]float64, m)  // I^S end (== W start)
+	simWEnd := make([][]float64, m)   // W end (== announce time)
+	rStartT := make([][][]float64, m) // per analysis: R start
+	rEndT := make([][][]float64, m)   // per analysis: R end (token deposit)
+	aEndT := make([][][]float64, m)   // per analysis: A end (== I^A start)
+	iaEndT := make([][][]float64, m)  // per analysis: I^A end (== next R start)
+	for i := 0; i < m; i++ {
+		simSStart[i] = make([]float64, n)
+		simISEnd[i] = make([]float64, n)
+		simWEnd[i] = make([]float64, n)
+		k := len(pl.anas[i])
+		rStartT[i] = make([][]float64, k)
+		rEndT[i] = make([][]float64, k)
+		aEndT[i] = make([][]float64, k)
+		iaEndT[i] = make([][]float64, k)
+		for j := 0; j < k; j++ {
+			rStartT[i][j] = make([]float64, n)
+			rEndT[i][j] = make([]float64, n)
+			aEndT[i][j] = make([]float64, n)
+			iaEndT[i][j] = make([]float64, n)
+		}
+	}
+
+	// Water-fill scratch (only allocated when remote flows exist).
+	var flows []*fpFlow
+	var rem []float64
+	var count []int
+	if totalRemote > 0 {
+		flows = make([]*fpFlow, 0, totalRemote)
+		rem = make([]float64, 2*pl.spec.Nodes)
+		count = make([]int, 2*pl.spec.Nodes)
+	}
+	flowPool := make([]fpFlow, totalRemote)
+
+	for s := 0; s < n; s++ {
+		// Simulation side of every member first: S, I^S, W. The write end
+		// is the announce time each of the member's readers synchronizes
+		// on.
+		for i := 0; i < m; i++ {
+			sStart := 0.0
+			if s > 0 {
+				sStart = simWEnd[i][s-1]
+			}
+			sEnd := sStart + pl.assessSim[i].ComputeTime
+			// I^S: wait for all K read-completion tokens of the previous
+			// step — the engine's store wakes the getter at the offer
+			// time, so the end is the max of the compute end and every
+			// deposit time.
+			isEnd := sEnd
+			if s > 0 {
+				for j := range pl.anas[i] {
+					if t := rEndT[i][j][s-1]; t > isEnd {
+						isEnd = t
+					}
+				}
+			}
+			simSStart[i][s] = sStart
+			simISEnd[i][s] = isEnd
+			simWEnd[i][s] = isEnd + wBase[i]
+		}
+
+		// Reader starts: the lead-in (step 0) parks on the first
+		// announce; later steps resume from the previous I^A end, which
+		// is max(previous A end, this step's announce).
+		flows = flows[:0]
+		fp := 0
+		for i := 0; i < m; i++ {
+			announce := simWEnd[i][s]
+			for j := range pl.anas[i] {
+				var rStart float64
+				if s == 0 {
+					rStart = announce
+				} else {
+					iaEnd := aEndT[i][j][s-1]
+					if announce > iaEnd {
+						iaEnd = announce
+					}
+					iaEndT[i][j][s-1] = iaEnd
+					rStart = iaEnd
+				}
+				rStartT[i][j][s] = rStart
+				if pl.anas[i][j].node != pl.sims[i].node && bytesOf[i] > 0 {
+					fl := &flowPool[fp]
+					fp++
+					*fl = fpFlow{src: pl.sims[i].node, dst: pl.anas[i][j].node, bytes: bytesOf[i], rStart: rStart}
+					flows = append(flows, fl)
+				}
+			}
+		}
+
+		// Remote flows: exact only when the fabric never reschedules a
+		// flow mid-flight. A solo flow holds its rate for its whole life;
+		// two or more must join at the same instant, carry the same
+		// bytes, and receive the same rate, so every completion lands on
+		// one timer with no intermediate re-balance. Anything else bails
+		// to the DES.
+		if len(flows) >= 2 {
+			for _, fl := range flows[1:] {
+				if fl.rStart != flows[0].rStart || fl.bytes != flows[0].bytes {
+					return nil, false
+				}
+			}
+		}
+		if len(flows) > 0 {
+			fastAssignRates(pl.spec.Nodes, flows, pl.spec.NICBandwidth, model.RemoteStageBW, rem, count)
+			for _, fl := range flows {
+				if fl.rate != flows[0].rate {
+					return nil, false
+				}
+				tj := fl.rStart
+				if latency > 0 {
+					tj = fl.rStart + latency
+				}
+				fl.done = tj + float64(fl.bytes)/fl.rate
+			}
+		}
+
+		// Reader completions: R end, token deposit, A end.
+		fi := 0
+		for i := 0; i < m; i++ {
+			for j := range pl.anas[i] {
+				rStart := rStartT[i][j][s]
+				var rEnd float64
+				if pl.anas[i][j].node != pl.sims[i].node && bytesOf[i] > 0 {
+					rEnd = flows[fi].done + deser[i]
+					fi++
+				} else if pl.anas[i][j].node != pl.sims[i].node {
+					// Zero-byte remote read: latency wait, no flow.
+					rEnd = rStart
+					if latency > 0 {
+						rEnd = rStart + latency
+					}
+					rEnd = rEnd + deser[i]
+				} else {
+					rEnd = rStart + coRead[i]
+				}
+				rEndT[i][j][s] = rEnd
+				aEndT[i][j][s] = rEnd + pl.assessAna[i][j].ComputeTime
+				if s == n-1 {
+					iaEndT[i][j][s] = aEndT[i][j][s]
+				}
+			}
+		}
+	}
+
+	// Record pass: assemble the trace exactly as the stage loops do —
+	// flat stage backing per component, the same subtractions for every
+	// duration, the same counter expressions.
+	tr := traceSkeleton(pl)
+	for i := 0; i < m; i++ {
+		simT := tr.Members[i].Simulation
+		tenant := pl.sims[i].tenant
+		stageBuf := make([]trace.StageRecord, 0, 3*n)
+		simT.Steps = make([]trace.StepRecord, 0, n)
+		simT.Start = 0
+		for s := 0; s < n; s++ {
+			rec := trace.StepRecord{Index: s}
+			base := len(stageBuf)
+			sDur := pl.assessSim[i].ComputeTime
+			counters := model.ComputeCounters(tenant, pl.assessSim[i])
+			counters.Cycles = sDur * clock * float64(tenant.Cores)
+			stageBuf = append(stageBuf, trace.StageRecord{
+				Stage: trace.StageS, Start: simSStart[i][s], Duration: sDur,
+				Counters: counters,
+			})
+			isStart := simSStart[i][s] + sDur
+			stageBuf = append(stageBuf, trace.StageRecord{
+				Stage: trace.StageIS, Start: isStart, Duration: simISEnd[i][s] - isStart,
+			})
+			wDur := simWEnd[i][s] - simISEnd[i][s]
+			stageBuf = append(stageBuf, trace.StageRecord{
+				Stage: trace.StageW, Start: simISEnd[i][s], Duration: wDur,
+				Counters: model.IOCounters(tenant, bytesOf[i], wDur),
+			})
+			rec.Stages = stageBuf[base:len(stageBuf):len(stageBuf)]
+			simT.Steps = append(simT.Steps, rec)
+		}
+		simT.End = simWEnd[i][n-1]
+
+		for j := range pl.anas[i] {
+			anaT := tr.Members[i].Analyses[j]
+			atenant := pl.anas[i][j].tenant
+			abuf := make([]trace.StageRecord, 0, 3*n)
+			anaT.Steps = make([]trace.StepRecord, 0, n)
+			anaT.Start = rStartT[i][j][0]
+			for s := 0; s < n; s++ {
+				rec := trace.StepRecord{Index: s}
+				base := len(abuf)
+				rStart := rStartT[i][j][s]
+				rDur := rEndT[i][j][s] - rStart
+				abuf = append(abuf, trace.StageRecord{
+					Stage: trace.StageR, Start: rStart, Duration: rDur,
+					Counters: model.IOCounters(atenant, bytesOf[i], rDur),
+				})
+				aDur := pl.assessAna[i][j].ComputeTime
+				counters := model.ComputeCounters(atenant, pl.assessAna[i][j])
+				counters.Cycles = aDur * clock * float64(atenant.Cores)
+				abuf = append(abuf, trace.StageRecord{
+					Stage: trace.StageA, Start: rEndT[i][j][s], Duration: aDur,
+					Counters: counters,
+				})
+				abuf = append(abuf, trace.StageRecord{
+					Stage: trace.StageIA, Start: aEndT[i][j][s], Duration: iaEndT[i][j][s] - aEndT[i][j][s],
+				})
+				rec.Stages = abuf[base:len(abuf):len(abuf)]
+				anaT.Steps = append(anaT.Steps, rec)
+			}
+			anaT.End = aEndT[i][j][n-1]
+		}
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, false
+	}
+	return tr, true
+}

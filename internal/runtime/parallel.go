@@ -1,0 +1,197 @@
+package runtime
+
+import (
+	"fmt"
+	"sync"
+
+	"ensemblekit/internal/faults"
+	"ensemblekit/internal/obs"
+	"ensemblekit/internal/sim"
+	"ensemblekit/internal/trace"
+)
+
+// The member-parallel path simulates independent ensemble members on
+// separate event loops, one goroutine-world per member, bounded by the
+// requested degree. It is sound exactly when members cannot interact
+// inside the simulation:
+//
+//   - no faults (a crash or network window is a global event; FailFast
+//     failure propagation interrupts siblings across members),
+//   - node-disjoint members (the contention model is node-local),
+//   - the DIMES tier (burst buffer and PFS share one endpoint's bandwidth
+//     across all members, coupling their timelines),
+//   - at most one member with remote readers (two remote members share
+//     fabric links, and overlapping flows are rescheduled against each
+//     other),
+//   - no stage timeouts (a timeout failure under FailFast would interrupt
+//     other members in the joint path).
+//
+// Under those conditions each member's sub-simulation is bit-identical to
+// its slice of the joint run, so the merged EnsembleTrace equals the joint
+// trace exactly. Obs events are merged in canonical (time, member index,
+// emission order) order — keyed by member index, never completion order —
+// so the merged stream is byte-identical at every parallelism degree.
+// (The joint path interleaves tied-timestamp events across members in
+// engine dispatch order instead; the split stream is canonical, not a
+// byte-replay of the joint stream. The traces — all science — are
+// identical either way.)
+
+// splitEligible reports whether the plan can run member-parallel.
+func splitEligible(pl *simPlan, opts SimOptions, inj *faults.Injector) bool {
+	if inj.Enabled() {
+		return false
+	}
+	if len(pl.p.Members) < 2 || !pl.membersDisjoint {
+		return false
+	}
+	if opts.tier() != TierDimes || opts.Topology != nil {
+		return false
+	}
+	if opts.Resilience.StageTimeout > 0 {
+		return false
+	}
+	return pl.remoteMembers <= 1
+}
+
+// runSplit executes each member on its own environment, at most degree at
+// a time, and merges traces and obs streams deterministically.
+func runSplit(pl *simPlan, opts SimOptions, degree int) (*trace.EnsembleTrace, int64, error) {
+	m := len(pl.p.Members)
+	if degree > m {
+		degree = m
+	}
+	tr := traceSkeleton(pl)
+	parent := opts.Recorder
+
+	// Per-member result slots: goroutine i writes only index i, so the
+	// whole fan-out is race-free without locks.
+	childRecs := make([]*obs.Recorder, m)
+	setupErrs := make([]error, m)
+	engineErrs := make([]error, m)
+	compErrs := make([]error, m)
+	events := make([]int64, m)
+	envs := make([]*sim.Env, m)
+	clean := make([]bool, m)
+
+	sem := make(chan struct{}, degree)
+	var wg sync.WaitGroup
+	for i := 0; i < m; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+
+			env := opts.World.acquireEnv()
+			envs[i] = env
+			var rec *obs.Recorder
+			if parent.Enabled() {
+				rec = obs.NewRecorder(nil)
+				childRecs[i] = rec
+			}
+			env.SetRecorder(rec)
+			tier, _, err := buildTier(env, pl, opts)
+			if err != nil {
+				setupErrs[i] = err
+				return
+			}
+			run := &simRun{
+				env:     env,
+				tier:    tier,
+				model:   pl.model,
+				spec:    pl.spec,
+				es:      pl.es,
+				opts:    opts,
+				res:     opts.Resilience.normalized(),
+				inj:     nil,
+				rec:     env.Recorder(),
+				members: tr.Members,
+				crashed: make(map[string]bool),
+				dropped: make(map[int]bool),
+			}
+			run.memberProcs = make([][]*sim.Proc, m)
+			run.launchMember(i, pl.sims[i], pl.anas[i], pl.assessSim[i], pl.assessAna[i], tr.Members[i])
+			runErr := env.Run()
+			events[i] = env.Stats().EventsDispatched
+			if runErr != nil {
+				engineErrs[i] = runErr
+				return
+			}
+			if run.failure != nil {
+				compErrs[i] = run.failure
+				return
+			}
+			clean[i] = true
+		}(i)
+	}
+	wg.Wait()
+
+	// Merge the member obs streams into the parent recorder after every
+	// member has finished: a k-way merge over the per-member streams,
+	// taking the earliest timestamp and breaking ties by member index.
+	// The iteration order depends only on the streams' contents, never on
+	// which member finished first.
+	if parent.Enabled() {
+		mergeObs(parent, childRecs)
+	}
+
+	var total int64
+	for _, e := range events {
+		total += e
+	}
+	// Error precedence mirrors the joint path's check order, resolved at
+	// the lowest member index within each class.
+	for i := 0; i < m; i++ {
+		if setupErrs[i] != nil {
+			return nil, total, setupErrs[i]
+		}
+	}
+	for i := 0; i < m; i++ {
+		if engineErrs[i] != nil {
+			return tr, total, fmt.Errorf("runtime: simulation engine: %w", engineErrs[i])
+		}
+	}
+	for i := 0; i < m; i++ {
+		if compErrs[i] != nil {
+			return tr, total, fmt.Errorf("runtime: component failed: %w", compErrs[i])
+		}
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, total, fmt.Errorf("runtime: produced invalid trace: %w", err)
+	}
+	for i, env := range envs {
+		if clean[i] {
+			opts.World.releaseEnv(env)
+		}
+	}
+	return tr, total, nil
+}
+
+// mergeObs replays the member streams into the parent in canonical
+// (time, member index, emission order) order. Recorder.Emit appends the
+// events verbatim — timestamps are the member environments' virtual
+// times, already on the shared t=0 clock.
+func mergeObs(parent *obs.Recorder, childRecs []*obs.Recorder) {
+	streams := make([][]obs.Event, len(childRecs))
+	for i, r := range childRecs {
+		streams[i] = r.Events()
+	}
+	idx := make([]int, len(streams))
+	for {
+		best := -1
+		var bt float64
+		for mi, evs := range streams {
+			if idx[mi] >= len(evs) {
+				continue
+			}
+			if t := evs[idx[mi]].T; best < 0 || t < bt {
+				best, bt = mi, t
+			}
+		}
+		if best < 0 {
+			return
+		}
+		parent.Emit(streams[best][idx[best]])
+		idx[best]++
+	}
+}

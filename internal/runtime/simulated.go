@@ -70,6 +70,31 @@ type SimOptions struct {
 	// recorder never changes scheduling, so results are bit-identical
 	// either way.
 	Recorder *obs.Recorder
+
+	// World optionally supplies shared immutable campaign state: frozen
+	// plans (machine, model, allocations, assessments) keyed by
+	// configuration, plus an arena of recycled simulation environments.
+	// Nil rebuilds everything per run (the historical behaviour). World
+	// is an execution hint, never an input: results are bit-identical
+	// with and without it, and the campaign hash ignores it.
+	World *World
+	// MemberParallelism selects the member-parallel execution path: 0
+	// (the default) runs the whole ensemble on one event loop (the
+	// historical joint path), n >= 1 simulates independent members on up
+	// to n cores with a deterministic merge of their traces and obs
+	// streams. Any degree >= 1 produces the same bytes as any other —
+	// the merge is keyed by member index, not completion order — and the
+	// same EnsembleTrace as the joint path; jobs whose members share
+	// nodes or state fall back to the joint path automatically. An
+	// execution hint: excluded from the campaign hash.
+	MemberParallelism int
+	// FastPath answers fault-free steady-state-eligible runs directly
+	// from the closed-form recurrence (zero DES events), falling back to
+	// the event loop whenever any eligibility condition fails. The fast
+	// path reproduces the DES trace bit-for-bit (it mirrors the engine's
+	// float arithmetic); an execution hint, excluded from the campaign
+	// hash.
+	FastPath bool
 }
 
 func (o SimOptions) tier() string {
@@ -105,196 +130,212 @@ func (o SimOptions) EffectivePlan() (*faults.Plan, error) {
 // whole ensemble: sibling components are interrupted, the partial trace is
 // returned alongside the error.
 func RunSimulated(spec cluster.Spec, p placement.Placement, es EnsembleSpec, opts SimOptions) (*trace.EnsembleTrace, error) {
-	if err := spec.Validate(); err != nil {
-		return nil, err
+	tr, _, err := RunSimulatedInfo(spec, p, es, opts)
+	return tr, err
+}
+
+// RunInfo reports how a simulated run was executed: which path served it
+// and what it cost. Purely observational — the same inputs produce the
+// same trace bytes regardless of what RunInfo says.
+type RunInfo struct {
+	// FastPath reports the run was answered by the closed-form
+	// steady-state evaluator with zero DES events.
+	FastPath bool
+	// MemberParallelism is the effective member-parallel degree (0 when
+	// the joint path ran).
+	MemberParallelism int
+	// PlanReused reports the frozen plan came from the World cache
+	// instead of being rebuilt.
+	PlanReused bool
+	// DESEvents counts events dispatched by the engine(s) serving the
+	// run (summed across member environments on the split path; zero on
+	// the fast path).
+	DESEvents int64
+}
+
+// RunSimulatedInfo is RunSimulated plus execution metadata. The World /
+// MemberParallelism / FastPath hints in opts pick the serving path here;
+// every path produces the same EnsembleTrace.
+func RunSimulatedInfo(spec cluster.Spec, p placement.Placement, es EnsembleSpec, opts SimOptions) (*trace.EnsembleTrace, RunInfo, error) {
+	var info RunInfo
+	slots := normSlots(opts.StagingSlots)
+	tierName := opts.tier()
+
+	// Plan acquisition: borrow the frozen plan from the World when one is
+	// attached (a model override is not content-addressable, so it always
+	// builds fresh and never caches). A cache hit skips re-validation —
+	// the same spec/placement/ensemble were validated when the plan was
+	// built; a miss validates in the historical order first.
+	var pl *simPlan
+	var key [32]byte
+	cacheable := opts.World != nil && opts.Model == nil
+	if cacheable {
+		k, err := planKey(spec, p, es, tierName, slots)
+		if err != nil {
+			cacheable = false
+		} else {
+			key = k
+			pl = opts.World.cachedPlan(key)
+		}
 	}
-	if err := p.Validate(spec); err != nil {
-		return nil, err
-	}
-	if err := es.Validate(p); err != nil {
-		return nil, err
+	if pl != nil {
+		info.PlanReused = true
+	} else {
+		if err := spec.Validate(); err != nil {
+			return nil, info, err
+		}
+		if err := p.Validate(spec); err != nil {
+			return nil, info, err
+		}
+		if err := es.Validate(p); err != nil {
+			return nil, info, err
+		}
 	}
 	if err := opts.Resilience.Validate(); err != nil {
-		return nil, err
+		return nil, info, err
 	}
 	// The legacy FailStagingAt hook is a one-rule fault plan.
 	plan, err := opts.EffectivePlan()
 	if err != nil {
-		return nil, err
+		return nil, info, err
 	}
 	inj := faults.NewInjector(plan)
-
-	machine, err := cluster.NewMachine(spec)
-	if err != nil {
-		return nil, err
-	}
-	model := opts.Model
-	if model == nil {
-		model = cluster.NewModel(spec)
-	}
-
-	// Allocate every component on its node; reject multi-node components
-	// (the paper's experiments are single-node per component, and the
-	// contention model is node-local).
-	sims := make([]compAlloc, len(p.Members))
-	anas := make([][]compAlloc, len(p.Members))
-	// analysis < 0 means "the member's simulation"; the error label is only
-	// built on the failure path.
-	singleNode := func(c placement.Component, member, analysis int) (int, error) {
-		ns := c.NodeSet()
-		if len(ns) != 1 {
-			label := fmt.Sprintf("member %d simulation", member)
-			if analysis >= 0 {
-				label = fmt.Sprintf("member %d analysis %d", member, analysis)
-			}
-			return 0, fmt.Errorf("runtime: %s spans %d nodes; the simulated backend requires single-node components", label, len(ns))
-		}
-		return ns[0], nil
-	}
-	for i, m := range p.Members {
-		node, err := singleNode(m.Simulation, i, -1)
+	if pl == nil {
+		pl, err = buildPlan(spec, p, es, tierName, slots, opts.Model)
 		if err != nil {
-			return nil, err
+			return nil, info, err
 		}
-		t, err := machine.Allocate(fmt.Sprintf("m%d.sim", i), node, m.Simulation.Cores, es.Members[i].Sim)
-		if err != nil {
-			return nil, err
-		}
-		sims[i] = compAlloc{tenant: t, node: node}
-		anas[i] = make([]compAlloc, len(m.Analyses))
-		for j, a := range m.Analyses {
-			anode, err := singleNode(a, i, j)
-			if err != nil {
-				return nil, err
-			}
-			at, err := machine.Allocate(fmt.Sprintf("m%d.ana%d", i, j), anode, a.Cores, es.Members[i].Analyses[j])
-			if err != nil {
-				return nil, err
-			}
-			anas[i][j] = compAlloc{tenant: at, node: anode}
-		}
-	}
-	// DIMES keeps staged data in the producer's node memory, so remote
-	// readers perturb the producer node and the staged chunks (double
-	// buffered: the slot being read plus the one being written, times the
-	// configured slot depth) must fit in the producer's DRAM. Intermediate
-	// tiers (burst buffer, PFS) hold the data off-node: neither applies.
-	if opts.tier() == TierDimes {
-		slots := opts.StagingSlots
-		if slots <= 0 {
-			slots = 1
-		}
-		for i, m := range p.Members {
-			for _, a := range m.Analyses {
-				if a.NodeSet()[0] != sims[i].node {
-					sims[i].tenant.RemoteReaders++
-				}
-			}
-			reserve := es.Members[i].Sim.BytesPerStep * int64(slots+1)
-			if err := machine.ReserveStaging(sims[i].tenant.ID, reserve); err != nil {
-				return nil, err
-			}
+		if cacheable {
+			opts.World.storePlan(key, pl)
 		}
 	}
 
-	// Simulation environment, fabric, and DTL tier.
-	env := sim.NewEnv()
-	env.SetRecorder(opts.Recorder)
+	// Fast path: closed-form evaluation when the run is fault-free and
+	// steady-state-eligible. Bails (ok=false) back to the DES whenever
+	// any static or dynamic assumption does not hold.
+	if opts.FastPath && !inj.Enabled() {
+		if tr, ok := fastRun(pl, opts); ok {
+			info.FastPath = true
+			return tr, info, nil
+		}
+	}
+
+	// Member-parallel path: independent members on their own event loops,
+	// merged deterministically. Ineligible jobs (shared nodes, faults,
+	// multiple remote members) fall through to the joint path — at every
+	// degree, so the produced bytes never depend on the degree.
+	if opts.MemberParallelism != 0 {
+		degree := opts.MemberParallelism
+		if degree < 1 {
+			degree = 1
+		}
+		if splitEligible(pl, opts, inj) {
+			tr, events, err := runSplit(pl, opts, degree)
+			info.MemberParallelism = degree
+			info.DESEvents = events
+			return tr, info, err
+		}
+	}
+
+	tr, events, err := runJoint(pl, opts, inj)
+	info.DESEvents = events
+	return tr, info, err
+}
+
+// traceSkeleton builds the EnsembleTrace shell (component identities,
+// nodes, cores) for a plan.
+func traceSkeleton(pl *simPlan) *trace.EnsembleTrace {
+	tr := &trace.EnsembleTrace{Backend: "simulated", Config: pl.p.Name}
+	for i := range pl.p.Members {
+		mt := &trace.MemberTrace{Index: i}
+		mt.Simulation = &trace.ComponentTrace{
+			Name: pl.sims[i].tenant.ID, Kind: trace.KindSimulation, Member: i,
+			Nodes: []int{pl.sims[i].node}, Cores: pl.sims[i].tenant.Cores,
+		}
+		for j := range pl.anas[i] {
+			mt.Analyses = append(mt.Analyses, &trace.ComponentTrace{
+				Name: pl.anas[i][j].tenant.ID, Kind: trace.KindAnalysis, Member: i, Analysis: j,
+				Nodes: []int{pl.anas[i][j].node}, Cores: pl.anas[i][j].tenant.Cores,
+			})
+		}
+		tr.Members = append(tr.Members, mt)
+	}
+	return tr
+}
+
+// buildTier constructs the DTL tier and its fabric on an environment. The
+// unknown-tier error reports the raw option string, as it always has.
+func buildTier(env *sim.Env, pl *simPlan, opts SimOptions) (dtl.Tier, *network.Fabric, error) {
 	var tier dtl.Tier
 	var fab *network.Fabric
+	var err error
 	switch opts.tier() {
 	case TierDimes:
 		fab, err = network.NewFabric(env, network.Config{
-			Nodes:        spec.Nodes,
-			NICBandwidth: spec.NICBandwidth,
-			Latency:      spec.NICLatency,
-			PerFlowCap:   model.RemoteStageBW,
+			Nodes:        pl.spec.Nodes,
+			NICBandwidth: pl.spec.NICBandwidth,
+			Latency:      pl.spec.NICLatency,
+			PerFlowCap:   pl.model.RemoteStageBW,
 			Topology:     opts.Topology,
 		})
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		tier = dtl.NewDimes(model, fab)
+		tier = dtl.NewDimes(pl.model, fab)
 	case TierBurstBuffer:
 		bw := opts.TierBandwidth
 		if bw <= 0 {
 			bw = 6e9 // aggregate SSD-tier throughput
 		}
-		cfg := dtl.BurstBufferFabricConfig(spec, bw)
+		cfg := dtl.BurstBufferFabricConfig(pl.spec, bw)
 		cfg.Latency = 1e-3 // device + software-stack latency
 		fab, err = network.NewFabric(env, cfg)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		tier = dtl.NewBurstBuffer(model, fab, spec.Nodes)
+		tier = dtl.NewBurstBuffer(pl.model, fab, pl.spec.Nodes)
 	case TierPFS:
 		bw := opts.TierBandwidth
 		if bw <= 0 {
 			bw = 2e9 // effective per-job share of the shared file system
 		}
-		fab, err = network.NewFabric(env, dtl.PFSFabricConfig(spec, bw))
+		fab, err = network.NewFabric(env, dtl.PFSFabricConfig(pl.spec, bw))
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		tier = dtl.NewPFS(model, fab, spec.Nodes, 0.01)
+		tier = dtl.NewPFS(pl.model, fab, pl.spec.Nodes, 0.01)
 	default:
-		return nil, fmt.Errorf("runtime: unknown DTL tier %q", opts.Tier)
+		return nil, nil, fmt.Errorf("runtime: unknown DTL tier %q", opts.Tier)
+	}
+	return tier, fab, nil
+}
+
+// runJoint executes the whole ensemble on one event loop — the historical
+// execution path, now borrowing the frozen plan and (when a World is
+// attached) a recycled environment from the arena.
+func runJoint(pl *simPlan, opts SimOptions, inj *faults.Injector) (*trace.EnsembleTrace, int64, error) {
+	env := opts.World.acquireEnv()
+	env.SetRecorder(opts.Recorder)
+	tier, fab, err := buildTier(env, pl, opts)
+	if err != nil {
+		return nil, 0, err
 	}
 	if inj.Enabled() {
 		tier = &faultedTier{Tier: tier, inj: inj, env: env}
 		for _, w := range inj.NetworkWindows() {
 			if err := fab.Degrade(w.Start, w.End, w.Factor); err != nil {
-				return nil, err
+				return nil, 0, err
 			}
 		}
 	}
 
-	// Pre-assess every component against its co-location context (static
-	// contention; the DES adds the emergent synchronization and staging
-	// dynamics on top).
-	assessSim := make([]cluster.Assessment, len(p.Members))
-	assessAna := make([][]cluster.Assessment, len(p.Members))
-	for i := range p.Members {
-		node, _ := machine.Node(sims[i].node)
-		a, err := model.Assess(node, sims[i].tenant)
-		if err != nil {
-			return nil, err
-		}
-		assessSim[i] = a
-		assessAna[i] = make([]cluster.Assessment, len(anas[i]))
-		for j := range anas[i] {
-			anode, _ := machine.Node(anas[i][j].node)
-			aa, err := model.Assess(anode, anas[i][j].tenant)
-			if err != nil {
-				return nil, err
-			}
-			assessAna[i][j] = aa
-		}
-	}
-
-	// Trace skeleton.
-	tr := &trace.EnsembleTrace{Backend: "simulated", Config: p.Name}
-	for i := range p.Members {
-		mt := &trace.MemberTrace{Index: i}
-		mt.Simulation = &trace.ComponentTrace{
-			Name: sims[i].tenant.ID, Kind: trace.KindSimulation, Member: i,
-			Nodes: []int{sims[i].node}, Cores: sims[i].tenant.Cores,
-		}
-		for j := range anas[i] {
-			mt.Analyses = append(mt.Analyses, &trace.ComponentTrace{
-				Name: anas[i][j].tenant.ID, Kind: trace.KindAnalysis, Member: i, Analysis: j,
-				Nodes: []int{anas[i][j].node}, Cores: anas[i][j].tenant.Cores,
-			})
-		}
-		tr.Members = append(tr.Members, mt)
-	}
-
+	tr := traceSkeleton(pl)
 	run := &simRun{
 		env:     env,
 		tier:    tier,
-		model:   model,
-		spec:    spec,
-		es:      es,
+		model:   pl.model,
+		spec:    pl.spec,
+		es:      pl.es,
 		opts:    opts,
 		res:     opts.Resilience.normalized(),
 		inj:     inj,
@@ -305,9 +346,9 @@ func RunSimulated(spec cluster.Spec, p placement.Placement, es EnsembleSpec, opt
 	}
 	// Launch all processes; they all start at t=0 (the paper's concurrent
 	// members starting simultaneously).
-	run.memberProcs = make([][]*sim.Proc, len(p.Members))
-	for i := range p.Members {
-		run.launchMember(i, sims[i], anas[i], assessSim[i], assessAna[i], tr.Members[i])
+	run.memberProcs = make([][]*sim.Proc, len(pl.p.Members))
+	for i := range pl.p.Members {
+		run.launchMember(i, pl.sims[i], pl.anas[i], pl.assessSim[i], pl.assessAna[i], tr.Members[i])
 	}
 	// Crash schedule: at each crash instant, interrupt every component
 	// still running on the node (they are all blocked in a stage wait —
@@ -317,18 +358,21 @@ func RunSimulated(spec cluster.Spec, p placement.Placement, es EnsembleSpec, opt
 		env.At(c.At, func() { run.crashNode(c.Node) })
 	}
 	runErr := env.Run()
+	events := env.Stats().EventsDispatched
 	// A component failure interrupts siblings, so the run drains cleanly;
 	// any deadlock or panic is a runtime bug surfaced to the caller.
 	if runErr != nil {
-		return tr, fmt.Errorf("runtime: simulation engine: %w", runErr)
+		return tr, events, fmt.Errorf("runtime: simulation engine: %w", runErr)
 	}
 	if run.failure != nil {
-		return tr, fmt.Errorf("runtime: component failed: %w", run.failure)
+		return tr, events, fmt.Errorf("runtime: component failed: %w", run.failure)
 	}
 	if err := tr.Validate(); err != nil {
-		return nil, fmt.Errorf("runtime: produced invalid trace: %w", err)
+		return nil, events, fmt.Errorf("runtime: produced invalid trace: %w", err)
 	}
-	return tr, nil
+	// Only a fully clean run returns its environment to the arena.
+	opts.World.releaseEnv(env)
+	return tr, events, nil
 }
 
 // faultedTier interposes the fault plan on a DTL tier: each staging

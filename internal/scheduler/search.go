@@ -1,9 +1,12 @@
 package scheduler
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 
 	"ensemblekit/internal/cluster"
 	"ensemblekit/internal/placement"
@@ -60,13 +63,66 @@ func materialize(shape [][]int, assignment []int) placement.Placement {
 	return p
 }
 
+// enumCache memoizes the deduplicated candidate list per
+// (spec, shape, maxNodes). The enumeration is exponential in ensemble
+// size, and every exhaustive search — serial or service-fanned — over
+// the same machine and workload used to redo it from scratch; a sweep
+// of N searches now enumerates once and replays N-1 times. Cached
+// slices are immutable: visitors receive value copies (a winner's
+// later rename never reaches the cache), and nothing mutates the
+// shared Members backing. enumBuilds/enumHits are test observability.
+var (
+	enumCache  sync.Map // enumKey JSON -> []placement.Placement
+	enumBuilds atomic.Int64
+	enumHits   atomic.Int64
+)
+
+// enumKey derives the cache key; ok=false (unkeyable input) disables
+// caching for the call rather than failing the enumeration.
+func enumKey(spec cluster.Spec, shape [][]int, maxNodes int) (string, bool) {
+	b, err := json.Marshal(struct {
+		Spec     cluster.Spec
+		Shape    [][]int
+		MaxNodes int
+	}{spec, shape, maxNodes})
+	if err != nil {
+		return "", false
+	}
+	return string(b), true
+}
+
 // enumeratePlacements visits every valid placement of the shape on up to
 // maxNodes nodes, deduplicated up to node relabeling, in a deterministic
 // canonical order. Candidates arrive named "candidate-N" with N counting
 // from 1 in visit order — the naming contract the exhaustive searches and
 // the campaign cache share, so a candidate hashes identically no matter
-// which code path evaluates it.
+// which code path evaluates it. Enumerations are memoized per
+// (spec, shape, maxNodes); a cache replay visits the identical
+// placements in the identical order.
 func enumeratePlacements(spec cluster.Spec, shape [][]int, maxNodes int, visit func(placement.Placement)) {
+	key, keyed := enumKey(spec, shape, maxNodes)
+	if keyed {
+		if v, ok := enumCache.Load(key); ok {
+			enumHits.Add(1)
+			for _, p := range v.([]placement.Placement) {
+				visit(p)
+			}
+			return
+		}
+	}
+	var cands []placement.Placement
+	enumerateRaw(spec, shape, maxNodes, func(p placement.Placement) {
+		cands = append(cands, p)
+		visit(p)
+	})
+	enumBuilds.Add(1)
+	if keyed {
+		enumCache.Store(key, cands)
+	}
+}
+
+// enumerateRaw is the uncached enumeration behind enumeratePlacements.
+func enumerateRaw(spec cluster.Spec, shape [][]int, maxNodes int, visit func(placement.Placement)) {
 	total := 0
 	for _, cores := range shape {
 		total += len(cores)

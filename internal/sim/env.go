@@ -641,6 +641,34 @@ func (e *Env) drain() {
 	e.nowHead = 0
 }
 
+// Reset returns a quiesced environment to its NewEnv state while keeping
+// the event free list and every backing allocation (queue, nowQ, blocked
+// registry). It is the arena primitive behind runtime.World's environment
+// pool: a campaign reuses one Env per job instead of allocating a fresh
+// heap, free list, and channel each time. Reset refuses to run while the
+// dispatch loop is active or processes are still live — recycling an
+// environment mid-run would corrupt the queue invariants.
+func (e *Env) Reset() error {
+	if e.running {
+		return errors.New("sim: Reset on a running environment")
+	}
+	if e.live > 0 {
+		return fmt.Errorf("sim: Reset with %d live processes", e.live)
+	}
+	e.drain()
+	e.now = 0
+	e.seq = 0
+	e.dispatched = 0
+	e.blocked = e.blocked[:0]
+	e.blockedDead = 0
+	e.fatal = nil
+	e.cbPanic = nil
+	e.stopping = false
+	e.until = -1
+	e.rec = nil
+	return nil
+}
+
 func (e *Env) blockedNames() string {
 	names := make([]string, 0, len(e.blocked))
 	for _, p := range e.blocked {

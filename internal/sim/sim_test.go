@@ -686,3 +686,38 @@ func TestGateCloseReopens(t *testing.T) {
 		t.Errorf("passes at %v, want [1 3]", passedAt)
 	}
 }
+
+// TestEnvReset pins the arena contract behind runtime.World's environment
+// pool: a drained environment resets to a state indistinguishable from a
+// fresh NewEnv, and a reset is refused while processes are still live.
+func TestEnvReset(t *testing.T) {
+	run := func(env *Env) float64 {
+		env.Go("a", func(p *Proc) error { return p.Wait(2.5) })
+		env.Go("b", func(p *Proc) error { return p.Wait(1.25) })
+		if err := env.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return env.Now()
+	}
+	env := NewEnv()
+	first := run(env)
+	if err := env.Reset(); err != nil {
+		t.Fatalf("Reset after a drained run: %v", err)
+	}
+	if env.Now() != 0 {
+		t.Errorf("clock after Reset = %v, want 0", env.Now())
+	}
+	if st := env.Stats(); st.EventsDispatched != 0 || st.LiveProcesses != 0 {
+		t.Errorf("stats after Reset = %+v, want zero", st)
+	}
+	if second := run(env); second != first {
+		t.Errorf("reused env finished at %v, fresh env at %v", second, first)
+	}
+
+	// A live (never-run) process makes the environment unresettable.
+	env2 := NewEnv()
+	env2.Go("stuck", func(p *Proc) error { return p.Wait(1) })
+	if err := env2.Reset(); err == nil {
+		t.Error("Reset with a live process succeeded, want error")
+	}
+}

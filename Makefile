@@ -10,13 +10,15 @@ build:
 test:
 	$(GO) test ./...
 
-# check fails if vet reports problems or any file is not gofmt-clean.
+# check fails if vet reports problems, any file is not gofmt-clean, or
+# a metric family violates the naming conventions (telemetry.Lint).
 check:
 	$(GO) vet ./...
 	@unformatted=$$(gofmt -l .); \
 	if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
 	fi
+	$(GO) test -run 'Lint' ./internal/telemetry/ ./internal/campaign/ ./internal/campaign/pool/
 
 # race runs the whole test suite under the race detector; the campaign
 # service makes every package a concurrency consumer.

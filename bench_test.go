@@ -815,6 +815,8 @@ func (l *benchPoolLocal) SubmitJSON(specJSON []byte, label string, priority int)
 	return nil
 }
 
+func (l *benchPoolLocal) NodeAccountingJSON() []byte { return []byte(`{}`) }
+
 // BenchmarkPoolForward prices the fabric's two wire operations between
 // a real two-node loopback pool: a forwarded execution round-trip
 // (spec JSON out, result JSON back) and a fleet-cache lookup hit. Both

@@ -27,6 +27,7 @@ import (
 	"runtime/pprof"
 	"strings"
 
+	"ensemblekit/internal/campaign/accounting"
 	"ensemblekit/internal/cluster"
 	"ensemblekit/internal/core"
 	"ensemblekit/internal/faults"
@@ -369,6 +370,19 @@ func run(configName, plFile, backend string, steps int, tier string, jitter floa
 		}
 		fmt.Println(it.String())
 	}
+
+	// Resource accounting: the same core-second ledger ensembled keeps
+	// per campaign (GET /v1/campaigns/{id}/accounting), derived for this
+	// single run.
+	al := accounting.FromTrace(tr)
+	at := report.NewTable("Resource accounting (simulated core-seconds)",
+		"class", "busy", "idle", "total")
+	for i, cls := range accounting.Classes() {
+		sp := al.Splits()[i]
+		at.AddRow(cls, sp.Busy, sp.Idle, sp.Busy+sp.Idle)
+	}
+	at.AddRow("total", al.Busy(), al.Idle(), al.Total())
+	fmt.Println(at.String())
 
 	if traceOut != "" {
 		f, err := os.Create(traceOut)

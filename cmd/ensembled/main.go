@@ -92,6 +92,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -105,6 +106,7 @@ import (
 	"time"
 
 	"ensemblekit/internal/campaign"
+	"ensemblekit/internal/campaign/accounting"
 	"ensemblekit/internal/campaign/pool"
 	"ensemblekit/internal/obs"
 	"ensemblekit/internal/placement"
@@ -596,6 +598,7 @@ func smokeMetrics(base string) error {
 		"campaign_cache_hits_total", "campaign_queue_depth",
 		"campaign_execute_seconds_bucket", "http_requests_total",
 		"obs_counter_total",
+		"campaign_core_seconds_total", "campaign_core_seconds_saved_total",
 	} {
 		if !strings.Contains(string(body), want) {
 			return fmt.Errorf("smoke: /metrics missing %s", want)
@@ -750,7 +753,7 @@ func smokeChaos(stateDir string) error {
 		return err
 	}
 
-	refFP, refJobs, err := chaosReference()
+	refFP, refJobs, _, err := chaosReference()
 	if err != nil {
 		return fmt.Errorf("chaos: uninterrupted reference run: %w", err)
 	}
@@ -858,23 +861,26 @@ func chaosSweepRequest() map[string]any {
 
 // chaosReference evaluates the chaos sweep in process, uninterrupted,
 // and returns its fingerprint — the ground truth the resumed campaign
-// must reproduce.
-func chaosReference() (string, int, error) {
+// must reproduce — plus its resource-ledger snapshot, the accounting
+// ground truth a distributed run of the same sweep must reconcile with.
+func chaosReference() (string, int, accounting.Snapshot, error) {
 	svc, err := campaign.NewService(campaign.Config{Workers: 2})
 	if err != nil {
-		return "", 0, err
+		return "", 0, accounting.Snapshot{}, err
 	}
 	defer svc.Close()
 	res, err := campaign.RunCampaign(context.Background(), svc, campaign.Sweep{
 		Name:       "chaos",
 		Placements: placement.ConfigsTable2(),
 		Steps:      8,
+		Campaign:   "ref",
 	})
 	if err != nil {
-		return "", 0, err
+		return "", 0, accounting.Snapshot{}, err
 	}
 	fp, err := res.Fingerprint()
-	return fp, res.Jobs, err
+	acct, _ := svc.CampaignAccounting("ref")
+	return fp, res.Jobs, acct, err
 }
 
 // startChaosChild launches this binary as a chaos-harness server: two
@@ -953,7 +959,7 @@ func smokePool(stateDir string) error {
 		return err
 	}
 
-	refFP, refJobs, err := chaosReference()
+	refFP, refJobs, refAcct, err := chaosReference()
 	if err != nil {
 		return fmt.Errorf("pool: uninterrupted reference run: %w", err)
 	}
@@ -1123,8 +1129,91 @@ func smokePool(stateDir string) error {
 	}
 	fmt.Printf("pool: %d cross-node cache hits, %d forwarded executions, %d jobs report their node\n",
 		int(hits), int(forwards), withNode)
+
+	// Federated metrics: every live node's samples carry its node label,
+	// and the SIGKILLed n3 surfaces as federation errors, not samples.
+	fedBody, err := httpGetBody(nodes[0].base + "/v1/pool/metrics")
+	if err != nil {
+		return err
+	}
+	for _, n := range nodes[:2] {
+		if !strings.Contains(fedBody, `node="`+n.id+`"`) {
+			return fmt.Errorf("pool: federated metrics missing node=%q samples", n.id)
+		}
+	}
+	if metricSum(fedBody, "pool_federation_errors_total") == 0 {
+		return errors.New("pool: dead n3 not counted on pool_federation_errors_total")
+	}
+	for _, fam := range []string{"campaign_core_seconds_total", "campaign_core_seconds_saved_total"} {
+		if !strings.Contains(fedBody, fam) {
+			return fmt.Errorf("pool: federated metrics missing %s", fam)
+		}
+	}
+	fmt.Println("pool: federated metrics carry per-node labels, dead peer counted")
+
+	// Fleet accounting: the rollup must equal the sum of the per-node
+	// ledgers it reports.
+	var fleet struct {
+		Nodes map[string]accounting.Snapshot `json:"nodes"`
+		Fleet accounting.Snapshot            `json:"fleet"`
+	}
+	if err := getJSON(nodes[0].base+"/v1/pool/accounting", &fleet); err != nil {
+		return err
+	}
+	if len(fleet.Nodes) != 2 {
+		return fmt.Errorf("pool: fleet accounting reports %d nodes, want the 2 survivors", len(fleet.Nodes))
+	}
+	var sumSpent, sumSaved float64
+	sumJobs := 0
+	for _, s := range fleet.Nodes {
+		sumSpent += s.Simulated.SpentTotal
+		sumSaved += s.Simulated.SavedCacheTotal
+		sumJobs += s.Jobs
+	}
+	if fleet.Fleet.Jobs != sumJobs ||
+		!relClose(fleet.Fleet.Simulated.SpentTotal, sumSpent) ||
+		!relClose(fleet.Fleet.Simulated.SavedCacheTotal, sumSaved) {
+		return fmt.Errorf("pool: fleet rollup %+v != sum of node ledgers (%d jobs, spent %v, saved %v)",
+			fleet.Fleet, sumJobs, sumSpent, sumSaved)
+	}
+
+	// Campaign accounting: spent plus cache-avoided core-seconds of both
+	// distributed campaigns must reconcile with the uncached single-node
+	// reference — the paper's "what would this ensemble have cost" view.
+	refCost := refAcct.Simulated.SpentTotal + refAcct.Simulated.SavedCacheTotal
+	if refCost <= 0 {
+		return errors.New("pool: reference accounting is empty")
+	}
+	for _, c := range []struct{ base, id, name string }{
+		{nodes[0].base, st.ID, "cold"},
+		{nodes[1].base, st2.ID, "warm"},
+	} {
+		var ca struct {
+			Campaign string `json:"campaign"`
+			accounting.Snapshot
+		}
+		if err := getJSON(c.base+"/v1/campaigns/"+c.id+"/accounting", &ca); err != nil {
+			return fmt.Errorf("pool: %s campaign accounting: %w", c.name, err)
+		}
+		got := ca.Simulated.SpentTotal + ca.Simulated.SavedCacheTotal
+		if !relClose(got, refCost) {
+			return fmt.Errorf("pool: %s campaign spent+saved %v != reference %v", c.name, got, refCost)
+		}
+	}
+	fmt.Printf("pool: fleet accounting reconciles; spent+saved matches reference (%.3f core-seconds)\n", refCost)
 	fmt.Println("pool smoke passed")
 	return nil
+}
+
+// relClose reports a ≈ b within 1e-9 relative tolerance — the same
+// tolerance the fast-path verifier uses for simulated quantities.
+func relClose(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= 1e-9*scale
 }
 
 // poolAlivePeers returns how many peers base reports alive (0 on any

@@ -1,0 +1,451 @@
+// Package accounting attributes the resources a campaign consumed — and
+// the resources it avoided consuming — in simulated core-seconds and
+// wall-clock worker-seconds. It is the paper's Eq. 5-9 assessment turned
+// into a ledger: every evaluated job is charged for the core-seconds its
+// components held (split busy vs idle per component class), every cache
+// hit is credited to the tier that served it, and the totals roll up per
+// campaign, per node, and — via Merge — per fleet.
+//
+// The package is dependency-free (stdlib plus the obs and trace layers it
+// accounts for) and deterministic: a job ledger is a pure function of the
+// execution trace, and snapshot rollups sum entries in sorted-hash order
+// so float accumulation order is independent of job completion order.
+// Ledgers derived from simulated time are therefore byte-identical
+// run-to-run.
+package accounting
+
+import (
+	"sort"
+	"sync"
+
+	"ensemblekit/internal/obs"
+	"ensemblekit/internal/trace"
+)
+
+// Component classes a job's simulated core-seconds are attributed to.
+const (
+	// ClassSimulation covers the simulation executables: stage S (busy)
+	// and I^S (idle — cores held while blocked on the in situ coupling).
+	ClassSimulation = "simulation"
+	// ClassAnalysis covers the analysis executables: stage A (busy) and
+	// I^A (idle).
+	ClassAnalysis = "analysis"
+	// ClassStaging is the producer-side data movement into the data
+	// transport layer: stage W, charged to the simulation's cores.
+	ClassStaging = "staging"
+	// ClassNetwork is the consumer-side read over the interconnect:
+	// stage R, charged to the analysis's cores.
+	ClassNetwork = "network"
+)
+
+// Tiers core-seconds can be credited to instead of spent.
+const (
+	// TierMemory is the in-process LRU result cache.
+	TierMemory = "memory"
+	// TierDisk is the on-disk content-addressed store.
+	TierDisk = "disk"
+	// TierFleet is a peer's cache reached through the pool fabric.
+	TierFleet = "fleet"
+	// TierPlanCache is the campaign World's frozen-plan reuse. Unlike the
+	// cache tiers it is an overlapping credit: the job still executed (its
+	// core-seconds are in the spent ledger), but planning was skipped.
+	TierPlanCache = "plancache"
+	// TierFastPath is the steady-state closed form replacing the DES.
+	// Also an overlapping credit: the job's simulated core-seconds are
+	// identical to a full DES run and stay in the spent ledger; what was
+	// avoided is dispatching the event loop.
+	TierFastPath = "fastpath"
+)
+
+// CacheTiers are the tiers whose credits substitute for execution: each
+// submission contributes its core-seconds to exactly one of spent or a
+// cache tier, so spent + saved(CacheTiers) equals the cost of the same
+// submissions with caching disabled.
+var CacheTiers = []string{TierMemory, TierDisk, TierFleet}
+
+// Split is busy vs idle core-seconds of one component class.
+type Split struct {
+	Busy float64 `json:"busy"`
+	Idle float64 `json:"idle"`
+}
+
+// add accumulates o scaled by k.
+func (s *Split) add(o Split, k float64) {
+	s.Busy += o.Busy * k
+	s.Idle += o.Idle * k
+}
+
+// JobLedger attributes one job's simulated core-seconds by component
+// class. Staging and network are pure transfer stages, so their idle
+// halves are structurally zero; the fields are kept for a uniform shape.
+type JobLedger struct {
+	Simulation Split `json:"simulation"`
+	Analysis   Split `json:"analysis"`
+	Staging    Split `json:"staging"`
+	Network    Split `json:"network"`
+}
+
+// classes iterates the ledger's splits in declaration order.
+func (l *JobLedger) classes() [4]*Split {
+	return [4]*Split{&l.Simulation, &l.Analysis, &l.Staging, &l.Network}
+}
+
+// Classes returns the class names in the ledger's field order.
+func Classes() [4]string {
+	return [4]string{ClassSimulation, ClassAnalysis, ClassStaging, ClassNetwork}
+}
+
+// Splits returns the ledger's splits in the same order as Classes.
+func (l JobLedger) Splits() [4]Split {
+	return [4]Split{l.Simulation, l.Analysis, l.Staging, l.Network}
+}
+
+// Busy returns the total busy core-seconds across classes.
+func (l JobLedger) Busy() float64 {
+	return l.Simulation.Busy + l.Analysis.Busy + l.Staging.Busy + l.Network.Busy
+}
+
+// Idle returns the total idle core-seconds across classes.
+func (l JobLedger) Idle() float64 {
+	return l.Simulation.Idle + l.Analysis.Idle + l.Staging.Idle + l.Network.Idle
+}
+
+// Total returns busy + idle core-seconds across classes.
+func (l JobLedger) Total() float64 { return l.Busy() + l.Idle() }
+
+// addScaled accumulates o scaled by k, class by class.
+func (l *JobLedger) addScaled(o JobLedger, k float64) {
+	dst, src := l.classes(), o.classes()
+	for i := range dst {
+		dst[i].add(*src[i], k)
+	}
+}
+
+// Class indexes into Classes()/classes() order.
+const (
+	idxSimulation = iota
+	idxAnalysis
+	idxStaging
+	idxNetwork
+)
+
+// classState maps a trace stage name (obs StageBegin/StageEnd Detail) to
+// the ledger class it charges and whether the time is busy. The mapping
+// follows the paper's six-stage cycle: S and I^S are the simulation's
+// compute and coupling-idle time, W is the producer-side put into the
+// DTL, R is the consumer-side get, A and I^A are the analysis's compute
+// and idle time.
+func classState(stage string) (class int, busy bool, ok bool) {
+	switch stage {
+	case trace.StageS.String():
+		return idxSimulation, true, true
+	case trace.StageIS.String():
+		return idxSimulation, false, true
+	case trace.StageW.String():
+		return idxStaging, true, true
+	case trace.StageR.String():
+		return idxNetwork, true, true
+	case trace.StageA.String():
+		return idxAnalysis, true, true
+	case trace.StageIA.String():
+		return idxAnalysis, false, true
+	}
+	return 0, false, false
+}
+
+// Collector folds an obs event stream into a JobLedger using
+// obs.Utilization accumulators: each (class, state) pair keeps a
+// concurrency timeline in cores, raised on StageBegin and lowered on
+// StageEnd, and the accumulated area is the class's core-seconds. It is
+// built for post-hoc streams reconstructed with obs.FromTrace, whose
+// stable ordering guarantees a component's ResourceAcquire (carrying its
+// core count) immediately precedes its ProcStart at the same timestamp.
+type Collector struct {
+	pendingCores float64
+	cores        map[string]float64 // component name -> cores
+	acc          [4][2]obs.Utilization
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	return &Collector{cores: make(map[string]float64)}
+}
+
+// accFor returns the accumulator for a stage name, or nil for stages the
+// ledger does not account (none exist today).
+func (c *Collector) accFor(stage string) *obs.Utilization {
+	class, busy, ok := classState(stage)
+	if !ok {
+		return nil
+	}
+	state := 1 // idle
+	if busy {
+		state = 0
+	}
+	return &c.acc[class][state]
+}
+
+// Observe folds one event into the collector.
+func (c *Collector) Observe(e obs.Event) {
+	switch e.Kind {
+	case obs.ResourceAcquire:
+		c.pendingCores = e.Value
+	case obs.ProcStart:
+		c.cores[e.Subject] = c.pendingCores
+		c.pendingCores = 0
+	case obs.StageBegin:
+		if u := c.accFor(e.Detail); u != nil {
+			u.Add(e.T, c.cores[e.Subject])
+		}
+	case obs.StageEnd:
+		if u := c.accFor(e.Detail); u != nil {
+			u.Add(e.T, -c.cores[e.Subject])
+		}
+	}
+}
+
+// Ledger returns the accumulated core-seconds. Every StageEnd advances
+// its accumulator, so the areas are complete without a closing step.
+func (c *Collector) Ledger() JobLedger {
+	var l JobLedger
+	dst := l.classes()
+	for i := range c.acc {
+		dst[i].Busy = c.acc[i][0].Area()
+		dst[i].Idle = c.acc[i][1].Area()
+	}
+	return l
+}
+
+// FromEvents builds a job ledger from an obs event stream.
+func FromEvents(events []obs.Event) JobLedger {
+	c := NewCollector()
+	for _, e := range events {
+		c.Observe(e)
+	}
+	return c.Ledger()
+}
+
+// FromTrace builds a job ledger from an execution trace. The result is a
+// pure function of the trace: byte-identical traces (the engine's
+// determinism guarantee) yield bit-identical ledgers.
+func FromTrace(tr *trace.EnsembleTrace) JobLedger {
+	if tr == nil {
+		return JobLedger{}
+	}
+	return FromEvents(obs.FromTrace(tr))
+}
+
+// WallClock accumulates the real-time cost of running a scope's jobs.
+// Unlike the simulated sections it is not deterministic and is excluded
+// from byte-identity comparisons.
+type WallClock struct {
+	// WorkerSeconds is wall time workers spent executing (or waiting on a
+	// forwarded peer for) this scope's jobs.
+	WorkerSeconds float64 `json:"workerSeconds"`
+	// QueueWaitSeconds is wall time jobs spent enqueued before pickup.
+	QueueWaitSeconds float64 `json:"queueWaitSeconds"`
+	// RetryWastedSeconds is wall time spent on attempts that failed and
+	// were retried — work the ledger charged but no result came from.
+	RetryWastedSeconds float64 `json:"retryWastedSeconds"`
+}
+
+func (w *WallClock) add(o WallClock) {
+	w.WorkerSeconds += o.WorkerSeconds
+	w.QueueWaitSeconds += o.QueueWaitSeconds
+	w.RetryWastedSeconds += o.RetryWastedSeconds
+}
+
+// Saved is core-seconds avoided, by tier. Memory, disk, and fleet are
+// substituting credits (the submission did not execute); plancache and
+// fastpath are overlapping credits on executed jobs (see the tier
+// constants).
+type Saved struct {
+	Memory    float64 `json:"memory"`
+	Disk      float64 `json:"disk"`
+	Fleet     float64 `json:"fleet"`
+	PlanCache float64 `json:"plancache"`
+	FastPath  float64 `json:"fastpath"`
+}
+
+// CacheTotal returns the substituting credits: memory + disk + fleet.
+func (s Saved) CacheTotal() float64 { return s.Memory + s.Disk + s.Fleet }
+
+func (s *Saved) add(o Saved) {
+	s.Memory += o.Memory
+	s.Disk += o.Disk
+	s.Fleet += o.Fleet
+	s.PlanCache += o.PlanCache
+	s.FastPath += o.FastPath
+}
+
+// tierField returns the addressed tier bucket, or nil for unknown tiers.
+func (s *Saved) tierField(tier string) *float64 {
+	switch tier {
+	case TierMemory:
+		return &s.Memory
+	case TierDisk:
+		return &s.Disk
+	case TierFleet:
+		return &s.Fleet
+	case TierPlanCache:
+		return &s.PlanCache
+	case TierFastPath:
+		return &s.FastPath
+	}
+	return nil
+}
+
+// Simulated is the deterministic section of a snapshot: core-seconds in
+// simulated time, spent and saved. Field order is fixed; byte-identity
+// tests pin this section's JSON.
+type Simulated struct {
+	// Spent is the per-class ledger of executed submissions.
+	Spent JobLedger `json:"spent"`
+	// SpentTotal is Spent summed over classes and states.
+	SpentTotal float64 `json:"spentTotal"`
+	// Saved is core-seconds avoided per tier.
+	Saved Saved `json:"saved"`
+	// SavedCacheTotal is the substituting credits (memory+disk+fleet).
+	// SpentTotal + SavedCacheTotal equals the cost of the same
+	// submissions run uncached.
+	SavedCacheTotal float64 `json:"savedCacheTotal"`
+}
+
+func (s *Simulated) add(o Simulated) {
+	s.Spent.addScaled(o.Spent, 1)
+	s.SpentTotal += o.SpentTotal
+	s.Saved.add(o.Saved)
+	s.SavedCacheTotal += o.SavedCacheTotal
+}
+
+// Snapshot is one scope's rollup at a point in time: a campaign, a node,
+// or (after Merge) the fleet. JSON field order is fixed by declaration
+// order and must stay stable — clients and goldens depend on it.
+type Snapshot struct {
+	// Jobs is the number of distinct job hashes the scope has seen.
+	Jobs int `json:"jobs"`
+	// Executed counts submissions whose core-seconds were spent.
+	Executed int64 `json:"executed"`
+	// CacheServed counts submissions served by a cache tier instead.
+	CacheServed int64 `json:"cacheServed"`
+	// Simulated is the deterministic core-second ledger.
+	Simulated Simulated `json:"simulated"`
+	// WallClock is the real-time cost (not deterministic).
+	WallClock WallClock `json:"wallClock"`
+}
+
+// Merge sums per-node snapshots into a fleet rollup, in the given order.
+// Callers pass nodes sorted by ID so the float accumulation order — and
+// therefore the rollup bytes — are reproducible.
+func Merge(snaps []Snapshot) Snapshot {
+	var out Snapshot
+	for _, s := range snaps {
+		out.Jobs += s.Jobs
+		out.Executed += s.Executed
+		out.CacheServed += s.CacheServed
+		out.Simulated.add(s.Simulated)
+		out.WallClock.add(s.WallClock)
+	}
+	return out
+}
+
+// entry is the per-hash record inside a Ledger. A hash identifies a
+// job's content, so every submission of it shares one JobLedger; the
+// counts record how many submissions executed vs were served per tier.
+type entry struct {
+	ledger JobLedger
+	spent  int64
+	saved  map[string]int64
+}
+
+// Ledger is a thread-safe rollup of job outcomes for one scope. Records
+// arrive in completion order (nondeterministic under concurrency);
+// Snapshot re-sums them in sorted-hash order so the rollup is
+// deterministic anyway.
+type Ledger struct {
+	mu      sync.Mutex
+	entries map[string]*entry
+	wall    WallClock
+}
+
+// NewLedger returns an empty ledger.
+func NewLedger() *Ledger {
+	return &Ledger{entries: make(map[string]*entry)}
+}
+
+func (l *Ledger) entryLocked(hash string, jl JobLedger) *entry {
+	e, ok := l.entries[hash]
+	if !ok {
+		e = &entry{ledger: jl, saved: make(map[string]int64)}
+		l.entries[hash] = e
+	}
+	return e
+}
+
+// RecordSpent charges one executed submission of hash with its ledger.
+func (l *Ledger) RecordSpent(hash string, jl JobLedger) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.entryLocked(hash, jl).spent++
+}
+
+// RecordSaved credits one submission of hash to tier. Unknown tiers are
+// ignored.
+func (l *Ledger) RecordSaved(hash string, jl JobLedger, tier string) {
+	if (&Saved{}).tierField(tier) == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.entryLocked(hash, jl).saved[tier]++
+}
+
+// RecordWall accumulates worker execution and queue-wait wall seconds.
+func (l *Ledger) RecordWall(workerSec, queueWaitSec float64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.wall.WorkerSeconds += workerSec
+	l.wall.QueueWaitSeconds += queueWaitSec
+}
+
+// RecordRetryWaste accumulates wall seconds burned on failed attempts.
+func (l *Ledger) RecordRetryWaste(sec float64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.wall.RetryWastedSeconds += sec
+}
+
+// Snapshot rolls the ledger up. Entries are summed in sorted-hash order,
+// each scaled by its multiplicity, so identical histories produce
+// bit-identical simulated sections regardless of completion order.
+func (l *Ledger) Snapshot() Snapshot {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	hashes := make([]string, 0, len(l.entries))
+	for h := range l.entries {
+		hashes = append(hashes, h)
+	}
+	sort.Strings(hashes)
+	snap := Snapshot{Jobs: len(hashes), WallClock: l.wall}
+	for _, h := range hashes {
+		e := l.entries[h]
+		if e.spent > 0 {
+			snap.Executed += e.spent
+			snap.Simulated.Spent.addScaled(e.ledger, float64(e.spent))
+		}
+		total := e.ledger.Total()
+		for _, tier := range [5]string{TierMemory, TierDisk, TierFleet, TierPlanCache, TierFastPath} {
+			n := e.saved[tier]
+			if n == 0 {
+				continue
+			}
+			*snap.Simulated.Saved.tierField(tier) += total * float64(n)
+		}
+		for _, tier := range CacheTiers {
+			snap.CacheServed += e.saved[tier]
+		}
+	}
+	snap.Simulated.SpentTotal = snap.Simulated.Spent.Total()
+	snap.Simulated.SavedCacheTotal = snap.Simulated.Saved.CacheTotal()
+	return snap
+}

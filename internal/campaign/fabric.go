@@ -7,6 +7,9 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"time"
+
+	"ensemblekit/internal/campaign/accounting"
 )
 
 // Fabric is the service's view of the distributed pool (implemented by
@@ -80,6 +83,7 @@ func (s *Service) runRouted(ctx context.Context, j *Job) (*Result, error) {
 		res, derr := decodeResult(b)
 		if derr == nil {
 			s.notePeerCacheHit()
+			j.setServed(servedFleet)
 			return res, nil
 		}
 		s.log.Warn("pool: undecodable peer cache entry; forwarding",
@@ -116,6 +120,7 @@ func (s *Service) runRouted(ctx context.Context, j *Job) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("campaign: undecodable result from peer %s: %w", owner, err)
 	}
+	j.setServed(servedForward)
 	return res, nil
 }
 
@@ -125,8 +130,10 @@ func (s *Service) runRouted(ctx context.Context, j *Job) (*Result, error) {
 func (s *Service) notePeerCacheHit() {
 	s.mu.Lock()
 	s.stats.CacheHits++
+	s.stats.FleetHits++
 	s.mu.Unlock()
 	s.metrics.cacheHits.Inc()
+	s.metrics.fleetHits.Inc()
 }
 
 // decodeResult parses a result payload received from a peer.
@@ -156,6 +163,18 @@ func (s *Service) CachedResultJSON(hash string) ([]byte, bool) {
 		return nil, false
 	}
 	return b, true
+}
+
+// NodeAccountingJSON returns this node's resource-ledger snapshot as
+// JSON; the pool's federation endpoints fetch it from every peer and sum
+// the snapshots into the fleet rollup. It satisfies the pool's Local
+// interface.
+func (s *Service) NodeAccountingJSON() []byte {
+	b, err := json.Marshal(s.NodeAccounting())
+	if err != nil {
+		return []byte("{}")
+	}
+	return b
 }
 
 // remoteFlight is the owner-side singleflight for forwarded executions:
@@ -237,6 +256,7 @@ func (s *Service) ExecuteForwardedJSON(ctx context.Context, specJSON []byte, lab
 		s.remoteFlights[hash] = fl
 		s.mu.Unlock()
 
+		runStart := time.Now()
 		res2, rerr := s.cfg.runFn(ctx, spec)
 		var b []byte
 		if rerr == nil {
@@ -245,6 +265,21 @@ func (s *Service) ExecuteForwardedJSON(ctx context.Context, specJSON []byte, lab
 			_ = s.cache.put(hash, res2)
 			s.metrics.setCacheLocked(s.cache.stats())
 			s.mu.Unlock()
+			// The cores burned here: charge the node ledger (the
+			// requester charges its campaign; see acctFinish). The fast-
+			// path and plan-cache credits land on this node too — the
+			// requester has no RunInfo for a forwarded run.
+			jl := accounting.FromTrace(res2.Trace)
+			s.acctSpent("", hash, jl, true)
+			s.acctWall("", time.Since(runStart).Seconds(), 0)
+			if info, ok := s.acct.takeRunInfo(hash); ok {
+				if info.FastPath {
+					s.acctSaved("", hash, jl, accounting.TierFastPath)
+				}
+				if info.PlanReused {
+					s.acctSaved("", hash, jl, accounting.TierPlanCache)
+				}
+			}
 			b, rerr = json.Marshal(res2)
 		}
 		fl.res, fl.err = b, rerr

@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ensemblekit/internal/campaign/accounting"
 	"ensemblekit/internal/campaign/journal"
 	"ensemblekit/internal/obs"
 	"ensemblekit/internal/placement"
@@ -149,6 +150,7 @@ func NewServer(svc *Service) *Server {
 //	GET  /v1/campaigns             list campaigns
 //	GET  /v1/campaigns/{id}        poll one campaign (result once done)
 //	GET  /v1/campaigns/{id}/events live SSE stream of job transitions
+//	GET  /v1/campaigns/{id}/accounting the campaign's resource ledger
 //	GET  /v1/jobs/{id}               one job's status
 //	GET  /v1/jobs/{id}/trace         Perfetto (Chrome JSON) trace of a done job
 //	GET  /v1/jobs/{id}/spans         the job's distributed-trace spans (OTLP JSON)
@@ -168,6 +170,7 @@ func (s *Server) Handler() http.Handler {
 	handle("GET /v1/campaigns", s.listCampaigns)
 	handle("GET /v1/campaigns/{id}", s.getCampaign)
 	handle("GET /v1/campaigns/{id}/events", s.streamCampaign)
+	handle("GET /v1/campaigns/{id}/accounting", s.getCampaignAccounting)
 	handle("GET /v1/jobs/{id}", s.getJob)
 	handle("GET /v1/jobs/{id}/trace", s.getJobTrace)
 	handle("GET /v1/jobs/{id}/spans", s.getJobSpans)
@@ -723,6 +726,32 @@ func (s *Server) getCampaign(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, run.status())
 }
 
+// campaignAccounting is the wire form of GET /v1/campaigns/{id}/
+// accounting: the campaign's ledger snapshot. Field order (campaign,
+// then the snapshot's declaration order) is stable; the simulated
+// section is byte-identical across identical runs.
+type campaignAccounting struct {
+	Campaign string `json:"campaign"`
+	accounting.Snapshot
+}
+
+// getCampaignAccounting serves the campaign's resource ledger: simulated
+// core-seconds spent (busy/idle per component class) and avoided (per
+// serving tier), plus the wall-clock cost. Available while the campaign
+// is still running — the ledger grows as jobs resolve.
+func (s *Server) getCampaignAccounting(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	_, known := s.campaigns[id]
+	s.mu.Unlock()
+	snap, has := s.svc.CampaignAccounting(id)
+	if !known && !has {
+		httpError(w, http.StatusNotFound, fmt.Errorf("campaign: no campaign %q", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, campaignAccounting{Campaign: id, Snapshot: snap})
+}
+
 // jobStatus is the wire form of a job.
 type jobStatus struct {
 	ID       string `json:"id"`
@@ -887,7 +916,22 @@ func (s *Server) getJobCriticalPath(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusConflict, fmt.Errorf("campaign: job %s: %w", j.ID, err))
 		return
 	}
-	writeJSON(w, http.StatusOK, cp)
+	// Pair the wall-clock decomposition with the job's simulated
+	// core-second ledger so one response answers both "where did the
+	// latency go" and "what did it cost".
+	resp := criticalPathResponse{CriticalPath: cp}
+	if res, rerr := j.Result(); rerr == nil && res != nil && res.Trace != nil {
+		jl := accounting.FromTrace(res.Trace)
+		resp.Accounting = &jl
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// criticalPathResponse decorates the critical path with the job's
+// resource ledger (absent for failed jobs without a trace).
+type criticalPathResponse struct {
+	*tracing.CriticalPath
+	Accounting *accounting.JobLedger `json:"accounting,omitempty"`
 }
 
 // statsResponse decorates Stats with the derived hit rate.

@@ -1,0 +1,27 @@
+package campaign
+
+import (
+	"testing"
+
+	"ensemblekit/internal/telemetry"
+)
+
+// TestServiceRegistryLint audits every family the service and HTTP
+// server register — help text present, snake_case names and labels,
+// counters (and only counters) ending in _total. Wired into `make
+// check` so a new metric cannot land off-convention.
+func TestServiceRegistryLint(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	svc, err := NewService(Config{Workers: 1, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	_ = NewServer(svc) // registers the http_* families on the same registry
+	if findings := reg.Lint(); len(findings) != 0 {
+		t.Fatalf("campaign registry lint findings:\n%v", findings)
+	}
+	if len(reg.Families()) == 0 {
+		t.Fatal("no families registered; lint audited nothing")
+	}
+}

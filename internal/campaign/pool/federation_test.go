@@ -1,0 +1,181 @@
+package pool
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ensemblekit/internal/campaign/accounting"
+	"ensemblekit/internal/telemetry"
+)
+
+// quietNode builds a pool node that never heartbeats (Start is not
+// called): membership is driven by hand, so federated responses are
+// byte-stable between calls.
+type quietNode struct {
+	id    string
+	pool  *Pool
+	local *testLocal
+	reg   *telemetry.Registry
+	ts    *httptest.Server
+}
+
+func startQuietNode(t *testing.T, id string) *quietNode {
+	t.Helper()
+	var h atomic.Pointer[http.Handler]
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hp := h.Load(); hp != nil {
+			(*hp).ServeHTTP(w, r)
+			return
+		}
+		http.NotFound(w, r)
+	}))
+	local := newTestLocal()
+	reg := telemetry.NewRegistry()
+	p, err := New(Config{
+		SelfID: id, Advertise: ts.URL, Local: local, Metrics: reg,
+		Heartbeat: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	handler := p.Handler()
+	h.Store(&handler)
+	t.Cleanup(func() { p.Close(); ts.Close() })
+	return &quietNode{id: id, pool: p, local: local, reg: reg, ts: ts}
+}
+
+func httpGet(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, b
+}
+
+func TestFederatedMetricsMergeAndStability(t *testing.T) {
+	n1 := startQuietNode(t, "n1")
+	n2 := startQuietNode(t, "n2")
+	n1.pool.Membership().Upsert("n2", n2.ts.URL)
+	n1.reg.Counter("demo_shared_total", "Shared family.").Add(1)
+	n2.reg.Counter("demo_shared_total", "Shared family.").Add(2)
+	n2.reg.GaugeVec("demo_only_n2", "Only on n2.", "kind").With("x").Set(7)
+
+	code, body := httpGet(t, n1.ts.URL+"/v1/pool/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	text := string(body)
+	for _, want := range []string{
+		`demo_shared_total{node="n1"} 1`,
+		`demo_shared_total{node="n2"} 2`,
+		`demo_only_n2{node="n2",kind="x"} 7`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("federated exposition missing %q:\n%s", want, text)
+		}
+	}
+	// Shared family: one header block, n1's line before n2's.
+	if strings.Count(text, "# TYPE demo_shared_total") != 1 {
+		t.Fatalf("duplicate family header:\n%s", text)
+	}
+	if strings.Index(text, `node="n1"} 1`) > strings.Index(text, `node="n2"} 2`) {
+		t.Fatalf("node order not stable:\n%s", text)
+	}
+	// Byte-stable across scrapes of a quiet fleet.
+	_, body2 := httpGet(t, n1.ts.URL+"/v1/pool/metrics")
+	if string(body) != string(body2) {
+		t.Fatalf("federated exposition not byte-stable:\n--- first\n%s\n--- second\n%s", body, body2)
+	}
+}
+
+func TestFederatedMetricsDeadPeerCountsErrors(t *testing.T) {
+	n1 := startQuietNode(t, "n1")
+	// A peer that is registered but unreachable: its server is closed.
+	dead := httptest.NewServer(http.NotFoundHandler())
+	addr := dead.URL
+	dead.Close()
+	n1.pool.Membership().Upsert("n9", addr)
+
+	code, body := httpGet(t, n1.ts.URL+"/v1/pool/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if got := n1.pool.m.federationErrs.Value(); got != 1 {
+		t.Fatalf("pool_federation_errors_total = %v, want 1", got)
+	}
+	// The failure is already visible in the same response's self slice.
+	if !strings.Contains(string(body), `pool_federation_errors_total{node="n1"} 1`) {
+		t.Fatalf("merged exposition does not carry the error counter:\n%s", body)
+	}
+	if strings.Contains(string(body), `node="n9"`) {
+		t.Fatalf("dead peer leaked samples into the merge:\n%s", body)
+	}
+}
+
+func TestFederatedAccountingRollup(t *testing.T) {
+	mkSnap := func(spent float64, jobs int) []byte {
+		var s accounting.Snapshot
+		s.Jobs = jobs
+		s.Executed = int64(jobs)
+		s.Simulated.Spent.Simulation.Busy = spent
+		s.Simulated.SpentTotal = spent
+		b, err := json.Marshal(s)
+		if err != nil {
+			panic(err)
+		}
+		return b
+	}
+	n1 := startQuietNode(t, "n1")
+	n2 := startQuietNode(t, "n2")
+	n1.local.acctJSON = mkSnap(10, 2)
+	n2.local.acctJSON = mkSnap(5, 1)
+	n1.pool.Membership().Upsert("n2", n2.ts.URL)
+
+	code, body := httpGet(t, n1.ts.URL+"/v1/pool/accounting")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	var resp poolAccountingResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatalf("decode: %v\n%s", err, body)
+	}
+	if len(resp.Nodes) != 2 {
+		t.Fatalf("nodes = %v", resp.Nodes)
+	}
+	if resp.Nodes["n1"].Simulated.SpentTotal != 10 || resp.Nodes["n2"].Simulated.SpentTotal != 5 {
+		t.Fatalf("per-node totals wrong: %+v", resp.Nodes)
+	}
+	if resp.Fleet.Simulated.SpentTotal != 15 || resp.Fleet.Jobs != 3 || resp.Fleet.Executed != 3 {
+		t.Fatalf("fleet rollup wrong: %+v", resp.Fleet)
+	}
+	// The node-local route serves the raw ledger unchanged.
+	code, nb := httpGet(t, n2.ts.URL+"/v1/pool/accounting/node")
+	if code != http.StatusOK || string(nb) != string(n2.local.acctJSON) {
+		t.Fatalf("node accounting = %d %s", code, nb)
+	}
+}
+
+func TestInjectNodeLabel(t *testing.T) {
+	cases := [][3]string{
+		{`up 1`, "n1", `up{node="n1"} 1`},
+		{`jobs{state="busy"} 2.5`, "n2", `jobs{node="n2",state="busy"} 2.5`},
+		{`lat_bucket{le="+Inf"} 4`, "n1", `lat_bucket{node="n1",le="+Inf"} 4`},
+	}
+	for _, c := range cases {
+		if got := injectNodeLabel(c[0], c[1]); got != c[2] {
+			t.Fatalf("injectNodeLabel(%q) = %q, want %q", c[0], got, c[2])
+		}
+	}
+}

@@ -66,6 +66,10 @@ type wireError struct {
 //	GET  /v1/pool/cache/{hash} serve a cached result to a peer (404 miss)
 //	POST /v1/pool/execute      execute a forwarded job synchronously
 //	POST /v1/pool/submit       accept a drained job for async execution
+//	GET  /v1/pool/metrics/node     this node's registry (federation's scrape target)
+//	GET  /v1/pool/metrics          federated exposition, node-labeled
+//	GET  /v1/pool/accounting/node  this node's resource-ledger snapshot
+//	GET  /v1/pool/accounting       fleet rollup of the per-node ledgers
 func (p *Pool) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/pool/join", p.handleJoin)
@@ -74,6 +78,10 @@ func (p *Pool) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/pool/cache/{hash}", p.handleCache)
 	mux.HandleFunc("POST /v1/pool/execute", p.handleExecute)
 	mux.HandleFunc("POST /v1/pool/submit", p.handleSubmit)
+	mux.HandleFunc("GET /v1/pool/metrics/node", p.handleMetricsNode)
+	mux.HandleFunc("GET /v1/pool/metrics", p.handleMetricsFleet)
+	mux.HandleFunc("GET /v1/pool/accounting/node", p.handleAccountingNode)
+	mux.HandleFunc("GET /v1/pool/accounting", p.handleAccountingFleet)
 	return mux
 }
 

@@ -1,0 +1,28 @@
+package pool
+
+import (
+	"testing"
+	"time"
+
+	"ensemblekit/internal/telemetry"
+)
+
+// TestPoolRegistryLint audits the pool_* families against the
+// exposition conventions (see telemetry.Lint).
+func TestPoolRegistryLint(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	p, err := New(Config{
+		SelfID: "n1", Advertise: "http://127.0.0.1:1",
+		Local: newTestLocal(), Metrics: reg, Heartbeat: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if findings := reg.Lint(); len(findings) != 0 {
+		t.Fatalf("pool registry lint findings:\n%v", findings)
+	}
+	if len(reg.Families()) == 0 {
+		t.Fatal("no families registered; lint audited nothing")
+	}
+}

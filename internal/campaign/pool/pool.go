@@ -33,6 +33,10 @@ type Local interface {
 	// SubmitJSON enqueues a drained spec for asynchronous local
 	// execution (non-blocking admission; an error bounces the handoff).
 	SubmitJSON(specJSON []byte, label string, priority int) error
+	// NodeAccountingJSON returns the node's resource-ledger snapshot
+	// (an accounting.Snapshot) as JSON — the per-node input to the
+	// /v1/pool/accounting fleet rollup.
+	NodeAccountingJSON() []byte
 }
 
 // RemoteError is a failure reported by a peer over the wire (as opposed
@@ -153,25 +157,26 @@ type Pool struct {
 // poolMetrics bundles the pool_* Prometheus handles (all nil no-ops
 // when Config.Metrics is nil).
 type poolMetrics struct {
-	peers        *telemetry.GaugeVec // by state
-	ringMembers  *telemetry.Gauge
-	ringRebuilds *telemetry.Counter
-	beatsSent    *telemetry.Counter
-	beatErrors   *telemetry.Counter
-	beatsRecv    *telemetry.Counter
-	joinsRecv    *telemetry.Counter
-	lookups      *telemetry.Counter
-	lookupHits   *telemetry.Counter
-	lookupErrors *telemetry.Counter
-	cacheServed  *telemetry.CounterVec // by result
-	forwards     *telemetry.Counter
-	forwardErrs  *telemetry.Counter
-	served       *telemetry.Counter
-	serveErrs    *telemetry.Counter
-	handoffs     *telemetry.Counter
-	handoffErrs  *telemetry.Counter
-	handoffsRecv *telemetry.Counter
-	deaths       *telemetry.Counter
+	peers          *telemetry.GaugeVec // by state
+	ringMembers    *telemetry.Gauge
+	ringRebuilds   *telemetry.Counter
+	beatsSent      *telemetry.Counter
+	beatErrors     *telemetry.Counter
+	beatsRecv      *telemetry.Counter
+	joinsRecv      *telemetry.Counter
+	lookups        *telemetry.Counter
+	lookupHits     *telemetry.Counter
+	lookupErrors   *telemetry.Counter
+	cacheServed    *telemetry.CounterVec // by result
+	forwards       *telemetry.Counter
+	forwardErrs    *telemetry.Counter
+	served         *telemetry.Counter
+	serveErrs      *telemetry.Counter
+	handoffs       *telemetry.Counter
+	handoffErrs    *telemetry.Counter
+	handoffsRecv   *telemetry.Counter
+	deaths         *telemetry.Counter
+	federationErrs *telemetry.Counter
 }
 
 func newPoolMetrics(r *telemetry.Registry) poolMetrics {
@@ -217,6 +222,8 @@ func newPoolMetrics(r *telemetry.Registry) poolMetrics {
 			"Drained jobs accepted from departing peers."),
 		deaths: r.Counter("pool_peer_deaths_total",
 			"Peers declared dead (missed beats or hard transport failure)."),
+		federationErrs: r.Counter("pool_federation_errors_total",
+			"Peer fetches that failed while federating pool metrics or accounting."),
 	}
 }
 

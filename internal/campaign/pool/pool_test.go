@@ -21,6 +21,7 @@ type testLocal struct {
 	execFn   func(ctx context.Context, specJSON []byte, label string) ([]byte, error)
 	submits  int
 	submitOK bool
+	acctJSON []byte
 }
 
 func newTestLocal() *testLocal {
@@ -58,6 +59,15 @@ func (l *testLocal) SubmitJSON(specJSON []byte, label string, priority int) erro
 	}
 	l.submits++
 	return nil
+}
+
+func (l *testLocal) NodeAccountingJSON() []byte {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.acctJSON != nil {
+		return l.acctJSON
+	}
+	return []byte(`{}`)
 }
 
 // testNode is one in-process pool node: a Pool mounted on an httptest

@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"ensemblekit/internal/campaign/accounting"
 	"ensemblekit/internal/campaign/journal"
 	"ensemblekit/internal/obs"
 	"ensemblekit/internal/runtime"
@@ -189,6 +190,7 @@ type Job struct {
 	err        error
 	reason     string // human cause for failed/cancelled jobs
 	node       string // pool node that executed the job ("" before routing)
+	servedVia  string // how the result arrived (servedLocal/servedFleet/servedForward)
 
 	// Trace spans (nil when the service has no tracer). span is the root
 	// of the job's subtree; queueSpan covers enqueue → pickup, execSpan
@@ -269,6 +271,12 @@ func (j *Job) setNode(id string) {
 	j.mu.Unlock()
 }
 
+func (j *Job) setServed(via string) {
+	j.mu.Lock()
+	j.servedVia = via
+	j.mu.Unlock()
+}
+
 // Stats is a snapshot of the service's counters.
 type Stats struct {
 	// Submitted counts Submit calls that were admitted (including cache
@@ -278,11 +286,14 @@ type Stats struct {
 	Completed int64 `json:"completed"`
 	Failed    int64 `json:"failed"`
 	Cancelled int64 `json:"cancelled"`
-	// CacheHits counts submissions answered from the cache; DiskHits is
-	// the subset served by the on-disk tier. CacheMisses counts
-	// submissions that enqueued a new execution.
+	// CacheHits counts submissions answered from the cache; DiskHits and
+	// FleetHits are the subsets served by the on-disk tier and by a
+	// peer's cache over the pool fabric (the remainder is the in-memory
+	// tier). CacheMisses counts submissions that enqueued a new
+	// execution.
 	CacheHits   int64 `json:"cacheHits"`
 	DiskHits    int64 `json:"diskHits"`
+	FleetHits   int64 `json:"fleetHits"`
 	CacheMisses int64 `json:"cacheMisses"`
 	// Dedups counts submissions attached to an identical in-flight job
 	// (singleflight).
@@ -366,6 +377,10 @@ type Service struct {
 	nodeID        string
 	remoteFlights map[string]*remoteFlight
 
+	// acct holds the per-campaign and node resource ledgers (always
+	// present; has its own locking).
+	acct *accountant
+
 	// recMu serializes obs recorder emissions; it is never held together
 	// with s.mu, so a slow recorder cannot stall the hot paths.
 	recMu sync.Mutex
@@ -383,6 +398,7 @@ type serviceMetrics struct {
 	dedups         *telemetry.Counter
 	cacheHits      *telemetry.Counter
 	diskHits       *telemetry.Counter
+	fleetHits      *telemetry.Counter
 	cacheMisses    *telemetry.Counter
 	finished       *telemetry.CounterVec // by terminal status
 	queueDepth     *telemetry.Gauge
@@ -406,6 +422,8 @@ type serviceMetrics struct {
 	journalCompact *telemetry.Counter
 	fastpathHits   *telemetry.Counter
 	fastpathVerify *telemetry.Counter
+	coreSeconds    *telemetry.CounterVec // by component class and busy/idle state
+	coreSaved      *telemetry.CounterVec // by serving tier
 }
 
 func newServiceMetrics(r *telemetry.Registry) serviceMetrics {
@@ -423,6 +441,8 @@ func newServiceMetrics(r *telemetry.Registry) serviceMetrics {
 			"Submissions answered from the result cache."),
 		diskHits: r.Counter("campaign_cache_disk_hits_total",
 			"Cache hits served by the on-disk tier."),
+		fleetHits: r.Counter("campaign_cache_fleet_hits_total",
+			"Cache hits served by a peer's cache over the pool fabric."),
 		cacheMisses: r.Counter("campaign_cache_misses_total",
 			"Submissions that enqueued a new execution."),
 		finished: r.CounterVec("campaign_jobs_finished_total",
@@ -469,6 +489,12 @@ func newServiceMetrics(r *telemetry.Registry) serviceMetrics {
 			"Jobs answered by the closed-form steady-state fast path."),
 		fastpathVerify: r.Counter("campaign_fastpath_verified_total",
 			"Fast-path hits that passed the DES cross-check."),
+		coreSeconds: r.CounterVec("campaign_core_seconds_total",
+			"Simulated core-seconds of jobs executed on this node, by component class and busy/idle state.",
+			"class", "state"),
+		coreSaved: r.CounterVec("campaign_core_seconds_saved_total",
+			"Simulated core-seconds avoided on this node, by serving tier (cache tiers substitute for execution; plancache and fastpath are overlapping credits).",
+			"tier"),
 	}
 }
 
@@ -505,6 +531,7 @@ func NewService(cfg Config) (*Service, error) {
 		jobs:          make(map[string]*Job),
 		retryTimers:   make(map[*Job]*time.Timer),
 		remoteFlights: make(map[string]*remoteFlight),
+		acct:          newAccountant(),
 		cache:         cache,
 		baseCtx:       ctx,
 		baseCancel:    cancel,
@@ -585,13 +612,20 @@ func (s *Service) defaultRun(ctx context.Context, spec JobSpec) (*Result, error)
 		verify:   s.cfg.VerifyFastPath,
 	}
 	res, info, err := executeTracedHinted(ctx, s.cfg.Tracer, spec, h)
-	if err != nil && ctx.Err() == nil {
-		// A simulated run is a pure function of its spec: an identical
-		// re-run fails identically, so simulation errors never retry.
-		return res, Permanent(err)
-	}
-	if err != nil || !info.FastPath {
+	if err != nil {
+		if ctx.Err() == nil {
+			// A simulated run is a pure function of its spec: an identical
+			// re-run fails identically, so simulation errors never retry.
+			return res, Permanent(err)
+		}
 		return res, err
+	}
+	// Stash how the run was served for the ledger: finish (or the
+	// forward handler) claims it by result hash and credits the
+	// plan-cache and fast-path tiers.
+	s.acct.noteRunInfo(res.Hash, info)
+	if !info.FastPath {
+		return res, nil
 	}
 	s.metrics.fastpathHits.Inc()
 	s.mu.Lock()
@@ -800,6 +834,14 @@ func (s *Service) submit(ctx context.Context, spec JobSpec, opts SubmitOptions, 
 	// defer, so it runs after it): a slow recorder cannot stall submits.
 	var snap *obsSnapshot
 	defer func() { s.emitObs(snap) }()
+	// Ledger credits for cache hits are likewise recorded after the
+	// unlock: the trace walk is pure and needs no service state.
+	var acctHit func()
+	defer func() {
+		if acctHit != nil {
+			acctHit()
+		}
+	}()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for {
@@ -819,11 +861,17 @@ func (s *Service) submit(ctx context.Context, spec JobSpec, opts SubmitOptions, 
 			s.stats.CacheHits++
 			s.metrics.submitted.Inc()
 			s.metrics.cacheHits.Inc()
+			tier := accounting.TierMemory
 			if fromDisk {
 				s.stats.DiskHits++
 				s.metrics.diskHits.Inc()
+				tier = accounting.TierDisk
 				// A disk hit admits into the memory tier.
 				s.metrics.setCacheLocked(s.cache.stats())
+			}
+			hitRes, hitCamp := res, opts.Campaign
+			acctHit = func() {
+				s.acctSaved(hitCamp, hash, accounting.FromTrace(hitRes.Trace), tier)
 			}
 			snap = s.obsSnapshotLocked()
 			return s.completedJobLocked(ctx, hash, label, opts.Campaign, res), nil
@@ -1168,6 +1216,7 @@ func (s *Service) requeueAfter(j *Job, cause error, attempt int) {
 	delay := s.cfg.Retry.Backoff(j.Hash, attempt)
 	now := time.Now()
 	j.mu.Lock()
+	wasted := now.Sub(j.startedAt).Seconds()
 	j.attempts = attempt
 	j.status = StatusQueued
 	j.running = false
@@ -1182,6 +1231,7 @@ func (s *Service) requeueAfter(j *Job, cause error, attempt int) {
 		tracing.Int("retry.attempt", attempt),
 		tracing.Float("backoffSec", delay.Seconds()))
 	j.mu.Unlock()
+	s.acctRetryWaste(j.campaign, wasted)
 
 	s.mu.Lock()
 	s.stats.Running--
@@ -1253,6 +1303,7 @@ func (s *Service) finish(j *Job, res *Result, err error, status Status) {
 	}
 	started := j.started
 	wasRunning := j.running
+	served := j.servedVia
 	j.running = false
 	j.status = status
 	j.result = res
@@ -1291,6 +1342,7 @@ func (s *Service) finish(j *Job, res *Result, err error, status Status) {
 		s.metrics.busySeconds.Add(ev.ExecSec)
 	}
 	s.metrics.finished.With(string(status)).Inc()
+	s.acctFinish(j, res, status, started, served, ev.ExecSec, ev.WaitSec)
 
 	// Journal the terminal state — except shutdown cancellations: those
 	// jobs are not abandoned, they are exactly what the next process must

@@ -71,8 +71,19 @@ func (u *Utilization) Peak() float64 { return u.peak }
 // Span returns the observed time window [first, last].
 func (u *Utilization) Span() (float64, float64) { return u.first, u.last }
 
-// Samples returns the recorded timeline (piecewise-constant changes).
-func (u *Utilization) Samples() []Sample { return u.samples }
+// Samples returns a copy of the recorded timeline (piecewise-constant
+// changes). Callers may sort or mutate the returned slice freely without
+// corrupting the accumulator.
+func (u *Utilization) Samples() []Sample {
+	out := make([]Sample, len(u.samples))
+	copy(out, u.samples)
+	return out
+}
+
+// Area returns the exact integral of level·dt over the observed window,
+// without the divide/multiply round-trip MeanOver would introduce. This
+// is the quantity resource ledgers account in core-seconds.
+func (u *Utilization) Area() float64 { return u.area }
 
 // MeanOver returns the time-weighted mean level over [t0, t1], counting
 // the final level as holding from the last change to t1.

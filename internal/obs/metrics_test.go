@@ -48,6 +48,89 @@ func TestUtilizationExtendsPastLastChange(t *testing.T) {
 	}
 }
 
+// TestUtilizationEdgeWindows pins the accumulator's behavior on the
+// degenerate windows the resource ledgers can hand it: an accumulator
+// that never saw a sample, zero-width and inverted windows, and a
+// window entirely beyond the last sample.
+func TestUtilizationEdgeWindows(t *testing.T) {
+	var empty Utilization
+	if got := empty.MeanOver(0, 10); got != 0 {
+		t.Errorf("empty MeanOver = %v, want 0", got)
+	}
+	if got := empty.BusyFraction(0, 10); got != 0 {
+		t.Errorf("empty BusyFraction = %v, want 0", got)
+	}
+	if got := empty.Area(); got != 0 {
+		t.Errorf("empty Area = %v, want 0", got)
+	}
+	if n := len(empty.Samples()); n != 0 {
+		t.Errorf("empty Samples = %d entries, want 0", n)
+	}
+
+	var u Utilization
+	u.Set(0, 3)
+	u.Set(4, 0)
+	// Zero-width and inverted windows are 0, not NaN or negative.
+	for _, w := range [][2]float64{{2, 2}, {7, 3}} {
+		if got := u.MeanOver(w[0], w[1]); got != 0 {
+			t.Errorf("MeanOver(%v, %v) = %v, want 0", w[0], w[1], got)
+		}
+		if got := u.BusyFraction(w[0], w[1]); got != 0 {
+			t.Errorf("BusyFraction(%v, %v) = %v, want 0", w[0], w[1], got)
+		}
+	}
+	// Window entirely beyond the last sample: the final (zero) level
+	// extrapolates, diluting the recorded area over the wider window.
+	if got := u.MeanOver(0, 12); !almost(got, 1) {
+		t.Errorf("MeanOver past last sample = %v, want 1", got)
+	}
+	if got := u.BusyFraction(0, 12); !almost(got, 4.0/12) {
+		t.Errorf("BusyFraction past last sample = %v, want 1/3", got)
+	}
+	// A final positive level keeps accruing busy time past the last sample.
+	var v Utilization
+	v.Set(0, 2)
+	if got := v.BusyFraction(0, 10); !almost(got, 1) {
+		t.Errorf("BusyFraction with held positive level = %v, want 1", got)
+	}
+}
+
+// TestUtilizationSamplesIsACopy guards against the aliasing leak the
+// accessor used to have: mutating or appending to the returned slice
+// must not corrupt the accumulator's own timeline.
+func TestUtilizationSamplesIsACopy(t *testing.T) {
+	var u Utilization
+	u.Set(0, 1)
+	u.Set(2, 5)
+
+	s := u.Samples()
+	s[0].Level = 99
+	_ = append(s, Sample{T: 3, Level: 7})
+
+	again := u.Samples()
+	if len(again) != 2 {
+		t.Fatalf("samples = %d entries after caller append, want 2", len(again))
+	}
+	if again[0].Level != 1 || again[1].Level != 5 {
+		t.Fatalf("samples mutated through the accessor: %+v", again)
+	}
+}
+
+// TestUtilizationArea pins the exact-integral accessor the ledgers use:
+// Area equals MeanOver times the window without the division round-trip.
+func TestUtilizationArea(t *testing.T) {
+	var u Utilization
+	u.Add(1, 4)  // 4 cores over [1,3)
+	u.Add(3, -4) // idle from 3
+	u.advance(10)
+	if got := u.Area(); !almost(got, 8) {
+		t.Errorf("Area = %v, want 8", got)
+	}
+	if got, want := u.Area(), u.MeanOver(1, 10)*9; !almost(got, want) {
+		t.Errorf("Area = %v, MeanOver*width = %v", got, want)
+	}
+}
+
 func TestAnalyzeNodeAndLinkTimelines(t *testing.T) {
 	events := []Event{
 		{T: 0, Kind: ResourceAcquire, Subject: "n0.cores", Node: 0, Node2: NoNode, Value: 16},

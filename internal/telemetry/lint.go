@@ -1,0 +1,80 @@
+package telemetry
+
+import (
+	"fmt"
+	"strings"
+)
+
+// FamilyInfo describes one registered metric family for introspection —
+// the input to Lint and to any external naming audit.
+type FamilyInfo struct {
+	// Name is the family name ("campaign_core_seconds_total").
+	Name string
+	// Help is the HELP text.
+	Help string
+	// Type is the exposition type ("counter", "gauge", "histogram").
+	Type string
+	// Labels are the label names in registration order.
+	Labels []string
+}
+
+// Families lists every registered family in name order.
+func (r *Registry) Families() []FamilyInfo {
+	fams := r.sortedFamilies()
+	out := make([]FamilyInfo, 0, len(fams))
+	for _, f := range fams {
+		out = append(out, FamilyInfo{
+			Name:   f.name,
+			Help:   f.help,
+			Type:   f.typ.String(),
+			Labels: append([]string(nil), f.labels...),
+		})
+	}
+	return out
+}
+
+// Lint audits the registry against the exposition conventions this
+// repository pins in tests: every family carries help text, names and
+// labels are snake_case, counters end in _total, and nothing else does.
+// It returns one finding per violation (empty = clean). Duplicate
+// registration is not a lint finding — Registry.lookup panics on it at
+// registration time, which tests assert directly.
+func (r *Registry) Lint() []string {
+	var findings []string
+	for _, f := range r.Families() {
+		if f.Help == "" {
+			findings = append(findings, fmt.Sprintf("%s: empty help text", f.Name))
+		}
+		if !validMetricName(f.Name) {
+			findings = append(findings, fmt.Sprintf("%s: name is not snake_case", f.Name))
+		}
+		hasTotal := strings.HasSuffix(f.Name, "_total")
+		if f.Type == "counter" && !hasTotal {
+			findings = append(findings, fmt.Sprintf("%s: counter does not end in _total", f.Name))
+		}
+		if f.Type != "counter" && hasTotal {
+			findings = append(findings, fmt.Sprintf("%s: %s must not end in _total", f.Name, f.Type))
+		}
+		for _, l := range f.Labels {
+			if !validMetricName(l) {
+				findings = append(findings, fmt.Sprintf("%s: label %q is not snake_case", f.Name, l))
+			}
+		}
+	}
+	return findings
+}
+
+// validMetricName reports whether s matches ^[a-z][a-z0-9_]*$ — the
+// snake_case subset of the Prometheus grammar this repository uses.
+func validMetricName(s string) bool {
+	if s == "" || s[0] < 'a' || s[0] > 'z' {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < 'a' || c > 'z') && (c < '0' || c > '9') && c != '_' {
+			return false
+		}
+	}
+	return true
+}

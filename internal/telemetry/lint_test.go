@@ -1,0 +1,89 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLintCleanRegistry(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("jobs_done_total", "Jobs completed.")
+	r.Gauge("queue_depth", "Jobs waiting.")
+	r.CounterVec("cache_hits_total", "Cache hits by tier.", "tier")
+	r.HistogramVec("exec_seconds", "Execution latency.", nil, "status")
+	if findings := r.Lint(); len(findings) != 0 {
+		t.Fatalf("clean registry linted dirty: %v", findings)
+	}
+}
+
+func TestLintFindings(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("no_help_total", "")
+	r.Counter("missing_suffix", "Counter without _total.")
+	r.Gauge("depth_total", "Gauge with counter suffix.")
+	r.Counter("CamelCase_total", "Bad name.")
+	r.CounterVec("bad_label_total", "Bad label.", "camelLabel")
+
+	findings := r.Lint()
+	wants := []string{
+		"no_help_total: empty help",
+		"missing_suffix: counter does not end in _total",
+		"depth_total: gauge must not end in _total",
+		"CamelCase_total: name is not snake_case",
+		`bad_label_total: label "camelLabel" is not snake_case`,
+	}
+	for _, want := range wants {
+		found := false
+		for _, f := range findings {
+			if strings.Contains(f, want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("missing finding %q in %v", want, findings)
+		}
+	}
+	if len(findings) != len(wants) {
+		t.Fatalf("findings = %v, want %d entries", findings, len(wants))
+	}
+}
+
+func TestFamiliesIntrospection(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("b_total", "B.", "x", "y")
+	r.Gauge("a", "A.")
+	fams := r.Families()
+	if len(fams) != 2 || fams[0].Name != "a" || fams[1].Name != "b_total" {
+		t.Fatalf("families = %+v", fams)
+	}
+	if fams[1].Type != "counter" || len(fams[1].Labels) != 2 {
+		t.Fatalf("family b_total = %+v", fams[1])
+	}
+	if fams[0].Type != "gauge" || fams[0].Help != "A." {
+		t.Fatalf("family a = %+v", fams[0])
+	}
+}
+
+// TestDuplicateRegistrationPanics pins the registry's duplicate
+// detection: re-registering a name with a different shape is a
+// programming error surfaced at registration, not a lint finding.
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dup_total", "First.")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering dup_total as a gauge did not panic")
+		}
+	}()
+	r.Gauge("dup_total", "Second, different type.")
+}
+
+func TestNilRegistryLint(t *testing.T) {
+	var r *Registry
+	if got := r.Lint(); got != nil {
+		t.Fatalf("nil registry lint = %v", got)
+	}
+	if got := r.Families(); len(got) != 0 {
+		t.Fatalf("nil registry families = %v", got)
+	}
+}
